@@ -1,0 +1,205 @@
+// Benchmark harness: one testing.B benchmark per figure panel of the
+// paper's evaluation (§5, Figures 5(a)–(f) and 6(g)–(o)). Each sub-
+// benchmark measures steady-state throughput of one (structure, policy,
+// threads, size, update%) point; structures are prefilled once and cached
+// across b.N iterations. Run:
+//
+//	go test -bench=Fig5a -benchmem        # one panel
+//	go test -bench=. -benchmem            # everything
+//
+// For the full-scale paper grids (bigger structures, longer measurements,
+// full thread sweeps, CSV output) use cmd/nvbench instead.
+package nvtraverse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/list"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// benchOpts keeps `go test -bench=.` to a few minutes on a laptop: sizes
+// divided by 64 relative to the paper, thread sweeps capped, 40ms per
+// measurement iteration.
+var benchOpts = bench.PanelOptions{
+	SizeScale: 64,
+	ThreadCap: 4,
+	Duration:  40 * time.Millisecond,
+}
+
+type benchEntry struct {
+	target bench.Target
+	mem    *pmem.Memory
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]*benchEntry{}
+)
+
+func cachedTarget(b *testing.B, cfg bench.Config) *benchEntry {
+	b.Helper()
+	key := fmt.Sprintf("%s|%s|%s|%d|%d", cfg.Kind, cfg.Policy, cfg.Profile.Name,
+		cfg.Threads, cfg.Range)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if e, ok := benchCache[key]; ok {
+		return e
+	}
+	target, mem, err := bench.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench.Prefill(target, mem, cfg)
+	e := &benchEntry{target: target, mem: mem}
+	benchCache[key] = e
+	return e
+}
+
+func runPanel(b *testing.B, id string) {
+	p, err := bench.PanelByID(benchOpts, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range p.Configs {
+		cfg := cfg
+		name := fmt.Sprintf("%s/%s/t%d/r%d/u%d",
+			cfg.Kind, cfg.Policy, cfg.Threads, cfg.Range, cfg.UpdatePct)
+		b.Run(name, func(b *testing.B) {
+			e := cachedTarget(b, cfg)
+			b.ResetTimer()
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				last = bench.Measure(e.target, e.mem, cfg)
+			}
+			b.ReportMetric(last.Mops, "Mops/s")
+			b.ReportMetric(last.FlushPerOp, "flush/op")
+			b.ReportMetric(last.FencePerOp, "fence/op")
+		})
+	}
+}
+
+// Figure 5 — NVRAM machine (Optane-like persistence costs).
+
+// BenchmarkFig5a is Figure 5(a): list throughput vs thread count.
+func BenchmarkFig5a(b *testing.B) { runPanel(b, "5a") }
+
+// BenchmarkFig5b is Figure 5(b): list throughput vs list size.
+func BenchmarkFig5b(b *testing.B) { runPanel(b, "5b") }
+
+// BenchmarkFig5c is Figure 5(c): list throughput vs update percentage.
+func BenchmarkFig5c(b *testing.B) { runPanel(b, "5c") }
+
+// BenchmarkFig5d is Figure 5(d): hash table vs update percentage.
+func BenchmarkFig5d(b *testing.B) { runPanel(b, "5d") }
+
+// BenchmarkFig5e is Figure 5(e): both BSTs vs update percentage.
+func BenchmarkFig5e(b *testing.B) { runPanel(b, "5e") }
+
+// BenchmarkFig5f is Figure 5(f): skiplist vs update percentage.
+func BenchmarkFig5f(b *testing.B) { runPanel(b, "5f") }
+
+// Figure 6 — DRAM machine (cheaper persistence; includes log-free).
+
+// BenchmarkFig6g is Figure 6(g): list throughput vs thread count.
+func BenchmarkFig6g(b *testing.B) { runPanel(b, "6g") }
+
+// BenchmarkFig6h is Figure 6(h): list vs update percentage.
+func BenchmarkFig6h(b *testing.B) { runPanel(b, "6h") }
+
+// BenchmarkFig6i is Figure 6(i): list vs size.
+func BenchmarkFig6i(b *testing.B) { runPanel(b, "6i") }
+
+// BenchmarkFig6j is Figure 6(j): hash table vs thread count.
+func BenchmarkFig6j(b *testing.B) { runPanel(b, "6j") }
+
+// BenchmarkFig6k is Figure 6(k): hash table vs update percentage.
+func BenchmarkFig6k(b *testing.B) { runPanel(b, "6k") }
+
+// BenchmarkFig6l is Figure 6(l): hash table vs size.
+func BenchmarkFig6l(b *testing.B) { runPanel(b, "6l") }
+
+// BenchmarkFig6m is Figure 6(m): both BSTs vs update percentage.
+func BenchmarkFig6m(b *testing.B) { runPanel(b, "6m") }
+
+// BenchmarkFig6n is Figure 6(n): skiplist vs thread count.
+func BenchmarkFig6n(b *testing.B) { runPanel(b, "6n") }
+
+// BenchmarkFig6o is Figure 6(o): skiplist vs update percentage.
+func BenchmarkFig6o(b *testing.B) { runPanel(b, "6o") }
+
+// BenchmarkAblationEnsureReachable compares the two ensureReachable
+// mechanisms of §4.1 / Supplement 2 on the Harris list: the current-parent
+// optimization (no extra field) vs the originalParent field (extra word
+// per node, one recorded store per insert). The paper predicts nearly
+// identical flush counts — the mechanisms differ in space, not flushes.
+func BenchmarkAblationEnsureReachable(b *testing.B) {
+	cfg := bench.Config{
+		Kind: "list", Policy: "nvtraverse", Profile: pmem.ProfileNVRAM,
+		Threads: 2, Range: 1024, UpdatePct: 20, Duration: 40 * time.Millisecond,
+	}
+	b.Run("current-parent-optimization", func(b *testing.B) {
+		e := cachedTarget(b, cfg)
+		b.ResetTimer()
+		var last bench.Result
+		for i := 0; i < b.N; i++ {
+			last = bench.Measure(e.target, e.mem, cfg)
+		}
+		b.ReportMetric(last.Mops, "Mops/s")
+		b.ReportMetric(last.FlushPerOp, "flush/op")
+	})
+	b.Run("original-parent-field", func(b *testing.B) {
+		mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: cfg.Profile,
+			MaxThreads: cfg.Threads + 10})
+		l := list.NewWithOriginalParent(mem, persist.NVTraverse{})
+		bench.Prefill(l, mem, cfg)
+		b.ResetTimer()
+		var last bench.Result
+		for i := 0; i < b.N; i++ {
+			last = bench.Measure(l, mem, cfg)
+		}
+		b.ReportMetric(last.Mops, "Mops/s")
+		b.ReportMetric(last.FlushPerOp, "flush/op")
+	})
+}
+
+// BenchmarkZipfianSkew is the skew extension: hot keys concentrate flushes
+// on few cache lines, which is where link-and-persist's tag elision shines
+// and where the uniform-key panels understate it.
+func BenchmarkZipfianSkew(b *testing.B) {
+	for _, pol := range []string{"nvtraverse", "logfree"} {
+		cfg := bench.Config{
+			Kind: "skiplist", Policy: pol, Profile: pmem.ProfileNVRAM,
+			Threads: 2, Range: 1 << 14, UpdatePct: 10, Duration: 40 * time.Millisecond,
+		}
+		b.Run(pol, func(b *testing.B) {
+			e := cachedTarget(b, cfg)
+			z := bench.NewZipf(cfg.Range, 0.99)
+			th := e.mem.NewThread()
+			b.ResetTimer()
+			ops := 0
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 1024; j++ {
+					k := z.Next(th.Rand())
+					r := int(th.Rand() % 100)
+					switch {
+					case r < cfg.UpdatePct/2:
+						e.target.Insert(th, k, k)
+					case r < cfg.UpdatePct:
+						e.target.Delete(th, k)
+					default:
+						e.target.Find(th, k)
+					}
+					ops++
+				}
+			}
+			st := th.StatsSnapshot()
+			b.ReportMetric(float64(st.Flushes)/float64(ops), "flush/op")
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Command nvbench regenerates the paper's evaluation figures (§5) on the
+// simulated persistent-memory substrate.
+//
+// Usage:
+//
+//	nvbench -panel 5a                 # one figure panel
+//	nvbench -all                      # every panel (Figure 5 and Figure 6)
+//	nvbench -panel 5c -csv            # CSV for plotting
+//	nvbench -list                     # list the panels
+//	nvbench -scale 4 -threads 16 -dur 500ms -panel 6g
+//
+// The -scale flag divides the paper's structure sizes (all competitors
+// share the substrate, so relative ordering is preserved); -threads caps
+// the thread sweeps; -dur sets the measurement time per point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		panelID = flag.String("panel", "", "figure panel to run (e.g. 5a, 6k)")
+		all     = flag.Bool("all", false, "run every panel")
+		list    = flag.Bool("list", false, "list available panels")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a table")
+		scale   = flag.Int("scale", 16, "divide the paper's structure sizes by this factor")
+		threads = flag.Int("threads", 8, "cap thread sweeps at this count")
+		dur     = flag.Duration("dur", 150*time.Millisecond, "measurement duration per point")
+	)
+	flag.Parse()
+
+	opts := bench.PanelOptions{SizeScale: *scale, ThreadCap: *threads, Duration: *dur}
+
+	if *list {
+		for _, p := range bench.Panels(opts) {
+			fmt.Printf("%-3s %s (%d points)\n", p.ID, p.Title, len(p.Configs))
+		}
+		return
+	}
+
+	var panels []bench.Panel
+	switch {
+	case *all:
+		panels = bench.Panels(opts)
+	case *panelID != "":
+		p, err := bench.PanelByID(opts, *panelID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		panels = []bench.Panel{p}
+	default:
+		fmt.Fprintln(os.Stderr, "nvbench: need -panel <id>, -all or -list")
+		os.Exit(2)
+	}
+
+	if *csv {
+		fmt.Println(bench.CSVHeader())
+	}
+	for _, p := range panels {
+		if !*csv {
+			fmt.Printf("\n== Panel %s: %s ==\n%s\n", p.ID, p.Title, bench.Header())
+		}
+		for _, cfg := range p.Configs {
+			res, err := bench.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "panel %s: %v\n", p.ID, err)
+				os.Exit(1)
+			}
+			if *csv {
+				fmt.Println(res.CSV())
+			} else {
+				fmt.Println(res.Row())
+			}
+		}
+	}
+}

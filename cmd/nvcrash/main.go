@@ -1,0 +1,77 @@
+// Command nvcrash tortures a structure/policy combination with simulated
+// crashes and checks durable linearizability after each recovery (the
+// property Theorem 4.2 proves for NVTraverse structures).
+//
+// Usage:
+//
+//	nvcrash -kind list -policy nvtraverse -rounds 20
+//	nvcrash -kind skiplist -policy none        # watch the checker catch it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/crashtest"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "list", "structure: list, hash, ellenbst, nmbst, skiplist")
+		policy  = flag.String("policy", "nvtraverse", "persistence policy: none, nvtraverse, izraelevitz, logfree")
+		rounds  = flag.Int("rounds", 10, "crash rounds")
+		workers = flag.Int("workers", 4, "concurrent workers")
+		keys    = flag.Uint64("keys", 128, "key range")
+		ops     = flag.Uint64("ops", 500, "operations before the crash")
+		evict   = flag.Float64("evict", 0.25, "probability an unpersisted line survives (cache eviction)")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	pol, ok := persist.ByName(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nvcrash: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	k := core.Kind(*kind)
+	factory := func(mem *pmem.Memory) crashtest.Set {
+		s, err := core.NewSet(k, mem, pol, core.Params{SizeHint: int(*keys)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nvcrash:", err)
+			os.Exit(2)
+		}
+		return s
+	}
+
+	bad := 0
+	for r := 0; r < *rounds; r++ {
+		res := crashtest.Run(crashtest.Options{
+			Workers:        *workers,
+			Keys:           *keys,
+			PrefillEvery:   2,
+			OpsBeforeCrash: *ops,
+			UpdateRatio:    80,
+			EvictProb:      *evict,
+			Seed:           *seed + int64(r),
+		}, factory)
+		status := "OK"
+		if len(res.Violations) > 0 {
+			status = "VIOLATED"
+			bad++
+		}
+		fmt.Printf("round %2d: %-8s completed=%d in-flight=%d survivors=%d violations=%d\n",
+			r, status, res.Completed, res.InFlight, res.Survivors, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("\n%d/%d rounds violated durable linearizability\n", bad, *rounds)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d rounds durably linearizable\n", *rounds)
+}

@@ -1,0 +1,48 @@
+// ycsb: run YCSB-style workloads A (50% updates), B (5% updates) and C
+// (read-only) over every data structure and persistence policy of the
+// paper's evaluation, printing a compact comparison table — a miniature of
+// Figure 5 on one machine profile.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func main() {
+	workloads := []struct {
+		name    string
+		updates int
+	}{
+		{"YCSB-A", 50},
+		{"YCSB-B", 5},
+		{"YCSB-C", 0},
+	}
+	policies := []string{"none", "nvtraverse", "izraelevitz", "logfree"}
+
+	fmt.Println(bench.Header())
+	for _, wl := range workloads {
+		fmt.Printf("-- %s --\n", wl.name)
+		for _, kind := range []core.Kind{core.KindHash, core.KindSkiplist, core.KindNMBST} {
+			for _, pol := range policies {
+				res, err := bench.Run(bench.Config{
+					Kind:      kind,
+					Policy:    pol,
+					Profile:   pmem.ProfileNVRAM,
+					Threads:   4,
+					Range:     1 << 16,
+					UpdatePct: wl.updates,
+					Duration:  80 * time.Millisecond,
+				})
+				if err != nil {
+					panic(err)
+				}
+				fmt.Println(res.Row())
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package arena provides chunked, handle-addressed node pools for simulated
+// persistent memory, with per-thread free lists and epoch-stamped
+// retirement. Handles (arena indices) are what pmem.Ref values carry;
+// persistent-memory practice addresses pool offsets rather than raw
+// pointers, and handles additionally give data structures tag bits that
+// Go's GC would forbid on real pointers.
+//
+// Allocation is thread-local: each thread pops its own free list and falls
+// back to bumping the shared high-water mark. Retired nodes join the
+// retiring thread's limbo queue stamped with the current epoch and are
+// recycled once the epoch domain has advanced twice (see package epoch).
+//
+// After a simulated crash the limbo/free metadata is considered lost (it
+// lived in DRAM in the paper's setting too); RebuildFreeLists performs the
+// mark–sweep that a recovery procedure would run to reclaim unreachable
+// slots.
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+)
+
+const (
+	chunkBits = 13
+	// ChunkSize is the number of nodes per chunk.
+	ChunkSize = 1 << chunkBits
+	chunkMask = ChunkSize - 1
+	maxChunks = 1 << 18 // 2^31 nodes per arena: plenty for every benchmark
+)
+
+// collectInterval is how many retirements a thread performs between limbo
+// collection attempts.
+const collectInterval = 32
+
+type retired struct {
+	epoch uint64
+	idx   uint64
+}
+
+type threadState struct {
+	free  []uint64
+	limbo []retired // epoch-ordered (appends use the non-decreasing epoch)
+	nret  uint64
+	_     [24]byte
+}
+
+// Arena is a chunked pool of T nodes. Index 0 is reserved (the nil handle).
+type Arena[T any] struct {
+	dom    *epoch.Domain
+	chunks []atomic.Pointer[[ChunkSize]T]
+	next   atomic.Uint64
+	grow   sync.Mutex
+	ts     []threadState
+}
+
+// New creates an arena attached to an epoch domain, with per-thread state
+// for maxThreads threads (thread IDs must match the pmem.Thread IDs).
+func New[T any](dom *epoch.Domain, maxThreads int) *Arena[T] {
+	a := &Arena[T]{
+		dom:    dom,
+		chunks: make([]atomic.Pointer[[ChunkSize]T], maxChunks),
+		ts:     make([]threadState, maxThreads),
+	}
+	a.next.Store(1) // index 0 is the nil handle
+	return a
+}
+
+// Domain returns the epoch domain the arena reclaims against.
+func (a *Arena[T]) Domain() *epoch.Domain { return a.dom }
+
+// Get returns the node at handle idx. The handle must have been allocated
+// and not recycled; Get performs no validation beyond bounds.
+func (a *Arena[T]) Get(idx uint64) *T {
+	return &a.chunks[idx>>chunkBits].Load()[idx&chunkMask]
+}
+
+// Alloc returns a fresh handle for thread tid. The node's contents are
+// whatever the previous occupant left (like malloc); callers must initialize
+// every field before publishing, exactly as the persistence protocol
+// requires anyway.
+func (a *Arena[T]) Alloc(tid int) uint64 {
+	ts := &a.ts[tid]
+	if n := len(ts.free); n > 0 {
+		idx := ts.free[n-1]
+		ts.free = ts.free[:n-1]
+		return idx
+	}
+	a.collect(tid)
+	if n := len(ts.free); n > 0 {
+		idx := ts.free[n-1]
+		ts.free = ts.free[:n-1]
+		return idx
+	}
+	idx := a.next.Add(1) - 1
+	ci := idx >> chunkBits
+	if ci >= maxChunks {
+		panic(fmt.Sprintf("arena: exhausted (%d nodes)", idx))
+	}
+	if a.chunks[ci].Load() == nil {
+		a.grow.Lock()
+		if a.chunks[ci].Load() == nil {
+			a.chunks[ci].Store(new([ChunkSize]T))
+		}
+		a.grow.Unlock()
+	}
+	return idx
+}
+
+// Free returns a never-published handle directly to the thread's free list
+// (e.g. a node allocated for an insert whose CAS failed). Published nodes
+// must use Retire instead.
+func (a *Arena[T]) Free(tid int, idx uint64) {
+	a.ts[tid].free = append(a.ts[tid].free, idx)
+}
+
+// Retire places an unlinked node in the limbo queue. The caller must
+// guarantee the node is unreachable from the structure's roots and — for
+// durability — that the disconnection has already been flushed and fenced:
+// recycling a slot whose unlink could be undone by a crash would corrupt
+// the persistent structure.
+func (a *Arena[T]) Retire(tid int, idx uint64) {
+	ts := &a.ts[tid]
+	ts.limbo = append(ts.limbo, retired{epoch: a.dom.Epoch(), idx: idx})
+	ts.nret++
+	if ts.nret%collectInterval == 0 {
+		a.dom.TryAdvance()
+		a.collect(tid)
+	}
+}
+
+// collect moves reclaimable limbo entries to the free list. Limbo is
+// epoch-ordered, so only a prefix moves.
+func (a *Arena[T]) collect(tid int) {
+	ts := &a.ts[tid]
+	i := 0
+	for i < len(ts.limbo) && a.dom.SafeToReclaim(ts.limbo[i].epoch) {
+		ts.free = append(ts.free, ts.limbo[i].idx)
+		i++
+	}
+	if i > 0 {
+		ts.limbo = append(ts.limbo[:0], ts.limbo[i:]...)
+	}
+}
+
+// Stats reports allocator occupancy (test and reporting hook).
+func (a *Arena[T]) Stats() (allocated, free, limbo uint64) {
+	allocated = a.next.Load() - 1
+	for i := range a.ts {
+		free += uint64(len(a.ts[i].free))
+		limbo += uint64(len(a.ts[i].limbo))
+	}
+	return
+}
+
+// HighWater returns one past the largest handle ever allocated.
+func (a *Arena[T]) HighWater() uint64 { return a.next.Load() }
+
+// RebuildFreeLists is the post-crash mark–sweep: given the set of handles
+// reachable from the structure's persistent roots, every other allocated
+// slot becomes free again. Must run single-threaded (recovery). All limbo
+// state is discarded — it was volatile.
+func (a *Arena[T]) RebuildFreeLists(live map[uint64]bool) {
+	for i := range a.ts {
+		a.ts[i].free = a.ts[i].free[:0]
+		a.ts[i].limbo = a.ts[i].limbo[:0]
+		a.ts[i].nret = 0
+	}
+	hw := a.next.Load()
+	ts := &a.ts[0]
+	for idx := uint64(1); idx < hw; idx++ {
+		if !live[idx] {
+			ts.free = append(ts.free, idx)
+		}
+	}
+}

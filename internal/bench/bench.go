@@ -1,0 +1,230 @@
+// Package bench is the throughput harness that regenerates the paper's
+// evaluation (§5): prefill a structure to half its key range, run T worker
+// threads issuing a YCSB-style uniform-key mix of lookups, inserts and
+// deletes for a fixed duration, and report throughput plus the per-
+// operation flush and fence counts (the hardware-independent quantity the
+// NVTraverse transformation controls).
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/onefile"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// Config is one benchmark run.
+type Config struct {
+	Kind      core.Kind
+	Policy    string // a persist.ByName name, or "onefile"
+	Profile   pmem.Profile
+	Threads   int
+	Range     uint64 // keys drawn from [1, Range]; prefill Range/2
+	UpdatePct int    // percent updates (split evenly insert/delete)
+	Duration  time.Duration
+}
+
+// Result is one benchmark outcome.
+type Result struct {
+	Config
+	Ops        uint64
+	Mops       float64 // million operations per second
+	FlushPerOp float64
+	FencePerOp float64
+	Elapsed    time.Duration
+}
+
+// Target is the operation surface the harness drives.
+type Target interface {
+	Insert(t *pmem.Thread, key, value uint64) bool
+	Delete(t *pmem.Thread, key uint64) bool
+	Find(t *pmem.Thread, key uint64) (uint64, bool)
+}
+
+// Build constructs the structure for cfg on a fresh fast-mode memory and
+// returns it with the memory.
+func Build(cfg Config) (Target, *pmem.Memory, error) {
+	mem := pmem.New(pmem.Config{
+		Mode:       pmem.ModeFast,
+		Profile:    cfg.Profile,
+		MaxThreads: cfg.Threads + 10,
+	})
+	if cfg.Policy == "onefile" {
+		switch cfg.Kind {
+		case core.KindList:
+			return onefile.NewListSet(mem), mem, nil
+		case core.KindEllenBST, core.KindNMBST:
+			return onefile.NewBSTSet(mem), mem, nil
+		default:
+			return nil, nil, fmt.Errorf("bench: onefile supports list and bst only (paper §5)")
+		}
+	}
+	pol, ok := persist.ByName(cfg.Policy)
+	if !ok {
+		return nil, nil, fmt.Errorf("bench: unknown policy %q", cfg.Policy)
+	}
+	s, err := core.NewSet(cfg.Kind, mem, pol, core.Params{SizeHint: int(cfg.Range)})
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, mem, nil
+}
+
+// Prefill inserts every other key in [1, Range] (Range/2 keys), in
+// parallel and in *shuffled* order, mirroring the paper's uniform-random
+// prefill. Order matters beyond fidelity: the external BSTs are
+// unbalanced, so an ascending prefill would degenerate them into
+// Range/2-deep paths and poison every measurement on them.
+func Prefill(s Target, mem *pmem.Memory, cfg Config) {
+	workers := cfg.Threads
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := mem.NewThread()
+		lo := uint64(w)
+		wg.Add(1)
+		go func(th *pmem.Thread, lo uint64) {
+			defer wg.Done()
+			keys := make([]uint64, 0, cfg.Range/(2*uint64(workers))+1)
+			for k := 1 + 2*lo; k <= cfg.Range; k += 2 * uint64(workers) {
+				keys = append(keys, k)
+			}
+			for i := len(keys) - 1; i > 0; i-- { // Fisher–Yates
+				j := th.Rand() % uint64(i+1)
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+			for _, k := range keys {
+				s.Insert(th, k, k)
+			}
+		}(th, lo)
+	}
+	wg.Wait()
+}
+
+// Run executes one benchmark configuration.
+func Run(cfg Config) (Result, error) {
+	if cfg.Duration == 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	s, mem, err := Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	Prefill(s, mem, cfg)
+	return Measure(s, mem, cfg), nil
+}
+
+// Measure runs the timed phase on an already-prefilled structure. It can
+// be called repeatedly on the same structure (steady-state measurement).
+func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
+	mem.ResetStats()
+	var stop atomic.Bool
+	var total atomic.Uint64
+	threads := mem.Threads()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		// Reuse registered threads beyond the prefill workers.
+		var th *pmem.Thread
+		if i < len(threads) {
+			th = threads[i]
+		} else {
+			th = mem.NewThread()
+		}
+		wg.Add(1)
+		go func(th *pmem.Thread) {
+			defer wg.Done()
+			var ops uint64
+			for !stop.Load() {
+				for j := 0; j < 32; j++ {
+					k := th.Rand()%cfg.Range + 1
+					r := int(th.Rand() % 100)
+					switch {
+					case r < cfg.UpdatePct/2:
+						s.Insert(th, k, k)
+					case r < cfg.UpdatePct:
+						s.Delete(th, k)
+					default:
+						s.Find(th, k)
+					}
+					ops++
+				}
+			}
+			total.Add(ops)
+		}(th)
+	}
+	timer := time.NewTimer(cfg.Duration)
+	<-timer.C
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := mem.Stats()
+	ops := total.Load()
+	res := Result{
+		Config:  cfg,
+		Ops:     ops,
+		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
+		Elapsed: elapsed,
+	}
+	if ops > 0 {
+		res.FlushPerOp = float64(st.Flushes) / float64(ops)
+		res.FencePerOp = float64(st.Fences) / float64(ops)
+	}
+	return res
+}
+
+// Row renders a result as an aligned table row.
+func (r Result) Row() string {
+	return fmt.Sprintf("%-9s %-12s %-6s %4d %9d %5d%% %9.3f %8.2f %8.2f",
+		r.Kind, r.Policy, r.Profile.Name, r.Threads, r.Range, r.UpdatePct,
+		r.Mops, r.FlushPerOp, r.FencePerOp)
+}
+
+// Header is the table header matching Row.
+func Header() string {
+	h := fmt.Sprintf("%-9s %-12s %-6s %4s %9s %6s %9s %8s %8s",
+		"struct", "policy", "mem", "thr", "range", "upd", "Mops/s", "flush/op", "fence/op")
+	return h + "\n" + strings.Repeat("-", len(h))
+}
+
+// CSV renders a result as a CSV line (for plotting).
+func (r Result) CSV() string {
+	return fmt.Sprintf("%s,%s,%s,%d,%d,%d,%.4f,%.3f,%.3f",
+		r.Kind, r.Policy, r.Profile.Name, r.Threads, r.Range, r.UpdatePct,
+		r.Mops, r.FlushPerOp, r.FencePerOp)
+}
+
+// CSVHeader matches CSV.
+func CSVHeader() string {
+	return "struct,policy,mem,threads,range,update_pct,mops,flush_per_op,fence_per_op"
+}
+
+// DefaultThreads caps a paper thread count at something sensible for the
+// host (oversubscribing a bit is fine; 10x is noise).
+func DefaultThreads(paper []int) []int {
+	max := 4 * runtime.NumCPU()
+	var out []int
+	for _, t := range paper {
+		if t <= max {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	sort.Ints(out)
+	return out
+}

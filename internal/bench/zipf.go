@@ -1,0 +1,69 @@
+package bench
+
+import "math"
+
+// Zipf is a Zipf(θ) key-distribution generator over [1, n], using the
+// Gray et al. rejection-free inverse-CDF approximation that the YCSB core
+// workloads use. The paper's evaluation draws keys uniformly; zipfian
+// access is provided as an extension for skew studies (hot keys stress
+// exactly the cache-line-invalidation behaviour the paper discusses for
+// clwb).
+//
+// Zipf is not safe for concurrent use; give each worker its own (they are
+// cheap and deterministic given the thread RNG).
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf builds a generator over [1, n] with skew theta in [0, 1).
+// theta = 0 degenerates to (approximately) uniform; YCSB uses 0.99.
+func NewZipf(n uint64, theta float64) *Zipf {
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// O(n) but cached per generator; benchmark ranges are modest. For very
+	// large n an Euler–Maclaurin approximation keeps construction cheap.
+	if n > 1<<22 {
+		// ζ_n(θ) ≈ ζ_m(θ) + ∫_m^n x^-θ dx for a fixed prefix m.
+		const m = 1 << 22
+		s := zeta(m, theta)
+		if theta == 1 {
+			return s + math.Log(float64(n)/float64(m))
+		}
+		return s + (math.Pow(float64(n), 1-theta)-math.Pow(float64(m), 1-theta))/(1-theta)
+	}
+	s := 0.0
+	for i := uint64(1); i <= n; i++ {
+		s += 1.0 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// Next maps a uniform random u64 to a zipf-distributed key in [1, n].
+func (z *Zipf) Next(r uint64) uint64 {
+	u := float64(r>>11) / float64(1<<53) // uniform in [0,1)
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 1
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 2
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k < 1 {
+		k = 1
+	}
+	if k > z.n {
+		k = z.n
+	}
+	return k
+}

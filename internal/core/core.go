@@ -1,0 +1,124 @@
+// Package core ties the NVTraverse reproduction together: it defines the
+// common surface of all traversal data structures in this repository and a
+// registry that builds any (structure, persistence policy) combination the
+// paper evaluates. The benchmark harness, the crash-test CLI and the
+// examples all construct structures through this package.
+//
+// The paper's primary contribution is a transformation, not a single data
+// structure: take a lock-free structure in traversal form (findEntry →
+// traverse → critical; Properties 1–5 of §3) and inject flushes and fences
+// per Protocols 1 and 2 of §4 to obtain a durably linearizable structure.
+// In this codebase the transformation is the persist.Policy interface —
+// each structure is written once against the policy hooks, and choosing
+// persist.NVTraverse{} *is* applying the paper's transformation, just as
+// persist.Izraelevitz{} applies the baseline transformation to the same
+// code. See the persist package for the hook-to-protocol mapping and each
+// structure package for how its traverse method satisfies Properties 2–5.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ellenbst"
+	"repro/internal/hashtable"
+	"repro/internal/list"
+	"repro/internal/nmbst"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/skiplist"
+)
+
+// Set is the common surface of every traversal set/map structure: a map
+// from uint64 keys (in [1, 2^61)) to uint64 values with set-style inserts.
+type Set interface {
+	// Insert adds key with value; false if the key is already present.
+	Insert(t *pmem.Thread, key, value uint64) bool
+	// Delete removes key; false if absent.
+	Delete(t *pmem.Thread, key uint64) bool
+	// Find reports membership and the associated value.
+	Find(t *pmem.Thread, key uint64) (uint64, bool)
+	// Recover is the paper's §4 recovery phase: run after a crash, before
+	// any other operation.
+	Recover(t *pmem.Thread)
+	// Contents returns the present keys (quiescent use only).
+	Contents(t *pmem.Thread) []uint64
+}
+
+// Validator is implemented by structures with a structural self-check.
+type Validator interface {
+	Validate(t *pmem.Thread) error
+}
+
+// Kind names a data structure of the paper's evaluation.
+type Kind string
+
+// The five structures evaluated in §5.
+const (
+	KindList     Kind = "list"
+	KindHash     Kind = "hash"
+	KindEllenBST Kind = "ellenbst"
+	KindNMBST    Kind = "nmbst"
+	KindSkiplist Kind = "skiplist"
+)
+
+// Kinds lists every structure kind in evaluation order.
+func Kinds() []Kind {
+	return []Kind{KindList, KindHash, KindEllenBST, KindNMBST, KindSkiplist}
+}
+
+// Params tunes structure construction.
+type Params struct {
+	// Buckets is the hash-table bucket count (default: SizeHint, load
+	// factor 1, as in the paper's setup).
+	Buckets int
+	// SizeHint is the expected key-range size.
+	SizeHint int
+}
+
+// NewSet builds a structure of the given kind on mem with the policy.
+func NewSet(kind Kind, mem *pmem.Memory, pol persist.Policy, p Params) (Set, error) {
+	switch kind {
+	case KindList:
+		return list.New(mem, pol), nil
+	case KindHash:
+		b := p.Buckets
+		if b == 0 {
+			b = p.SizeHint
+		}
+		if b == 0 {
+			b = 1 << 16
+		}
+		return hashtable.New(mem, pol, b), nil
+	case KindEllenBST:
+		return ellenbst.New(mem, pol), nil
+	case KindNMBST:
+		return nmbst.New(mem, pol), nil
+	case KindSkiplist:
+		return skiplist.New(mem, pol), nil
+	}
+	return nil, fmt.Errorf("core: unknown structure kind %q", kind)
+}
+
+// Interface conformance checks: every structure is a Set and a Validator.
+var (
+	_ Set       = (*list.List)(nil)
+	_ Set       = (*hashtable.Table)(nil)
+	_ Set       = (*ellenbst.Tree)(nil)
+	_ Set       = (*nmbst.Tree)(nil)
+	_ Set       = (*skiplist.List)(nil)
+	_ Validator = (*list.List)(nil)
+	_ Validator = (*hashtable.Table)(nil)
+	_ Validator = (*ellenbst.Tree)(nil)
+	_ Validator = (*nmbst.Tree)(nil)
+	_ Validator = (*skiplist.List)(nil)
+)
+
+// SortedContents returns the structure's contents sorted ascending,
+// normalizing structures that do not guarantee a global order (the hash
+// table concatenates per-bucket orders).
+func SortedContents(s Set, t *pmem.Thread) []uint64 {
+	c := s.Contents(t)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+func TestNewSetAllKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, pol := range persist.All() {
+			mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 8})
+			s, err := NewSet(kind, mem, pol, Params{SizeHint: 64})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, pol.Name(), err)
+			}
+			th := mem.NewThread()
+			if !s.Insert(th, 5, 50) {
+				t.Fatalf("%s: insert failed", kind)
+			}
+			if v, ok := s.Find(th, 5); !ok || v != 50 {
+				t.Fatalf("%s: Find = %d,%v", kind, v, ok)
+			}
+			if !s.Delete(th, 5) {
+				t.Fatalf("%s: delete failed", kind)
+			}
+			if got := s.Contents(th); len(got) != 0 {
+				t.Fatalf("%s: contents = %v", kind, got)
+			}
+			if v, ok := s.(Validator); !ok {
+				t.Fatalf("%s: no Validator", kind)
+			} else if err := v.Validate(th); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestNewSetUnknownKind(t *testing.T) {
+	mem := pmem.NewFast(pmem.ProfileZero)
+	if _, err := NewSet(Kind("btree"), mem, persist.None{}, Params{}); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+}
+
+func TestSortedContents(t *testing.T) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 8})
+	s, err := NewSet(KindHash, mem, persist.None{}, Params{SizeHint: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := mem.NewThread()
+	for _, k := range []uint64{9, 2, 7, 4} {
+		s.Insert(th, k, k)
+	}
+	got := SortedContents(s, th)
+	want := []uint64{2, 4, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedContents = %v", got)
+		}
+	}
+}
+
+func TestKindsStable(t *testing.T) {
+	if len(Kinds()) != 5 {
+		t.Fatalf("Kinds() = %v", Kinds())
+	}
+}

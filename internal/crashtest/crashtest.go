@@ -1,0 +1,394 @@
+// Package crashtest is the durable-linearizability test harness: it runs
+// concurrent workers against a tracked pmem.Memory, injects a crash at an
+// arbitrary point inside operations, rolls back unpersisted writes (with
+// optional random cache evictions), runs the structure's recovery
+// procedure, and then checks that the surviving state is explainable by
+// some linearization of the pre-crash history (Izraelevitz et al.'s
+// durable linearizability, the paper's correctness criterion):
+//
+//   - the effect of every completed operation must have survived, and
+//   - operations in flight at the crash either took full effect or none.
+//
+// For set data structures the per-key check is exact: in any linearization
+// the successful inserts and deletes of one key alternate, so the final
+// membership of key k is determined by the initial state and the counts of
+// completed successful inserts (I) and deletes (D) — present iff
+// initially-absent ? I == D+1 : I == D — unless some operation on k was in
+// flight at the crash, in which case that operation may additionally have
+// taken effect.
+package crashtest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+)
+
+// Set is the data-structure surface the harness exercises.
+type Set interface {
+	Insert(t *pmem.Thread, key, value uint64) bool
+	Delete(t *pmem.Thread, key uint64) bool
+	Find(t *pmem.Thread, key uint64) (uint64, bool)
+	// Recover is the paper's recovery phase (disconnect + auxiliary
+	// rebuild); it runs after FinishCrash/Restart, before checking.
+	Recover(t *pmem.Thread)
+	// Contents returns the unmarked keys (quiescent use).
+	Contents(t *pmem.Thread) []uint64
+}
+
+// Validator is an optional structural self-check (sortedness, no cycles,
+// no marked nodes after recovery, ...).
+type Validator interface {
+	Validate(t *pmem.Thread) error
+}
+
+// Options configures one crash round.
+type Options struct {
+	Workers        int     // concurrent worker goroutines
+	Keys           uint64  // keys are drawn from [1, Keys]
+	Disjoint       bool    // partition the key space per worker (enables value checking)
+	PrefillEvery   uint64  // prefill every n-th key (0 = no prefill)
+	OpsBeforeCrash uint64  // crash once this many operations completed
+	EvictProb      float64 // probability an unpersisted line survives anyway
+	Seed           int64
+	UpdateRatio    int // percent of ops that are updates (rest are finds); default 60
+}
+
+// Violation is one durable-linearizability failure.
+type Violation struct {
+	Key    uint64
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("key %d: %s", v.Key, v.Detail)
+}
+
+// Result summarizes one crash round.
+type Result struct {
+	Completed  uint64 // operations completed before the crash
+	InFlight   int    // operations interrupted mid-flight
+	Violations []Violation
+	Survivors  int // keys present after recovery
+}
+
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opFind
+)
+
+type record struct {
+	key   uint64
+	kind  opKind
+	ok    bool
+	value uint64
+}
+
+type pendingOp struct {
+	key   uint64
+	kind  opKind
+	value uint64
+	valid bool
+}
+
+type worker struct {
+	th      *pmem.Thread
+	history []record
+	pending pendingOp
+}
+
+// Run executes one crash round against a fresh structure built by factory
+// on a tracked memory, and checks the outcome. The factory receives the
+// memory and must build the structure and return it (prefilling is done by
+// the harness).
+func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Keys == 0 {
+		opts.Keys = 128
+	}
+	if opts.UpdateRatio == 0 {
+		opts.UpdateRatio = 60
+	}
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
+		MaxThreads: opts.Workers + 8})
+	ds := factory(mem)
+
+	setup := mem.NewThread()
+	prefilled := map[uint64]uint64{}
+	if opts.PrefillEvery > 0 {
+		for k := uint64(1); k <= opts.Keys; k += opts.PrefillEvery {
+			v := k * 3
+			ds.Insert(setup, k, v)
+			prefilled[k] = v
+		}
+	}
+	// The initial structure resides fully in NVRAM before the measured
+	// history begins (the paper's setting).
+	mem.PersistAll()
+
+	var completed atomic.Uint64
+	workers := make([]*worker, opts.Workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := &worker{th: mem.NewThread()}
+		workers[i] = w
+		lo, hi := uint64(1), opts.Keys
+		if opts.Disjoint {
+			span := opts.Keys / uint64(opts.Workers)
+			if span == 0 {
+				span = 1
+			}
+			lo = uint64(i)*span + 1
+			hi = lo + span - 1
+			if hi > opts.Keys {
+				hi = opts.Keys
+			}
+		}
+		wg.Add(1)
+		go func(w *worker, lo, hi uint64) {
+			defer wg.Done()
+			rng := w.th
+			for !mem.Crashed() {
+				k := lo + rng.Rand()%(hi-lo+1)
+				r := int(rng.Rand() % 100)
+				var kind opKind
+				switch {
+				case r < opts.UpdateRatio/2:
+					kind = opInsert
+				case r < opts.UpdateRatio:
+					kind = opDelete
+				default:
+					kind = opFind
+				}
+				v := rng.Rand() & ((1 << 32) - 1)
+				w.pending = pendingOp{key: k, kind: kind, value: v, valid: true}
+				var ok bool
+				crashed := pmem.RunOp(func() {
+					switch kind {
+					case opInsert:
+						ok = ds.Insert(w.th, k, v)
+					case opDelete:
+						ok = ds.Delete(w.th, k)
+					default:
+						_, ok = ds.Find(w.th, k)
+					}
+				})
+				if crashed {
+					return // pending stays valid: in-flight at crash
+				}
+				w.history = append(w.history, record{key: k, kind: kind, ok: ok, value: v})
+				w.pending.valid = false
+				completed.Add(1)
+			}
+		}(w, lo, hi)
+	}
+
+	// Crash once enough operations completed (yield while spinning: on a
+	// single-core host the workers need the CPU).
+	for completed.Load() < opts.OpsBeforeCrash {
+		runtime.Gosched()
+	}
+	mem.Crash()
+	wg.Wait()
+	mem.FinishCrash(opts.EvictProb, opts.Seed)
+	mem.Restart()
+
+	rec := mem.NewThread()
+	ds.Recover(rec)
+
+	return check(opts, ds, rec, workers, prefilled, completed.Load())
+}
+
+type keyState struct {
+	inserts       uint64 // completed successful inserts
+	deletes       uint64 // completed successful deletes
+	lastInsertVal uint64
+	sawInsert     bool
+	inflightIns   int // in-flight inserts at the crash
+	inflightDel   int // in-flight deletes at the crash
+	attempted     bool
+}
+
+// allowedStates enumerates, per key, which final membership states some
+// linearization permits: each in-flight operation may or may not have taken
+// effect, and successful inserts/deletes of one key must alternate starting
+// from the initial state. It returns (absentOK, presentOK, feasible).
+func (s *keyState) allowedStates(prefilled bool) (absentOK, presentOK, feasible bool) {
+	for eI := 0; eI <= s.inflightIns; eI++ {
+		for eD := 0; eD <= s.inflightDel; eD++ {
+			i := s.inserts + uint64(eI)
+			d := s.deletes + uint64(eD)
+			if prefilled {
+				// Sequence starts present: deletes lead.
+				if d == i || d == i+1 {
+					feasible = true
+					if d == i {
+						presentOK = true
+					} else {
+						absentOK = true
+					}
+				}
+			} else {
+				if i == d || i == d+1 {
+					feasible = true
+					if i == d+1 {
+						presentOK = true
+					} else {
+						absentOK = true
+					}
+				}
+			}
+		}
+	}
+	return
+}
+
+func check(opts Options, ds Set, rec *pmem.Thread, workers []*worker,
+	prefilled map[uint64]uint64, completed uint64) Result {
+
+	res := Result{Completed: completed}
+
+	states := map[uint64]*keyState{}
+	get := func(k uint64) *keyState {
+		s := states[k]
+		if s == nil {
+			s = &keyState{}
+			states[k] = s
+		}
+		return s
+	}
+	for _, w := range workers {
+		for _, r := range w.history {
+			s := get(r.key)
+			s.attempted = true
+			if !r.ok {
+				continue
+			}
+			switch r.kind {
+			case opInsert:
+				s.inserts++
+				s.lastInsertVal = r.value
+				s.sawInsert = true
+			case opDelete:
+				s.deletes++
+			}
+		}
+		if w.pending.valid {
+			res.InFlight++
+			s := get(w.pending.key)
+			s.attempted = true
+			switch w.pending.kind {
+			case opInsert:
+				s.inflightIns++
+			case opDelete:
+				s.inflightDel++
+			}
+		}
+	}
+
+	present := map[uint64]int{}
+	for _, k := range ds.Contents(rec) {
+		present[k]++
+	}
+	for k, n := range present {
+		if n > 1 {
+			res.Violations = append(res.Violations,
+				Violation{k, fmt.Sprintf("present %d times", n)})
+		}
+	}
+
+	if v, ok := ds.(Validator); ok {
+		if err := v.Validate(rec); err != nil {
+			res.Violations = append(res.Violations,
+				Violation{0, "structural: " + err.Error()})
+		}
+	}
+
+	// Per-key membership check over every key that was prefilled or touched.
+	checkKey := func(k uint64) {
+		s := states[k]
+		_, pre := prefilled[k]
+		isPresent := present[k] > 0
+		if s == nil {
+			// Untouched key: prefill must survive verbatim.
+			if isPresent != pre {
+				res.Violations = append(res.Violations,
+					Violation{k, fmt.Sprintf("untouched key: present=%v, prefilled=%v", isPresent, pre)})
+			}
+			return
+		}
+		absentOK, presentOK, feasible := s.allowedStates(pre)
+		if !feasible {
+			res.Violations = append(res.Violations,
+				Violation{k, fmt.Sprintf("history not linearizable pre-crash: prefilled=%v inserts=%d deletes=%d inflight=%d/%d",
+					pre, s.inserts, s.deletes, s.inflightIns, s.inflightDel)})
+			return
+		}
+		if (isPresent && !presentOK) || (!isPresent && !absentOK) {
+			res.Violations = append(res.Violations,
+				Violation{k, fmt.Sprintf("present=%v not explainable (prefilled=%v inserts=%d deletes=%d inflight=%d/%d)",
+					isPresent, pre, s.inserts, s.deletes, s.inflightIns, s.inflightDel)})
+		}
+	}
+	seen := map[uint64]bool{}
+	for k := range prefilled {
+		seen[k] = true
+		checkKey(k)
+	}
+	for k := range states {
+		if !seen[k] {
+			seen[k] = true
+			checkKey(k)
+		}
+	}
+	// Keys present that nobody ever inserted are corruption.
+	for k := range present {
+		if !seen[k] {
+			res.Violations = append(res.Violations,
+				Violation{k, "present but never inserted"})
+		}
+	}
+
+	// Value durability: in disjoint mode each key's history is sequential,
+	// so a present key with no in-flight op must carry its last successful
+	// insert's value (or the prefill value).
+	if opts.Disjoint {
+		for k := range seen {
+			s := states[k]
+			if present[k] == 0 {
+				continue
+			}
+			if s != nil && (s.inflightIns > 0 || s.inflightDel > 0) {
+				continue
+			}
+			want, okWant := prefilled[k]
+			if s != nil && s.sawInsert {
+				want, okWant = s.lastInsertVal, true
+			}
+			if !okWant {
+				continue
+			}
+			got, ok := ds.Find(rec, k)
+			if !ok {
+				res.Violations = append(res.Violations,
+					Violation{k, "in Contents but Find misses it"})
+				continue
+			}
+			if got != want {
+				res.Violations = append(res.Violations,
+					Violation{k, fmt.Sprintf("value %d, want %d", got, want)})
+			}
+		}
+	}
+
+	res.Survivors = len(present)
+	return res
+}

@@ -1,0 +1,164 @@
+package ellenbst
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Recover implements the paper's recovery phase: complete or roll forward
+// every operation whose flag survived the crash, which in particular
+// executes the unique disconnection instruction for every marked node
+// (Supplement 1's disconnect). A persisted flag implies a persisted Info
+// record — records are flushed and fenced before the flag CAS — so the
+// descriptor is always intact. Single-threaded; every repair is persisted.
+func (tr *Tree) Recover(t *pmem.Thread) {
+	tr.dom.Enter(t.ID)
+	defer tr.dom.Exit(t.ID)
+	tr.recoverNode(t, tr.root)
+}
+
+func (tr *Tree) recoverNode(t *pmem.Thread, idx uint64) {
+	n := tr.node(idx)
+	if t.Load(&n.Leaf) == 1 {
+		return
+	}
+	u := pmem.Dirty(t.Load(&n.Update))
+	switch state(u) {
+	case stIFlag:
+		tr.helpInsert(t, infoIdx(u))
+		t.Fence()
+	case stDFlag:
+		tr.helpDelete(t, infoIdx(u))
+		t.Fence()
+	case stMark:
+		// p is marked: its gp still carries the DFLAG (marking precedes
+		// splicing); completing from the descriptor splices p out.
+		tr.helpMarked(t, infoIdx(u))
+		t.Fence()
+	}
+	// Children may have changed by the repairs above: read them after.
+	left := pmem.RefIndex(t.Load(&n.Left))
+	right := pmem.RefIndex(t.Load(&n.Right))
+	if left != 0 {
+		tr.recoverNode(t, left)
+	}
+	if right != 0 {
+		tr.recoverNode(t, right)
+	}
+}
+
+// Contents returns the user keys of all leaves, in order (quiescent use).
+func (tr *Tree) Contents(t *pmem.Thread) []uint64 {
+	var out []uint64
+	tr.walkLeaves(t, tr.root, func(idx uint64) {
+		k := t.Load(&tr.node(idx).Key)
+		if k < Inf1 {
+			out = append(out, k)
+		}
+	})
+	return out
+}
+
+func (tr *Tree) walkLeaves(t *pmem.Thread, idx uint64, f func(uint64)) {
+	n := tr.node(idx)
+	if t.Load(&n.Leaf) == 1 {
+		f(idx)
+		return
+	}
+	if l := pmem.RefIndex(t.Load(&n.Left)); l != 0 {
+		tr.walkLeaves(t, l, f)
+	}
+	if r := pmem.RefIndex(t.Load(&n.Right)); r != 0 {
+		tr.walkLeaves(t, r, f)
+	}
+}
+
+// Validate checks the external-BST invariants (quiescent use): every
+// internal node has two children; left-subtree keys < node key <= right-
+// subtree keys; leaf keys strictly increase left to right; both sentinel
+// leaves are in place.
+func (tr *Tree) Validate(t *pmem.Thread) error {
+	var last uint64
+	var count int
+	var err error
+	var walk func(idx uint64, lo, hi uint64)
+	walk = func(idx uint64, lo, hi uint64) {
+		if err != nil {
+			return
+		}
+		count++
+		if count > 1<<22 {
+			err = fmt.Errorf("ellenbst: cycle suspected")
+			return
+		}
+		n := tr.node(idx)
+		k := t.Load(&n.Key)
+		if t.Load(&n.Leaf) == 1 {
+			if k < lo || k >= hi {
+				err = fmt.Errorf("ellenbst: leaf key %d outside (%d, %d]", k, lo, hi)
+				return
+			}
+			if count > 1 && k < last {
+				err = fmt.Errorf("ellenbst: leaf keys out of order: %d after %d", k, last)
+				return
+			}
+			last = k
+			return
+		}
+		left := pmem.RefIndex(t.Load(&n.Left))
+		right := pmem.RefIndex(t.Load(&n.Right))
+		if left == 0 || right == 0 {
+			err = fmt.Errorf("ellenbst: internal node %d missing a child", idx)
+			return
+		}
+		walk(left, lo, k)
+		walk(right, k, hi)
+	}
+	walk(tr.root, 0, ^uint64(0))
+	return err
+}
+
+// CountMarked counts reachable internal nodes whose update word is MARK
+// (0 after recovery: marked nodes are disconnected). Quiescent use.
+func (tr *Tree) CountMarked(t *pmem.Thread) int {
+	n := 0
+	var walk func(idx uint64)
+	walk = func(idx uint64) {
+		nd := tr.node(idx)
+		if t.Load(&nd.Leaf) == 1 {
+			return
+		}
+		if state(pmem.Dirty(t.Load(&nd.Update))) == stMark {
+			n++
+		}
+		if l := pmem.RefIndex(t.Load(&nd.Left)); l != 0 {
+			walk(l)
+		}
+		if r := pmem.RefIndex(t.Load(&nd.Right)); r != 0 {
+			walk(r)
+		}
+	}
+	walk(tr.root)
+	return n
+}
+
+// LiveHandles accumulates every reachable node handle for the post-crash
+// arena sweep.
+func (tr *Tree) LiveHandles(t *pmem.Thread, live map[uint64]bool) {
+	var walk func(idx uint64)
+	walk = func(idx uint64) {
+		live[idx] = true
+		n := tr.node(idx)
+		if t.Load(&n.Leaf) == 1 {
+			return
+		}
+		if l := pmem.RefIndex(t.Load(&n.Left)); l != 0 {
+			walk(l)
+		}
+		if r := pmem.RefIndex(t.Load(&n.Right)); r != 0 {
+			walk(r)
+		}
+	}
+	walk(tr.root)
+}

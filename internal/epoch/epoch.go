@@ -1,0 +1,95 @@
+// Package epoch implements three-epoch based memory reclamation (EBR), the
+// same discipline as the ssmem allocator used by the NVTraverse paper's
+// evaluation. Threads announce the global epoch on entering an operation;
+// the global epoch only advances when every active thread has observed it;
+// a node retired in epoch e may be reused once the global epoch reaches e+2.
+//
+// EBR also provides the ABA protection the arena-handle scheme relies on: a
+// handle cannot be recycled while any thread that might still compare
+// against it is inside an operation.
+package epoch
+
+import "sync/atomic"
+
+// Domain is one reclamation domain, shared by all structures that share an
+// arena. Thread IDs index announcement slots and must be dense in
+// [0, maxThreads).
+type Domain struct {
+	global atomic.Uint64
+	slots  []slot
+}
+
+type slot struct {
+	// val encodes (epoch+1)<<1 | 1 when active, 0 when quiescent.
+	val atomic.Uint64
+	// enters counts Enter calls by the owning thread (owner-only access)
+	// to pace TryAdvance.
+	enters uint64
+	_      [40]byte // avoid false sharing between slots
+}
+
+// advanceInterval is how many Enter calls a thread performs between
+// attempts to advance the global epoch.
+const advanceInterval = 64
+
+// New creates a Domain for up to maxThreads threads.
+func New(maxThreads int) *Domain {
+	return &Domain{slots: make([]slot, maxThreads)}
+}
+
+// Epoch returns the current global epoch.
+func (d *Domain) Epoch() uint64 { return d.global.Load() }
+
+// Enter marks thread tid active in the current epoch. It must be paired
+// with Exit (typically via defer, so that crash-sentinel panics unwind
+// cleanly through data-structure operations).
+func (d *Domain) Enter(tid int) {
+	s := &d.slots[tid]
+	e := d.global.Load()
+	s.val.Store((e+1)<<1 | 1)
+	s.enters++
+	if s.enters%advanceInterval == 0 {
+		d.TryAdvance()
+	}
+}
+
+// Exit marks thread tid quiescent.
+func (d *Domain) Exit(tid int) {
+	d.slots[tid].val.Store(0)
+}
+
+// Active reports whether thread tid is inside an operation (test hook).
+func (d *Domain) Active(tid int) bool {
+	return d.slots[tid].val.Load()&1 == 1
+}
+
+// TryAdvance advances the global epoch iff every active thread has announced
+// the current epoch. It returns the (possibly new) global epoch.
+func (d *Domain) TryAdvance() uint64 {
+	e := d.global.Load()
+	for i := range d.slots {
+		v := d.slots[i].val.Load()
+		if v&1 == 1 && (v>>1)-1 != e {
+			return e // someone is still in an older epoch
+		}
+	}
+	d.global.CompareAndSwap(e, e+1)
+	return d.global.Load()
+}
+
+// SafeToReclaim reports whether a node retired in epoch e can be reused:
+// two full advances have happened since, so no active thread can hold a
+// reference that predates the retirement.
+func (d *Domain) SafeToReclaim(retireEpoch uint64) bool {
+	return d.global.Load() >= retireEpoch+2
+}
+
+// Reset returns the domain to its initial state. Only for post-crash
+// recovery, when no thread is active: all announcement state was volatile.
+func (d *Domain) Reset() {
+	d.global.Store(0)
+	for i := range d.slots {
+		d.slots[i].val.Store(0)
+		d.slots[i].enters = 0
+	}
+}

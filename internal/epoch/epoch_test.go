@@ -1,0 +1,146 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAdvanceRequiresQuiescence(t *testing.T) {
+	d := New(2)
+	d.Enter(0)
+	e := d.Epoch()
+	// Thread 0 announced the current epoch, thread 1 is quiescent:
+	// advancing is allowed.
+	if got := d.TryAdvance(); got != e+1 {
+		t.Fatalf("TryAdvance with all-current threads: %d, want %d", got, e+1)
+	}
+	// Now thread 0 is still announcing the old epoch: blocked.
+	if got := d.TryAdvance(); got != e+1 {
+		t.Fatalf("TryAdvance with stale active thread advanced: %d", got)
+	}
+	d.Exit(0)
+	if got := d.TryAdvance(); got != e+2 {
+		t.Fatalf("TryAdvance after exit: %d, want %d", got, e+2)
+	}
+}
+
+func TestSafeToReclaim(t *testing.T) {
+	d := New(1)
+	e := d.Epoch()
+	if d.SafeToReclaim(e) {
+		t.Fatalf("retire epoch %d safe at epoch %d", e, e)
+	}
+	d.TryAdvance()
+	if d.SafeToReclaim(e) {
+		t.Fatalf("safe after one advance")
+	}
+	d.TryAdvance()
+	if !d.SafeToReclaim(e) {
+		t.Fatalf("not safe after two advances")
+	}
+}
+
+func TestActive(t *testing.T) {
+	d := New(1)
+	if d.Active(0) {
+		t.Fatalf("fresh slot active")
+	}
+	d.Enter(0)
+	if !d.Active(0) {
+		t.Fatalf("entered slot inactive")
+	}
+	d.Exit(0)
+	if d.Active(0) {
+		t.Fatalf("exited slot active")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(2)
+	d.Enter(0)
+	d.Exit(0)
+	d.TryAdvance()
+	d.TryAdvance()
+	d.Reset()
+	if d.Epoch() != 0 || d.Active(0) || d.Active(1) {
+		t.Fatalf("Reset incomplete: epoch=%d", d.Epoch())
+	}
+}
+
+// TestGracePeriodInvariant stress-checks the EBR contract: a "node" retired
+// in epoch e and freed only when SafeToReclaim(e) is never freed while a
+// reader that observed it live is still inside its critical section.
+func TestGracePeriodInvariant(t *testing.T) {
+	const (
+		readers = 4
+		rounds  = 2000
+	)
+	d := New(readers + 1)
+	var live atomic.Int64  // the "node": 1 = linked, 0 = unlinked, -1 = freed
+	var inUse atomic.Int64 // readers currently holding the node
+	var violation atomic.Bool
+	live.Store(1)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Enter(tid)
+				if live.Load() == 1 {
+					inUse.Add(1)
+					if live.Load() == -1 {
+						violation.Store(true)
+					}
+					inUse.Add(-1)
+				}
+				d.Exit(tid)
+			}
+		}(r)
+	}
+
+	writer := readers
+	for i := 0; i < rounds; i++ {
+		d.Enter(writer)
+		live.Store(0) // unlink
+		retireEpoch := d.Epoch()
+		d.Exit(writer)
+		for !d.SafeToReclaim(retireEpoch) {
+			d.TryAdvance()
+		}
+		if inUse.Load() != 0 {
+			// A reader still using the node after the grace period
+			// would be a use-after-free in a real allocator. It can
+			// only happen if it observed live==1, which it cannot
+			// after the unlink + two advances.
+			violation.Store(true)
+		}
+		live.Store(-1) // free
+		live.Store(1)  // reallocate for the next round
+	}
+	close(stop)
+	wg.Wait()
+	if violation.Load() {
+		t.Fatalf("EBR grace-period violation detected")
+	}
+}
+
+func TestEnterPacesAdvance(t *testing.T) {
+	d := New(1)
+	start := d.Epoch()
+	for i := 0; i < 10*advanceInterval; i++ {
+		d.Enter(0)
+		d.Exit(0)
+	}
+	if d.Epoch() == start {
+		t.Fatalf("epoch never advanced over %d enters", 10*advanceInterval)
+	}
+}

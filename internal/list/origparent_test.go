@@ -1,0 +1,82 @@
+package list
+
+import (
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+func TestOriginalParentModeSemantics(t *testing.T) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 8})
+	l := NewWithOriginalParent(mem, persist.NVTraverse{})
+	th := mem.NewThread()
+	for k := uint64(1); k <= 200; k++ {
+		if !l.Insert(th, k, k*3) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	for k := uint64(1); k <= 200; k += 3 {
+		if !l.Delete(th, k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	for k := uint64(1); k <= 200; k++ {
+		v, ok := l.Find(th, k)
+		want := k%3 != 1
+		if ok != want || (ok && v != k*3) {
+			t.Fatalf("Find(%d) = %d,%v want present=%v", k, v, ok, want)
+		}
+	}
+	if err := l.Validate(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOriginalParentEnsureReachable replays the ensureReachable ablation
+// scenario (see ablation_test.go) against the Supplement 2 mechanism: B's
+// insert lands under a node whose incoming link is unpersisted, and the
+// OrigParent field must route the flush to that link.
+func TestOriginalParentEnsureReachable(t *testing.T) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero, MaxThreads: 8})
+	l := NewWithOriginalParent(mem, persist.NVTraverse{})
+	setup := mem.NewThread()
+	l.Insert(setup, 10, 10)
+	l.Insert(setup, 30, 30)
+	mem.PersistAll()
+
+	// Thread A: insert(20) executed through its link CAS (with OrigParent
+	// recorded and persisted, as its critical method requires) but crashed
+	// before flushing the link itself.
+	a := mem.NewThread()
+	tr := l.acquireTraversal(a)
+	l.traverse(a, l.head, 20, tr)
+	idx := l.sh.Ar.Alloc(a.ID)
+	n := l.node(idx)
+	a.Store(&n.Key, 20)
+	a.Store(&n.Value, 20)
+	a.Store(&n.Next, pmem.Dirty(pmem.MakeRef(tr.right)))
+	a.Store(&n.OrigParent, pmem.MakeRef(tr.left))
+	a.Flush(&n.Key)
+	a.Flush(&n.Value)
+	a.Flush(&n.Next)
+	a.Flush(&n.OrigParent)
+	a.Fence()
+	if !a.CAS(&l.node(tr.left).Next, tr.leftNext, pmem.Dirty(pmem.MakeRef(idx))) {
+		t.Fatalf("staging CAS failed")
+	}
+
+	// Thread B: complete insert(25); its traversal's left node is 20.
+	b := mem.NewThread()
+	if !l.Insert(b, 25, 25) {
+		t.Fatalf("B's insert failed")
+	}
+	mem.Crash()
+	mem.FinishCrash(0, 1)
+	mem.Restart()
+	rec := mem.NewThread()
+	l.Recover(rec)
+	if _, ok := l.Find(rec, 25); !ok {
+		t.Fatalf("originalParent ensureReachable lost a completed insert")
+	}
+}

@@ -1,0 +1,130 @@
+package list
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Recover implements the paper's recovery phase (§4): execute the
+// disconnect(root) function of Supplement 1, physically removing every
+// marked node, persisting each disconnection. It must run after
+// Memory.FinishCrash + Restart and before any other operation; it may run
+// single-threaded (the paper also allows running it concurrently with new
+// operations, which Recover supports by using CAS).
+func (l *List) Recover(t *pmem.Thread) {
+	l.sh.Dom.Enter(t.ID)
+	defer l.sh.Dom.Exit(t.ID)
+	l.disconnectFrom(t, l.head)
+}
+
+// disconnectFrom trims all marked nodes reachable from head. Exported to
+// the hash table, which runs it per bucket.
+func (l *List) disconnectFrom(t *pmem.Thread, head uint64) {
+	prev := head
+	for {
+		prevN := l.node(prev)
+		pn := t.Load(&prevN.Next)
+		cur := pmem.RefIndex(pn)
+		if cur == 0 {
+			return
+		}
+		curN := l.node(cur)
+		cn := t.Load(&curN.Next)
+		if !pmem.Marked(cn) {
+			prev = cur
+			continue
+		}
+		// cur is marked: splice it out and persist the splice. prev is
+		// unmarked (we only advance past unmarked nodes), so this is the
+		// unique disconnection instruction of Property 5.
+		if t.CAS(&prevN.Next, pn, pmem.ClearTags(cn)) {
+			t.Flush(&prevN.Next)
+			t.Fence()
+		}
+		// Re-examine prev's next either way (more marked nodes may
+		// follow, or a concurrent recovery thread moved first).
+	}
+}
+
+// Contents returns the unmarked keys in list order. Quiescent use only
+// (tests and checkers).
+func (l *List) Contents(t *pmem.Thread) []uint64 {
+	var out []uint64
+	cur := pmem.RefIndex(t.Load(&l.node(l.head).Next))
+	for cur != 0 {
+		n := l.node(cur)
+		nx := t.Load(&n.Next)
+		if !pmem.Marked(nx) {
+			out = append(out, t.Load(&n.Key))
+		}
+		cur = pmem.RefIndex(nx)
+	}
+	return out
+}
+
+// LiveHandles adds every handle reachable from the head (marked or not,
+// plus the head itself) to live; used by the post-crash arena sweep.
+func (l *List) LiveHandles(t *pmem.Thread, live map[uint64]bool) {
+	cur := l.head
+	for cur != 0 {
+		live[cur] = true
+		cur = pmem.RefIndex(t.Load(&l.node(cur).Next))
+	}
+}
+
+// Validate checks structural invariants: strictly sorted unmarked keys and
+// termination (no cycles within 2*highwater steps). Quiescent use only.
+func (l *List) Validate(t *pmem.Thread) error {
+	limit := 2 * l.sh.Ar.HighWater()
+	var steps uint64
+	var last uint64 // head key is 0; user keys start at 1
+	cur := pmem.RefIndex(t.Load(&l.node(l.head).Next))
+	for cur != 0 {
+		if steps++; steps > limit {
+			return fmt.Errorf("list: cycle suspected after %d steps", steps)
+		}
+		n := l.node(cur)
+		nx := t.Load(&n.Next)
+		k := t.Load(&n.Key)
+		if !pmem.Marked(nx) {
+			if k <= last {
+				return fmt.Errorf("list: keys out of order: %d after %d", k, last)
+			}
+			last = k
+		}
+		cur = pmem.RefIndex(nx)
+	}
+	return nil
+}
+
+// CountMarked returns how many reachable nodes are marked (0 after a
+// successful recovery). Quiescent use only.
+func (l *List) CountMarked(t *pmem.Thread) int {
+	n := 0
+	cur := pmem.RefIndex(t.Load(&l.node(l.head).Next))
+	for cur != 0 {
+		nx := t.Load(&l.node(cur).Next)
+		if pmem.Marked(nx) {
+			n++
+		}
+		cur = pmem.RefIndex(nx)
+	}
+	return n
+}
+
+// DebugMark sets the deletion mark on key's node without physically
+// deleting it, simulating a delete whose physical phase was lost in a
+// crash. Test hook; quiescent use only. Returns false if key is absent.
+func (l *List) DebugMark(t *pmem.Thread, key uint64) bool {
+	cur := pmem.RefIndex(t.Load(&l.node(l.head).Next))
+	for cur != 0 {
+		n := l.node(cur)
+		nx := t.Load(&n.Next)
+		if t.Load(&n.Key) == key && !pmem.Marked(nx) {
+			return t.CAS(&n.Next, nx, pmem.WithMark(nx))
+		}
+		cur = pmem.RefIndex(nx)
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package nmbst
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Recover implements the paper's recovery phase: every flagged leaf is a
+// marked node whose unique disconnection instruction is the ancestor swing;
+// recovery completes all of them (Supplement 1's disconnect), persisting
+// each repair, then clears any tag left over from an interrupted cleanup.
+// Single-threaded.
+func (tr *Tree) Recover(t *pmem.Thread) {
+	tr.dom.Enter(t.ID)
+	defer tr.dom.Exit(t.ID)
+	// Repeatedly sweep for flagged leaves and complete their deletions.
+	// Each completed deletion removes at least one flagged leaf, so this
+	// terminates; the defensive cap turns an unexpected stuck state into a
+	// leftover flag (which online helping also tolerates) rather than an
+	// unbounded recovery.
+	for rounds := 0; rounds < 1<<20; rounds++ {
+		key, found := tr.findFlagged(t, tr.rootR)
+		if !found {
+			break
+		}
+		sr := &tr.trs[t.ID].sr
+		tr.traverse(t, key, sr)
+		if t.Load(&tr.node(sr.leaf).Key) != key || !pmem.Marked(sr.leafEdge) {
+			break // should be unreachable single-threaded
+		}
+		tr.cleanup(t, key, sr)
+		t.Fence()
+	}
+	// Clear stray tags (an interrupted cleanup may have tagged a sibling
+	// edge whose swing never happened; with no flag left, the tag would
+	// freeze the edge forever).
+	tr.clearTags(t, tr.rootR)
+}
+
+// findFlagged returns the key of some reachable flagged leaf.
+func (tr *Tree) findFlagged(t *pmem.Thread, idx uint64) (uint64, bool) {
+	n := tr.node(idx)
+	if t.Load(&n.Leaf) == 1 {
+		return 0, false
+	}
+	for _, c := range []*pmem.Cell{&n.Left, &n.Right} {
+		ev := t.Load(c)
+		child := pmem.RefIndex(ev)
+		if child == 0 {
+			continue
+		}
+		if pmem.Marked(ev) && t.Load(&tr.node(child).Leaf) == 1 {
+			return t.Load(&tr.node(child).Key), true
+		}
+		if k, ok := tr.findFlagged(t, child); ok {
+			return k, ok
+		}
+	}
+	return 0, false
+}
+
+func (tr *Tree) clearTags(t *pmem.Thread, idx uint64) {
+	n := tr.node(idx)
+	if t.Load(&n.Leaf) == 1 {
+		return
+	}
+	for _, c := range []*pmem.Cell{&n.Left, &n.Right} {
+		ev := t.Load(c)
+		if pmem.Tagged(ev) {
+			t.Store(c, pmem.Dirty(ev)&^pmem.TagBit)
+			t.Flush(c)
+			t.Fence()
+			ev = t.Load(c)
+		}
+		if child := pmem.RefIndex(ev); child != 0 {
+			tr.clearTags(t, child)
+		}
+	}
+}
+
+// Contents returns the user keys of unflagged leaves, in order (quiescent
+// use only). Flagged leaves are logically present in NM until swung out,
+// but recovery completes all pending deletions first, so post-recovery the
+// distinction is moot; pre-recovery callers (tests) want the same view
+// Find gives, which ignores flags — so flags are ignored here too.
+func (tr *Tree) Contents(t *pmem.Thread) []uint64 {
+	var out []uint64
+	var walk func(idx uint64)
+	walk = func(idx uint64) {
+		n := tr.node(idx)
+		if t.Load(&n.Leaf) == 1 {
+			if k := t.Load(&n.Key); k < Inf0 {
+				out = append(out, k)
+			}
+			return
+		}
+		if l := pmem.RefIndex(t.Load(&n.Left)); l != 0 {
+			walk(l)
+		}
+		if r := pmem.RefIndex(t.Load(&n.Right)); r != 0 {
+			walk(r)
+		}
+	}
+	walk(tr.rootR)
+	return out
+}
+
+// CountFlagged counts reachable flagged leaf edges (0 after recovery).
+func (tr *Tree) CountFlagged(t *pmem.Thread) int {
+	cnt := 0
+	var walk func(idx uint64)
+	walk = func(idx uint64) {
+		n := tr.node(idx)
+		if t.Load(&n.Leaf) == 1 {
+			return
+		}
+		for _, c := range []*pmem.Cell{&n.Left, &n.Right} {
+			ev := t.Load(c)
+			if pmem.Marked(ev) {
+				cnt++
+			}
+			if child := pmem.RefIndex(ev); child != 0 {
+				walk(child)
+			}
+		}
+	}
+	walk(tr.rootR)
+	return cnt
+}
+
+// Validate checks external-BST shape and key order (quiescent use only).
+func (tr *Tree) Validate(t *pmem.Thread) error {
+	var err error
+	var count int
+	var walk func(idx uint64, lo, hi uint64)
+	walk = func(idx uint64, lo, hi uint64) {
+		if err != nil {
+			return
+		}
+		count++
+		if count > 1<<22 {
+			err = fmt.Errorf("nmbst: cycle suspected")
+			return
+		}
+		n := tr.node(idx)
+		k := t.Load(&n.Key)
+		if t.Load(&n.Leaf) == 1 {
+			if k < lo || k >= hi {
+				err = fmt.Errorf("nmbst: leaf key %d outside [%d, %d)", k, lo, hi)
+			}
+			return
+		}
+		left := pmem.RefIndex(t.Load(&n.Left))
+		right := pmem.RefIndex(t.Load(&n.Right))
+		if left == 0 || right == 0 {
+			err = fmt.Errorf("nmbst: internal node %d missing a child", idx)
+			return
+		}
+		walk(left, lo, k)
+		walk(right, k, hi)
+	}
+	walk(tr.rootR, 0, ^uint64(0))
+	return err
+}
+
+// LiveHandles accumulates reachable handles for the post-crash sweep.
+func (tr *Tree) LiveHandles(t *pmem.Thread, live map[uint64]bool) {
+	var walk func(idx uint64)
+	walk = func(idx uint64) {
+		live[idx] = true
+		n := tr.node(idx)
+		if t.Load(&n.Leaf) == 1 {
+			return
+		}
+		if l := pmem.RefIndex(t.Load(&n.Left)); l != 0 {
+			walk(l)
+		}
+		if r := pmem.RefIndex(t.Load(&n.Right)); r != 0 {
+			walk(r)
+		}
+	}
+	walk(tr.rootR)
+}

@@ -1,0 +1,162 @@
+// Package onefile implements the persistent transactional memory baseline
+// the paper compares against (Ramalhete et al.'s OneFile). This is a
+// simplified PTM that reproduces the two properties the evaluation
+// depends on, rather than OneFile's full wait-free machinery:
+//
+//   - update transactions serialize through a single writer at a time and
+//     pay a redo-log round trip (log writes → persist log → mark committed
+//     → apply in place → persist → clear), which is why PTM throughput
+//     stays flat as threads increase and trails NVTraverse on update-heavy
+//     workloads by the factors the paper reports;
+//   - read-only transactions are optimistic (seqlock validation), touch no
+//     persistence instruction at all, and therefore excel at 0% updates —
+//     the paper's observation that "OneFile does extremely well in
+//     read-only workloads ... because OneFile is optimized for such
+//     workloads".
+//
+// Crash behaviour: the redo log and its committed flag live in simulated
+// persistent memory; if a crash lands between commit-mark and the final
+// clear, recovery replays the log. Log targets are kept as cell pointers,
+// which in this simulation stand in for the pool offsets a real PTM would
+// store (the simulated crash keeps process memory, so pointers remain
+// meaningful — see DESIGN.md's substitution table).
+package onefile
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// MaxWriteSet bounds the write set of one transaction.
+const MaxWriteSet = 128
+
+// TM is the transactional memory. One TM instance guards one structure.
+type TM struct {
+	mem *pmem.Memory
+
+	wmu sync.Mutex
+	seq pmem.Cell // even = stable; odd = update transaction in progress
+
+	logVals   []pmem.Cell // persistent redo values
+	logCount  pmem.Cell   // persistent entry count
+	committed pmem.Cell   // persistent commit mark
+	targets   []*pmem.Cell
+}
+
+// NewTM creates a TM on mem.
+func NewTM(mem *pmem.Memory) *TM {
+	return &TM{
+		mem:     mem,
+		logVals: make([]pmem.Cell, MaxWriteSet),
+		targets: make([]*pmem.Cell, MaxWriteSet),
+	}
+}
+
+// Tx is an update transaction: reads see own writes; writes are buffered
+// until commit so the redo log is complete before the first in-place
+// store.
+type Tx struct {
+	tm *TM
+	t  *pmem.Thread
+	wc []*pmem.Cell
+	wv []uint64
+}
+
+// Load reads a cell through the transaction.
+func (tx *Tx) Load(c *pmem.Cell) uint64 {
+	for i := len(tx.wc) - 1; i >= 0; i-- {
+		if tx.wc[i] == c {
+			return tx.wv[i]
+		}
+	}
+	return tx.t.Load(c)
+}
+
+// Store buffers a write.
+func (tx *Tx) Store(c *pmem.Cell, v uint64) {
+	for i := len(tx.wc) - 1; i >= 0; i-- {
+		if tx.wc[i] == c {
+			tx.wv[i] = v
+			return
+		}
+	}
+	if len(tx.wc) >= MaxWriteSet {
+		panic(fmt.Sprintf("onefile: write set exceeds %d", MaxWriteSet))
+	}
+	tx.wc = append(tx.wc, c)
+	tx.wv = append(tx.wv, v)
+}
+
+// Update runs fn as a durable update transaction.
+func (tm *TM) Update(t *pmem.Thread, fn func(tx *Tx)) {
+	tm.wmu.Lock()
+	defer tm.wmu.Unlock()
+	s := t.Load(&tm.seq)
+	t.Store(&tm.seq, s+1) // odd: readers will retry
+	tx := &Tx{tm: tm, t: t}
+	fn(tx)
+	// Phase 1: persist the complete redo log, then the commit mark.
+	for i, c := range tx.wc {
+		t.Store(&tm.logVals[i], tx.wv[i])
+		t.Flush(&tm.logVals[i])
+		tm.targets[i] = c
+	}
+	t.Store(&tm.logCount, uint64(len(tx.wc)))
+	t.Flush(&tm.logCount)
+	t.Fence()
+	t.Store(&tm.committed, 1)
+	t.Flush(&tm.committed)
+	t.Fence()
+	// Phase 2: apply in place and persist the home locations.
+	for i, c := range tx.wc {
+		t.Store(c, tx.wv[i])
+		t.Flush(c)
+	}
+	t.Fence()
+	// Phase 3: retire the log.
+	t.Store(&tm.committed, 0)
+	t.Flush(&tm.committed)
+	t.Fence()
+	t.Store(&tm.seq, s+2)
+	t.CountOp()
+}
+
+// Read runs fn as an optimistic read-only transaction: no flushes, no
+// fences, retried until it observes a stable sequence number.
+func (tm *TM) Read(t *pmem.Thread, fn func(t *pmem.Thread)) {
+	for {
+		s1 := t.Load(&tm.seq)
+		if s1&1 == 1 {
+			continue
+		}
+		fn(t)
+		if t.Load(&tm.seq) == s1 {
+			t.CountOp()
+			return
+		}
+	}
+}
+
+// Recover replays a committed-but-unapplied redo log after a crash.
+// Single-threaded.
+func (tm *TM) Recover(t *pmem.Thread) {
+	if t.Load(&tm.committed) == 1 {
+		n := t.Load(&tm.logCount)
+		for i := uint64(0); i < n; i++ {
+			c := tm.targets[i]
+			if c == nil {
+				continue
+			}
+			t.Store(c, t.Load(&tm.logVals[i]))
+			t.Flush(c)
+		}
+		t.Fence()
+		t.Store(&tm.committed, 0)
+		t.Flush(&tm.committed)
+		t.Fence()
+	}
+	// The seq word is volatile coordination state.
+	t.Store(&tm.seq, 0)
+}

@@ -1,0 +1,287 @@
+package onefile
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pmem"
+)
+
+func TestTxReadOwnWrites(t *testing.T) {
+	mem := pmem.NewFast(pmem.ProfileZero)
+	tm := NewTM(mem)
+	th := mem.NewThread()
+	var a, b pmem.Cell
+	tm.Update(th, func(tx *Tx) {
+		tx.Store(&a, 1)
+		if tx.Load(&a) != 1 {
+			t.Errorf("tx does not see own write")
+		}
+		tx.Store(&a, 2)
+		tx.Store(&b, tx.Load(&a)+1)
+	})
+	if th.Load(&a) != 2 || th.Load(&b) != 3 {
+		t.Fatalf("committed values: a=%d b=%d", th.Load(&a), th.Load(&b))
+	}
+}
+
+func TestUpdateIsDurable(t *testing.T) {
+	mem := pmem.NewTracked()
+	tm := NewTM(mem)
+	th := mem.NewThread()
+	var a pmem.Cell
+	tm.Update(th, func(tx *Tx) { tx.Store(&a, 42) })
+	mem.Crash()
+	mem.FinishCrash(0, 1)
+	mem.Restart()
+	tm.Recover(th)
+	if th.Load(&a) != 42 {
+		t.Fatalf("committed update lost: %d", th.Load(&a))
+	}
+}
+
+func TestRecoveryReplaysCommittedLog(t *testing.T) {
+	// Simulate a crash between the commit mark and the in-place apply:
+	// write the log by hand, set committed, crash, recover.
+	mem := pmem.NewTracked()
+	tm := NewTM(mem)
+	th := mem.NewThread()
+	var a, b pmem.Cell
+	th.Store(&a, 1)
+	th.Store(&b, 2)
+	mem.PersistAll()
+	th.Store(&tm.logVals[0], 10)
+	th.Flush(&tm.logVals[0])
+	th.Store(&tm.logVals[1], 20)
+	th.Flush(&tm.logVals[1])
+	tm.targets[0], tm.targets[1] = &a, &b
+	th.Store(&tm.logCount, 2)
+	th.Flush(&tm.logCount)
+	th.Fence()
+	th.Store(&tm.committed, 1)
+	th.Flush(&tm.committed)
+	th.Fence()
+	// In-place apply "happened" only volatilely: gets rolled back.
+	th.Store(&a, 10)
+	mem.Crash()
+	mem.FinishCrash(0, 1)
+	mem.Restart()
+	tm.Recover(th)
+	if th.Load(&a) != 10 || th.Load(&b) != 20 {
+		t.Fatalf("redo incomplete: a=%d b=%d", th.Load(&a), th.Load(&b))
+	}
+	if th.Load(&tm.committed) != 0 {
+		t.Fatalf("commit mark not cleared")
+	}
+}
+
+func TestUncommittedTxLeavesNoTrace(t *testing.T) {
+	// Crash before the commit mark: the update must vanish entirely.
+	mem := pmem.NewTracked()
+	tm := NewTM(mem)
+	th := mem.NewThread()
+	var a pmem.Cell
+	th.Store(&a, 1)
+	mem.PersistAll()
+	th.Store(&tm.logVals[0], 99)
+	th.Flush(&tm.logVals[0])
+	tm.targets[0] = &a
+	th.Store(&tm.logCount, 1)
+	// No commit mark, no fence on it.
+	mem.Crash()
+	mem.FinishCrash(0, 1)
+	mem.Restart()
+	tm.Recover(th)
+	if th.Load(&a) != 1 {
+		t.Fatalf("uncommitted tx leaked: a=%d", th.Load(&a))
+	}
+}
+
+func TestListSetOracle(t *testing.T) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 8})
+	l := NewListSet(mem)
+	th := mem.NewThread()
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(200)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64() & 0xffffffff
+			_, exp := oracle[k]
+			if l.Insert(th, k, v) == exp {
+				t.Fatalf("op %d: Insert(%d) disagreed", i, k)
+			}
+			if !exp {
+				oracle[k] = v
+			}
+		case 1:
+			_, exp := oracle[k]
+			if l.Delete(th, k) != exp {
+				t.Fatalf("op %d: Delete(%d) disagreed", i, k)
+			}
+			delete(oracle, k)
+		default:
+			ev, exp := oracle[k]
+			gv, ok := l.Find(th, k)
+			if ok != exp || (ok && gv != ev) {
+				t.Fatalf("op %d: Find(%d) disagreed", i, k)
+			}
+		}
+	}
+	if got := l.Contents(th); len(got) != len(oracle) {
+		t.Fatalf("size %d, oracle %d", len(got), len(oracle))
+	}
+}
+
+func TestBSTSetOracle(t *testing.T) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 8})
+	b := NewBSTSet(mem)
+	th := mem.NewThread()
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 6000; i++ {
+		k := uint64(rng.Intn(300)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64() & 0xffffffff
+			_, exp := oracle[k]
+			if b.Insert(th, k, v) == exp {
+				t.Fatalf("op %d: Insert(%d) disagreed", i, k)
+			}
+			if !exp {
+				oracle[k] = v
+			}
+		case 1:
+			_, exp := oracle[k]
+			if b.Delete(th, k) != exp {
+				t.Fatalf("op %d: Delete(%d) disagreed", i, k)
+			}
+			delete(oracle, k)
+		default:
+			ev, exp := oracle[k]
+			gv, ok := b.Find(th, k)
+			if ok != exp || (ok && gv != ev) {
+				t.Fatalf("op %d: Find(%d) disagreed", i, k)
+			}
+		}
+	}
+	got := b.Contents(th)
+	if len(got) != len(oracle) {
+		t.Fatalf("size %d, oracle %d", len(got), len(oracle))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("BST order broken at %d", i)
+		}
+	}
+}
+
+func TestQuickBSTSet(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16
+	}
+	f := func(ops []op) bool {
+		mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 4})
+		b := NewBSTSet(mem)
+		th := mem.NewThread()
+		oracle := map[uint64]bool{}
+		for _, o := range ops {
+			k := uint64(o.Key%67) + 1
+			switch o.Kind % 3 {
+			case 0:
+				if b.Insert(th, k, k) == oracle[k] {
+					return false
+				}
+				oracle[k] = true
+			case 1:
+				if b.Delete(th, k) != oracle[k] {
+					return false
+				}
+				delete(oracle, k)
+			default:
+				if _, ok := b.Find(th, k); ok != oracle[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 16})
+	l := NewListSet(mem)
+	setup := mem.NewThread()
+	for k := uint64(2); k <= 400; k += 2 {
+		l.Insert(setup, k, k)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		th := mem.NewThread()
+		wg.Add(1)
+		go func(th *pmem.Thread) {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				k := th.Rand()%400 + 1
+				switch th.Rand() % 4 {
+				case 0:
+					l.Insert(th, k, k)
+				case 1:
+					l.Delete(th, k)
+				default:
+					l.Find(th, k)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	got := l.Contents(mem.NewThread())
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("list order broken")
+		}
+	}
+}
+
+func TestReadOnlyTransactionsAreFree(t *testing.T) {
+	// The property behind the paper's 0%-update observation: OneFile reads
+	// execute no persistence instructions.
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 4})
+	l := NewListSet(mem)
+	th := mem.NewThread()
+	for k := uint64(1); k <= 100; k++ {
+		l.Insert(th, k, k)
+	}
+	before := mem.Stats()
+	for k := uint64(1); k <= 100; k++ {
+		l.Find(th, k)
+	}
+	d := mem.Stats().Sub(before)
+	if d.Flushes != 0 || d.Fences != 0 {
+		t.Fatalf("read-only transactions persisted: %+v", d)
+	}
+}
+
+func TestWriteSetOverflowPanics(t *testing.T) {
+	mem := pmem.NewFast(pmem.ProfileZero)
+	tm := NewTM(mem)
+	th := mem.NewThread()
+	cells := make([]pmem.Cell, MaxWriteSet+1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("oversized write set accepted")
+		}
+	}()
+	tm.Update(th, func(tx *Tx) {
+		for i := range cells {
+			tx.Store(&cells[i], 1)
+		}
+	})
+}

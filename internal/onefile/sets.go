@@ -1,0 +1,313 @@
+package onefile
+
+import (
+	"fmt"
+
+	"repro/internal/arena"
+	"repro/internal/epoch"
+	"repro/internal/pmem"
+)
+
+// LNode is a list-set node.
+type LNode struct {
+	Key   pmem.Cell
+	Value pmem.Cell
+	Next  pmem.Cell
+}
+
+// ListSet is a sorted linked-list set written as *sequential* code inside
+// transactions — the programming-model upside of a PTM the paper
+// acknowledges ("ease of programming at the cost of lower performance").
+type ListSet struct {
+	tm   *TM
+	ar   *arena.Arena[LNode]
+	dom  *epoch.Domain
+	head uint64
+}
+
+// NewListSet creates an empty transactional list set.
+func NewListSet(mem *pmem.Memory) *ListSet {
+	dom := epoch.New(mem.MaxThreads())
+	l := &ListSet{
+		tm:  NewTM(mem),
+		ar:  arena.New[LNode](dom, mem.MaxThreads()),
+		dom: dom,
+	}
+	t := mem.NewThread()
+	h := l.ar.Alloc(t.ID)
+	n := l.ar.Get(h)
+	t.Store(&n.Key, 0)
+	t.Store(&n.Next, pmem.NilRef)
+	t.Flush(&n.Key)
+	t.Flush(&n.Next)
+	t.Fence()
+	l.head = h
+	return l
+}
+
+func (l *ListSet) node(idx uint64) *LNode { return l.ar.Get(idx) }
+
+// locate returns (pred, cur) with cur the first node whose key >= key,
+// reading through the transaction.
+func (l *ListSet) locate(tx *Tx, key uint64) (pred, cur uint64) {
+	pred = l.head
+	cur = pmem.RefIndex(tx.Load(&l.node(pred).Next))
+	for cur != 0 && tx.Load(&l.node(cur).Key) < key {
+		pred = cur
+		cur = pmem.RefIndex(tx.Load(&l.node(cur).Next))
+	}
+	return
+}
+
+// Insert adds key; false if present.
+func (l *ListSet) Insert(t *pmem.Thread, key, value uint64) bool {
+	checkKey(key)
+	ok := false
+	l.tm.Update(t, func(tx *Tx) {
+		pred, cur := l.locate(tx, key)
+		if cur != 0 && tx.Load(&l.node(cur).Key) == key {
+			return
+		}
+		idx := l.ar.Alloc(t.ID)
+		n := l.node(idx)
+		tx.Store(&n.Key, key)
+		tx.Store(&n.Value, value)
+		tx.Store(&n.Next, pmem.MakeRef(cur))
+		tx.Store(&l.node(pred).Next, pmem.MakeRef(idx))
+		ok = true
+	})
+	return ok
+}
+
+// Delete removes key; false if absent.
+func (l *ListSet) Delete(t *pmem.Thread, key uint64) bool {
+	checkKey(key)
+	ok := false
+	l.tm.Update(t, func(tx *Tx) {
+		pred, cur := l.locate(tx, key)
+		if cur == 0 || tx.Load(&l.node(cur).Key) != key {
+			return
+		}
+		tx.Store(&l.node(pred).Next, tx.Load(&l.node(cur).Next))
+		ok = true
+		// Node reclamation: transactional structures free eagerly under
+		// the writer lock; optimistic readers may still walk the node,
+		// but its Next still points into the list and the seqlock makes
+		// them retry, so reuse before their validation is benign for
+		// membership answers (they are discarded).
+		l.ar.Retire(t.ID, cur)
+	})
+	return ok
+}
+
+// Find reports membership and value via an optimistic read transaction.
+func (l *ListSet) Find(t *pmem.Thread, key uint64) (uint64, bool) {
+	checkKey(key)
+	var v uint64
+	var ok bool
+	l.tm.Read(t, func(t *pmem.Thread) {
+		v, ok = 0, false
+		cur := pmem.RefIndex(t.Load(&l.node(l.head).Next))
+		// The step cap guards against cycles through eagerly-reused
+		// nodes: hitting it implies a writer ran, so the seqlock
+		// validation fails and the read retries on a stable snapshot.
+		for steps := 0; cur != 0 && steps < 1<<22; steps++ {
+			k := t.Load(&l.node(cur).Key)
+			if k >= key {
+				if k == key {
+					v, ok = t.Load(&l.node(cur).Value), true
+				}
+				return
+			}
+			cur = pmem.RefIndex(t.Load(&l.node(cur).Next))
+		}
+	})
+	return v, ok
+}
+
+// Recover replays the TM log.
+func (l *ListSet) Recover(t *pmem.Thread) { l.tm.Recover(t) }
+
+// Contents returns the keys in order (quiescent use only).
+func (l *ListSet) Contents(t *pmem.Thread) []uint64 {
+	var out []uint64
+	cur := pmem.RefIndex(t.Load(&l.node(l.head).Next))
+	for cur != 0 {
+		out = append(out, t.Load(&l.node(cur).Key))
+		cur = pmem.RefIndex(t.Load(&l.node(cur).Next))
+	}
+	return out
+}
+
+// BNode is a BST-set node (internal BST: every node carries an element).
+type BNode struct {
+	Key   pmem.Cell
+	Value pmem.Cell
+	Left  pmem.Cell
+	Right pmem.Cell
+}
+
+// BSTSet is an unbalanced internal BST written sequentially inside
+// transactions (the paper's Figure 5(e) PTM comparator).
+type BSTSet struct {
+	tm   *TM
+	ar   *arena.Arena[BNode]
+	dom  *epoch.Domain
+	root pmem.Cell // ref to root node (0 when empty)
+}
+
+// NewBSTSet creates an empty transactional BST set.
+func NewBSTSet(mem *pmem.Memory) *BSTSet {
+	dom := epoch.New(mem.MaxThreads())
+	b := &BSTSet{
+		tm:  NewTM(mem),
+		ar:  arena.New[BNode](dom, mem.MaxThreads()),
+		dom: dom,
+	}
+	t := mem.NewThread()
+	t.Store(&b.root, pmem.NilRef)
+	t.Flush(&b.root)
+	t.Fence()
+	return b
+}
+
+func (b *BSTSet) node(idx uint64) *BNode { return b.ar.Get(idx) }
+
+// Insert adds key; false if present.
+func (b *BSTSet) Insert(t *pmem.Thread, key, value uint64) bool {
+	checkKey(key)
+	ok := false
+	b.tm.Update(t, func(tx *Tx) {
+		cell := &b.root
+		for {
+			r := pmem.RefIndex(tx.Load(cell))
+			if r == 0 {
+				break
+			}
+			k := tx.Load(&b.node(r).Key)
+			if k == key {
+				return
+			}
+			if key < k {
+				cell = &b.node(r).Left
+			} else {
+				cell = &b.node(r).Right
+			}
+		}
+		idx := b.ar.Alloc(t.ID)
+		n := b.node(idx)
+		tx.Store(&n.Key, key)
+		tx.Store(&n.Value, value)
+		tx.Store(&n.Left, pmem.NilRef)
+		tx.Store(&n.Right, pmem.NilRef)
+		tx.Store(cell, pmem.MakeRef(idx))
+		ok = true
+	})
+	return ok
+}
+
+// Delete removes key; false if absent. Classic internal-BST deletion: a
+// two-child node is replaced by its in-order successor's key/value.
+func (b *BSTSet) Delete(t *pmem.Thread, key uint64) bool {
+	checkKey(key)
+	ok := false
+	b.tm.Update(t, func(tx *Tx) {
+		cell := &b.root
+		r := pmem.RefIndex(tx.Load(cell))
+		for r != 0 {
+			k := tx.Load(&b.node(r).Key)
+			if k == key {
+				break
+			}
+			if key < k {
+				cell = &b.node(r).Left
+			} else {
+				cell = &b.node(r).Right
+			}
+			r = pmem.RefIndex(tx.Load(cell))
+		}
+		if r == 0 {
+			return
+		}
+		n := b.node(r)
+		left := pmem.RefIndex(tx.Load(&n.Left))
+		right := pmem.RefIndex(tx.Load(&n.Right))
+		switch {
+		case left == 0:
+			tx.Store(cell, pmem.MakeRef(right))
+			b.ar.Retire(t.ID, r)
+		case right == 0:
+			tx.Store(cell, pmem.MakeRef(left))
+			b.ar.Retire(t.ID, r)
+		default:
+			// Two children: splice the in-order successor up.
+			scell := &n.Right
+			s := right
+			for {
+				l := pmem.RefIndex(tx.Load(&b.node(s).Left))
+				if l == 0 {
+					break
+				}
+				scell = &b.node(s).Left
+				s = l
+			}
+			sn := b.node(s)
+			tx.Store(&n.Key, tx.Load(&sn.Key))
+			tx.Store(&n.Value, tx.Load(&sn.Value))
+			tx.Store(scell, tx.Load(&sn.Right))
+			b.ar.Retire(t.ID, s)
+		}
+		ok = true
+	})
+	return ok
+}
+
+// Find reports membership and value via an optimistic read transaction.
+func (b *BSTSet) Find(t *pmem.Thread, key uint64) (uint64, bool) {
+	checkKey(key)
+	var v uint64
+	var ok bool
+	b.tm.Read(t, func(t *pmem.Thread) {
+		v, ok = 0, false
+		r := pmem.RefIndex(t.Load(&b.root))
+		for steps := 0; r != 0 && steps < 1<<22; steps++ {
+			k := t.Load(&b.node(r).Key)
+			if k == key {
+				v, ok = t.Load(&b.node(r).Value), true
+				return
+			}
+			if key < k {
+				r = pmem.RefIndex(t.Load(&b.node(r).Left))
+			} else {
+				r = pmem.RefIndex(t.Load(&b.node(r).Right))
+			}
+		}
+	})
+	return v, ok
+}
+
+// Recover replays the TM log.
+func (b *BSTSet) Recover(t *pmem.Thread) { b.tm.Recover(t) }
+
+// Contents returns the keys in order (quiescent use only).
+func (b *BSTSet) Contents(t *pmem.Thread) []uint64 {
+	var out []uint64
+	var walk func(idx uint64)
+	walk = func(idx uint64) {
+		if idx == 0 {
+			return
+		}
+		n := b.node(idx)
+		walk(pmem.RefIndex(t.Load(&n.Left)))
+		out = append(out, t.Load(&n.Key))
+		walk(pmem.RefIndex(t.Load(&n.Right)))
+	}
+	walk(pmem.RefIndex(t.Load(&b.root)))
+	return out
+}
+
+func checkKey(key uint64) {
+	if key == 0 || key >= 1<<61 {
+		panic(fmt.Sprintf("onefile: key %d out of range [1, 2^61)", key))
+	}
+}

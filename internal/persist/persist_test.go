@@ -1,0 +1,181 @@
+package persist
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newThread() (*pmem.Memory, *pmem.Thread) {
+	m := pmem.NewFast(pmem.ProfileZero)
+	return m, m.NewThread()
+}
+
+func TestByName(t *testing.T) {
+	cases := map[string]string{
+		"none":           "none",
+		"izraelevitz":    "izraelevitz",
+		"izra":           "izraelevitz",
+		"nvtraverse":     "nvtraverse",
+		"traverse":       "nvtraverse",
+		"logfree":        "logfree",
+		"lap":            "logfree",
+		"linkandpersist": "logfree",
+	}
+	for in, want := range cases {
+		p, ok := ByName(in)
+		if !ok || p.Name() != want {
+			t.Fatalf("ByName(%q) = %v,%v", in, p, ok)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Fatalf("ByName accepted bogus")
+	}
+}
+
+func TestDurabilityFlags(t *testing.T) {
+	for _, p := range All() {
+		want := p.Name() != "none"
+		if p.Durable() != want {
+			t.Fatalf("%s.Durable() = %v", p.Name(), p.Durable())
+		}
+	}
+}
+
+func TestNoneIsFree(t *testing.T) {
+	m, th := newThread()
+	var c pmem.Cell
+	p := None{}
+	p.TraverseRead(th, &c)
+	p.PostTraverse(th, []*pmem.Cell{&c})
+	p.Read(th, &c)
+	p.ReadData(th, &c)
+	p.InitWrite(th, &c)
+	p.Wrote(th, &c)
+	p.BeforeCAS(th)
+	p.BeforeReturn(th)
+	if s := m.Stats(); s.Flushes != 0 || s.Fences != 0 {
+		t.Fatalf("None persisted: %+v", s)
+	}
+}
+
+func TestIzraelevitzFlushesEveryAccess(t *testing.T) {
+	m, th := newThread()
+	var c pmem.Cell
+	p := Izraelevitz{}
+	p.TraverseRead(th, &c)
+	p.Read(th, &c)
+	p.Wrote(th, &c)
+	s := m.Stats()
+	if s.Flushes != 3 || s.Fences != 3 {
+		t.Fatalf("Izraelevitz: %+v", s)
+	}
+}
+
+func TestNVTraversePlacement(t *testing.T) {
+	m, th := newThread()
+	var a, b, c pmem.Cell
+	p := NVTraverse{}
+	p.TraverseRead(th, &a) // free
+	if s := m.Stats(); s.Flushes != 0 {
+		t.Fatalf("traverse read flushed")
+	}
+	p.PostTraverse(th, []*pmem.Cell{&a, &b, &c})
+	s := m.Stats()
+	if s.Flushes != 3 || s.Fences != 1 {
+		t.Fatalf("PostTraverse: %+v", s)
+	}
+	p.Read(th, &a)  // flush, no fence
+	p.Wrote(th, &b) // flush, no fence
+	s = m.Stats()
+	if s.Flushes != 5 || s.Fences != 1 {
+		t.Fatalf("critical accesses: %+v", s)
+	}
+	p.BeforeCAS(th)
+	p.BeforeReturn(th)
+	if s := m.Stats(); s.Fences != 3 {
+		t.Fatalf("fences: %+v", s)
+	}
+}
+
+func TestLinkAndPersistTagging(t *testing.T) {
+	m, th := newThread()
+	var c pmem.Cell
+	th.Store(&c, pmem.MakeRef(9))
+	p := LinkAndPersist{}
+
+	p.Read(th, &c)
+	if th.Load(&c)&pmem.PersistBit == 0 {
+		t.Fatalf("flush did not tag the cell")
+	}
+	s := m.Stats()
+	if s.Flushes != 1 || s.Fences != 1 {
+		t.Fatalf("first flush: %+v", s)
+	}
+
+	// Tagged: all subsequent flushes of this word are free.
+	p.Read(th, &c)
+	p.Wrote(th, &c)
+	p.PostTraverse(th, []*pmem.Cell{&c})
+	s = m.Stats()
+	if s.Flushes != 1 || s.Fences != 1 {
+		t.Fatalf("tagged flushes not elided: %+v", s)
+	}
+
+	// A store clears the tag (new values are dirty by construction).
+	th.Store(&c, pmem.Dirty(pmem.MakeRef(10)))
+	p.Read(th, &c)
+	if s := m.Stats(); s.Flushes != 2 {
+		t.Fatalf("flush after store elided: %+v", s)
+	}
+}
+
+func TestLinkAndPersistFenceElision(t *testing.T) {
+	m, th := newThread()
+	p := LinkAndPersist{}
+	p.BeforeCAS(th)
+	p.BeforeReturn(th)
+	if s := m.Stats(); s.Fences != 0 {
+		t.Fatalf("fences with nothing unfenced: %+v", s)
+	}
+	var c pmem.Cell
+	th.Flush(&c) // raw unfenced flush
+	p.BeforeCAS(th)
+	if s := m.Stats(); s.Fences != 1 {
+		t.Fatalf("fence with pending flush elided: %+v", s)
+	}
+}
+
+func TestLinkAndPersistTagIsDurabilitySafe(t *testing.T) {
+	// The tag may only appear on values that are genuinely persistent:
+	// crash immediately after flushTagged and check the value survived.
+	m := pmem.NewTracked()
+	th := m.NewThread()
+	var c pmem.Cell
+	th.Store(&c, pmem.MakeRef(5))
+	m.PersistAll()
+	th.Store(&c, pmem.MakeRef(6))
+	LinkAndPersist{}.Read(th, &c)
+	if th.Load(&c)&pmem.PersistBit == 0 {
+		t.Fatalf("cell not tagged")
+	}
+	m.Crash()
+	m.FinishCrash(0, 1)
+	m.Restart()
+	if got := pmem.ClearTags(th.Load(&c)); got != pmem.MakeRef(6) {
+		t.Fatalf("tagged value lost in crash: %x", got)
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	names := []string{"none", "nvtraverse", "izraelevitz", "logfree"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() = %d policies", len(all))
+	}
+	for i, p := range all {
+		if p.Name() != names[i] {
+			t.Fatalf("All()[%d] = %s, want %s", i, p.Name(), names[i])
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package pmem
+
+import "sync/atomic"
+
+// Cell is one shared 64-bit word of simulated persistent memory. Cells are
+// accessed only through a Thread so that the latency model, statistics and
+// the tracked write-back model see every access.
+//
+// The zero Cell holds zero and is considered persisted at construction (see
+// Memory.PersistAll for how initialization is baselined).
+type Cell struct {
+	v atomic.Uint64
+}
+
+// raw returns the current volatile value without going through a Thread.
+// It is used by the tracked model and by single-threaded validators.
+func (c *Cell) raw() uint64 { return c.v.Load() }
+
+// Ref is a handle to a node in an arena, with tag bits:
+//
+//	bit 0:  mark bit (logical deletion; "flag" for edge-bit structures)
+//	bit 1:  auxiliary bit ("tag" for Natarajan–Mittal edges)
+//	bit 62: persisted tag, set only by the link-and-persist policy
+//
+// The arena index occupies bits 2..61. Index 0 is reserved, so a Ref of 0
+// (NilRef) is the null reference.
+type Ref = uint64
+
+const (
+	// NilRef is the null reference.
+	NilRef Ref = 0
+
+	// MarkBit marks a reference (logical deletion / NM "flag").
+	MarkBit Ref = 1
+	// TagBit is the auxiliary edge bit (NM "tag").
+	TagBit Ref = 2
+	// PersistBit tags a cell value as already flushed (link-and-persist).
+	PersistBit Ref = 1 << 62
+
+	refShift = 2
+	tagMask  = MarkBit | TagBit | PersistBit
+)
+
+// MakeRef builds a clean reference from an arena index.
+func MakeRef(idx uint64) Ref { return idx << refShift }
+
+// RefIndex extracts the arena index, ignoring all tag bits.
+func RefIndex(r Ref) uint64 { return (r &^ tagMask) >> refShift }
+
+// IsNil reports whether the reference points to no node (index 0),
+// regardless of tag bits.
+func IsNil(r Ref) bool { return RefIndex(r) == 0 }
+
+// Marked reports whether the mark bit is set.
+func Marked(r Ref) bool { return r&MarkBit != 0 }
+
+// Tagged reports whether the auxiliary tag bit is set.
+func Tagged(r Ref) bool { return r&TagBit != 0 }
+
+// WithMark returns r with the mark bit set.
+func WithMark(r Ref) Ref { return r | MarkBit }
+
+// WithTag returns r with the auxiliary tag bit set.
+func WithTag(r Ref) Ref { return r | TagBit }
+
+// ClearMark returns r with the mark bit cleared.
+func ClearMark(r Ref) Ref { return r &^ MarkBit }
+
+// ClearTags returns r with all low tag bits and the persist bit cleared:
+// a clean reference carrying only the index.
+func ClearTags(r Ref) Ref { return r &^ tagMask }
+
+// Dirty strips the persist tag. Every value composed for a Store or CAS must
+// go through Dirty: after a modification the cell is, by definition, no
+// longer persisted, so it must not inherit a stale persisted tag from the
+// value it was derived from.
+func Dirty(v uint64) uint64 { return v &^ PersistBit }
+
+// SameNode reports whether two references address the same node, ignoring
+// all tag bits.
+func SameNode(a, b Ref) bool { return RefIndex(a) == RefIndex(b) }

@@ -1,0 +1,245 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// errCrashed is the sentinel panic value raised by every memory access while
+// the crash flag is up. Workers recover it at operation boundaries (see
+// RunOp), which stops them mid-operation exactly as a power failure would.
+type errCrashed struct{}
+
+func (errCrashed) Error() string { return "pmem: simulated crash" }
+
+// IsCrash reports whether a recovered panic value is the crash sentinel.
+func IsCrash(r any) bool {
+	_, ok := r.(errCrashed)
+	return ok
+}
+
+// RunOp runs f, converting a crash-sentinel panic into crashed=true. Any
+// other panic is re-raised. Data-structure operations release their epoch
+// slots via defer, so unwinding through them is safe.
+func RunOp(f func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if IsCrash(r) {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return false
+}
+
+// cellState is the tracked persistence state of one cell that has been
+// written since construction (or the last PersistAll): a monotonically
+// increasing write version plus the newest (version, value) pair known to
+// have reached persistent memory.
+//
+// Versioning matters for correctness of the simulation itself: a fence
+// persists the value each line held when it was *flushed*, but persistence
+// can never move backwards — on real hardware, once a newer value has been
+// written back, a stale earlier writeback cannot resurrect an older value
+// (clwb writes current line content; coherence orders the writebacks).
+// Without the version guard, a thread fencing a stale capture after
+// another thread persisted a newer value would regress the cell and
+// silently "lose" a completed, correctly-persisted operation.
+type cellState struct {
+	curVer       uint64
+	persistedVer uint64
+	persistedVal uint64
+}
+
+// model is the tracked write-back state.
+type model struct {
+	mu   sync.Mutex
+	base map[*Cell]*cellState
+}
+
+func newModel() *model {
+	return &model{base: make(map[*Cell]*cellState)}
+}
+
+// state returns the cell's tracked state, creating it with the current
+// volatile value as the persisted baseline (version 0) on first write.
+// Caller holds m.mu.
+func (m *model) state(c *Cell) *cellState {
+	st := m.base[c]
+	if st == nil {
+		st = &cellState{persistedVal: c.v.Load()}
+		m.base[c] = st
+	}
+	return st
+}
+
+// store bumps the cell's write version and performs the volatile write.
+func (m *model) store(c *Cell, v uint64) {
+	m.mu.Lock()
+	st := m.state(c)
+	st.curVer++
+	c.v.Store(v)
+	m.mu.Unlock()
+}
+
+func (m *model) cas(c *Cell, old, new uint64) bool {
+	m.mu.Lock()
+	cur := c.v.Load()
+	if cur != old {
+		m.mu.Unlock()
+		return false
+	}
+	st := m.state(c)
+	st.curVer++
+	c.v.Store(new)
+	m.mu.Unlock()
+	return true
+}
+
+// capture records a flush: the cell's current (version, value) pair, read
+// consistently under the model lock. Never-written cells need no entry —
+// their construction value is persisted by definition.
+func (m *model) capture(c *Cell) (flushEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.base[c]
+	if st == nil {
+		return flushEntry{}, false
+	}
+	return flushEntry{c: c, v: c.v.Load(), ver: st.curVer}, true
+}
+
+// fence persists every flushed entry, monotonically: an entry only
+// advances a cell's persisted state if it captured a newer write.
+func (m *model) fence(entries []flushEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, e := range entries {
+		st := m.base[e.c]
+		if st == nil {
+			continue // PersistAll intervened: already fully persistent
+		}
+		if e.ver > st.persistedVer {
+			st.persistedVer = e.ver
+			st.persistedVal = e.v
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Crash simulates a power failure on a tracked memory:
+//
+//  1. The crash flag is raised; from now on every access by any thread
+//     panics with the crash sentinel, stopping workers mid-operation.
+//     Callers must wait for all workers to have stopped before step 2
+//     (Crash does not know about the caller's goroutines).
+//  2. Every dirty cell is rolled back to its persisted value — except that,
+//     with probability evictProb each, dirty cells are "evicted": hardware
+//     caches may write a line back at any time without being asked, so a
+//     crash may persist writes the program never flushed.
+//  3. All thread flush sets are discarded (they were in the volatile CPU).
+//
+// After Crash returns, the memory is still in the crashed state; call
+// Restart before running recovery code.
+func (m *Memory) Crash() {
+	if m.model == nil {
+		panic("pmem: Crash requires ModeTracked")
+	}
+	m.crashed.Store(true)
+}
+
+// FinishCrash performs the rollback of step 2-3 above. It must be called
+// after all worker goroutines have observably stopped (e.g. via WaitGroup).
+// Splitting Crash/FinishCrash keeps the stop-the-world handshake explicit.
+func (m *Memory) FinishCrash(evictProb float64, seed int64) {
+	if m.model == nil {
+		panic("pmem: FinishCrash requires ModeTracked")
+	}
+	if !m.crashed.Load() {
+		panic("pmem: FinishCrash without Crash")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mo := m.model
+	mo.mu.Lock()
+	for c, st := range mo.base {
+		if st.persistedVer == st.curVer {
+			continue // fully persistent: volatile == persisted
+		}
+		if evictProb > 0 && rng.Float64() < evictProb {
+			continue // line was evicted: volatile value survived
+		}
+		c.v.Store(st.persistedVal)
+	}
+	mo.base = make(map[*Cell]*cellState)
+	mo.mu.Unlock()
+	for _, t := range m.Threads() {
+		t.flushSet = t.flushSet[:0]
+		t.unfenced = 0
+	}
+}
+
+// Restart lowers the crash flag so recovery code (and new workers) can run.
+func (m *Memory) Restart() {
+	m.crashed.Store(false)
+}
+
+// Crashed reports whether the crash flag is raised.
+func (m *Memory) Crashed() bool { return m.crashed.Load() }
+
+// PersistAll declares the current volatile contents fully persisted. Use it
+// after constructing a data structure's initial state, mirroring the paper's
+// assumption that the initial structure resides in NVRAM before operations
+// begin.
+func (m *Memory) PersistAll() {
+	if m.model == nil {
+		return
+	}
+	m.model.mu.Lock()
+	m.model.base = make(map[*Cell]*cellState)
+	m.model.mu.Unlock()
+	for _, t := range m.Threads() {
+		t.flushSet = t.flushSet[:0]
+		t.unfenced = 0
+	}
+}
+
+// DirtyCells reports how many cells are currently unpersisted (test hook).
+func (m *Memory) DirtyCells() int {
+	if m.model == nil {
+		return 0
+	}
+	m.model.mu.Lock()
+	defer m.model.mu.Unlock()
+	n := 0
+	for _, st := range m.model.base {
+		if st.persistedVer != st.curVer {
+			n++
+		}
+	}
+	return n
+}
+
+// PersistedValue returns the value that would survive a crash for c right
+// now (test hook).
+func (m *Memory) PersistedValue(c *Cell) uint64 {
+	if m.model == nil {
+		return c.raw()
+	}
+	m.model.mu.Lock()
+	defer m.model.mu.Unlock()
+	if st, ok := m.model.base[c]; ok {
+		return st.persistedVal
+	}
+	return c.raw()
+}
+
+func (m *Memory) checkCrash() {
+	if m.crashed.Load() {
+		panic(errCrashed{})
+	}
+}

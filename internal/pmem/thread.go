@@ -1,0 +1,207 @@
+package pmem
+
+import "sync/atomic"
+
+// Stats counts memory and persistence events. In fast mode each Thread keeps
+// its own Stats (owner-written atomics, so snapshots from other goroutines
+// are race-free); Memory.Stats sums them.
+type Stats struct {
+	Reads   uint64
+	Writes  uint64
+	CASes   uint64
+	CASFail uint64
+	Flushes uint64
+	Fences  uint64
+	Ops     uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.CASes += o.CASes
+	s.CASFail += o.CASFail
+	s.Flushes += o.Flushes
+	s.Fences += o.Fences
+	s.Ops += o.Ops
+}
+
+// Sub returns s minus o (for interval measurements).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:   s.Reads - o.Reads,
+		Writes:  s.Writes - o.Writes,
+		CASes:   s.CASes - o.CASes,
+		CASFail: s.CASFail - o.CASFail,
+		Flushes: s.Flushes - o.Flushes,
+		Fences:  s.Fences - o.Fences,
+		Ops:     s.Ops - o.Ops,
+	}
+}
+
+type threadStats struct {
+	reads   atomic.Uint64
+	writes  atomic.Uint64
+	cases   atomic.Uint64
+	casFail atomic.Uint64
+	flushes atomic.Uint64
+	fences  atomic.Uint64
+	ops     atomic.Uint64
+}
+
+// Thread is a per-worker context: all cell accesses, persistence
+// instructions, arena allocation and epoch entry go through a Thread. A
+// Thread must be used by one goroutine at a time.
+type Thread struct {
+	// ID is a dense thread index within the owning Memory, used to index
+	// per-thread arena free lists and epoch slots.
+	ID int
+
+	mem *Memory
+	st  threadStats
+	rng uint64
+
+	// unfenced counts flushes issued since the last fence. Policies that
+	// model link-and-persist use it to elide fences when nothing is
+	// pending.
+	unfenced int
+
+	// flushSet holds (cell, value-at-flush-time) entries awaiting the next
+	// fence. Only used in tracked mode: a fence persists the value each
+	// line held when it was flushed, exactly like clwb+sfence.
+	flushSet []flushEntry
+
+	// Scratch slices for data-structure operations (node lists returned by
+	// traversals, flush batches). Owned by the single operation currently
+	// running on this thread; reused to avoid per-operation allocation.
+	Scratch      []uint64
+	ScratchCells []*Cell
+
+	_ [32]byte // reduce false sharing between Thread structs
+}
+
+type flushEntry struct {
+	c   *Cell
+	v   uint64
+	ver uint64
+}
+
+// Memory returns the owning memory domain.
+func (t *Thread) Memory() *Memory { return t.mem }
+
+// StatsSnapshot returns this thread's counters.
+func (t *Thread) StatsSnapshot() Stats {
+	return Stats{
+		Reads:   t.st.reads.Load(),
+		Writes:  t.st.writes.Load(),
+		CASes:   t.st.cases.Load(),
+		CASFail: t.st.casFail.Load(),
+		Flushes: t.st.flushes.Load(),
+		Fences:  t.st.fences.Load(),
+		Ops:     t.st.ops.Load(),
+	}
+}
+
+func (t *Thread) resetStats() {
+	t.st.reads.Store(0)
+	t.st.writes.Store(0)
+	t.st.cases.Store(0)
+	t.st.casFail.Store(0)
+	t.st.flushes.Store(0)
+	t.st.fences.Store(0)
+	t.st.ops.Store(0)
+}
+
+// CountOp records one completed high-level operation (for per-op metrics).
+func (t *Thread) CountOp() { t.st.ops.Add(1) }
+
+// Rand returns the next value of the thread's splitmix64 generator.
+func (t *Thread) Rand() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Load atomically reads a cell.
+func (t *Thread) Load(c *Cell) uint64 {
+	t.st.reads.Add(1)
+	if t.mem.model != nil {
+		t.mem.checkCrash()
+	}
+	return c.v.Load()
+}
+
+// Store atomically writes a cell.
+func (t *Thread) Store(c *Cell, v uint64) {
+	t.st.writes.Add(1)
+	if m := t.mem.model; m != nil {
+		t.mem.checkCrash()
+		m.store(c, v)
+		return
+	}
+	c.v.Store(v)
+}
+
+// CAS atomically compares-and-swaps a cell, returning whether it succeeded.
+func (t *Thread) CAS(c *Cell, old, new uint64) bool {
+	t.st.cases.Add(1)
+	var ok bool
+	if m := t.mem.model; m != nil {
+		t.mem.checkCrash()
+		ok = m.cas(c, old, new)
+	} else {
+		ok = c.v.CompareAndSwap(old, new)
+	}
+	if !ok {
+		t.st.casFail.Add(1)
+	}
+	return ok
+}
+
+// Flush issues a clwb for the cell: the value it currently holds will be
+// persisted by the next Fence. Flush alone guarantees nothing.
+func (t *Thread) Flush(c *Cell) {
+	t.st.flushes.Add(1)
+	t.unfenced++
+	if m := t.mem.model; m != nil {
+		t.mem.checkCrash()
+		if e, ok := m.capture(c); ok {
+			t.flushSet = append(t.flushSet, e)
+		}
+	}
+	spin(t.mem.cfg.Profile.FlushCost)
+}
+
+// Fence issues an sfence: every value flushed by this thread since its last
+// fence is persisted.
+func (t *Thread) Fence() {
+	t.st.fences.Add(1)
+	t.unfenced = 0
+	if m := t.mem.model; m != nil {
+		t.mem.checkCrash()
+		m.fence(t.flushSet)
+		t.flushSet = t.flushSet[:0]
+	}
+	spin(t.mem.cfg.Profile.FenceCost)
+}
+
+// Unfenced reports how many flushes this thread has issued since its last
+// fence. Policies use it to skip provably idempotent fences.
+func (t *Thread) Unfenced() int { return t.unfenced }
+
+var spinSink uint64
+
+// spin burns roughly n calibrated iterations. The data dependency through x
+// and the conditional publication to spinSink prevent the compiler from
+// eliding the loop.
+func spin(n int) {
+	x := uint64(1)
+	for i := 0; i < n; i++ {
+		x = x*2862933555777941757 + 3037000493
+	}
+	if x == 42 {
+		spinSink = x
+	}
+}

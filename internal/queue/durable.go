@@ -1,0 +1,217 @@
+package queue
+
+import (
+	"repro/internal/arena"
+	"repro/internal/epoch"
+	"repro/internal/pmem"
+)
+
+// DurableQueue is the hand-tuned durable lock-free queue of Friedman,
+// Herlihy, Marathe and Petrank (PPoPP'18) — the paper's cited "only
+// previously known durable algorithm that was proven correct". Unlike the
+// policy-driven Michael–Scott queue in this package, its flushes are
+// placed by expert reasoning rather than by a transformation:
+//
+//   - enqueue persists the new node and the link that publishes it;
+//   - dequeue claims a node by CASing a per-node dequeuer ID, persists the
+//     claim and the per-thread returned value *before* advancing the head,
+//     giving exactly-once semantics across crashes;
+//   - the head pointer itself is persisted lazily — recovery re-derives it
+//     by skipping claimed nodes.
+type DurableQueue struct {
+	mem *pmem.Memory
+	dom *epoch.Domain
+	ar  *arena.Arena[DNode]
+
+	head pmem.Cell
+	tail pmem.Cell
+	// returned[tid] is the persistent per-thread result slot (the paper's
+	// returnedValues array): after a crash, each thread can learn the
+	// value its last dequeue returned.
+	returned []pmem.Cell
+}
+
+// DNode is a DurableQueue node. DeqTID is 0 while unclaimed; a dequeuer
+// claims the node by CASing its thread ID + 1 into it.
+type DNode struct {
+	Value  pmem.Cell
+	Next   pmem.Cell
+	DeqTID pmem.Cell
+}
+
+// EmptyMarker is stored in a thread's returned slot when its dequeue
+// observed an empty queue (distinguishable from any claimed value slot).
+const EmptyMarker = ^uint64(0)
+
+// NewDurable creates an empty DurableQueue.
+func NewDurable(mem *pmem.Memory) *DurableQueue {
+	dom := epoch.New(mem.MaxThreads())
+	q := &DurableQueue{
+		mem:      mem,
+		dom:      dom,
+		ar:       arena.New[DNode](dom, mem.MaxThreads()),
+		returned: make([]pmem.Cell, mem.MaxThreads()),
+	}
+	t := mem.NewThread()
+	d := q.ar.Alloc(t.ID)
+	n := q.ar.Get(d)
+	t.Store(&n.Value, 0)
+	t.Store(&n.Next, pmem.NilRef)
+	t.Store(&n.DeqTID, 1) // the dummy counts as claimed
+	t.Store(&q.head, pmem.MakeRef(d))
+	t.Store(&q.tail, pmem.MakeRef(d))
+	t.Flush(&n.Value)
+	t.Flush(&n.Next)
+	t.Flush(&n.DeqTID)
+	t.Flush(&q.head)
+	t.Fence()
+	return q
+}
+
+func (q *DurableQueue) node(idx uint64) *DNode { return q.ar.Get(idx) }
+
+// Enqueue appends value.
+func (q *DurableQueue) Enqueue(t *pmem.Thread, value uint64) {
+	q.dom.Enter(t.ID)
+	defer q.dom.Exit(t.ID)
+	idx := q.ar.Alloc(t.ID)
+	n := q.node(idx)
+	t.Store(&n.Value, value)
+	t.Store(&n.Next, pmem.NilRef)
+	t.Store(&n.DeqTID, 0)
+	t.Flush(&n.Value)
+	t.Flush(&n.Next)
+	t.Flush(&n.DeqTID)
+	t.Fence()
+	for {
+		lv := t.Load(&q.tail)
+		last := pmem.RefIndex(lv)
+		lastN := q.node(last)
+		next := t.Load(&lastN.Next)
+		if lv != t.Load(&q.tail) {
+			continue
+		}
+		if pmem.IsNil(next) {
+			if t.CAS(&lastN.Next, next, pmem.MakeRef(idx)) {
+				t.Flush(&lastN.Next)
+				t.Fence()
+				t.CAS(&q.tail, lv, pmem.MakeRef(idx))
+				t.CountOp()
+				return
+			}
+		} else {
+			// Help: the lagging link must be persistent before the tail
+			// moves past it.
+			t.Flush(&lastN.Next)
+			t.Fence()
+			t.CAS(&q.tail, lv, pmem.ClearTags(next))
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok=false when empty. The
+// claim and the per-thread result slot are persistent before the head
+// moves, so a crash can neither lose nor duplicate a dequeued value.
+func (q *DurableQueue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
+	q.dom.Enter(t.ID)
+	defer q.dom.Exit(t.ID)
+	for {
+		hv := t.Load(&q.head)
+		first := pmem.RefIndex(hv)
+		lv := t.Load(&q.tail)
+		firstN := q.node(first)
+		next := t.Load(&firstN.Next)
+		if hv != t.Load(&q.head) {
+			continue
+		}
+		if first == pmem.RefIndex(lv) {
+			if pmem.IsNil(next) {
+				t.Store(&q.returned[t.ID], EmptyMarker)
+				t.Flush(&q.returned[t.ID])
+				t.Fence()
+				t.CountOp()
+				return 0, false
+			}
+			t.Flush(&firstN.Next)
+			t.Fence()
+			t.CAS(&q.tail, lv, pmem.ClearTags(next))
+			continue
+		}
+		nextIdx := pmem.RefIndex(next)
+		nextN := q.node(nextIdx)
+		v := t.Load(&nextN.Value)
+		if t.CAS(&nextN.DeqTID, 0, uint64(t.ID)+1) {
+			t.Flush(&nextN.DeqTID)
+			t.Store(&q.returned[t.ID], v)
+			t.Flush(&q.returned[t.ID])
+			t.Fence()
+			if t.CAS(&q.head, hv, pmem.ClearTags(next)) {
+				t.Flush(&q.head)
+				t.Fence()
+				q.ar.Retire(t.ID, first)
+			}
+			t.CountOp()
+			return v, true
+		}
+		// Help the claimer: persist its claim, then advance the head.
+		if t.Load(&q.head) == hv {
+			t.Flush(&nextN.DeqTID)
+			t.Fence()
+			if t.CAS(&q.head, hv, pmem.ClearTags(next)) {
+				t.Flush(&q.head)
+				t.Fence()
+				q.ar.Retire(t.ID, first)
+			}
+		}
+	}
+}
+
+// Returned exposes a thread's persistent result slot (crash tests).
+func (q *DurableQueue) Returned(t *pmem.Thread, tid int) uint64 {
+	return t.Load(&q.returned[tid])
+}
+
+// Recover re-derives head and tail: the persisted head may lag, so skip
+// every claimed node; the persisted claim bits are the source of truth.
+func (q *DurableQueue) Recover(t *pmem.Thread) {
+	q.dom.Enter(t.ID)
+	defer q.dom.Exit(t.ID)
+	cur := pmem.RefIndex(t.Load(&q.head))
+	for {
+		next := t.Load(&q.node(cur).Next)
+		ni := pmem.RefIndex(next)
+		if ni == 0 || t.Load(&q.node(ni).DeqTID) == 0 {
+			break
+		}
+		cur = ni
+	}
+	t.Store(&q.head, pmem.MakeRef(cur))
+	t.Flush(&q.head)
+	t.Fence()
+	last := cur
+	for {
+		next := t.Load(&q.node(last).Next)
+		if pmem.IsNil(next) {
+			break
+		}
+		last = pmem.RefIndex(next)
+	}
+	t.Store(&q.tail, pmem.MakeRef(last))
+}
+
+// Contents returns the unclaimed values front to back (quiescent use).
+func (q *DurableQueue) Contents(t *pmem.Thread) []uint64 {
+	var out []uint64
+	cur := pmem.RefIndex(t.Load(&q.head))
+	for {
+		next := t.Load(&q.node(cur).Next)
+		ni := pmem.RefIndex(next)
+		if ni == 0 {
+			return out
+		}
+		if t.Load(&q.node(ni).DeqTID) == 0 {
+			out = append(out, t.Load(&q.node(ni).Value))
+		}
+		cur = ni
+	}
+}

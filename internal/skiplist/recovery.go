@@ -1,0 +1,151 @@
+package skiplist
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Recover implements the paper's recovery phase for a skiplist: run
+// disconnect(root) on the core tree (the level-0 list), persisting each
+// disconnection, then recompute the auxiliary structure — the index towers
+// — from scratch, as Property 2 allows ("the other parts can be stored in
+// volatile memory and recomputed following a crash"). Single-threaded.
+func (l *List) Recover(t *pmem.Thread) {
+	l.dom.Enter(t.ID)
+	defer l.dom.Exit(t.ID)
+
+	// 1. disconnect(root) on level 0.
+	prev := l.head
+	for {
+		prevN := l.node(prev)
+		pn := t.Load(&prevN.Next[0])
+		cur := pmem.RefIndex(pn)
+		if cur == 0 {
+			break
+		}
+		cn := t.Load(&l.node(cur).Next[0])
+		if !pmem.Marked(cn) {
+			prev = cur
+			continue
+		}
+		if t.CAS(&prevN.Next[0], pn, pmem.ClearTags(cn)) {
+			t.Flush(&prevN.Next[0])
+			t.Fence()
+		}
+	}
+
+	// 2. Rebuild the towers: clear the index, then relink every surviving
+	// node at its recorded height, keeping per-level tails.
+	headN := l.node(l.head)
+	var tails [MaxLevel]uint64
+	for i := 1; i < MaxLevel; i++ {
+		t.Store(&headN.Next[i], pmem.NilRef)
+		tails[i] = l.head
+	}
+	cur := pmem.RefIndex(t.Load(&headN.Next[0]))
+	for cur != 0 {
+		n := l.node(cur)
+		lvl := t.Load(&n.Level)
+		if lvl < 1 || lvl > MaxLevel {
+			lvl = 1 // defensive: height is volatile metadata
+			t.Store(&n.Level, lvl)
+		}
+		for i := uint64(1); i < lvl; i++ {
+			t.Store(&n.Next[i], pmem.NilRef)
+			t.Store(&l.node(tails[i]).Next[i], pmem.MakeRef(cur))
+			tails[i] = cur
+		}
+		cur = pmem.RefIndex(t.Load(&n.Next[0]))
+	}
+}
+
+// Contents returns the unmarked level-0 keys in order (quiescent use).
+func (l *List) Contents(t *pmem.Thread) []uint64 {
+	var out []uint64
+	cur := pmem.RefIndex(t.Load(&l.node(l.head).Next[0]))
+	for cur != 0 {
+		n := l.node(cur)
+		nx := t.Load(&n.Next[0])
+		if !pmem.Marked(nx) {
+			out = append(out, t.Load(&n.Key))
+		}
+		cur = pmem.RefIndex(nx)
+	}
+	return out
+}
+
+// CountMarked counts marked reachable level-0 nodes (quiescent use).
+func (l *List) CountMarked(t *pmem.Thread) int {
+	n := 0
+	cur := pmem.RefIndex(t.Load(&l.node(l.head).Next[0]))
+	for cur != 0 {
+		nx := t.Load(&l.node(cur).Next[0])
+		if pmem.Marked(nx) {
+			n++
+		}
+		cur = pmem.RefIndex(nx)
+	}
+	return n
+}
+
+// Validate checks the level-0 order, cycle-freedom, and that every index
+// edge connects nodes in key order and every indexed node is level-0
+// reachable (quiescent use).
+func (l *List) Validate(t *pmem.Thread) error {
+	limit := 2 * l.ar.HighWater()
+	reachable := map[uint64]bool{l.head: true}
+	var steps uint64
+	var last uint64
+	cur := pmem.RefIndex(t.Load(&l.node(l.head).Next[0]))
+	for cur != 0 {
+		if steps++; steps > limit {
+			return fmt.Errorf("skiplist: level-0 cycle suspected")
+		}
+		n := l.node(cur)
+		nx := t.Load(&n.Next[0])
+		k := t.Load(&n.Key)
+		if !pmem.Marked(nx) {
+			if k <= last {
+				return fmt.Errorf("skiplist: level-0 keys out of order: %d after %d", k, last)
+			}
+			last = k
+		}
+		reachable[cur] = true
+		cur = pmem.RefIndex(nx)
+	}
+	for i := 1; i < MaxLevel; i++ {
+		steps = 0
+		prevKey := uint64(0)
+		cur = pmem.RefIndex(t.Load(&l.node(l.head).Next[i]))
+		for cur != 0 {
+			if steps++; steps > limit {
+				return fmt.Errorf("skiplist: level-%d cycle suspected", i)
+			}
+			if !reachable[cur] {
+				return fmt.Errorf("skiplist: level-%d indexes unreachable node %d", i, cur)
+			}
+			n := l.node(cur)
+			nx := t.Load(&n.Next[i])
+			k := t.Load(&n.Key)
+			if !pmem.Marked(nx) && !pmem.Marked(t.Load(&n.Next[0])) {
+				if k < prevKey {
+					return fmt.Errorf("skiplist: level-%d keys out of order: %d after %d", i, k, prevKey)
+				}
+				prevKey = k
+			}
+			cur = pmem.RefIndex(nx)
+		}
+	}
+	return nil
+}
+
+// LiveHandles adds every level-0 reachable handle (plus the sentinel) for
+// the post-crash arena sweep.
+func (l *List) LiveHandles(t *pmem.Thread, live map[uint64]bool) {
+	cur := l.head
+	for cur != 0 {
+		live[cur] = true
+		cur = pmem.RefIndex(t.Load(&l.node(cur).Next[0]))
+	}
+}

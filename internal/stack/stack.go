@@ -1,0 +1,130 @@
+// Package stack implements the Treiber stack (1986) in the traversal form
+// of the NVTraverse paper, which lists stacks among the structures the
+// class captures. The core tree is the chain of nodes under the top
+// anchor; the traversal is degenerate (the anchor read is both findEntry
+// and traverse, returning the top node), making the stack a minimal
+// worked example of the transformation:
+//
+//	push: init node (flushed) → fence → CAS top → flush top → fence
+//	pop:  read top + top.Next, flush both + fence (Protocol 1; the pop's
+//	      CAS expectation and return value depend on them) → CAS top →
+//	      flush top → fence
+package stack
+
+import (
+	"repro/internal/arena"
+	"repro/internal/epoch"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// Node is one stack node; Value is immutable after initialization.
+type Node struct {
+	Value pmem.Cell
+	Next  pmem.Cell
+}
+
+// Stack is the durable Treiber stack.
+type Stack struct {
+	mem *pmem.Memory
+	dom *epoch.Domain
+	ar  *arena.Arena[Node]
+	pol persist.Policy
+	top pmem.Cell // persistent root: ref of the top node (0 when empty)
+}
+
+// New creates an empty stack.
+func New(mem *pmem.Memory, pol persist.Policy) *Stack {
+	dom := epoch.New(mem.MaxThreads())
+	s := &Stack{
+		mem: mem,
+		dom: dom,
+		ar:  arena.New[Node](dom, mem.MaxThreads()),
+		pol: pol,
+	}
+	t := mem.NewThread()
+	t.Store(&s.top, pmem.NilRef)
+	t.Flush(&s.top)
+	t.Fence()
+	return s
+}
+
+func (s *Stack) node(idx uint64) *Node { return s.ar.Get(idx) }
+
+// Push adds value on top.
+func (s *Stack) Push(t *pmem.Thread, value uint64) {
+	s.dom.Enter(t.ID)
+	defer s.dom.Exit(t.ID)
+	pol := s.pol
+	idx := s.ar.Alloc(t.ID)
+	n := s.node(idx)
+	t.Store(&n.Value, value)
+	pol.InitWrite(t, &n.Value)
+	for {
+		tv := t.Load(&s.top)
+		pol.TraverseRead(t, &s.top)
+		cells := [...]*pmem.Cell{&s.top}
+		pol.PostTraverse(t, cells[:])
+		t.Store(&n.Next, pmem.ClearTags(tv))
+		pol.InitWrite(t, &n.Next)
+		pol.BeforeCAS(t)
+		ok := t.CAS(&s.top, tv, pmem.MakeRef(idx))
+		pol.Wrote(t, &s.top)
+		pol.BeforeReturn(t)
+		if ok {
+			t.CountOp()
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value; ok=false when empty.
+func (s *Stack) Pop(t *pmem.Thread) (value uint64, ok bool) {
+	s.dom.Enter(t.ID)
+	defer s.dom.Exit(t.ID)
+	pol := s.pol
+	for {
+		tv := t.Load(&s.top)
+		pol.TraverseRead(t, &s.top)
+		if pmem.IsNil(tv) {
+			cells := [...]*pmem.Cell{&s.top}
+			pol.PostTraverse(t, cells[:])
+			pol.BeforeReturn(t)
+			t.CountOp()
+			return 0, false
+		}
+		topN := s.node(pmem.RefIndex(tv))
+		next := t.Load(&topN.Next)
+		pol.TraverseRead(t, &topN.Next)
+		cells := [...]*pmem.Cell{&s.top, &topN.Next}
+		pol.PostTraverse(t, cells[:])
+		v := t.Load(&topN.Value) // immutable after publication
+		pol.BeforeCAS(t)
+		swung := t.CAS(&s.top, tv, pmem.ClearTags(next))
+		pol.Wrote(t, &s.top)
+		pol.BeforeReturn(t)
+		if swung {
+			s.ar.Retire(t.ID, pmem.RefIndex(tv))
+			t.CountOp()
+			return v, true
+		}
+	}
+}
+
+// Recover is a no-op beyond validation: the stack's whole state is its
+// core tree (top anchor plus chain), all persisted by the protocol.
+func (s *Stack) Recover(t *pmem.Thread) {}
+
+// Contents returns the values top to bottom (quiescent use only).
+func (s *Stack) Contents(t *pmem.Thread) []uint64 {
+	var out []uint64
+	cur := pmem.RefIndex(t.Load(&s.top))
+	for cur != 0 {
+		out = append(out, t.Load(&s.node(cur).Value))
+		cur = pmem.RefIndex(t.Load(&s.node(cur).Next))
+	}
+	return out
+}
+
+// Len counts the stacked values (quiescent use only).
+func (s *Stack) Len(t *pmem.Thread) int { return len(s.Contents(t)) }

@@ -1,0 +1,151 @@
+package stack
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+func newStack(pol persist.Policy) (*Stack, *pmem.Thread) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 16})
+	return New(mem, pol), mem.NewThread()
+}
+
+func TestLIFO(t *testing.T) {
+	for _, pol := range persist.All() {
+		t.Run(pol.Name(), func(t *testing.T) {
+			s, th := newStack(pol)
+			if _, ok := s.Pop(th); ok {
+				t.Fatalf("empty stack popped")
+			}
+			for v := uint64(1); v <= 50; v++ {
+				s.Push(th, v)
+			}
+			for v := uint64(50); v >= 1; v-- {
+				got, ok := s.Pop(th)
+				if !ok || got != v {
+					t.Fatalf("Pop = %d,%v want %d", got, ok, v)
+				}
+			}
+			if _, ok := s.Pop(th); ok {
+				t.Fatalf("drained stack popped")
+			}
+		})
+	}
+}
+
+func TestQuickAgainstSlice(t *testing.T) {
+	type op struct {
+		Push bool
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		s, th := newStack(persist.NVTraverse{})
+		var model []uint64
+		for _, o := range ops {
+			if o.Push {
+				s.Push(th, uint64(o.Val)+1)
+				model = append(model, uint64(o.Val)+1)
+			} else {
+				got, ok := s.Pop(th)
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if !ok || got != want {
+						return false
+					}
+				}
+			}
+		}
+		return s.Len(th) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 16})
+	s := New(mem, persist.NVTraverse{})
+	const threads = 6
+	var wg sync.WaitGroup
+	var got sync.Map
+	for i := 0; i < threads; i++ {
+		th := mem.NewThread()
+		wg.Add(1)
+		go func(i int, th *pmem.Thread) {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				s.Push(th, uint64(i*2000+j)+1)
+				if v, ok := s.Pop(th); ok {
+					if _, dup := got.LoadOrStore(v, i); dup {
+						t.Errorf("value %d popped twice", v)
+					}
+				}
+			}
+		}(i, th)
+	}
+	wg.Wait()
+	// Drain: everything left must be unique too.
+	th := mem.NewThread()
+	for {
+		v, ok := s.Pop(th)
+		if !ok {
+			break
+		}
+		if _, dup := got.LoadOrStore(v, -1); dup {
+			t.Fatalf("value %d popped twice at drain", v)
+		}
+	}
+}
+
+func TestCrashDurability(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero, MaxThreads: 8})
+		s := New(mem, persist.NVTraverse{})
+		th := mem.NewThread()
+		for v := uint64(1); v <= 30; v++ {
+			s.Push(th, v)
+		}
+		for i := 0; i < 10; i++ {
+			s.Pop(th)
+		}
+		mem.Crash()
+		mem.FinishCrash(0, seed)
+		mem.Restart()
+		rec := mem.NewThread()
+		s.Recover(rec)
+		got := s.Contents(rec)
+		if len(got) != 20 || got[0] != 20 {
+			t.Fatalf("seed %d: after crash top=%v len=%d, want top=20 len=20",
+				seed, got[0], len(got))
+		}
+		// Still operational.
+		s.Push(rec, 99)
+		if v, ok := s.Pop(rec); !ok || v != 99 {
+			t.Fatalf("post-recovery push/pop broken")
+		}
+	}
+}
+
+func TestPopFlushCountConstant(t *testing.T) {
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: 4})
+	s := New(mem, persist.NVTraverse{})
+	th := mem.NewThread()
+	for v := uint64(1); v <= 100; v++ {
+		s.Push(th, v)
+	}
+	before := mem.Stats()
+	s.Pop(th)
+	d := mem.Stats().Sub(before)
+	if d.Flushes > 4 || d.Fences > 3 {
+		t.Fatalf("pop cost: %d flushes %d fences", d.Flushes, d.Fences)
+	}
+}

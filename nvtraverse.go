@@ -1,0 +1,85 @@
+// Package nvtraverse is the public facade of the NVTraverse reproduction:
+// durably linearizable lock-free sets, maps and queues for (simulated)
+// non-volatile memory, produced by the automatic transformation of
+// Friedman, Ben-David, Wei, Blelloch and Petrank, "NVTraverse: In NVRAM
+// Data Structures, the Destination is More Important than the Journey"
+// (PLDI 2020).
+//
+// Quick start:
+//
+//	mem := nvtraverse.NewMemory(nvtraverse.NVRAM)
+//	set, _ := nvtraverse.NewSet(nvtraverse.Skiplist, mem, nvtraverse.PolicyNVTraverse)
+//	th := mem.NewThread()          // one per goroutine
+//	set.Insert(th, 42, 420)
+//	v, ok := set.Find(th, 42)
+//
+// After a (simulated) crash — see pmem.Memory's tracked mode — call
+// set.Recover before issuing new operations.
+//
+// Everything here delegates to the internal packages; see DESIGN.md for
+// the system inventory and internal/persist for the transformation itself.
+package nvtraverse
+
+import (
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/queue"
+)
+
+// Re-exported structure kinds.
+const (
+	List     = core.KindList
+	HashMap  = core.KindHash
+	EllenBST = core.KindEllenBST
+	NMBST    = core.KindNMBST
+	Skiplist = core.KindSkiplist
+)
+
+// Re-exported persistence policies. PolicyNVTraverse is the paper's
+// transformation; the others are the baselines it is evaluated against.
+var (
+	PolicyNone        persist.Policy = persist.None{}
+	PolicyNVTraverse  persist.Policy = persist.NVTraverse{}
+	PolicyIzraelevitz persist.Policy = persist.Izraelevitz{}
+	PolicyLogFree     persist.Policy = persist.LinkAndPersist{}
+)
+
+// Memory profiles for the simulated persistence-instruction costs.
+var (
+	NVRAM = pmem.ProfileNVRAM
+	DRAM  = pmem.ProfileDRAM
+)
+
+// Set is a durable map from uint64 keys (in [1, 2^61)) to uint64 values.
+type Set = core.Set
+
+// Thread is a per-goroutine operation context.
+type Thread = pmem.Thread
+
+// Memory is a simulated persistent-memory domain.
+type Memory = pmem.Memory
+
+// NewMemory creates a fast-mode memory with the given latency profile
+// (use pmem.NewTracked directly for crash testing).
+func NewMemory(profile pmem.Profile) *Memory {
+	return pmem.NewFast(profile)
+}
+
+// NewSet builds a durable set of the given kind with the given policy.
+func NewSet(kind core.Kind, mem *Memory, pol persist.Policy) (Set, error) {
+	return core.NewSet(kind, mem, pol, core.Params{})
+}
+
+// NewSetSized builds a durable set with a size hint (hash bucket count).
+func NewSetSized(kind core.Kind, mem *Memory, pol persist.Policy, sizeHint int) (Set, error) {
+	return core.NewSet(kind, mem, pol, core.Params{SizeHint: sizeHint})
+}
+
+// Queue is the durable Michael–Scott queue in traversal form.
+type Queue = queue.Queue
+
+// NewQueue builds a durable queue with the given policy.
+func NewQueue(mem *Memory, pol persist.Policy) *Queue {
+	return queue.New(mem, pol)
+}

@@ -1,0 +1,68 @@
+package nvtraverse
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func TestFacadeSetLifecycle(t *testing.T) {
+	for _, kind := range []core.Kind{List, HashMap, EllenBST, NMBST, Skiplist} {
+		mem := NewMemory(NVRAM)
+		s, err := NewSetSized(kind, mem, PolicyNVTraverse, 128)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		th := mem.NewThread()
+		if !s.Insert(th, 7, 70) {
+			t.Fatalf("%s: insert failed", kind)
+		}
+		if v, ok := s.Find(th, 7); !ok || v != 70 {
+			t.Fatalf("%s: Find = %d,%v", kind, v, ok)
+		}
+		if !s.Delete(th, 7) {
+			t.Fatalf("%s: delete failed", kind)
+		}
+	}
+}
+
+func TestFacadeQueue(t *testing.T) {
+	mem := NewMemory(DRAM)
+	q := NewQueue(mem, PolicyNVTraverse)
+	th := mem.NewThread()
+	q.Enqueue(th, 1)
+	q.Enqueue(th, 2)
+	if v, ok := q.Dequeue(th); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+}
+
+func TestFacadeCrashRoundTrip(t *testing.T) {
+	mem := pmem.NewTracked()
+	s, err := NewSet(Skiplist, mem, PolicyNVTraverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := mem.NewThread()
+	for k := uint64(1); k <= 64; k++ {
+		s.Insert(th, k, k)
+	}
+	mem.Crash()
+	mem.FinishCrash(0, 3)
+	mem.Restart()
+	rec := mem.NewThread()
+	s.Recover(rec)
+	for k := uint64(1); k <= 64; k++ {
+		if _, ok := s.Find(rec, k); !ok {
+			t.Fatalf("key %d lost across crash", k)
+		}
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	if PolicyNone.Durable() || !PolicyNVTraverse.Durable() ||
+		!PolicyIzraelevitz.Durable() || !PolicyLogFree.Durable() {
+		t.Fatalf("policy durability flags wrong")
+	}
+}
