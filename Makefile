@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test short race fmt vet bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short test pass with tiny benchmark durations: what CI runs.
+short:
+	NVBENCH_DUR=10ms $(GO) test -short ./...
+
+# Race pass over the concurrency-heavy packages only, kept short.
+race:
+	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/list ./internal/skiplist ./internal/queue ./internal/shard
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Exercise both CLIs end to end with tiny workloads so they cannot rot.
+bench-smoke:
+	$(GO) run ./cmd/nvbench -list
+	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -panel sA -threads 2 -scale 256
+	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -ycsb A -shards 4 -threads 2 -range 512 -profile zero
+	$(GO) run ./cmd/nvcrash -rounds 2 -ops 150 -workers 2 -keys 64
+	$(GO) run ./cmd/nvcrash -shards 4 -batch 4 -rounds 2 -ops 200 -workers 2 -kind hash
+
+ci: fmt vet build short race bench-smoke

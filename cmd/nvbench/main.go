@@ -1,47 +1,104 @@
 // Command nvbench regenerates the paper's evaluation figures (§5) on the
-// simulated persistent-memory substrate.
+// simulated persistent-memory substrate, and runs the YCSB suite against
+// the sharded durable KV engine.
 //
 // Usage:
 //
 //	nvbench -panel 5a                 # one figure panel
-//	nvbench -all                      # every panel (Figure 5 and Figure 6)
+//	nvbench -all                      # every panel (Figures 5 and 6 + shard panels)
 //	nvbench -panel 5c -csv            # CSV for plotting
 //	nvbench -list                     # list the panels
 //	nvbench -scale 4 -threads 16 -dur 500ms -panel 6g
+//	nvbench -ycsb A -shards 8         # one YCSB point against the engine
+//	nvbench -ycsb C -shards 8 -batch 32
 //
 // The -scale flag divides the paper's structure sizes (all competitors
 // share the substrate, so relative ordering is preserved); -threads caps
-// the thread sweeps; -dur sets the measurement time per point.
+// the thread sweeps; -dur sets the measurement time per point (the
+// NVBENCH_DUR environment variable overrides every duration). For -ycsb
+// runs, -kind/-policy/-range/-threads/-shards/-batch pick the target.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/pmem"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nvbench", flag.ContinueOnError)
 	var (
-		panelID = flag.String("panel", "", "figure panel to run (e.g. 5a, 6k)")
-		all     = flag.Bool("all", false, "run every panel")
-		list    = flag.Bool("list", false, "list available panels")
-		csv     = flag.Bool("csv", false, "emit CSV instead of a table")
-		scale   = flag.Int("scale", 16, "divide the paper's structure sizes by this factor")
-		threads = flag.Int("threads", 8, "cap thread sweeps at this count")
-		dur     = flag.Duration("dur", 150*time.Millisecond, "measurement duration per point")
+		panelID = fs.String("panel", "", "figure panel to run (e.g. 5a, 6k, sA)")
+		all     = fs.Bool("all", false, "run every panel")
+		list    = fs.Bool("list", false, "list available panels")
+		csv     = fs.Bool("csv", false, "emit CSV instead of a table")
+		scale   = fs.Int("scale", 16, "divide the paper's structure sizes by this factor")
+		threads = fs.Int("threads", 8, "cap thread sweeps (or thread count for -ycsb)")
+		dur     = fs.Duration("dur", 150*time.Millisecond, "measurement duration per point")
+
+		ycsb    = fs.String("ycsb", "", "run one YCSB workload (A, B, C, D, F) instead of a panel")
+		shards  = fs.Int("shards", 0, "shard count for -ycsb (0 = single structure)")
+		batch   = fs.Int("batch", 0, "read batch size for -ycsb engine runs")
+		kind    = fs.String("kind", "hash", "structure kind for -ycsb")
+		policy  = fs.String("policy", "nvtraverse", "persistence policy for -ycsb")
+		keys    = fs.Uint64("range", 1<<16, "key range for -ycsb")
+		profile = fs.String("profile", "nvram", "latency profile for -ycsb: nvram, dram, zero")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *scale < 1 || *threads < 1 {
+		return fmt.Errorf("-scale and -threads must be >= 1")
+	}
 
 	opts := bench.PanelOptions{SizeScale: *scale, ThreadCap: *threads, Duration: *dur}
 
 	if *list {
 		for _, p := range bench.Panels(opts) {
-			fmt.Printf("%-3s %s (%d points)\n", p.ID, p.Title, len(p.Configs))
+			fmt.Fprintf(out, "%-3s %s (%d points)\n", p.ID, p.Title, len(p.Configs))
 		}
-		return
+		return nil
+	}
+
+	if *ycsb != "" {
+		prof, err := profileByName(*profile)
+		if err != nil {
+			return err
+		}
+		cfg := bench.Config{
+			Kind: core.Kind(*kind), Policy: *policy, Profile: prof,
+			Threads: *threads, Range: *keys, Duration: *dur,
+			Workload: *ycsb, Shards: *shards, BatchSize: *batch,
+		}
+		res, err := bench.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprintln(out, bench.CSVHeader())
+			fmt.Fprintln(out, res.CSV())
+		} else {
+			fmt.Fprintln(out, bench.Header())
+			fmt.Fprintln(out, res.Row())
+		}
+		return nil
 	}
 
 	var panels []bench.Panel
@@ -51,33 +108,43 @@ func main() {
 	case *panelID != "":
 		p, err := bench.PanelByID(opts, *panelID)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		panels = []bench.Panel{p}
 	default:
-		fmt.Fprintln(os.Stderr, "nvbench: need -panel <id>, -all or -list")
-		os.Exit(2)
+		return fmt.Errorf("need -panel <id>, -all, -list or -ycsb <wl>")
 	}
 
 	if *csv {
-		fmt.Println(bench.CSVHeader())
+		fmt.Fprintln(out, bench.CSVHeader())
 	}
 	for _, p := range panels {
 		if !*csv {
-			fmt.Printf("\n== Panel %s: %s ==\n%s\n", p.ID, p.Title, bench.Header())
+			fmt.Fprintf(out, "\n== Panel %s: %s ==\n%s\n", p.ID, p.Title, bench.Header())
 		}
 		for _, cfg := range p.Configs {
 			res, err := bench.Run(cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "panel %s: %v\n", p.ID, err)
-				os.Exit(1)
+				return fmt.Errorf("panel %s: %w", p.ID, err)
 			}
 			if *csv {
-				fmt.Println(res.CSV())
+				fmt.Fprintln(out, res.CSV())
 			} else {
-				fmt.Println(res.Row())
+				fmt.Fprintln(out, res.Row())
 			}
 		}
 	}
+	return nil
+}
+
+func profileByName(name string) (pmem.Profile, error) {
+	switch name {
+	case "nvram":
+		return pmem.ProfileNVRAM, nil
+	case "dram":
+		return pmem.ProfileDRAM, nil
+	case "zero":
+		return pmem.ProfileZero, nil
+	}
+	return pmem.Profile{}, fmt.Errorf("unknown profile %q", name)
 }

@@ -1,55 +1,89 @@
 // Command nvcrash tortures a structure/policy combination with simulated
 // crashes and checks durable linearizability after each recovery (the
-// property Theorem 4.2 proves for NVTraverse structures).
+// property Theorem 4.2 proves for NVTraverse structures). With -shards it
+// tortures the whole sharded KV engine instead: every shard's memory
+// crashes at once (mid-batch included), recovery runs in parallel, and the
+// checker verifies every shard's surviving state.
 //
 // Usage:
 //
 //	nvcrash -kind list -policy nvtraverse -rounds 20
 //	nvcrash -kind skiplist -policy none        # watch the checker catch it
+//	nvcrash -shards 8 -batch 8 -rounds 10      # engine torture, batched ops
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/crashtest"
 	"repro/internal/persist"
 	"repro/internal/pmem"
+	"repro/internal/shard"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvcrash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nvcrash", flag.ContinueOnError)
 	var (
-		kind    = flag.String("kind", "list", "structure: list, hash, ellenbst, nmbst, skiplist")
-		policy  = flag.String("policy", "nvtraverse", "persistence policy: none, nvtraverse, izraelevitz, logfree")
-		rounds  = flag.Int("rounds", 10, "crash rounds")
-		workers = flag.Int("workers", 4, "concurrent workers")
-		keys    = flag.Uint64("keys", 128, "key range")
-		ops     = flag.Uint64("ops", 500, "operations before the crash")
-		evict   = flag.Float64("evict", 0.25, "probability an unpersisted line survives (cache eviction)")
-		seed    = flag.Int64("seed", 1, "base RNG seed")
+		kind    = fs.String("kind", "list", "structure: list, hash, ellenbst, nmbst, skiplist")
+		policy  = fs.String("policy", "nvtraverse", "persistence policy: none, nvtraverse, izraelevitz, logfree")
+		rounds  = fs.Int("rounds", 10, "crash rounds")
+		workers = fs.Int("workers", 4, "concurrent workers")
+		keys    = fs.Uint64("keys", 128, "key range")
+		ops     = fs.Uint64("ops", 500, "operations before the crash")
+		evict   = fs.Float64("evict", 0.25, "probability an unpersisted line survives (cache eviction)")
+		seed    = fs.Int64("seed", 1, "base RNG seed")
+		shards  = fs.Int("shards", 0, "torture the sharded engine with this many shards (0 = single structure)")
+		batch   = fs.Int("batch", 0, "ops per session batch in engine torture (0/1 = single ops)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	pol, ok := persist.ByName(*policy)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "nvcrash: unknown policy %q\n", *policy)
-		os.Exit(2)
+		return fmt.Errorf("unknown policy %q", *policy)
 	}
 	k := core.Kind(*kind)
-	factory := func(mem *pmem.Memory) crashtest.Set {
-		s, err := core.NewSet(k, mem, pol, core.Params{SizeHint: int(*keys)})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nvcrash:", err)
-			os.Exit(2)
-		}
-		return s
+	valid := false
+	for _, known := range core.Kinds() {
+		valid = valid || known == k
+	}
+	if !valid {
+		return fmt.Errorf("unknown kind %q", *kind)
 	}
 
-	bad := 0
-	for r := 0; r < *rounds; r++ {
-		res := crashtest.Run(crashtest.Options{
+	round := func(r int) crashtest.Result {
+		if *shards > 0 {
+			return shard.Torture(shard.TortureOptions{
+				Shards:         *shards,
+				Kind:           k,
+				Policy:         pol,
+				Workers:        *workers,
+				Keys:           *keys,
+				PrefillEvery:   2,
+				OpsBeforeCrash: *ops,
+				BatchSize:      *batch,
+				UpdateRatio:    80,
+				EvictProb:      *evict,
+				Seed:           *seed + int64(r),
+			})
+		}
+		return crashtest.Run(crashtest.Options{
 			Workers:        *workers,
 			Keys:           *keys,
 			PrefillEvery:   2,
@@ -57,21 +91,32 @@ func main() {
 			UpdateRatio:    80,
 			EvictProb:      *evict,
 			Seed:           *seed + int64(r),
-		}, factory)
+		}, func(mem *pmem.Memory) crashtest.Set {
+			s, err := core.NewSet(k, mem, pol, core.Params{SizeHint: int(*keys)})
+			if err != nil {
+				panic(err)
+			}
+			return s
+		})
+	}
+
+	bad := 0
+	for r := 0; r < *rounds; r++ {
+		res := round(r)
 		status := "OK"
 		if len(res.Violations) > 0 {
 			status = "VIOLATED"
 			bad++
 		}
-		fmt.Printf("round %2d: %-8s completed=%d in-flight=%d survivors=%d violations=%d\n",
+		fmt.Fprintf(out, "round %2d: %-8s completed=%d in-flight=%d survivors=%d violations=%d\n",
 			r, status, res.Completed, res.InFlight, res.Survivors, len(res.Violations))
 		for _, v := range res.Violations {
-			fmt.Printf("    %s\n", v)
+			fmt.Fprintf(out, "    %s\n", v)
 		}
 	}
 	if bad > 0 {
-		fmt.Printf("\n%d/%d rounds violated durable linearizability\n", bad, *rounds)
-		os.Exit(1)
+		return fmt.Errorf("%d/%d rounds violated durable linearizability", bad, *rounds)
 	}
-	fmt.Printf("\nall %d rounds durably linearizable\n", *rounds)
+	fmt.Fprintf(out, "\nall %d rounds durably linearizable\n", *rounds)
+	return nil
 }

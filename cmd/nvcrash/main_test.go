@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleStructureRounds(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-kind", "list", "-rounds", "2", "-ops", "150",
+		"-workers", "2", "-keys", "64"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "durably linearizable") {
+		t.Fatalf("unexpected output:\n%s", sb.String())
+	}
+}
+
+func TestEngineTortureRounds(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-shards", "4", "-batch", "4", "-rounds", "2",
+		"-ops", "200", "-workers", "2", "-kind", "hash"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "all 2 rounds durably linearizable") {
+		t.Fatalf("unexpected output:\n%s", sb.String())
+	}
+}
+
+func TestNonDurablePolicyFails(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-policy", "none", "-kind", "hash", "-rounds", "2",
+		"-ops", "300", "-evict", "0"}, &sb)
+	if err == nil {
+		t.Fatalf("policy none passed the checker:\n%s", sb.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-policy", "bogus"}, &sb); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run([]string{"-kind", "bogus"}, &sb); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,7 +1,9 @@
-// ycsb: run YCSB-style workloads A (50% updates), B (5% updates) and C
-// (read-only) over every data structure and persistence policy of the
-// paper's evaluation, printing a compact comparison table — a miniature of
-// Figure 5 on one machine profile.
+// ycsb: run the YCSB-style workload suite (A: 50/50 read-update, B: 95/5,
+// C: read-only, D: read-latest, F: read-modify-write; zipf-skewed keys)
+// against a single NVTraverse structure and against the hash-sharded
+// durable KV engine at several shard counts, then show what read batching
+// does to the fence count. Set NVBENCH_DUR to change the per-point
+// measurement time (the default keeps the whole run to a few seconds).
 package main
 
 import (
@@ -14,35 +16,41 @@ import (
 )
 
 func main() {
-	workloads := []struct {
-		name    string
-		updates int
-	}{
-		{"YCSB-A", 50},
-		{"YCSB-B", 5},
-		{"YCSB-C", 0},
+	base := bench.Config{
+		Kind:     core.KindHash,
+		Policy:   "nvtraverse",
+		Profile:  pmem.ProfileNVRAM,
+		Threads:  4,
+		Range:    1 << 14,
+		Duration: 40 * time.Millisecond,
 	}
-	policies := []string{"none", "nvtraverse", "izraelevitz", "logfree"}
 
+	fmt.Println("YCSB suite: single structure vs sharded engine (hash, nvtraverse)")
 	fmt.Println(bench.Header())
-	for _, wl := range workloads {
-		fmt.Printf("-- %s --\n", wl.name)
-		for _, kind := range []core.Kind{core.KindHash, core.KindSkiplist, core.KindNMBST} {
-			for _, pol := range policies {
-				res, err := bench.Run(bench.Config{
-					Kind:      kind,
-					Policy:    pol,
-					Profile:   pmem.ProfileNVRAM,
-					Threads:   4,
-					Range:     1 << 16,
-					UpdatePct: wl.updates,
-					Duration:  80 * time.Millisecond,
-				})
-				if err != nil {
-					panic(err)
-				}
-				fmt.Println(res.Row())
+	for _, wl := range bench.Workloads() {
+		for _, shards := range []int{0, 1, 4, 16} {
+			cfg := base
+			cfg.Workload = wl.Name
+			cfg.Shards = shards
+			res, err := bench.Run(cfg)
+			if err != nil {
+				panic(err)
 			}
+			fmt.Println(res.Row())
 		}
+	}
+
+	fmt.Println("\nRead batching on the engine (YCSB-C): one commit fence per shard batch")
+	fmt.Println(bench.Header())
+	for _, batch := range []int{0, 8, 64} {
+		cfg := base
+		cfg.Workload = "C"
+		cfg.Shards = 8
+		cfg.BatchSize = batch
+		res, err := bench.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(res.Row())
 	}
 }

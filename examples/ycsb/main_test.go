@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestMainRuns smoke-tests the example end to end with tiny measurement
+// durations so it stays CI-friendly.
+func TestMainRuns(t *testing.T) {
+	t.Setenv("NVBENCH_DUR", "3ms")
+	main()
+}

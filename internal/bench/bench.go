@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -30,6 +31,18 @@ type Config struct {
 	Range     uint64 // keys drawn from [1, Range]; prefill Range/2
 	UpdatePct int    // percent updates (split evenly insert/delete)
 	Duration  time.Duration
+
+	// Workload selects a YCSB-style workload (see Workloads); empty runs
+	// the paper's uniform lookup/insert/delete mix above.
+	Workload string
+	// Theta overrides the workload's Zipf skew when > 0.
+	Theta float64
+	// Shards > 0 runs the configuration against a shard.Engine with that
+	// many shards instead of a single structure.
+	Shards int
+	// BatchSize > 1 groups reads into MultiGet batches of this size
+	// (engine runs amortize one commit fence per shard group).
+	BatchSize int
 }
 
 // Result is one benchmark outcome.
@@ -91,33 +104,62 @@ func Prefill(s Target, mem *pmem.Memory, cfg Config) {
 	if workers < 1 {
 		workers = 1
 	}
+	ths := make([]*pmem.Thread, workers)
+	for i := range ths {
+		ths[i] = mem.NewThread()
+	}
+	prefillShuffled(cfg.Range, workers,
+		func(w int) uint64 { return ths[w].Rand() },
+		func(w int, k uint64) { s.Insert(ths[w], k, k) })
+}
+
+// prefillShuffled is the partition-and-shuffle core shared by the
+// single-structure and engine prefills: worker w owns every workers-th
+// odd key of [1, rangeMax] and inserts its share in Fisher–Yates order.
+// rnd and insert are only called from worker w's goroutine.
+func prefillShuffled(rangeMax uint64, workers int, rnd func(w int) uint64, insert func(w int, k uint64)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		th := mem.NewThread()
-		lo := uint64(w)
 		wg.Add(1)
-		go func(th *pmem.Thread, lo uint64) {
+		go func(w int) {
 			defer wg.Done()
-			keys := make([]uint64, 0, cfg.Range/(2*uint64(workers))+1)
-			for k := 1 + 2*lo; k <= cfg.Range; k += 2 * uint64(workers) {
+			keys := make([]uint64, 0, rangeMax/(2*uint64(workers))+1)
+			for k := 1 + 2*uint64(w); k <= rangeMax; k += 2 * uint64(workers) {
 				keys = append(keys, k)
 			}
 			for i := len(keys) - 1; i > 0; i-- { // Fisher–Yates
-				j := th.Rand() % uint64(i+1)
+				j := rnd(w) % uint64(i+1)
 				keys[i], keys[j] = keys[j], keys[i]
 			}
 			for _, k := range keys {
-				s.Insert(th, k, k)
+				insert(w, k)
 			}
-		}(th, lo)
+		}(w)
 	}
 	wg.Wait()
 }
 
-// Run executes one benchmark configuration.
+// EffectiveDuration applies the NVBENCH_DUR environment override: when the
+// variable holds a parseable duration it replaces every configured
+// measurement duration. CI and the smoke targets use it to keep the
+// calibrated spin loops from burning wall-clock.
+func EffectiveDuration(d time.Duration) time.Duration {
+	if s := os.Getenv("NVBENCH_DUR"); s != "" {
+		if o, err := time.ParseDuration(s); err == nil && o > 0 {
+			return o
+		}
+	}
+	return d
+}
+
+// Run executes one benchmark configuration, dispatching YCSB-workload and
+// sharded-engine configurations to the YCSB runner.
 func Run(cfg Config) (Result, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 100 * time.Millisecond
+	}
+	if cfg.Workload != "" || cfg.Shards > 0 {
+		return RunYCSB(cfg)
 	}
 	s, mem, err := Build(cfg)
 	if err != nil {
@@ -131,6 +173,7 @@ func Run(cfg Config) (Result, error) {
 // be called repeatedly on the same structure (steady-state measurement).
 func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
 	mem.ResetStats()
+	dur := EffectiveDuration(cfg.Duration)
 	var stop atomic.Bool
 	var total atomic.Uint64
 	threads := mem.Threads()
@@ -166,7 +209,7 @@ func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
 			total.Add(ops)
 		}(th)
 	}
-	timer := time.NewTimer(cfg.Duration)
+	timer := time.NewTimer(dur)
 	<-timer.C
 	stop.Store(true)
 	wg.Wait()
@@ -186,30 +229,49 @@ func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
 	return res
 }
 
+// wl is the workload column value ("-" for the paper's uniform mix).
+func (r Result) wl() string {
+	if r.Workload == "" {
+		return "-"
+	}
+	return r.Workload
+}
+
+// nshards is the shard column value ("-" for a plain structure, so a
+// single structure and a one-shard engine stay distinguishable).
+func (r Result) nshards() string {
+	if r.Shards == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", r.Shards)
+}
+
 // Row renders a result as an aligned table row.
 func (r Result) Row() string {
-	return fmt.Sprintf("%-9s %-12s %-6s %4d %9d %5d%% %9.3f %8.2f %8.2f",
+	return fmt.Sprintf("%-9s %-12s %-6s %4d %9d %5d%% %-3s %3s %9.3f %8.2f %8.2f",
 		r.Kind, r.Policy, r.Profile.Name, r.Threads, r.Range, r.UpdatePct,
-		r.Mops, r.FlushPerOp, r.FencePerOp)
+		r.wl(), r.nshards(), r.Mops, r.FlushPerOp, r.FencePerOp)
 }
 
 // Header is the table header matching Row.
 func Header() string {
-	h := fmt.Sprintf("%-9s %-12s %-6s %4s %9s %6s %9s %8s %8s",
-		"struct", "policy", "mem", "thr", "range", "upd", "Mops/s", "flush/op", "fence/op")
+	h := fmt.Sprintf("%-9s %-12s %-6s %4s %9s %6s %-3s %3s %9s %8s %8s",
+		"struct", "policy", "mem", "thr", "range", "upd", "wl", "sh",
+		"Mops/s", "flush/op", "fence/op")
 	return h + "\n" + strings.Repeat("-", len(h))
 }
 
-// CSV renders a result as a CSV line (for plotting).
+// CSV renders a result as a CSV line (for plotting). The shards column is
+// 0 for a plain structure, the engine's shard count otherwise.
 func (r Result) CSV() string {
-	return fmt.Sprintf("%s,%s,%s,%d,%d,%d,%.4f,%.3f,%.3f",
+	return fmt.Sprintf("%s,%s,%s,%d,%d,%d,%s,%d,%.4f,%.3f,%.3f",
 		r.Kind, r.Policy, r.Profile.Name, r.Threads, r.Range, r.UpdatePct,
-		r.Mops, r.FlushPerOp, r.FencePerOp)
+		r.wl(), r.Shards, r.Mops, r.FlushPerOp, r.FencePerOp)
 }
 
 // CSVHeader matches CSV.
 func CSVHeader() string {
-	return "struct,policy,mem,threads,range,update_pct,mops,flush_per_op,fence_per_op"
+	return "struct,policy,mem,threads,range,update_pct,workload,shards,mops,flush_per_op,fence_per_op"
 }
 
 // DefaultThreads caps a paper thread count at something sensible for the

@@ -9,11 +9,20 @@ import (
 	"repro/internal/pmem"
 )
 
+// quickDur shrinks measurement durations under -short (and every duration
+// still honors the NVBENCH_DUR override via EffectiveDuration).
+func quickDur(d time.Duration) time.Duration {
+	if testing.Short() {
+		return d / 4
+	}
+	return d
+}
+
 func quickCfg(kind core.Kind, policy string) Config {
 	return Config{
 		Kind: kind, Policy: policy, Profile: pmem.ProfileZero,
 		Threads: 2, Range: 256, UpdatePct: 20,
-		Duration: 20 * time.Millisecond,
+		Duration: quickDur(20 * time.Millisecond),
 	}
 }
 
@@ -64,13 +73,13 @@ func TestIzraelevitzFlushesFarMoreThanNVTraverse(t *testing.T) {
 	// order of magnitude more than NVTraverse per operation.
 	nv, err := Run(Config{Kind: core.KindList, Policy: "nvtraverse",
 		Profile: pmem.ProfileZero, Threads: 2, Range: 2048, UpdatePct: 20,
-		Duration: 30 * time.Millisecond})
+		Duration: quickDur(30 * time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	iz, err := Run(Config{Kind: core.KindList, Policy: "izraelevitz",
 		Profile: pmem.ProfileZero, Threads: 2, Range: 2048, UpdatePct: 20,
-		Duration: 30 * time.Millisecond})
+		Duration: quickDur(30 * time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +98,8 @@ func TestPanelsComplete(t *testing.T) {
 		ids[p.ID] = true
 	}
 	for _, want := range []string{"5a", "5b", "5c", "5d", "5e", "5f",
-		"6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o"} {
+		"6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o",
+		"sA", "sB", "sC"} {
 		if !ids[want] {
 			t.Fatalf("panel %s missing", want)
 		}

@@ -159,6 +159,25 @@ func Panels(o PanelOptions) []Panel {
 	add("6o", "Skiplist update% sweep (DRAM): range 16M",
 		grid(core.KindSkiplist, pmem.ProfileDRAM, dramPolicies,
 			o.threads([]int{64, 8})[:1], []uint64{o.size(16 << 20)}, []int{0, 20, 50, 100}))
+
+	// --- Sharded engine: YCSB shard-scaling (system extension beyond the
+	// paper: zipf-skewed YCSB workloads against the hash-sharded engine,
+	// sweeping shard count × threads; the shard-scaling curve is the
+	// panel's series) ---
+	for _, wl := range []string{"A", "B", "C"} {
+		var cs []Config
+		for _, sh := range []int{1, 4, 16} {
+			for _, th := range o.threads([]int{1, 2, 4, 8, 16}) {
+				cs = append(cs, Config{
+					Kind: core.KindHash, Policy: "nvtraverse",
+					Profile: pmem.ProfileNVRAM, Threads: th,
+					Range: o.size(1 << 20), Duration: o.Duration,
+					Workload: wl, Shards: sh,
+				})
+			}
+		}
+		add("s"+wl, "Sharded engine YCSB-"+wl+" scaling (NVRAM): shards 1/4/16 x threads", cs)
+	}
 	return ps
 }
 

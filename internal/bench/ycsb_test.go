@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func ycsbCfg(wl string, shards int) Config {
+	return Config{
+		Kind: core.KindHash, Policy: "nvtraverse", Profile: pmem.ProfileZero,
+		Threads: 2, Range: 512, Duration: quickDur(15 * time.Millisecond),
+		Workload: wl, Shards: shards,
+	}
+}
+
+func TestWorkloadsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Workloads() {
+		if w.ReadPct+w.UpdatePct+w.InsertPct+w.RMWPct != 100 {
+			t.Fatalf("workload %s percentages sum to %d",
+				w.Name, w.ReadPct+w.UpdatePct+w.InsertPct+w.RMWPct)
+		}
+		seen[w.Name] = true
+	}
+	for _, name := range []string{"A", "B", "C", "D", "F"} {
+		if !seen[name] {
+			t.Fatalf("workload %s missing", name)
+		}
+	}
+	if _, ok := WorkloadByName("ycsb-a"); !ok {
+		t.Fatal("ycsb-a alias not resolved")
+	}
+	if _, ok := WorkloadByName("E"); ok {
+		t.Fatal("workload E (scans) claimed to exist")
+	}
+}
+
+func TestRunYCSBSingleStructure(t *testing.T) {
+	for _, w := range Workloads() {
+		res, err := Run(ycsbCfg(w.Name, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s: zero ops", w.Name)
+		}
+		if res.FlushPerOp == 0 {
+			t.Fatalf("%s: nvtraverse never flushed", w.Name)
+		}
+		if res.Workload != w.Name {
+			t.Fatalf("result workload = %q, want %q", res.Workload, w.Name)
+		}
+	}
+}
+
+func TestRunYCSBShardedEngine(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		for _, wl := range []string{"A", "C", "D"} {
+			res, err := Run(ycsbCfg(wl, shards))
+			if err != nil {
+				t.Fatalf("%s/%d: %v", wl, shards, err)
+			}
+			if res.Ops == 0 {
+				t.Fatalf("%s/%d shards: zero ops", wl, shards)
+			}
+		}
+	}
+}
+
+func TestRunYCSBUnknownWorkload(t *testing.T) {
+	if _, err := Run(ycsbCfg("Z", 0)); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+	// onefile has no policy object, so it cannot back the engine.
+	cfg := ycsbCfg("A", 2)
+	cfg.Policy = "onefile"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("onefile engine accepted")
+	}
+}
+
+func TestEngineMixWithoutWorkload(t *testing.T) {
+	cfg := ycsbCfg("", 4)
+	cfg.UpdatePct = 30
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("zero ops")
+	}
+	if res.Workload != "" || res.Shards != 4 {
+		t.Fatalf("result mislabeled: wl=%q shards=%d", res.Workload, res.Shards)
+	}
+}
+
+// TestBatchedReadsCutFences: with read batching on the engine, the commit
+// fence is paid once per shard batch instead of once per read, so
+// fence/op must drop measurably on a read-only workload.
+func TestBatchedReadsCutFences(t *testing.T) {
+	base := ycsbCfg("C", 4)
+	base.Threads = 2
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := base
+	batched.BatchSize = 32
+	b, err := Run(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Ops == 0 || b.Ops == 0 {
+		t.Fatalf("zero ops: plain=%d batched=%d", plain.Ops, b.Ops)
+	}
+	if b.FencePerOp > plain.FencePerOp*0.7 {
+		t.Fatalf("batching did not cut fences: %.3f/op vs %.3f/op",
+			b.FencePerOp, plain.FencePerOp)
+	}
+}
+
+func TestNVBenchDurOverride(t *testing.T) {
+	t.Setenv("NVBENCH_DUR", "7ms")
+	if got := EffectiveDuration(5 * time.Second); got != 7*time.Millisecond {
+		t.Fatalf("EffectiveDuration = %v", got)
+	}
+	t.Setenv("NVBENCH_DUR", "garbage")
+	if got := EffectiveDuration(time.Second); got != time.Second {
+		t.Fatalf("garbage override applied: %v", got)
+	}
+}
+
+func TestShardPanelsShape(t *testing.T) {
+	o := DefaultPanelOptions()
+	for _, id := range []string{"sA", "sB", "sC"} {
+		p, err := PanelByID(o, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardCounts := map[int]bool{}
+		for _, c := range p.Configs {
+			if c.Workload != id[1:] {
+				t.Fatalf("%s: config workload %q", id, c.Workload)
+			}
+			shardCounts[c.Shards] = true
+		}
+		for _, want := range []int{1, 4, 16} {
+			if !shardCounts[want] {
+				t.Fatalf("%s: shard count %d missing", id, want)
+			}
+		}
+	}
+}

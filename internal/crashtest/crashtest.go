@@ -16,6 +16,12 @@
 // initially-absent ? I == D+1 : I == D — unless some operation on k was in
 // flight at the crash, in which case that operation may additionally have
 // taken effect.
+//
+// The harness comes in two layers. Run drives the whole round (one
+// structure on one memory). The History/Check layer underneath is exported
+// so composite systems — the sharded engine in internal/shard crashes many
+// memories at once and acknowledges batched operations together — can
+// record their own histories and reuse the identical checker.
 package crashtest
 
 import (
@@ -45,16 +51,60 @@ type Validator interface {
 	Validate(t *pmem.Thread) error
 }
 
-// Options configures one crash round.
-type Options struct {
-	Workers        int     // concurrent worker goroutines
-	Keys           uint64  // keys are drawn from [1, Keys]
-	Disjoint       bool    // partition the key space per worker (enables value checking)
-	PrefillEvery   uint64  // prefill every n-th key (0 = no prefill)
-	OpsBeforeCrash uint64  // crash once this many operations completed
-	EvictProb      float64 // probability an unpersisted line survives anyway
-	Seed           int64
-	UpdateRatio    int // percent of ops that are updates (rest are finds); default 60
+// OpKind names an operation in a recorded history.
+type OpKind int
+
+// The operations the checker understands.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpFind
+)
+
+type record struct {
+	key   uint64
+	kind  OpKind
+	ok    bool
+	value uint64
+}
+
+// History accumulates one worker's operation history for the durable-
+// linearizability check. It is not safe for concurrent use: give each
+// worker its own and hand them all to Check after the workers have joined.
+//
+// Unlike the single-pending-op model Run uses internally, a History admits
+// any number of in-flight operations, which is what batched engines need: a
+// crash in the middle of a batch leaves every unacknowledged operation of
+// the batch in flight at once.
+type History struct {
+	completed []record
+	inflight  []record
+}
+
+// Completed records an acknowledged operation and whether it succeeded.
+func (h *History) Completed(kind OpKind, key, value uint64, ok bool) {
+	h.completed = append(h.completed, record{key: key, kind: kind, ok: ok, value: value})
+}
+
+// InFlight records an operation that was started but never acknowledged:
+// the checker allows it to have taken effect or not.
+func (h *History) InFlight(kind OpKind, key, value uint64) {
+	h.inflight = append(h.inflight, record{key: key, kind: kind, value: value})
+}
+
+// InFlightCount reports how many in-flight operations were recorded.
+func (h *History) InFlightCount() int { return len(h.inflight) }
+
+// CheckConfig parameterizes Check.
+type CheckConfig struct {
+	// Prefilled maps the keys present (with their values) before the
+	// recorded history began.
+	Prefilled map[uint64]uint64
+	// CheckValues additionally verifies surviving values. Only sound when
+	// each key's operations were issued by a single worker (disjoint key
+	// partitions): concurrent inserts of one key make "the last insert's
+	// value" ambiguous.
+	CheckValues bool
 }
 
 // Violation is one durable-linearizability failure.
@@ -75,32 +125,23 @@ type Result struct {
 	Survivors  int // keys present after recovery
 }
 
-type opKind int
-
-const (
-	opInsert opKind = iota
-	opDelete
-	opFind
-)
-
-type record struct {
-	key   uint64
-	kind  opKind
-	ok    bool
-	value uint64
-}
-
-type pendingOp struct {
-	key   uint64
-	kind  opKind
-	value uint64
-	valid bool
+// Options configures one crash round driven by Run.
+type Options struct {
+	Workers        int     // concurrent worker goroutines
+	Keys           uint64  // keys are drawn from [1, Keys]
+	Disjoint       bool    // partition the key space per worker (enables value checking)
+	PrefillEvery   uint64  // prefill every n-th key (0 = no prefill)
+	OpsBeforeCrash uint64  // crash once this many operations completed
+	EvictProb      float64 // probability an unpersisted line survives anyway
+	Seed           int64
+	UpdateRatio    int // percent of ops that are updates (rest are finds); default 60
 }
 
 type worker struct {
 	th      *pmem.Thread
-	history []record
-	pending pendingOp
+	hist    History
+	pending record
+	valid   bool
 }
 
 // Run executes one crash round against a fresh structure built by factory
@@ -159,33 +200,35 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 			for !mem.Crashed() {
 				k := lo + rng.Rand()%(hi-lo+1)
 				r := int(rng.Rand() % 100)
-				var kind opKind
+				var kind OpKind
 				switch {
 				case r < opts.UpdateRatio/2:
-					kind = opInsert
+					kind = OpInsert
 				case r < opts.UpdateRatio:
-					kind = opDelete
+					kind = OpDelete
 				default:
-					kind = opFind
+					kind = OpFind
 				}
 				v := rng.Rand() & ((1 << 32) - 1)
-				w.pending = pendingOp{key: k, kind: kind, value: v, valid: true}
+				w.pending = record{key: k, kind: kind, value: v}
+				w.valid = true
 				var ok bool
 				crashed := pmem.RunOp(func() {
 					switch kind {
-					case opInsert:
+					case OpInsert:
 						ok = ds.Insert(w.th, k, v)
-					case opDelete:
+					case OpDelete:
 						ok = ds.Delete(w.th, k)
 					default:
 						_, ok = ds.Find(w.th, k)
 					}
 				})
 				if crashed {
-					return // pending stays valid: in-flight at crash
+					// pending stays valid: in flight at the crash.
+					return
 				}
-				w.history = append(w.history, record{key: k, kind: kind, ok: ok, value: v})
-				w.pending.valid = false
+				w.hist.Completed(kind, k, v, ok)
+				w.valid = false
 				completed.Add(1)
 			}
 		}(w, lo, hi)
@@ -204,7 +247,22 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 	rec := mem.NewThread()
 	ds.Recover(rec)
 
-	return check(opts, ds, rec, workers, prefilled, completed.Load())
+	res := Result{Completed: completed.Load()}
+	hs := make([]*History, 0, len(workers))
+	for _, w := range workers {
+		if w.valid {
+			w.hist.InFlight(w.pending.kind, w.pending.key, w.pending.value)
+		}
+		hs = append(hs, &w.hist)
+	}
+	res.Violations, res.Survivors = Check(ds, rec, hs, CheckConfig{
+		Prefilled:   prefilled,
+		CheckValues: opts.Disjoint,
+	})
+	for _, h := range hs {
+		res.InFlight += len(h.inflight)
+	}
+	return res
 }
 
 type keyState struct {
@@ -251,10 +309,13 @@ func (s *keyState) allowedStates(prefilled bool) (absentOK, presentOK, feasible 
 	return
 }
 
-func check(opts Options, ds Set, rec *pmem.Thread, workers []*worker,
-	prefilled map[uint64]uint64, completed uint64) Result {
-
-	res := Result{Completed: completed}
+// Check verifies that the recovered structure ds is explainable by some
+// linearization of the recorded histories under durable linearizability,
+// and returns the violations plus the number of surviving keys. rec must be
+// a post-Restart thread of the structure's memory; ds.Recover must already
+// have run.
+func Check(ds Set, rec *pmem.Thread, hs []*History, cfg CheckConfig) ([]Violation, int) {
+	var violations []Violation
 
 	states := map[uint64]*keyState{}
 	get := func(k uint64) *keyState {
@@ -265,30 +326,29 @@ func check(opts Options, ds Set, rec *pmem.Thread, workers []*worker,
 		}
 		return s
 	}
-	for _, w := range workers {
-		for _, r := range w.history {
+	for _, h := range hs {
+		for _, r := range h.completed {
 			s := get(r.key)
 			s.attempted = true
 			if !r.ok {
 				continue
 			}
 			switch r.kind {
-			case opInsert:
+			case OpInsert:
 				s.inserts++
 				s.lastInsertVal = r.value
 				s.sawInsert = true
-			case opDelete:
+			case OpDelete:
 				s.deletes++
 			}
 		}
-		if w.pending.valid {
-			res.InFlight++
-			s := get(w.pending.key)
+		for _, r := range h.inflight {
+			s := get(r.key)
 			s.attempted = true
-			switch w.pending.kind {
-			case opInsert:
+			switch r.kind {
+			case OpInsert:
 				s.inflightIns++
-			case opDelete:
+			case OpDelete:
 				s.inflightDel++
 			}
 		}
@@ -300,14 +360,14 @@ func check(opts Options, ds Set, rec *pmem.Thread, workers []*worker,
 	}
 	for k, n := range present {
 		if n > 1 {
-			res.Violations = append(res.Violations,
+			violations = append(violations,
 				Violation{k, fmt.Sprintf("present %d times", n)})
 		}
 	}
 
 	if v, ok := ds.(Validator); ok {
 		if err := v.Validate(rec); err != nil {
-			res.Violations = append(res.Violations,
+			violations = append(violations,
 				Violation{0, "structural: " + err.Error()})
 		}
 	}
@@ -315,31 +375,31 @@ func check(opts Options, ds Set, rec *pmem.Thread, workers []*worker,
 	// Per-key membership check over every key that was prefilled or touched.
 	checkKey := func(k uint64) {
 		s := states[k]
-		_, pre := prefilled[k]
+		_, pre := cfg.Prefilled[k]
 		isPresent := present[k] > 0
 		if s == nil {
 			// Untouched key: prefill must survive verbatim.
 			if isPresent != pre {
-				res.Violations = append(res.Violations,
+				violations = append(violations,
 					Violation{k, fmt.Sprintf("untouched key: present=%v, prefilled=%v", isPresent, pre)})
 			}
 			return
 		}
 		absentOK, presentOK, feasible := s.allowedStates(pre)
 		if !feasible {
-			res.Violations = append(res.Violations,
+			violations = append(violations,
 				Violation{k, fmt.Sprintf("history not linearizable pre-crash: prefilled=%v inserts=%d deletes=%d inflight=%d/%d",
 					pre, s.inserts, s.deletes, s.inflightIns, s.inflightDel)})
 			return
 		}
 		if (isPresent && !presentOK) || (!isPresent && !absentOK) {
-			res.Violations = append(res.Violations,
+			violations = append(violations,
 				Violation{k, fmt.Sprintf("present=%v not explainable (prefilled=%v inserts=%d deletes=%d inflight=%d/%d)",
 					isPresent, pre, s.inserts, s.deletes, s.inflightIns, s.inflightDel)})
 		}
 	}
 	seen := map[uint64]bool{}
-	for k := range prefilled {
+	for k := range cfg.Prefilled {
 		seen[k] = true
 		checkKey(k)
 	}
@@ -352,15 +412,15 @@ func check(opts Options, ds Set, rec *pmem.Thread, workers []*worker,
 	// Keys present that nobody ever inserted are corruption.
 	for k := range present {
 		if !seen[k] {
-			res.Violations = append(res.Violations,
+			violations = append(violations,
 				Violation{k, "present but never inserted"})
 		}
 	}
 
-	// Value durability: in disjoint mode each key's history is sequential,
-	// so a present key with no in-flight op must carry its last successful
-	// insert's value (or the prefill value).
-	if opts.Disjoint {
+	// Value durability: with per-worker key partitions each key's history is
+	// sequential, so a present key with no in-flight op must carry its last
+	// successful insert's value (or the prefill value).
+	if cfg.CheckValues {
 		for k := range seen {
 			s := states[k]
 			if present[k] == 0 {
@@ -369,7 +429,7 @@ func check(opts Options, ds Set, rec *pmem.Thread, workers []*worker,
 			if s != nil && (s.inflightIns > 0 || s.inflightDel > 0) {
 				continue
 			}
-			want, okWant := prefilled[k]
+			want, okWant := cfg.Prefilled[k]
 			if s != nil && s.sawInsert {
 				want, okWant = s.lastInsertVal, true
 			}
@@ -378,17 +438,16 @@ func check(opts Options, ds Set, rec *pmem.Thread, workers []*worker,
 			}
 			got, ok := ds.Find(rec, k)
 			if !ok {
-				res.Violations = append(res.Violations,
+				violations = append(violations,
 					Violation{k, "in Contents but Find misses it"})
 				continue
 			}
 			if got != want {
-				res.Violations = append(res.Violations,
+				violations = append(violations,
 					Violation{k, fmt.Sprintf("value %d, want %d", got, want)})
 			}
 		}
 	}
 
-	res.Survivors = len(present)
-	return res
+	return violations, len(present)
 }

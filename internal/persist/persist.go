@@ -28,6 +28,14 @@
 //	BeforeCAS     — "fence before every write/CAS on shared"        (Protocol 2)
 //	BeforeReturn  — "fence before every return statement"           (Protocol 2)
 //
+// BeforeReturn issues its fence via pmem.Thread.CommitFence rather than
+// Fence: the fence-before-return exists only to make an operation's effects
+// durable before the operation is acknowledged, so when a caller batches
+// several operations and acknowledges them together (shard.Session batches),
+// one fence at the end of the batch serves every operation in it. The
+// ordering fences (BeforeCAS, the PostTraverse fence) are never deferred —
+// they keep each operation all-or-nothing across a crash.
+//
 // Link-cell restriction: hooks other than InitWrite may only be passed cells
 // holding pmem.Ref values (next pointers, child edges, update words), never
 // raw user data — LinkAndPersist tags bit 62 of the cell value.
@@ -119,7 +127,7 @@ func (Izraelevitz) Wrote(t *pmem.Thread, c *pmem.Cell) {
 }
 
 func (Izraelevitz) BeforeCAS(t *pmem.Thread)    { t.Fence() }
-func (Izraelevitz) BeforeReturn(t *pmem.Thread) { t.Fence() }
+func (Izraelevitz) BeforeReturn(t *pmem.Thread) { t.CommitFence() }
 
 // NVTraverse is the paper's transformation.
 type NVTraverse struct{}
@@ -144,7 +152,7 @@ func (NVTraverse) ReadData(t *pmem.Thread, c *pmem.Cell)  { t.Flush(c) }
 func (NVTraverse) InitWrite(t *pmem.Thread, c *pmem.Cell) { t.Flush(c) }
 func (NVTraverse) Wrote(t *pmem.Thread, c *pmem.Cell)     { t.Flush(c) }
 func (NVTraverse) BeforeCAS(t *pmem.Thread)               { t.Fence() }
-func (NVTraverse) BeforeReturn(t *pmem.Thread)            { t.Fence() }
+func (NVTraverse) BeforeReturn(t *pmem.Thread)            { t.CommitFence() }
 
 // LinkAndPersist models David et al.'s hand-tuned structures: NVTraverse
 // flush placement, but a flush of a link word whose persisted tag is set is
@@ -206,7 +214,7 @@ func (LinkAndPersist) BeforeCAS(t *pmem.Thread) {
 
 func (LinkAndPersist) BeforeReturn(t *pmem.Thread) {
 	if t.Unfenced() > 0 {
-		t.Fence()
+		t.CommitFence()
 	}
 }
 

@@ -180,6 +180,8 @@ func (m *Memory) FinishCrash(evictProb float64, seed int64) {
 	for _, t := range m.Threads() {
 		t.flushSet = t.flushSet[:0]
 		t.unfenced = 0
+		t.batchDepth = 0
+		t.pendingCommit = false
 	}
 }
 
@@ -206,6 +208,8 @@ func (m *Memory) PersistAll() {
 		t.flushSet = t.flushSet[:0]
 		t.unfenced = 0
 	}
+	// Batch state is deliberately left alone: PersistAll may run while a
+	// quiescent batch is open, and an empty flush set makes EndBatch cheap.
 }
 
 // DirtyCells reports how many cells are currently unpersisted (test hook).

@@ -66,6 +66,12 @@ type Thread struct {
 	// pending.
 	unfenced int
 
+	// batchDepth > 0 while a fence batch is open (BeginBatch/EndBatch):
+	// CommitFence defers its fence to EndBatch. pendingCommit records that
+	// at least one commit fence was deferred inside the open batch.
+	batchDepth    int
+	pendingCommit bool
+
 	// flushSet holds (cell, value-at-flush-time) entries awaiting the next
 	// fence. Only used in tracked mode: a fence persists the value each
 	// line held when it was flushed, exactly like clwb+sfence.
@@ -190,6 +196,48 @@ func (t *Thread) Fence() {
 // Unfenced reports how many flushes this thread has issued since its last
 // fence. Policies use it to skip provably idempotent fences.
 func (t *Thread) Unfenced() int { return t.unfenced }
+
+// CommitFence is the durability fence an operation issues before returning
+// ("fence before every return statement", Protocol 2 of the paper). Outside
+// a batch it is a plain Fence. Inside a batch it is deferred to EndBatch:
+// the batch's operations are acknowledged together, so a single fence can
+// make all of them durable at once.
+//
+// Only the commit fence may ever be deferred. The ordering fences inside
+// the persistence protocols (the fence before a CAS publishes a node, the
+// post-traverse fence) must still execute: they are what make each
+// individual operation all-or-nothing across a crash, so a crash in the
+// middle of a batch leaves every operation of the batch either fully
+// applied or fully absent — exactly the freedom durable linearizability
+// grants unacknowledged operations.
+func (t *Thread) CommitFence() {
+	if t.batchDepth > 0 {
+		t.pendingCommit = true
+		return
+	}
+	t.Fence()
+}
+
+// BeginBatch opens a fence batch on this thread. Batches nest; only the
+// outermost EndBatch issues the coalesced fence.
+func (t *Thread) BeginBatch() { t.batchDepth++ }
+
+// EndBatch closes a fence batch. If any commit fence was deferred (or
+// flushes are otherwise pending), one Fence persists everything the batch
+// flushed before the batch is acknowledged.
+func (t *Thread) EndBatch() {
+	if t.batchDepth == 0 {
+		panic("pmem: EndBatch without BeginBatch")
+	}
+	t.batchDepth--
+	if t.batchDepth == 0 && (t.pendingCommit || t.unfenced > 0) {
+		t.pendingCommit = false
+		t.Fence()
+	}
+}
+
+// InBatch reports whether a fence batch is open on this thread.
+func (t *Thread) InBatch() bool { return t.batchDepth > 0 }
 
 var spinSink uint64
 

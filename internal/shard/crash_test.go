@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// TestTortureDurableAcrossShardCounts is the engine-level durable-
+// linearizability test: crash the whole engine mid-traffic (including
+// mid-batch), recover all shards in parallel, and check every shard's
+// surviving state against the recorded history.
+func TestTortureDurableAcrossShardCounts(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for _, shards := range []int{1, 4, 8} {
+		for r := 0; r < rounds; r++ {
+			res := Torture(TortureOptions{
+				Shards:         shards,
+				Kind:           core.KindHash,
+				Policy:         persist.NVTraverse{},
+				Workers:        4,
+				Keys:           256,
+				PrefillEvery:   2,
+				OpsBeforeCrash: 400,
+				EvictProb:      0.25,
+				Seed:           int64(shards*100 + r),
+			})
+			if len(res.Violations) > 0 {
+				t.Fatalf("shards=%d round=%d: %d violations, first: %s",
+					shards, r, len(res.Violations), res.Violations[0])
+			}
+			if res.Completed < 400 {
+				t.Fatalf("shards=%d round=%d: only %d ops completed", shards, r, res.Completed)
+			}
+		}
+	}
+}
+
+// TestTortureMidBatch crashes sessions inside Apply batches: a batch's
+// commit fences are deferred to each shard group's EndBatch, so a crash
+// mid-batch leaves many operations in flight at once — all of which must
+// still be individually all-or-nothing.
+func TestTortureMidBatch(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for _, kind := range []core.Kind{core.KindHash, core.KindSkiplist, core.KindList} {
+		for r := 0; r < rounds; r++ {
+			res := Torture(TortureOptions{
+				Shards:         4,
+				Kind:           kind,
+				Policy:         persist.NVTraverse{},
+				Workers:        4,
+				Keys:           192,
+				PrefillEvery:   2,
+				OpsBeforeCrash: 300,
+				BatchSize:      8,
+				EvictProb:      0.25,
+				Seed:           int64(9000 + r),
+			})
+			if len(res.Violations) > 0 {
+				t.Fatalf("%s round %d: %d violations, first: %s",
+					kind, r, len(res.Violations), res.Violations[0])
+			}
+		}
+	}
+}
+
+// TestTortureCatchesNonDurablePolicy proves the engine-level checker has
+// teeth: with the persistence-free policy and no eviction luck, completed
+// operations are rolled back wholesale and the checker must notice.
+func TestTortureCatchesNonDurablePolicy(t *testing.T) {
+	res := Torture(TortureOptions{
+		Shards:         4,
+		Kind:           core.KindHash,
+		Policy:         persist.None{},
+		Workers:        4,
+		Keys:           256,
+		PrefillEvery:   0, // nothing prefilled: survivors can only come from ops
+		OpsBeforeCrash: 600,
+		EvictProb:      0,
+		Seed:           5,
+	})
+	if len(res.Violations) == 0 {
+		t.Fatal("policy=none survived an engine crash test: checker is blind")
+	}
+}
+
+// TestTortureAllPolicies: every durable policy must pass engine torture.
+func TestTortureAllPolicies(t *testing.T) {
+	for _, pol := range []persist.Policy{persist.NVTraverse{}, persist.Izraelevitz{}, persist.LinkAndPersist{}} {
+		res := Torture(TortureOptions{
+			Shards:         4,
+			Kind:           core.KindHash,
+			Policy:         pol,
+			Workers:        4,
+			Keys:           256,
+			PrefillEvery:   2,
+			OpsBeforeCrash: 300,
+			BatchSize:      4,
+			EvictProb:      0.25,
+			Seed:           77,
+		})
+		if len(res.Violations) > 0 {
+			t.Fatalf("%s: %d violations, first: %s", pol.Name(), len(res.Violations), res.Violations[0])
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package shard composes the single-structure building blocks of this
+// repository into a hash-sharded durable key-value engine: N independent
+// (pmem.Memory, core.Set) shards behind one Engine.
+//
+// Sharding serves two system goals the paper's single-structure
+// microbenchmarks do not exercise. First, scale: each shard is its own
+// persistence domain with its own arena and epoch domain, so shards share
+// no cache lines and no fences — throughput scales with shard count until
+// the workload's skew concentrates traffic on few shards. Second,
+// batching: a Session executes a batch of operations grouped per shard
+// with pmem.Thread.BeginBatch/EndBatch around each shard group, so the
+// fence-before-return that durable linearizability demands is paid once
+// per shard group rather than once per operation (see
+// pmem.Thread.CommitFence for why only that fence may be deferred). The
+// batch is acknowledged only after every group's closing fence, so the
+// engine remains durably linearizable at batch granularity: a crash
+// mid-batch leaves each unacknowledged operation either fully applied or
+// fully absent, which internal/shard's torture harness verifies with the
+// crashtest checker.
+//
+// A whole-engine Crash/Recover mirrors a machine failure: every shard's
+// memory crashes together, and recovery runs the per-structure recovery
+// procedures of all shards in parallel.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Shards is the shard count (default 1).
+	Shards int
+	// Kind is the per-shard structure (default core.KindHash).
+	Kind core.Kind
+	// Policy is the persistence transformation (default persist.NVTraverse).
+	Policy persist.Policy
+	// Profile is the latency profile for fast-mode engines.
+	Profile pmem.Profile
+	// Tracked builds tracked memories (crash testing) instead of fast ones.
+	Tracked bool
+	// MaxSessions bounds NewSession calls (each session registers one
+	// thread per shard). Default 64.
+	MaxSessions int
+	// Params tunes the per-shard structures. Params.SizeHint is the
+	// engine-wide expected key-range size; it is divided by the shard count
+	// before reaching each structure.
+	Params core.Params
+}
+
+type engineShard struct {
+	mem *pmem.Memory
+	set core.Set
+}
+
+// Engine is a hash-sharded durable key-value store.
+type Engine struct {
+	cfg    Config
+	shards []engineShard
+}
+
+// New builds an engine of cfg.Shards independent shards.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Kind == "" {
+		cfg.Kind = core.KindHash
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = persist.NVTraverse{}
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	params := cfg.Params
+	if params.SizeHint > 0 {
+		params.SizeHint /= cfg.Shards
+		if params.SizeHint < 64 {
+			params.SizeHint = 64
+		}
+	}
+	if params.Buckets > 0 {
+		params.Buckets /= cfg.Shards
+		if params.Buckets < 64 {
+			params.Buckets = 64
+		}
+	}
+	e := &Engine{cfg: cfg, shards: make([]engineShard, cfg.Shards)}
+	mode := pmem.ModeFast
+	if cfg.Tracked {
+		mode = pmem.ModeTracked
+	}
+	for i := range e.shards {
+		mem := pmem.New(pmem.Config{
+			Mode:    mode,
+			Profile: cfg.Profile,
+			// +2: the structure constructor registers a thread of its own,
+			// and leave one spare for ad-hoc inspection.
+			MaxThreads: cfg.MaxSessions + 2,
+		})
+		set, err := core.NewSet(cfg.Kind, mem, cfg.Policy, params)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		e.shards[i] = engineShard{mem: mem, set: set}
+	}
+	return e, nil
+}
+
+// NumShards reports the shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Kind reports the per-shard structure kind.
+func (e *Engine) Kind() core.Kind { return e.cfg.Kind }
+
+// ShardMemory returns shard i's memory (tests, per-shard inspection).
+func (e *Engine) ShardMemory(i int) *pmem.Memory { return e.shards[i].mem }
+
+// ShardSet returns shard i's structure (tests, per-shard inspection).
+func (e *Engine) ShardSet(i int) core.Set { return e.shards[i].set }
+
+// mix is the splitmix64 finalizer: full-avalanche, so consecutive keys
+// spread across shards.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// ShardFor maps a key to its shard (deterministic across restarts).
+func (e *Engine) ShardFor(key uint64) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	// fastrange on the mixed high word: uniform without division.
+	return int((mix(key) >> 32) * uint64(len(e.shards)) >> 32)
+}
+
+// Stats aggregates the per-shard memory statistics.
+type Stats struct {
+	Total    pmem.Stats
+	PerShard []pmem.Stats
+}
+
+// Stats sums every shard's per-thread counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{PerShard: make([]pmem.Stats, len(e.shards))}
+	for i := range e.shards {
+		st := e.shards[i].mem.Stats()
+		s.PerShard[i] = st
+		s.Total.Add(st)
+	}
+	return s
+}
+
+// ResetStats clears every shard's counters.
+func (e *Engine) ResetStats() {
+	for i := range e.shards {
+		e.shards[i].mem.ResetStats()
+	}
+}
+
+// PersistAll declares every shard's current contents fully persistent
+// (tracked engines; the pre-history baseline of a crash test).
+func (e *Engine) PersistAll() {
+	for i := range e.shards {
+		e.shards[i].mem.PersistAll()
+	}
+}
+
+// Crash raises the crash flag on every shard: a whole-machine power
+// failure. Workers must be joined before FinishCrash.
+func (e *Engine) Crash() {
+	for i := range e.shards {
+		e.shards[i].mem.Crash()
+	}
+}
+
+// FinishCrash rolls every shard back to its persisted state, with
+// per-shard derived seeds for the eviction lottery.
+func (e *Engine) FinishCrash(evictProb float64, seed int64) {
+	for i := range e.shards {
+		e.shards[i].mem.FinishCrash(evictProb, seed+int64(i)*1000003)
+	}
+}
+
+// Restart lowers every shard's crash flag.
+func (e *Engine) Restart() {
+	for i := range e.shards {
+		e.shards[i].mem.Restart()
+	}
+}
+
+// Recover runs every shard's recovery procedure in parallel, using the
+// session's per-shard threads. Run it after Restart, before any other
+// operation; the session must not be used concurrently.
+func (e *Engine) Recover(s *Session) {
+	var wg sync.WaitGroup
+	for i := range e.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.shards[i].set.Recover(s.th[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Contents returns every present key across all shards (quiescent use).
+func (e *Engine) Contents(s *Session) []uint64 {
+	var out []uint64
+	for i := range e.shards {
+		out = append(out, e.shards[i].set.Contents(s.th[i])...)
+	}
+	return out
+}
+
+// Validate runs every shard's structural self-check.
+func (e *Engine) Validate(s *Session) error {
+	for i := range e.shards {
+		if v, ok := e.shards[i].set.(core.Validator); ok {
+			if err := v.Validate(s.th[i]); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// OpKind names a Session operation.
+type OpKind uint8
+
+// The engine's operation vocabulary. OpPut is an upsert; OpInsert and
+// OpDelete keep the underlying structures' set semantics (fail if
+// present/absent), which is what the crash-test checker models.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpInsert
+	OpDelete
+)
+
+// Op is one operation of a batch.
+type Op struct {
+	Kind       OpKind
+	Key, Value uint64
+}
+
+// OpResult is the outcome of one batch operation: the value for gets, and
+// whether the operation succeeded (found / inserted / deleted).
+type OpResult struct {
+	Value uint64
+	OK    bool
+}
+
+// Session is a per-goroutine handle on the engine, carrying one
+// pmem.Thread per shard. A Session must be used by one goroutine at a
+// time.
+type Session struct {
+	eng    *Engine
+	th     []*pmem.Thread
+	groups [][]int // scratch: batch op indexes grouped per shard
+}
+
+// NewSession registers a session (one thread on every shard's memory).
+func (e *Engine) NewSession() *Session {
+	s := &Session{
+		eng:    e,
+		th:     make([]*pmem.Thread, len(e.shards)),
+		groups: make([][]int, len(e.shards)),
+	}
+	for i := range e.shards {
+		s.th[i] = e.shards[i].mem.NewThread()
+	}
+	return s
+}
+
+// Thread returns the session's thread on shard i.
+func (s *Session) Thread(i int) *pmem.Thread { return s.th[i] }
+
+// Rand returns a value from the session's per-goroutine RNG.
+func (s *Session) Rand() uint64 { return s.th[0].Rand() }
+
+// Get looks up a key.
+func (s *Session) Get(key uint64) (uint64, bool) {
+	i := s.eng.ShardFor(key)
+	return s.eng.shards[i].set.Find(s.th[i], key)
+}
+
+// Insert adds key with value; false if the key is already present.
+func (s *Session) Insert(key, value uint64) bool {
+	i := s.eng.ShardFor(key)
+	return s.eng.shards[i].set.Insert(s.th[i], key, value)
+}
+
+// Delete removes a key; false if absent.
+func (s *Session) Delete(key uint64) bool {
+	i := s.eng.ShardFor(key)
+	return s.eng.shards[i].set.Delete(s.th[i], key)
+}
+
+// upsert loops insert/delete until the insert lands. Built from the set
+// operations, so it is not atomic — concurrent upserts of one key leave
+// it present with one of the racing values.
+func upsert(set core.Set, th *pmem.Thread, key, value uint64) {
+	for !set.Insert(th, key, value) {
+		set.Delete(th, key)
+	}
+}
+
+// Put upserts: afterwards the key maps to value (see upsert for the
+// atomicity caveat).
+func (s *Session) Put(key, value uint64) {
+	i := s.eng.ShardFor(key)
+	upsert(s.eng.shards[i].set, s.th[i], key, value)
+}
+
+func (s *Session) exec(i int, op Op) OpResult {
+	set, th := s.eng.shards[i].set, s.th[i]
+	switch op.Kind {
+	case OpGet:
+		v, ok := set.Find(th, op.Key)
+		return OpResult{Value: v, OK: ok}
+	case OpInsert:
+		return OpResult{Value: op.Value, OK: set.Insert(th, op.Key, op.Value)}
+	case OpDelete:
+		return OpResult{OK: set.Delete(th, op.Key)}
+	default: // OpPut
+		upsert(set, th, op.Key, op.Value)
+		return OpResult{Value: op.Value, OK: true}
+	}
+}
+
+// Apply executes a batch: operations are grouped by shard and each shard
+// group runs inside BeginBatch/EndBatch, so the whole group shares one
+// commit fence instead of fencing per operation. Results are positionally
+// aligned with ops (dst is reused when it has capacity). The batch is
+// durable when Apply returns; a crash during Apply may leave any subset of
+// the batch's individual operations applied.
+func (s *Session) Apply(ops []Op, dst []OpResult) []OpResult {
+	if cap(dst) < len(ops) {
+		dst = make([]OpResult, len(ops))
+	}
+	dst = dst[:len(ops)]
+	for i := range s.groups {
+		s.groups[i] = s.groups[i][:0]
+	}
+	for i := range ops {
+		sh := s.eng.ShardFor(ops[i].Key)
+		s.groups[sh] = append(s.groups[sh], i)
+	}
+	for sh := range s.groups {
+		g := s.groups[sh]
+		if len(g) == 0 {
+			continue
+		}
+		th := s.th[sh]
+		th.BeginBatch()
+		for _, i := range g {
+			dst[i] = s.exec(sh, ops[i])
+		}
+		th.EndBatch()
+	}
+	return dst
+}
+
+// MultiGet batch-reads keys, one commit fence per shard group. The results
+// align with keys; dst is reused when it has capacity.
+func (s *Session) MultiGet(keys []uint64, dst []OpResult) []OpResult {
+	if cap(dst) < len(keys) {
+		dst = make([]OpResult, len(keys))
+	}
+	dst = dst[:len(keys)]
+	for i := range s.groups {
+		s.groups[i] = s.groups[i][:0]
+	}
+	for i, k := range keys {
+		sh := s.eng.ShardFor(k)
+		s.groups[sh] = append(s.groups[sh], i)
+	}
+	for sh := range s.groups {
+		g := s.groups[sh]
+		if len(g) == 0 {
+			continue
+		}
+		th := s.th[sh]
+		th.BeginBatch()
+		for _, i := range g {
+			v, ok := s.eng.shards[sh].set.Find(th, keys[i])
+			dst[i] = OpResult{Value: v, OK: ok}
+		}
+		th.EndBatch()
+	}
+	return dst
+}

@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+func newFast(t *testing.T, shards int, kind core.Kind) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Shards:  shards,
+		Kind:    kind,
+		Policy:  persist.NVTraverse{},
+		Profile: pmem.ProfileZero,
+		Params:  core.Params{SizeHint: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestShardForIsDeterministicAndInRange(t *testing.T) {
+	e := newFast(t, 16, core.KindHash)
+	counts := make([]int, 16)
+	for k := uint64(1); k <= 10000; k++ {
+		i := e.ShardFor(k)
+		if i != e.ShardFor(k) {
+			t.Fatalf("ShardFor(%d) not deterministic", k)
+		}
+		if i < 0 || i >= 16 {
+			t.Fatalf("ShardFor(%d) = %d out of range", k, i)
+		}
+		counts[i]++
+	}
+	// The splitmix finalizer should spread sequential keys roughly evenly:
+	// each shard expects 625 of 10000 keys.
+	for i, c := range counts {
+		if c < 400 || c > 900 {
+			t.Fatalf("shard %d got %d of 10000 keys: hash is badly skewed (%v)", i, c, counts)
+		}
+	}
+}
+
+func TestEngineBasicOps(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		e := newFast(t, 4, kind)
+		s := e.NewSession()
+		for k := uint64(1); k <= 200; k++ {
+			if !s.Insert(k, k*10) {
+				t.Fatalf("%s: Insert(%d) failed", kind, k)
+			}
+		}
+		if s.Insert(7, 1) {
+			t.Fatalf("%s: duplicate insert succeeded", kind)
+		}
+		for k := uint64(1); k <= 200; k++ {
+			if v, ok := s.Get(k); !ok || v != k*10 {
+				t.Fatalf("%s: Get(%d) = %d,%v", kind, k, v, ok)
+			}
+		}
+		s.Put(7, 999) // upsert over an existing key
+		if v, ok := s.Get(7); !ok || v != 999 {
+			t.Fatalf("%s: Put did not replace: %d,%v", kind, v, ok)
+		}
+		s.Put(1000, 1) // upsert of an absent key
+		if _, ok := s.Get(1000); !ok {
+			t.Fatalf("%s: Put of absent key lost", kind)
+		}
+		if !s.Delete(5) || s.Delete(5) {
+			t.Fatalf("%s: delete semantics wrong", kind)
+		}
+		if got := len(e.Contents(s)); got != 200 { // 200 inserted - 1 deleted + 1 put
+			t.Fatalf("%s: Contents = %d keys, want 200", kind, got)
+		}
+		if err := e.Validate(s); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestApplyAndMultiGetAlignment(t *testing.T) {
+	e := newFast(t, 8, core.KindHash)
+	s := e.NewSession()
+	ops := make([]Op, 0, 64)
+	for k := uint64(1); k <= 64; k++ {
+		ops = append(ops, Op{Kind: OpInsert, Key: k, Value: k + 100})
+	}
+	res := s.Apply(ops, nil)
+	for i, r := range res {
+		if !r.OK {
+			t.Fatalf("batched insert %d failed", i)
+		}
+	}
+	keys := []uint64{64, 1, 33, 999, 17}
+	got := s.MultiGet(keys, nil)
+	want := []OpResult{{164, true}, {101, true}, {133, true}, {0, false}, {117, true}}
+	for i := range keys {
+		if got[i] != want[i] {
+			t.Fatalf("MultiGet[%d] (key %d) = %+v, want %+v", i, keys[i], got[i], want[i])
+		}
+	}
+	// Mixed batch: results stay positionally aligned across shards.
+	mixed := []Op{
+		{Kind: OpDelete, Key: 3},
+		{Kind: OpGet, Key: 3},
+		{Kind: OpPut, Key: 3, Value: 42},
+		{Kind: OpGet, Key: 999},
+	}
+	mres := s.Apply(mixed, res)
+	if !mres[0].OK || mres[1].OK != false || !mres[2].OK || mres[3].OK {
+		t.Fatalf("mixed batch results wrong: %+v", mres)
+	}
+}
+
+func TestBatchingSavesFences(t *testing.T) {
+	const n = 512
+	run := func(batch bool) pmem.Stats {
+		e := newFast(t, 2, core.KindHash)
+		s := e.NewSession()
+		ops := make([]Op, 0, n)
+		for k := uint64(1); k <= n; k++ {
+			ops = append(ops, Op{Kind: OpInsert, Key: k, Value: k})
+		}
+		e.ResetStats()
+		if batch {
+			s.Apply(ops, nil)
+		} else {
+			for _, op := range ops {
+				s.Insert(op.Key, op.Value)
+			}
+		}
+		return e.Stats().Total
+	}
+	single := run(false)
+	batched := run(true)
+	if batched.Flushes != single.Flushes {
+		t.Fatalf("batching changed flush count: %d vs %d", batched.Flushes, single.Flushes)
+	}
+	// Batching defers the commit fence (one per op) into one fence per
+	// shard group: with 2 shards and one Apply, ~n commit fences collapse
+	// into 2. The ordering fences remain, so the saving is about n.
+	saved := int64(single.Fences) - int64(batched.Fences)
+	if saved < n/2 {
+		t.Fatalf("batching saved only %d fences (single=%d batched=%d)",
+			saved, single.Fences, batched.Fences)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	e := newFast(t, 4, core.KindHash)
+	s := e.NewSession()
+	for k := uint64(1); k <= 100; k++ {
+		s.Insert(k, k)
+	}
+	st := e.Stats()
+	if len(st.PerShard) != 4 {
+		t.Fatalf("PerShard has %d entries", len(st.PerShard))
+	}
+	var sum pmem.Stats
+	touched := 0
+	for _, ps := range st.PerShard {
+		sum.Add(ps)
+		if ps.Writes > 0 {
+			touched++
+		}
+	}
+	if sum != st.Total {
+		t.Fatalf("Total %+v != sum of shards %+v", st.Total, sum)
+	}
+	if touched < 3 {
+		t.Fatalf("only %d/4 shards touched by 100 keys", touched)
+	}
+	e.ResetStats()
+	if got := e.Stats().Total; got.Writes != 0 || got.Flushes != 0 {
+		t.Fatalf("ResetStats left %+v", got)
+	}
+}
+
+func TestEngineCrashRecoverRoundTrip(t *testing.T) {
+	e, err := New(Config{
+		Shards:  8,
+		Kind:    core.KindSkiplist,
+		Policy:  persist.NVTraverse{},
+		Tracked: true,
+		Params:  core.Params{SizeHint: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	for k := uint64(1); k <= 512; k++ {
+		s.Insert(k, k*7)
+	}
+	// Every insert was acknowledged (commit-fenced), so every key must
+	// survive the crash even with no eviction luck.
+	e.Crash()
+	e.FinishCrash(0, 42)
+	e.Restart()
+	rec := e.NewSession()
+	e.Recover(rec)
+	for k := uint64(1); k <= 512; k++ {
+		if v, ok := rec.Get(k); !ok || v != k*7 {
+			t.Fatalf("key %d lost or corrupted across crash: %d,%v", k, v, ok)
+		}
+	}
+	if err := e.Validate(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsAndParamsSplit(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumShards() != 1 || e.Kind() != core.KindHash {
+		t.Fatalf("defaults wrong: shards=%d kind=%s", e.NumShards(), e.Kind())
+	}
+	if _, err := New(Config{Kind: core.Kind("bogus")}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/crashtest"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// TortureOptions configures one engine crash round.
+type TortureOptions struct {
+	Shards         int
+	Kind           core.Kind      // default hash
+	Policy         persist.Policy // default NVTraverse
+	Workers        int            // concurrent sessions (default 4)
+	Keys           uint64         // keys drawn from [1, Keys] (default 256)
+	PrefillEvery   uint64         // prefill every n-th key (0 = none)
+	OpsBeforeCrash uint64         // crash once this many ops completed
+	BatchSize      int            // ops per Apply batch; <=1 issues single ops
+	EvictProb      float64        // unpersisted-line survival probability
+	Seed           int64
+	UpdateRatio    int // percent updates, split insert/delete (default 60)
+}
+
+// Torture runs one whole-engine crash round: concurrent sessions issue
+// single and batched operations, the engine crashes mid-traffic (so some
+// sessions die inside an unacknowledged batch), recovery runs in parallel
+// across shards, and the crashtest checker verifies durable
+// linearizability of the union state. Because the key space partitions
+// over shards, the union check is exactly the conjunction of the per-shard
+// checks; Torture additionally validates each shard structurally and
+// verifies that no key surfaced on a shard it does not hash to.
+func Torture(o TortureOptions) crashtest.Result {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Keys == 0 {
+		o.Keys = 256
+	}
+	if o.UpdateRatio == 0 {
+		o.UpdateRatio = 60
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	eng, err := New(Config{
+		Shards:      o.Shards,
+		Kind:        o.Kind,
+		Policy:      o.Policy,
+		Tracked:     true,
+		MaxSessions: o.Workers + 2,
+		Params:      core.Params{SizeHint: int(o.Keys)},
+	})
+	if err != nil {
+		return crashtest.Result{Violations: []crashtest.Violation{{Detail: err.Error()}}}
+	}
+
+	setup := eng.NewSession()
+	prefilled := map[uint64]uint64{}
+	if o.PrefillEvery > 0 {
+		for k := uint64(1); k <= o.Keys; k += o.PrefillEvery {
+			v := k * 3
+			setup.Insert(k, v)
+			prefilled[k] = v
+		}
+	}
+	eng.PersistAll()
+
+	var completed atomic.Uint64
+	histories := make([]*crashtest.History, o.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		sess := eng.NewSession()
+		hist := &crashtest.History{}
+		histories[w] = hist
+		wg.Add(1)
+		go func(sess *Session, hist *crashtest.History) {
+			defer wg.Done()
+			ops := make([]Op, 0, o.BatchSize)
+			var results []OpResult
+			for !eng.ShardMemory(0).Crashed() {
+				n := 1
+				if o.BatchSize > 1 {
+					n = o.BatchSize
+				}
+				ops = ops[:0]
+				for j := 0; j < n; j++ {
+					k := sess.Rand()%o.Keys + 1
+					r := int(sess.Rand() % 100)
+					kind := OpGet
+					switch {
+					case r < o.UpdateRatio/2:
+						kind = OpInsert
+					case r < o.UpdateRatio:
+						kind = OpDelete
+					}
+					ops = append(ops, Op{Kind: kind, Key: k, Value: sess.Rand() & ((1 << 32) - 1)})
+				}
+				crashed := pmem.RunOp(func() {
+					results = sess.Apply(ops, results)
+				})
+				if crashed {
+					// Nothing in this batch was acknowledged: every
+					// operation is in flight — each may have taken effect
+					// (its shard group's fence may have run) or not.
+					for _, op := range ops {
+						hist.InFlight(opKindFor(op.Kind), op.Key, op.Value)
+					}
+					return
+				}
+				for i, op := range ops {
+					hist.Completed(opKindFor(op.Kind), op.Key, op.Value, results[i].OK)
+				}
+				completed.Add(uint64(len(ops)))
+			}
+		}(sess, hist)
+	}
+
+	for completed.Load() < o.OpsBeforeCrash {
+		runtime.Gosched()
+	}
+	eng.Crash()
+	wg.Wait()
+	eng.FinishCrash(o.EvictProb, o.Seed)
+	eng.Restart()
+
+	rec := eng.NewSession()
+	eng.Recover(rec)
+
+	res := crashtest.Result{Completed: completed.Load()}
+	var violations []crashtest.Violation
+	violations, res.Survivors = crashtest.Check(
+		engineView{sess: rec}, nil, histories, crashtest.CheckConfig{Prefilled: prefilled})
+	res.Violations = violations
+	for _, h := range histories {
+		res.InFlight += h.InFlightCount()
+	}
+
+	// Shard isolation: every surviving key must live on the shard it
+	// hashes to (Contents of shard i only).
+	for i := 0; i < eng.NumShards(); i++ {
+		for _, k := range eng.ShardSet(i).Contents(rec.Thread(i)) {
+			if eng.ShardFor(k) != i {
+				res.Violations = append(res.Violations, crashtest.Violation{
+					Key:    k,
+					Detail: fmt.Sprintf("recovered on shard %d but hashes to shard %d", i, eng.ShardFor(k)),
+				})
+			}
+		}
+	}
+	return res
+}
+
+func opKindFor(k OpKind) crashtest.OpKind {
+	switch k {
+	case OpInsert:
+		return crashtest.OpInsert
+	case OpDelete:
+		return crashtest.OpDelete
+	default:
+		return crashtest.OpFind
+	}
+}
+
+// engineView adapts a recovered engine session to the crashtest.Set
+// surface. The thread argument of each method is ignored: the session
+// carries the per-shard threads.
+type engineView struct{ sess *Session }
+
+func (v engineView) Insert(_ *pmem.Thread, key, value uint64) bool { return v.sess.Insert(key, value) }
+func (v engineView) Delete(_ *pmem.Thread, key uint64) bool        { return v.sess.Delete(key) }
+func (v engineView) Find(_ *pmem.Thread, key uint64) (uint64, bool) {
+	return v.sess.Get(key)
+}
+func (v engineView) Recover(_ *pmem.Thread)           { v.sess.eng.Recover(v.sess) }
+func (v engineView) Contents(_ *pmem.Thread) []uint64 { return v.sess.eng.Contents(v.sess) }
+
+// Validate lets the checker run every shard's structural self-check.
+func (v engineView) Validate(_ *pmem.Thread) error { return v.sess.eng.Validate(v.sess) }

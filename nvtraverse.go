@@ -16,6 +16,10 @@
 // After a (simulated) crash — see pmem.Memory's tracked mode — call
 // set.Recover before issuing new operations.
 //
+// For a multi-structure system rather than a single set, NewEngine builds
+// the hash-sharded durable KV engine (N independent shards, batched
+// operations with one commit fence per shard group, parallel recovery).
+//
 // Everything here delegates to the internal packages; see DESIGN.md for
 // the system inventory and internal/persist for the transformation itself.
 package nvtraverse
@@ -25,6 +29,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/pmem"
 	"repro/internal/queue"
+	"repro/internal/shard"
 )
 
 // Re-exported structure kinds.
@@ -82,4 +87,36 @@ type Queue = queue.Queue
 // NewQueue builds a durable queue with the given policy.
 func NewQueue(mem *Memory, pol persist.Policy) *Queue {
 	return queue.New(mem, pol)
+}
+
+// Engine is the hash-sharded durable key-value engine: N independent
+// (memory, structure) shards behind Get/Put/Delete plus batched operations
+// that pay one commit fence per shard group, whole-engine crash/recovery
+// (shards recover in parallel), and per-shard statistics.
+type Engine = shard.Engine
+
+// EngineConfig configures NewEngine (shard count, structure kind, policy,
+// latency profile, tracked mode for crash testing).
+type EngineConfig = shard.Config
+
+// Session is a per-goroutine handle on an Engine (one per worker).
+type Session = shard.Session
+
+// Op and OpResult form Session.Apply's batched operation surface.
+type (
+	Op       = shard.Op
+	OpResult = shard.OpResult
+)
+
+// Batched operation kinds for Session.Apply.
+const (
+	OpGet    = shard.OpGet
+	OpPut    = shard.OpPut
+	OpInsert = shard.OpInsert
+	OpDelete = shard.OpDelete
+)
+
+// NewEngine builds a sharded durable KV engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	return shard.New(cfg)
 }

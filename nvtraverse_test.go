@@ -60,6 +60,44 @@ func TestFacadeCrashRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFacadeEngine(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Shards: 4, Kind: HashMap, Tracked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.NewSession()
+	for k := uint64(1); k <= 128; k++ {
+		s.Put(k, k*3)
+	}
+	res := s.Apply([]Op{
+		{Kind: OpGet, Key: 64},
+		{Kind: OpDelete, Key: 64},
+		{Kind: OpInsert, Key: 1000, Value: 1},
+	}, nil)
+	if !res[0].OK || res[0].Value != 192 || !res[1].OK || !res[2].OK {
+		t.Fatalf("batch results wrong: %+v", res)
+	}
+	eng.Crash()
+	eng.FinishCrash(0, 11)
+	eng.Restart()
+	rec := eng.NewSession()
+	eng.Recover(rec)
+	for k := uint64(1); k <= 128; k++ {
+		if k == 64 {
+			continue
+		}
+		if v, ok := rec.Get(k); !ok || v != k*3 {
+			t.Fatalf("key %d lost across engine crash: %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := rec.Get(64); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if v, ok := rec.Get(1000); !ok || v != 1 {
+		t.Fatal("acknowledged batched insert lost across crash")
+	}
+}
+
 func TestFacadePolicies(t *testing.T) {
 	if PolicyNone.Durable() || !PolicyNVTraverse.Durable() ||
 		!PolicyIzraelevitz.Durable() || !PolicyLogFree.Durable() {
