@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race fmt vet bench-smoke ci
+.PHONY: build test short race fmt vet bench-smoke bench-ci ci
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ short:
 
 # Race pass over the concurrency-heavy packages only, kept short.
 race:
-	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/list ./internal/skiplist ./internal/queue ./internal/shard
+	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/list ./internal/skiplist ./internal/queue ./internal/stack ./internal/shard ./internal/crashtest
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,7 +29,14 @@ bench-smoke:
 	$(GO) run ./cmd/nvbench -list
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -panel sA -threads 2 -scale 256
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -ycsb A -shards 4 -threads 2 -range 512 -profile zero
+	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -flushstats -threads 2 -scale 1024
 	$(GO) run ./cmd/nvcrash -rounds 2 -ops 150 -workers 2 -keys 64
+	$(GO) run ./cmd/nvcrash -kind queue -rounds 2 -ops 150 -workers 2
+	$(GO) run ./cmd/nvcrash -kind stack -rounds 2 -ops 150 -workers 2
 	$(GO) run ./cmd/nvcrash -shards 4 -batch 4 -rounds 2 -ops 200 -workers 2 -kind hash
 
-ci: fmt vet build short race bench-smoke
+# Run the Go benchmarks once (panels + flush accounting smoke).
+bench-ci:
+	NVBENCH_DUR=5ms $(GO) test -run=NONE -bench=. -benchtime=1x ./internal/bench/...
+
+ci: fmt vet build short race bench-smoke bench-ci

@@ -11,6 +11,8 @@
 //	nvbench -scale 4 -threads 16 -dur 500ms -panel 6g
 //	nvbench -ycsb A -shards 8         # one YCSB point against the engine
 //	nvbench -ycsb C -shards 8 -batch 32
+//	nvbench -flushstats               # flushes/op per structure, NVTraverse
+//	                                  # vs flush-everything, YCSB A/B/C
 //
 // The -scale flag divides the paper's structure sizes (all competitors
 // share the substrate, so relative ordering is preserved); -threads caps
@@ -50,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		threads = fs.Int("threads", 8, "cap thread sweeps (or thread count for -ycsb)")
 		dur     = fs.Duration("dur", 150*time.Millisecond, "measurement duration per point")
 
+		flushes = fs.Bool("flushstats", false, "run the flush-accounting ablation (panels fA/fB/fC) and summarize flushes/op")
 		ycsb    = fs.String("ycsb", "", "run one YCSB workload (A, B, C, D, F) instead of a panel")
 		shards  = fs.Int("shards", 0, "shard count for -ycsb (0 = single structure)")
 		batch   = fs.Int("batch", 0, "read batch size for -ycsb engine runs")
@@ -97,6 +100,26 @@ func run(args []string, out io.Writer) error {
 		} else {
 			fmt.Fprintln(out, bench.Header())
 			fmt.Fprintln(out, res.Row())
+		}
+		return nil
+	}
+
+	if *flushes {
+		for _, p := range bench.FlushStatPanels(opts) {
+			fmt.Fprintf(out, "\n== Panel %s: %s ==\n%s\n", p.ID, p.Title, bench.Header())
+			var rs []bench.Result
+			for _, cfg := range p.Configs {
+				res, err := bench.Run(cfg)
+				if err != nil {
+					return fmt.Errorf("panel %s: %w", p.ID, err)
+				}
+				rs = append(rs, res)
+				fmt.Fprintln(out, res.Row())
+			}
+			fmt.Fprintln(out)
+			for _, line := range bench.FlushStatSummary(rs) {
+				fmt.Fprintln(out, line)
+			}
 		}
 		return nil
 	}

@@ -5,10 +5,16 @@
 // crashes at once (mid-batch included), recovery runs in parallel, and the
 // checker verifies every shard's surviving state.
 //
+// The crash model is cache-line granular: whole 64-byte lines persist or
+// vanish atomically, and the eviction lottery evicts whole lines.
+//
 // Usage:
 //
 //	nvcrash -kind list -policy nvtraverse -rounds 20
 //	nvcrash -kind skiplist -policy none        # watch the checker catch it
+//	nvcrash -kind queue                        # FIFO order torture
+//	nvcrash -kind stack -policy izraelevitz    # LIFO order torture
+//	nvcrash -kind dqueue                       # hand-tuned DurableQueue
 //	nvcrash -shards 8 -batch 8 -rounds 10      # engine torture, batched ops
 package main
 
@@ -23,7 +29,9 @@ import (
 	"repro/internal/crashtest"
 	"repro/internal/persist"
 	"repro/internal/pmem"
+	"repro/internal/queue"
 	"repro/internal/shard"
+	"repro/internal/stack"
 )
 
 func main() {
@@ -36,7 +44,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nvcrash", flag.ContinueOnError)
 	var (
-		kind    = fs.String("kind", "list", "structure: list, hash, ellenbst, nmbst, skiplist")
+		kind    = fs.String("kind", "list", "structure: list, hash, ellenbst, nmbst, skiplist, queue, stack, dqueue")
 		policy  = fs.String("policy", "nvtraverse", "persistence policy: none, nvtraverse, izraelevitz, logfree")
 		rounds  = fs.Int("rounds", 10, "crash rounds")
 		workers = fs.Int("workers", 4, "concurrent workers")
@@ -59,15 +67,54 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 	k := core.Kind(*kind)
-	valid := false
+	ordered := *kind == "queue" || *kind == "stack" || *kind == "dqueue"
+	valid := ordered
 	for _, known := range core.Kinds() {
 		valid = valid || known == k
 	}
 	if !valid {
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
+	if ordered && *shards > 0 {
+		return fmt.Errorf("-shards tortures the KV engine; %q is not a set structure", *kind)
+	}
+	// Reject flags a kind would silently ignore: a user running the
+	// documented "-policy none" ablation against dqueue (whose flushes are
+	// hand-placed, not policy-driven) must not read an OK verdict as "none
+	// is durable here", and -keys only parameterizes the set structures.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *kind == "dqueue" && set["policy"] {
+		return fmt.Errorf("-policy does not apply to dqueue: its flushes are hand-placed (PPoPP'18), not policy-driven")
+	}
+	if ordered && set["keys"] {
+		return fmt.Errorf("-keys does not apply to %q: ordered containers have no key range", *kind)
+	}
 
 	round := func(r int) crashtest.Result {
+		if ordered {
+			opts := crashtest.OrderOptions{
+				Workers:        *workers,
+				OpsBeforeCrash: *ops,
+				Prefill:        16,
+				EvictProb:      *evict,
+				Seed:           *seed + int64(r),
+			}
+			switch *kind {
+			case "queue":
+				return crashtest.RunQueue(opts, func(mem *pmem.Memory) crashtest.QueueTarget {
+					return queue.New(mem, pol)
+				})
+			case "dqueue":
+				return crashtest.RunQueue(opts, func(mem *pmem.Memory) crashtest.QueueTarget {
+					return queue.NewDurable(mem)
+				})
+			default:
+				return crashtest.RunStack(opts, func(mem *pmem.Memory) crashtest.StackTarget {
+					return stack.New(mem, pol)
+				})
+			}
+		}
 		if *shards > 0 {
 			return shard.Torture(shard.TortureOptions{
 				Shards:         *shards,

@@ -29,6 +29,37 @@ func TestEngineTortureRounds(t *testing.T) {
 	}
 }
 
+func TestOrderedTortureRounds(t *testing.T) {
+	for _, kind := range []string{"queue", "stack", "dqueue"} {
+		var sb strings.Builder
+		err := run([]string{"-kind", kind, "-rounds", "2", "-ops", "150",
+			"-workers", "2"}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", kind, err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "all 2 rounds durably linearizable") {
+			t.Fatalf("%s: unexpected output:\n%s", kind, sb.String())
+		}
+	}
+}
+
+func TestOrderedKindRejectsShards(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "queue", "-shards", "4"}, &sb); err == nil {
+		t.Fatal("queue with -shards accepted")
+	}
+}
+
+func TestOrderedKindRejectsInapplicableFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "dqueue", "-policy", "none"}, &sb); err == nil {
+		t.Fatal("dqueue with explicit -policy accepted (flushes are hand-placed)")
+	}
+	if err := run([]string{"-kind", "stack", "-keys", "64"}, &sb); err == nil {
+		t.Fatal("stack with -keys accepted")
+	}
+}
+
 func TestNonDurablePolicyFails(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-policy", "none", "-kind", "hash", "-rounds", "2",

@@ -14,14 +14,27 @@
 // lived in DRAM in the paper's setting too); RebuildFreeLists performs the
 // mark–sweep that a recovery procedure would run to reclaim unreachable
 // slots.
+//
+// Allocation is line-aware: the persistence model (package pmem) is
+// cache-line granular, so where nodes land relative to 64-byte lines is
+// semantically visible — two nodes sharing a line would persist and vanish
+// together in a crash, and a flush of one would write back the other.
+// Chunks of pointer-free node types (every node type in this repository)
+// are therefore carved 64-byte aligned, and node types whose size is a
+// multiple of 64 (see each structure's padding) get the PMDK-style
+// guarantee that no two nodes ever share a line. LineAligned reports
+// whether an arena provides it.
 package arena
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/epoch"
+	"repro/internal/pmem"
 )
 
 const (
@@ -50,23 +63,79 @@ type threadState struct {
 
 // Arena is a chunked pool of T nodes. Index 0 is reserved (the nil handle).
 type Arena[T any] struct {
-	dom    *epoch.Domain
-	chunks []atomic.Pointer[[ChunkSize]T]
-	next   atomic.Uint64
-	grow   sync.Mutex
-	ts     []threadState
+	dom      *epoch.Domain
+	chunks   []atomic.Pointer[[ChunkSize]T]
+	next     atomic.Uint64
+	grow     sync.Mutex
+	ts       []threadState
+	nodeSize uintptr
+	carve    bool // pointer-free T: chunks carved 64-byte aligned
 }
 
 // New creates an arena attached to an epoch domain, with per-thread state
 // for maxThreads threads (thread IDs must match the pmem.Thread IDs).
 func New[T any](dom *epoch.Domain, maxThreads int) *Arena[T] {
 	a := &Arena[T]{
-		dom:    dom,
-		chunks: make([]atomic.Pointer[[ChunkSize]T], maxChunks),
-		ts:     make([]threadState, maxThreads),
+		dom:      dom,
+		chunks:   make([]atomic.Pointer[[ChunkSize]T], maxChunks),
+		ts:       make([]threadState, maxThreads),
+		nodeSize: unsafe.Sizeof(*new(T)),
 	}
+	a.carve = !typeHasPointers(reflect.TypeOf(*new(T)))
 	a.next.Store(1) // index 0 is the nil handle
 	return a
+}
+
+// NodeBytes reports the size of one node in bytes.
+func (a *Arena[T]) NodeBytes() uintptr { return a.nodeSize }
+
+// LineAligned reports whether the arena guarantees that no two nodes share
+// a 64-byte line: chunks are carved line-aligned (pointer-free T) and the
+// node size is a whole number of lines. Structures whose crash-atomicity
+// arguments are per-node rely on this and assert it in their tests.
+func (a *Arena[T]) LineAligned() bool {
+	return a.carve && a.nodeSize > 0 && a.nodeSize%pmem.LineSize == 0
+}
+
+// newChunk allocates one chunk. For pointer-free node types the chunk is
+// carved 64-byte aligned out of a byte slab, so node addresses — and with
+// them pmem's line keys — are deterministic relative to the chunk base.
+// (The returned pointer is an interior pointer; it keeps the slab alive.
+// Carving is only legal for pointer-free types: a byte slab has no pointer
+// map for the GC to scan.)
+func (a *Arena[T]) newChunk() *[ChunkSize]T {
+	if !a.carve || a.nodeSize == 0 {
+		return new([ChunkSize]T)
+	}
+	raw := make([]byte, ChunkSize*int(a.nodeSize)+pmem.LineSize-1)
+	p := unsafe.Pointer(unsafe.SliceData(raw))
+	if r := uintptr(p) % pmem.LineSize; r != 0 {
+		p = unsafe.Add(p, pmem.LineSize-r)
+	}
+	return (*[ChunkSize]T)(p)
+}
+
+// typeHasPointers reports whether values of t contain any GC-visible
+// pointers.
+func typeHasPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32,
+		reflect.Int64, reflect.Uint, reflect.Uint8, reflect.Uint16,
+		reflect.Uint32, reflect.Uint64, reflect.Uintptr, reflect.Float32,
+		reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	case reflect.Array:
+		return t.Len() > 0 && typeHasPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if typeHasPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
 }
 
 // Domain returns the epoch domain the arena reclaims against.
@@ -103,7 +172,7 @@ func (a *Arena[T]) Alloc(tid int) uint64 {
 	if a.chunks[ci].Load() == nil {
 		a.grow.Lock()
 		if a.chunks[ci].Load() == nil {
-			a.chunks[ci].Store(new([ChunkSize]T))
+			a.chunks[ci].Store(a.newChunk())
 		}
 		a.grow.Unlock()
 	}

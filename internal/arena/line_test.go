@@ -1,0 +1,95 @@
+package arena_test
+
+// Line-layout tests: the persistence model is 64-byte-line granular, so
+// every node type in the repository must fill whole lines (no two nodes
+// may share a crash fate) and arena chunks must be carved line-aligned.
+// These tests pin both properties for every structure at once; a new node
+// field that breaks the padding fails here with the exact size.
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/arena"
+	"repro/internal/ellenbst"
+	"repro/internal/epoch"
+	"repro/internal/list"
+	"repro/internal/nmbst"
+	"repro/internal/pmem"
+	"repro/internal/queue"
+	"repro/internal/skiplist"
+	"repro/internal/stack"
+)
+
+func TestNodeTypesFillWholeLines(t *testing.T) {
+	sizes := map[string]uintptr{
+		"list.Node":     unsafe.Sizeof(list.Node{}),
+		"queue.Node":    unsafe.Sizeof(queue.Node{}),
+		"queue.DNode":   unsafe.Sizeof(queue.DNode{}),
+		"stack.Node":    unsafe.Sizeof(stack.Node{}),
+		"ellenbst.Node": unsafe.Sizeof(ellenbst.Node{}),
+		"ellenbst.Info": unsafe.Sizeof(ellenbst.Info{}),
+		"nmbst.Node":    unsafe.Sizeof(nmbst.Node{}),
+		"skiplist.Node": unsafe.Sizeof(skiplist.Node{}),
+	}
+	for name, sz := range sizes {
+		if sz == 0 || sz%pmem.LineSize != 0 {
+			t.Errorf("%s is %d bytes; must be a positive multiple of %d", name, sz, pmem.LineSize)
+		}
+	}
+}
+
+func TestArenaNodesNeverShareALine(t *testing.T) {
+	a := arena.New[list.Node](epoch.New(1), 1)
+	if !a.LineAligned() {
+		t.Fatalf("arena of padded nodes not line-aligned (node %d bytes)", a.NodeBytes())
+	}
+	seen := map[uintptr]uint64{}
+	for i := 0; i < 3*arena.ChunkSize/2; i++ { // spill into a second chunk
+		idx := a.Alloc(0)
+		n := a.Get(idx)
+		addr := uintptr(unsafe.Pointer(n))
+		if addr%pmem.LineSize != 0 {
+			t.Fatalf("node %d at %#x: not line-aligned", idx, addr)
+		}
+		line := addr / pmem.LineSize
+		if prev, dup := seen[line]; dup {
+			t.Fatalf("nodes %d and %d share line %#x", prev, idx, line)
+		}
+		seen[line] = idx
+	}
+}
+
+func TestArenaUnpaddedStillLineAlignedBase(t *testing.T) {
+	// A pointer-free node that does not fill a line: the arena still carves
+	// chunks line-aligned (deterministic line keys), but cannot promise
+	// one-node-per-line and must say so.
+	type small struct{ k, v uint64 }
+	a := arena.New[small](epoch.New(1), 1)
+	if a.LineAligned() {
+		t.Fatalf("16-byte nodes reported line-aligned")
+	}
+	idx := a.Alloc(0)
+	addr := uintptr(unsafe.Pointer(a.Get(idx)))
+	// Handle 1 sits one node past the chunk base; the base itself is
+	// aligned.
+	if (addr-unsafe.Sizeof(small{}))%pmem.LineSize != 0 {
+		t.Fatalf("chunk base not line-aligned (node 1 at %#x)", addr)
+	}
+}
+
+func TestArenaPointerNodesFallBack(t *testing.T) {
+	// Nodes with GC-visible pointers cannot live in a byte-carved chunk;
+	// the arena must fall back to a typed allocation and keep working.
+	type ptrNode struct{ p *int }
+	a := arena.New[ptrNode](epoch.New(1), 1)
+	if a.LineAligned() {
+		t.Fatalf("pointer-bearing nodes reported line-aligned")
+	}
+	x := 7
+	idx := a.Alloc(0)
+	a.Get(idx).p = &x
+	if *a.Get(idx).p != 7 {
+		t.Fatalf("pointer node broken")
+	}
+}

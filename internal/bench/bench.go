@@ -45,12 +45,16 @@ type Config struct {
 	BatchSize int
 }
 
-// Result is one benchmark outcome.
+// Result is one benchmark outcome. FlushPerOp counts clwb instructions
+// actually issued per operation; ElidePerOp counts Flush calls the line
+// model coalesced away (see pmem.Stats.FlushesElided) — their sum is the
+// number of Flush calls the persistence policy made.
 type Result struct {
 	Config
 	Ops        uint64
 	Mops       float64 // million operations per second
 	FlushPerOp float64
+	ElidePerOp float64
 	FencePerOp float64
 	Elapsed    time.Duration
 }
@@ -224,6 +228,7 @@ func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
 	}
 	if ops > 0 {
 		res.FlushPerOp = float64(st.Flushes) / float64(ops)
+		res.ElidePerOp = float64(st.FlushesElided) / float64(ops)
 		res.FencePerOp = float64(st.Fences) / float64(ops)
 	}
 	return res
@@ -248,30 +253,30 @@ func (r Result) nshards() string {
 
 // Row renders a result as an aligned table row.
 func (r Result) Row() string {
-	return fmt.Sprintf("%-9s %-12s %-6s %4d %9d %5d%% %-3s %3s %9.3f %8.2f %8.2f",
+	return fmt.Sprintf("%-9s %-12s %-6s %4d %9d %5d%% %-3s %3s %9.3f %8.2f %8.2f %8.2f",
 		r.Kind, r.Policy, r.Profile.Name, r.Threads, r.Range, r.UpdatePct,
-		r.wl(), r.nshards(), r.Mops, r.FlushPerOp, r.FencePerOp)
+		r.wl(), r.nshards(), r.Mops, r.FlushPerOp, r.ElidePerOp, r.FencePerOp)
 }
 
 // Header is the table header matching Row.
 func Header() string {
-	h := fmt.Sprintf("%-9s %-12s %-6s %4s %9s %6s %-3s %3s %9s %8s %8s",
+	h := fmt.Sprintf("%-9s %-12s %-6s %4s %9s %6s %-3s %3s %9s %8s %8s %8s",
 		"struct", "policy", "mem", "thr", "range", "upd", "wl", "sh",
-		"Mops/s", "flush/op", "fence/op")
+		"Mops/s", "flush/op", "elide/op", "fence/op")
 	return h + "\n" + strings.Repeat("-", len(h))
 }
 
 // CSV renders a result as a CSV line (for plotting). The shards column is
 // 0 for a plain structure, the engine's shard count otherwise.
 func (r Result) CSV() string {
-	return fmt.Sprintf("%s,%s,%s,%d,%d,%d,%s,%d,%.4f,%.3f,%.3f",
+	return fmt.Sprintf("%s,%s,%s,%d,%d,%d,%s,%d,%.4f,%.3f,%.3f,%.3f",
 		r.Kind, r.Policy, r.Profile.Name, r.Threads, r.Range, r.UpdatePct,
-		r.wl(), r.Shards, r.Mops, r.FlushPerOp, r.FencePerOp)
+		r.wl(), r.Shards, r.Mops, r.FlushPerOp, r.ElidePerOp, r.FencePerOp)
 }
 
 // CSVHeader matches CSV.
 func CSVHeader() string {
-	return "struct,policy,mem,threads,range,update_pct,workload,shards,mops,flush_per_op,fence_per_op"
+	return "struct,policy,mem,threads,range,update_pct,workload,shards,mops,flush_per_op,elide_per_op,fence_per_op"
 }
 
 // DefaultThreads caps a paper thread count at something sensible for the

@@ -281,6 +281,7 @@ func measureWorkload(cfg Config, wl Workload, ctxs []kvCtx, stats func() pmem.St
 	}
 	if ops > 0 {
 		res.FlushPerOp = float64(st.Flushes) / float64(ops)
+		res.ElidePerOp = float64(st.FlushesElided) / float64(ops)
 		res.FencePerOp = float64(st.Fences) / float64(ops)
 	}
 	return res

@@ -1,0 +1,77 @@
+package bench
+
+// Fuzz coverage for the Zipf generator: Next must stay inside [1, n] for
+// any (n, theta, r) and must be a pure function of its inputs (the YCSB
+// runners rely on determinism for reproducible workloads). The seed corpus
+// runs as a plain test in CI (`go test` executes fuzz seeds without
+// -fuzz), so the distribution invariants cannot silently rot.
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzZipfNext(f *testing.F) {
+	f.Add(uint64(1), 0.0, uint64(0))
+	f.Add(uint64(1), 0.99, ^uint64(0))
+	f.Add(uint64(2), 0.5, uint64(12345))
+	f.Add(uint64(1000), 0.99, uint64(0x9e3779b97f4a7c15))
+	f.Add(uint64(1000), 0.0, uint64(7))
+	f.Add(uint64(1<<16), 0.9, uint64(1<<63))
+	f.Add(uint64(1<<22+3), 0.99, uint64(42)) // Euler–Maclaurin zeta path
+	f.Add(uint64(3), 0.999, uint64(1))
+	f.Fuzz(func(t *testing.T, n uint64, theta float64, r uint64) {
+		if n == 0 || n > 1<<24 {
+			n = n%(1<<24) + 1
+		}
+		if math.IsNaN(theta) || theta < 0 || theta >= 1 {
+			theta = math.Mod(math.Abs(theta), 1)
+			if math.IsNaN(theta) {
+				theta = 0
+			}
+		}
+		z := NewZipf(n, theta)
+		k := z.Next(r)
+		if k < 1 || k > n {
+			t.Fatalf("Next(n=%d, theta=%v, r=%d) = %d out of [1, %d]", n, theta, r, k, n)
+		}
+		if again := z.Next(r); again != k {
+			t.Fatalf("Next not deterministic: %d then %d", k, again)
+		}
+		if other := NewZipf(n, theta).Next(r); other != k {
+			t.Fatalf("fresh generator disagrees: %d vs %d", other, k)
+		}
+	})
+}
+
+func TestZipfDeterministicAcrossGenerators(t *testing.T) {
+	a, b := NewZipf(4096, 0.99), NewZipf(4096, 0.99)
+	for r := uint64(0); r < 4096; r++ {
+		x := r * 0x9e3779b97f4a7c15
+		if a.Next(x) != b.Next(x) {
+			t.Fatalf("generators diverge at r=%d", r)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	// theta=0.99 must put far more mass on the head of the range than
+	// theta=0 (the property the YCSB workloads depend on).
+	const n, draws = 1024, 20000
+	count := func(theta float64) int {
+		z := NewZipf(n, theta)
+		head := 0
+		r := uint64(1)
+		for i := 0; i < draws; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			if z.Next(r) <= n/16 {
+				head++
+			}
+		}
+		return head
+	}
+	skewed, uniform := count(0.99), count(0)
+	if skewed < 2*uniform {
+		t.Fatalf("skew not concentrating: head hits %d (theta=.99) vs %d (theta=0)", skewed, uniform)
+	}
+}

@@ -1,0 +1,336 @@
+package crashtest
+
+// Crash torture for the ordered containers (queue, stack). The set checker
+// in this package reasons per key; queues and stacks need order-aware
+// checking instead. Every pushed/enqueued value is unique (producer id in
+// the high bits, a per-producer sequence number in the low bits), which
+// lets the checker verify, after crash + recovery:
+//
+//   - no value survives twice, and nothing survives that was never added;
+//   - a value removed by a *completed* dequeue/pop is gone for good (its
+//     removal was acknowledged, so it is durable);
+//   - per producer, the survivors appear in add order: a producer's later
+//     value is never reachable "behind" an earlier one, in either
+//     container. (Stronger shape claims — FIFO survivors form a contiguous
+//     suffix, LIFO survivors an exact prefix — are NOT sound: a value
+//     removed while it was momentarily at the container's open end leaves
+//     no trace among the survivors, and the DurableQueue's per-node claims
+//     let an in-flight dequeue punch a hole mid-queue.) The producer's
+//     in-flight add, if it survived, must sit at the open end;
+//   - values that disappeared without a completed removal are charged to
+//     in-flight removals, at most one each.
+//
+// This is durable linearizability specialized to FIFO/LIFO order: completed
+// operations survive, in-flight operations take effect fully or not at all,
+// and the surviving order is one some linearization produces.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+)
+
+// QueueTarget is the surface the queue torture drives.
+type QueueTarget interface {
+	Enqueue(t *pmem.Thread, v uint64)
+	Dequeue(t *pmem.Thread) (uint64, bool)
+	Recover(t *pmem.Thread)
+	// Contents returns the surviving values front to back (quiescent).
+	Contents(t *pmem.Thread) []uint64
+}
+
+// StackTarget is the surface the stack torture drives.
+type StackTarget interface {
+	Push(t *pmem.Thread, v uint64)
+	Pop(t *pmem.Thread) (uint64, bool)
+	Recover(t *pmem.Thread)
+	// Contents returns the surviving values top to bottom (quiescent).
+	Contents(t *pmem.Thread) []uint64
+}
+
+// OrderOptions configures one ordered-container crash round.
+type OrderOptions struct {
+	Workers        int     // concurrent worker goroutines
+	OpsBeforeCrash uint64  // crash once this many operations completed
+	AddRatio       int     // percent of ops that add (rest remove); default 60
+	Prefill        int     // values added (and persisted) before the history
+	EvictProb      float64 // probability an unpersisted line survives anyway
+	Seed           int64
+}
+
+func (o *OrderOptions) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.AddRatio == 0 {
+		o.AddRatio = 60
+	}
+	if o.OpsBeforeCrash == 0 {
+		o.OpsBeforeCrash = 400
+	}
+}
+
+// mkVal encodes (producer, seq) as a unique value. Producer ids stay small
+// (workers + the prefill pseudo-producer).
+func mkVal(producer int, seq uint64) uint64 { return uint64(producer)<<32 | seq }
+
+func valProducer(v uint64) int  { return int(v >> 32) }
+func valSeq(v uint64) uint64    { return v & (1<<32 - 1) }
+func valString(v uint64) string { return fmt.Sprintf("p%d#%d", valProducer(v), valSeq(v)) }
+
+// orderKind distinguishes the removal order of the container under check.
+type orderKind int
+
+const (
+	fifo orderKind = iota // queue: removals take each producer's oldest
+	lifo                  // stack: removals take each producer's newest
+)
+
+// orderWorker is one worker's recorded history.
+type orderWorker struct {
+	added       []uint64 // completed adds, in order
+	removed     []uint64 // values returned by completed removals
+	inflightAdd uint64   // 0 = none (sequence numbers start at 1)
+	inflightRem bool
+}
+
+// runOrder drives one crash round over an abstract add/remove surface.
+func runOrder(opts OrderOptions, prefill func(t *pmem.Thread, v uint64),
+	add func(t *pmem.Thread, v uint64), remove func(t *pmem.Thread) (uint64, bool),
+	recoverFn func(t *pmem.Thread), contents func(t *pmem.Thread) []uint64,
+	mem *pmem.Memory, kind orderKind) Result {
+
+	setup := mem.NewThread()
+	prefillProducer := opts.Workers // producer id for prefilled values
+	var prefilled []uint64
+	for i := 1; i <= opts.Prefill; i++ {
+		v := mkVal(prefillProducer, uint64(i))
+		prefill(setup, v)
+		prefilled = append(prefilled, v)
+	}
+	mem.PersistAll()
+
+	workers := make([]*orderWorker, opts.Workers)
+	ths := make([]*pmem.Thread, opts.Workers)
+	for i := range workers {
+		workers[i] = &orderWorker{}
+		ths[i] = mem.NewThread()
+	}
+	var completed atomic.Uint64
+	var wg sync.WaitGroup
+	for i := range workers {
+		wg.Add(1)
+		go func(id int, w *orderWorker, th *pmem.Thread) {
+			defer wg.Done()
+			seq := uint64(0)
+			for !mem.Crashed() {
+				if int(th.Rand()%100) < opts.AddRatio {
+					seq++
+					v := mkVal(id, seq)
+					w.inflightAdd = v
+					if pmem.RunOp(func() { add(th, v) }) {
+						return // in flight at the crash
+					}
+					w.inflightAdd = 0
+					w.added = append(w.added, v)
+				} else {
+					var v uint64
+					var ok bool
+					w.inflightRem = true
+					if pmem.RunOp(func() { v, ok = remove(th) }) {
+						return
+					}
+					w.inflightRem = false
+					if ok {
+						w.removed = append(w.removed, v)
+					}
+				}
+				completed.Add(1)
+			}
+		}(i, workers[i], ths[i])
+	}
+	for completed.Load() < opts.OpsBeforeCrash {
+		runtime.Gosched()
+	}
+	mem.Crash()
+	wg.Wait()
+	mem.FinishCrash(opts.EvictProb, opts.Seed)
+	mem.Restart()
+
+	rec := mem.NewThread()
+	recoverFn(rec)
+
+	res := Result{Completed: completed.Load()}
+	for _, w := range workers {
+		if w.inflightAdd != 0 {
+			res.InFlight++
+		}
+		if w.inflightRem {
+			res.InFlight++
+		}
+	}
+	surv := contents(rec)
+	res.Survivors = len(surv)
+	res.Violations = checkOrder(kind, workers, prefilled, prefillProducer, surv)
+	return res
+}
+
+// checkOrder verifies the surviving values against the recorded histories.
+// surv is in container order: front-to-back for a queue, top-to-bottom for
+// a stack.
+func checkOrder(kind orderKind, workers []*orderWorker, prefilled []uint64,
+	prefillProducer int, surv []uint64) []Violation {
+
+	var violations []Violation
+	bad := func(v uint64, format string, args ...any) {
+		violations = append(violations,
+			Violation{Key: v, Detail: valString(v) + ": " + fmt.Sprintf(format, args...)})
+	}
+
+	// Index every value that legitimately exists.
+	type valState struct {
+		producer  int
+		pos       int // index within the producer's completed sequence
+		inflight  bool
+		removedBy int // completed removals returning it (must be <= 1)
+	}
+	vals := map[uint64]*valState{}
+	seqs := make([][]uint64, len(workers)+1) // completed adds per producer
+	seqs[prefillProducer] = prefilled
+	for i, v := range prefilled {
+		vals[v] = &valState{producer: prefillProducer, pos: i}
+	}
+	inflightRemovals := 0
+	for id, w := range workers {
+		seqs[id] = w.added
+		for i, v := range w.added {
+			vals[v] = &valState{producer: id, pos: i}
+		}
+		if w.inflightAdd != 0 {
+			vals[w.inflightAdd] = &valState{producer: id, inflight: true}
+		}
+		if w.inflightRem {
+			inflightRemovals++
+		}
+	}
+	for _, w := range workers {
+		for _, v := range w.removed {
+			st := vals[v]
+			if st == nil {
+				bad(v, "completed removal returned a value never added")
+				continue
+			}
+			st.removedBy++
+			if st.removedBy > 1 {
+				bad(v, "removed by %d completed operations", st.removedBy)
+			}
+		}
+	}
+
+	// Survivors: known, unique, not durably removed.
+	seen := map[uint64]bool{}
+	survByProducer := make([][]uint64, len(workers)+1)
+	for _, v := range surv {
+		if seen[v] {
+			bad(v, "survives twice")
+			continue
+		}
+		seen[v] = true
+		st := vals[v]
+		if st == nil {
+			bad(v, "survives but was never added")
+			continue
+		}
+		if st.removedBy > 0 {
+			bad(v, "resurfaced after a completed removal")
+			continue
+		}
+		p := st.producer
+		if p < 0 || p >= len(survByProducer) {
+			continue
+		}
+		survByProducer[p] = append(survByProducer[p], v)
+	}
+
+	// Per-producer order and accounting of unexplained disappearances.
+	extraMissing := 0
+	for p, seq := range seqs {
+		sv := survByProducer[p]
+		if kind == lifo {
+			// Contents are top-to-bottom = newest-first; flip to oldest-
+			// first so both kinds check "ascending positions".
+			for i, j := 0, len(sv)-1; i < j; i, j = i+1, j-1 {
+				sv[i], sv[j] = sv[j], sv[i]
+			}
+		}
+		// The in-flight add, if it survived, must sit at the open end
+		// (newest); peel it off.
+		if n := len(sv); n > 0 {
+			if st := vals[sv[n-1]]; st != nil && st.inflight {
+				sv = sv[:n-1]
+			}
+		}
+		for _, v := range sv {
+			if st := vals[v]; st != nil && st.inflight {
+				bad(v, "in-flight add survived out of order")
+			}
+		}
+		// Survivors must appear in add order (a subsequence of the
+		// producer's completed sequence); every completed value that
+		// neither survives nor was removed by a completed operation needs
+		// an in-flight removal to explain its disappearance.
+		last := -1
+		for _, v := range sv {
+			st := vals[v]
+			if st == nil {
+				continue
+			}
+			if st.pos <= last {
+				bad(v, "survives out of order (pos %d after %d)", st.pos, last)
+			}
+			last = st.pos
+		}
+		for _, v := range seq {
+			if !seen[v] && vals[v].removedBy == 0 {
+				extraMissing++
+			}
+		}
+	}
+	if extraMissing > inflightRemovals {
+		violations = append(violations, Violation{Key: 0, Detail: fmt.Sprintf(
+			"%d completed adds vanished with only %d in-flight removals to explain them",
+			extraMissing, inflightRemovals)})
+	}
+	return violations
+}
+
+// RunQueue executes one crash round against a queue built by factory on a
+// fresh tracked memory and checks FIFO durable linearizability.
+func RunQueue(opts OrderOptions, factory func(mem *pmem.Memory) QueueTarget) Result {
+	opts.defaults()
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
+		MaxThreads: opts.Workers + 8})
+	q := factory(mem)
+	return runOrder(opts,
+		func(t *pmem.Thread, v uint64) { q.Enqueue(t, v) },
+		func(t *pmem.Thread, v uint64) { q.Enqueue(t, v) },
+		func(t *pmem.Thread) (uint64, bool) { return q.Dequeue(t) },
+		q.Recover, q.Contents, mem, fifo)
+}
+
+// RunStack executes one crash round against a stack built by factory on a
+// fresh tracked memory and checks LIFO durable linearizability.
+func RunStack(opts OrderOptions, factory func(mem *pmem.Memory) StackTarget) Result {
+	opts.defaults()
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
+		MaxThreads: opts.Workers + 8})
+	s := factory(mem)
+	return runOrder(opts,
+		func(t *pmem.Thread, v uint64) { s.Push(t, v) },
+		func(t *pmem.Thread, v uint64) { s.Push(t, v) },
+		func(t *pmem.Thread) (uint64, bool) { return s.Pop(t) },
+		s.Recover, s.Contents, mem, lifo)
+}

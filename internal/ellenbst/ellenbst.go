@@ -62,6 +62,7 @@ type Node struct {
 	Left   pmem.Cell
 	Right  pmem.Cell
 	Update pmem.Cell
+	_      [16]byte // pad to one 64-byte line (line-granular persistence)
 }
 
 // Info is an operation descriptor. Kind and all fields are immutable after
@@ -73,6 +74,7 @@ type Info struct {
 	L           pmem.Cell
 	NewInternal pmem.Cell // insert only
 	PUpdate     pmem.Cell // delete only: p.Update value read by the search
+	_           [16]byte  // pad to one 64-byte line (line-granular persistence)
 }
 
 const (

@@ -1,0 +1,156 @@
+package ellenbst
+
+// Table-driven recovery tests: for every operation in the table, crash at
+// every fence point of its execution (pmem.Memory.CrashAtFence aborts the
+// k-th fence before it persists anything), run Recover, and check that the
+// tree validates, carries no leftover operation flags, and shows a key set
+// some linearization explains — the interrupted operation took effect
+// fully or not at all, and no other key moved.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+type fenceScenario struct {
+	name    string
+	prefill []uint64
+	op      func(*Tree, *pmem.Thread) bool
+	key     uint64 // the key the op targets
+	insert  bool   // op adds key (else removes); finds use key with insert=false+present prefill
+}
+
+func fenceScenarios() []fenceScenario {
+	base := []uint64{10, 20, 30, 40}
+	return []fenceScenario{
+		{"insert-new", base, func(tr *Tree, t *pmem.Thread) bool { return tr.Insert(t, 25, 25) }, 25, true},
+		{"insert-dup", base, func(tr *Tree, t *pmem.Thread) bool { return tr.Insert(t, 20, 99) }, 20, true},
+		{"delete-present", base, func(tr *Tree, t *pmem.Thread) bool { return tr.Delete(t, 30) }, 30, false},
+		{"delete-absent", base, func(tr *Tree, t *pmem.Thread) bool { return tr.Delete(t, 35) }, 35, false},
+		{"find", base, func(tr *Tree, t *pmem.Thread) bool { _, ok := tr.Find(t, 20); return ok }, 20, false},
+	}
+}
+
+// buildFence constructs a fresh persisted tree with the scenario's prefill.
+func buildFence(sc fenceScenario) (*pmem.Memory, *Tree, *pmem.Thread) {
+	mem := pmem.NewTracked()
+	tr := New(mem, persist.NVTraverse{})
+	th := mem.NewThread()
+	for _, k := range sc.prefill {
+		tr.Insert(th, k, k)
+	}
+	mem.PersistAll()
+	return mem, tr, th
+}
+
+// opFences counts the fences one clean execution of the op issues.
+func opFences(sc fenceScenario) int {
+	mem, tr, th := buildFence(sc)
+	before := mem.Stats().Fences
+	sc.op(tr, th)
+	return int(mem.Stats().Fences - before)
+}
+
+func TestRecoveryAtEveryFencePoint(t *testing.T) {
+	for _, sc := range fenceScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			fences := opFences(sc)
+			if fences == 0 {
+				t.Fatalf("scenario issues no fences; nothing to schedule")
+			}
+			// k = fences+1 runs untrapped: the op completes.
+			for k := 1; k <= fences+1; k++ {
+				mem, tr, th := buildFence(sc)
+				if k <= fences {
+					mem.CrashAtFence(k)
+				}
+				crashed := pmem.RunOp(func() { sc.op(tr, th) })
+				if crashed != (k <= fences) {
+					t.Fatalf("fence %d/%d: crashed=%v", k, fences, crashed)
+				}
+				if crashed {
+					mem.FinishCrash(0, int64(k))
+					mem.Restart()
+				}
+				rec := mem.NewThread()
+				tr.Recover(rec)
+				if err := tr.Validate(rec); err != nil {
+					t.Fatalf("fence %d/%d: invalid tree after recovery: %v", k, fences, err)
+				}
+				if n := tr.CountMarked(rec); n != 0 {
+					t.Fatalf("fence %d/%d: %d marked nodes survive recovery", k, fences, n)
+				}
+				if err := checkFenceContents(sc, tr, rec, !crashed); err != nil {
+					t.Fatalf("fence %d/%d: %v", k, fences, err)
+				}
+				// The recovered tree accepts new operations.
+				if !tr.Insert(rec, 999, 999) {
+					t.Fatalf("fence %d/%d: post-recovery insert failed", k, fences)
+				}
+			}
+		})
+	}
+}
+
+// checkFenceContents verifies the surviving key set: every non-target
+// prefill key intact, no foreign keys, and the target in a state some
+// linearization of the (possibly interrupted) operation explains.
+func checkFenceContents(sc fenceScenario, tr *Tree, rec *pmem.Thread, completed bool) error {
+	got := map[uint64]bool{}
+	for _, k := range tr.Contents(rec) {
+		got[k] = true
+	}
+	preTarget := false
+	for _, k := range sc.prefill {
+		if k == sc.key {
+			preTarget = true
+			continue
+		}
+		if !got[k] {
+			return fmt.Errorf("prefilled key %d lost", k)
+		}
+		delete(got, k)
+	}
+	targetNow, hasTarget := got[sc.key]
+	delete(got, sc.key)
+	if len(got) != 0 {
+		extra := make([]uint64, 0, len(got))
+		for k := range got {
+			extra = append(extra, k)
+		}
+		sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+		return fmt.Errorf("foreign keys present: %v", extra)
+	}
+	targetPresent := hasTarget && targetNow
+	var want []bool
+	switch {
+	case completed && sc.insert:
+		want = []bool{true}
+	case completed && !sc.insert && sc.name != "find":
+		want = []bool{false}
+	case completed: // find
+		want = []bool{preTarget}
+	case sc.name == "find":
+		// Interrupted find: lookups never change membership.
+		want = []bool{preTarget}
+	default:
+		// Interrupted mutation: effect or no effect are both explainable.
+		if sc.insert {
+			want = []bool{preTarget, true}
+		} else {
+			want = []bool{preTarget, false}
+		}
+	}
+	for _, w := range want {
+		if targetPresent == w {
+			return nil
+		}
+	}
+	return fmt.Errorf("target %d present=%v, allowed %v (prefilled=%v)",
+		sc.key, targetPresent, want, preTarget)
+}

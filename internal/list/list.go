@@ -32,11 +32,17 @@ import (
 // recorded before the link CAS (lists always link through a Next field, so
 // a node handle identifies the pointer's location). It is only maintained
 // when the list runs in original-parent mode.
+// Node is padded to one full 64-byte line (pmem allocators hand out whole
+// lines; PMDK's minimum allocation is a line): the persistence model is
+// line-granular, so without the padding two nodes would share a line and a
+// flush of one would — unrealistically — persist the other's links, hiding
+// protocol bugs the crash tests exist to catch.
 type Node struct {
 	Key        pmem.Cell
 	Value      pmem.Cell
 	Next       pmem.Cell
 	OrigParent pmem.Cell
+	_          [32]byte
 }
 
 // Shared bundles the substrate a list (or a hash table of lists) lives on.

@@ -42,6 +42,7 @@ type Node struct {
 	Value pmem.Cell
 	Left  pmem.Cell
 	Right pmem.Cell
+	_     [24]byte // pad to one 64-byte line (line-granular persistence)
 }
 
 // Tree is the set.

@@ -13,6 +13,7 @@ type LNode struct {
 	Key   pmem.Cell
 	Value pmem.Cell
 	Next  pmem.Cell
+	_     [40]byte // pad to one 64-byte line (line-granular persistence)
 }
 
 // ListSet is a sorted linked-list set written as *sequential* code inside
@@ -145,6 +146,7 @@ type BNode struct {
 	Value pmem.Cell
 	Left  pmem.Cell
 	Right pmem.Cell
+	_     [32]byte // pad to one 64-byte line (line-granular persistence)
 }
 
 // BSTSet is an unbalanced internal BST written sequentially inside

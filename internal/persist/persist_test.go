@@ -74,19 +74,22 @@ func TestIzraelevitzFlushesEveryAccess(t *testing.T) {
 
 func TestNVTraversePlacement(t *testing.T) {
 	m, th := newThread()
-	var a, b, c pmem.Cell
+	// Three cells on three distinct lines, so every flush is issued rather
+	// than line-coalesced (coalescing has its own tests in pmem).
+	lines := pmem.AllocLines(3)
+	a, b, c := &lines[0][0], &lines[1][0], &lines[2][0]
 	p := NVTraverse{}
-	p.TraverseRead(th, &a) // free
+	p.TraverseRead(th, a) // free
 	if s := m.Stats(); s.Flushes != 0 {
 		t.Fatalf("traverse read flushed")
 	}
-	p.PostTraverse(th, []*pmem.Cell{&a, &b, &c})
+	p.PostTraverse(th, []*pmem.Cell{a, b, c})
 	s := m.Stats()
 	if s.Flushes != 3 || s.Fences != 1 {
 		t.Fatalf("PostTraverse: %+v", s)
 	}
-	p.Read(th, &a)  // flush, no fence
-	p.Wrote(th, &b) // flush, no fence
+	p.Read(th, a)  // flush, no fence (fresh window: PostTraverse fenced)
+	p.Wrote(th, b) // flush, no fence
 	s = m.Stats()
 	if s.Flushes != 5 || s.Fences != 1 {
 		t.Fatalf("critical accesses: %+v", s)

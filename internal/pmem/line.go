@@ -1,0 +1,57 @@
+package pmem
+
+import "unsafe"
+
+// The simulated memory is cache-line accurate: persistence acts on 64-byte
+// lines, not on individual cells. A clwb writes back the whole line a cell
+// lives in, a crash persists or drops whole lines atomically, and a flush
+// of a line that is already on its way to persistent memory is a no-op
+// (flush coalescing). Line identity is the cell's real address divided by
+// LineSize: Go's allocator never moves heap objects, so the key is stable
+// for the cell's lifetime, and cells that are adjacent in memory — fields
+// of one node, neighboring slots of one array — genuinely share a line,
+// exactly as they would on hardware.
+const (
+	// LineSize is the persistence granularity in bytes (one cache line).
+	LineSize = 64
+	// CellsPerLine is how many 8-byte cells fit in one line.
+	CellsPerLine = LineSize / 8
+
+	lineShift = 6
+)
+
+// lineOf returns the line key of a cell: its address divided by LineSize.
+func lineOf(c *Cell) uintptr { return uintptr(unsafe.Pointer(c)) >> lineShift }
+
+// SameLine reports whether two cells fall into the same 64-byte line (and
+// therefore persist and vanish together in a crash).
+func SameLine(a, b *Cell) bool { return lineOf(a) == lineOf(b) }
+
+// AllocLines returns n groups of CellsPerLine cells each. Every group
+// exactly fills one 64-byte line, and distinct groups occupy distinct
+// lines. Code that needs explicit control over line placement — tests of
+// the line model, root cells that must not share a line — uses this
+// instead of declaring adjacent Cell variables, whose line membership is
+// up to the allocator.
+func AllocLines(n int) [][]Cell {
+	buf := make([]Cell, (n+1)*CellsPerLine)
+	off := 0
+	for uintptr(unsafe.Pointer(&buf[off]))%LineSize != 0 {
+		off++
+	}
+	out := make([][]Cell, n)
+	for i := range out {
+		out[i] = buf[off+i*CellsPerLine : off+(i+1)*CellsPerLine]
+	}
+	return out
+}
+
+// lineSlot maps a cell's line to a slot of the fast-mode line-version
+// table. Distinct lines may collide; collisions merge their write
+// versions, which only perturbs the flush-coalescing statistics (fast mode
+// has no crash semantics), and the multiplicative hash keeps neighboring
+// lines apart.
+func (m *Memory) lineSlot(c *Cell) uintptr {
+	h := uint64(lineOf(c)) * 0x9e3779b97f4a7c15
+	return uintptr(h >> (64 - uint(m.cfg.LineTableBits)))
+}

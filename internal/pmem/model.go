@@ -35,52 +35,69 @@ func RunOp(f func()) (crashed bool) {
 	return false
 }
 
-// cellState is the tracked persistence state of one cell that has been
-// written since construction (or the last PersistAll): a monotonically
-// increasing write version plus the newest (version, value) pair known to
-// have reached persistent memory.
+// lineState is the tracked persistence state of one 64-byte line that has
+// been written since construction (or the last PersistAll): a monotonically
+// increasing write version, the newest version known to have reached
+// persistent memory, and the persisted value of every cell of the line that
+// has ever been written. Cells of the line that were never written need no
+// entry — their construction value is persisted by definition.
 //
 // Versioning matters for correctness of the simulation itself: a fence
-// persists the value each line held when it was *flushed*, but persistence
-// can never move backwards — on real hardware, once a newer value has been
-// written back, a stale earlier writeback cannot resurrect an older value
-// (clwb writes current line content; coherence orders the writebacks).
-// Without the version guard, a thread fencing a stale capture after
-// another thread persisted a newer value would regress the cell and
-// silently "lose" a completed, correctly-persisted operation.
-type cellState struct {
+// persists the snapshot each line held when it was *flushed*, but
+// persistence can never move backwards — on real hardware, once a newer
+// line image has been written back, a stale earlier writeback cannot
+// resurrect an older one (clwb writes current line content; coherence
+// orders the writebacks). Without the version guard, a thread fencing a
+// stale capture after another thread persisted a newer image would regress
+// the line and silently "lose" a completed, correctly-persisted operation.
+type lineState struct {
 	curVer       uint64
 	persistedVer uint64
-	persistedVal uint64
+	persisted    map[*Cell]uint64
 }
 
-// model is the tracked write-back state.
+// cellVal is one cell of a whole-line flush snapshot.
+type cellVal struct {
+	c *Cell
+	v uint64
+}
+
+// model is the tracked write-back state, keyed by line.
 type model struct {
-	mu   sync.Mutex
-	base map[*Cell]*cellState
+	mu    sync.Mutex
+	lines map[uintptr]*lineState
 }
 
 func newModel() *model {
-	return &model{base: make(map[*Cell]*cellState)}
+	return &model{lines: make(map[uintptr]*lineState)}
 }
 
-// state returns the cell's tracked state, creating it with the current
-// volatile value as the persisted baseline (version 0) on first write.
+// line returns the tracked state of c's line, creating it on first write.
 // Caller holds m.mu.
-func (m *model) state(c *Cell) *cellState {
-	st := m.base[c]
-	if st == nil {
-		st = &cellState{persistedVal: c.v.Load()}
-		m.base[c] = st
+func (m *model) line(c *Cell) *lineState {
+	key := lineOf(c)
+	ls := m.lines[key]
+	if ls == nil {
+		ls = &lineState{persisted: make(map[*Cell]uint64)}
+		m.lines[key] = ls
 	}
-	return st
+	return ls
 }
 
-// store bumps the cell's write version and performs the volatile write.
+// touch baselines c within its line state: the first write of a cell
+// records its pre-write value as the persisted baseline. Caller holds m.mu.
+func (m *model) touch(ls *lineState, c *Cell) {
+	if _, ok := ls.persisted[c]; !ok {
+		ls.persisted[c] = c.v.Load()
+	}
+}
+
+// store bumps the line's write version and performs the volatile write.
 func (m *model) store(c *Cell, v uint64) {
 	m.mu.Lock()
-	st := m.state(c)
-	st.curVer++
+	ls := m.line(c)
+	m.touch(ls, c)
+	ls.curVer++
 	c.v.Store(v)
 	m.mu.Unlock()
 }
@@ -92,41 +109,65 @@ func (m *model) cas(c *Cell, old, new uint64) bool {
 		m.mu.Unlock()
 		return false
 	}
-	st := m.state(c)
-	st.curVer++
+	ls := m.line(c)
+	m.touch(ls, c)
+	ls.curVer++
 	c.v.Store(new)
 	m.mu.Unlock()
 	return true
 }
 
-// capture records a flush: the cell's current (version, value) pair, read
-// consistently under the model lock. Never-written cells need no entry —
-// their construction value is persisted by definition.
-func (m *model) capture(c *Cell) (flushEntry, bool) {
+// flush records a clwb of c's line: a snapshot of every tracked cell of the
+// line, read consistently under the model lock, tagged with the line's
+// current write version. The flush is elided — a no-op, like clwb of a line
+// the CPU already has in flight to memory — when the issuing thread's
+// pending set already holds a capture of this line at the same version:
+// nothing was written to the line since that capture, so the thread's next
+// fence persists exactly the content this flush would have captured. The
+// version check makes elision exact; a line rewritten after its capture is
+// always re-flushed.
+func (m *model) flush(c *Cell, pending []flushEntry) (flushEntry, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := m.base[c]
-	if st == nil {
-		return flushEntry{}, false
+	key := lineOf(c)
+	var cur uint64
+	ls := m.lines[key]
+	if ls != nil {
+		cur = ls.curVer
 	}
-	return flushEntry{c: c, v: c.v.Load(), ver: st.curVer}, true
+	for i := range pending {
+		if pending[i].line == key && pending[i].ver == cur {
+			return flushEntry{}, true
+		}
+	}
+	e := flushEntry{line: key, ver: cur}
+	if ls != nil {
+		e.vals = make([]cellVal, 0, len(ls.persisted))
+		for cc := range ls.persisted {
+			e.vals = append(e.vals, cellVal{c: cc, v: cc.v.Load()})
+		}
+	}
+	return e, false
 }
 
-// fence persists every flushed entry, monotonically: an entry only
-// advances a cell's persisted state if it captured a newer write.
+// fence persists every flushed line snapshot, monotonically: an entry only
+// advances a line's persisted state if it captured a newer write version,
+// and it advances the whole line at once — lines persist atomically.
 func (m *model) fence(entries []flushEntry) {
 	if len(entries) == 0 {
 		return
 	}
 	m.mu.Lock()
 	for _, e := range entries {
-		st := m.base[e.c]
-		if st == nil {
+		ls := m.lines[e.line]
+		if ls == nil {
 			continue // PersistAll intervened: already fully persistent
 		}
-		if e.ver > st.persistedVer {
-			st.persistedVer = e.ver
-			st.persistedVal = e.v
+		if e.ver > ls.persistedVer {
+			ls.persistedVer = e.ver
+			for _, cv := range e.vals {
+				ls.persisted[cv.c] = cv.v
+			}
 		}
 	}
 	m.mu.Unlock()
@@ -138,10 +179,12 @@ func (m *model) fence(entries []flushEntry) {
 //     panics with the crash sentinel, stopping workers mid-operation.
 //     Callers must wait for all workers to have stopped before step 2
 //     (Crash does not know about the caller's goroutines).
-//  2. Every dirty cell is rolled back to its persisted value — except that,
-//     with probability evictProb each, dirty cells are "evicted": hardware
-//     caches may write a line back at any time without being asked, so a
-//     crash may persist writes the program never flushed.
+//  2. Every dirty line is rolled back — all of its cells together — to its
+//     newest persisted snapshot, except that with probability evictProb
+//     each dirty line is "evicted": hardware caches may write a line back
+//     at any time without being asked, so a crash may persist writes the
+//     program never flushed. Either way a line survives or vanishes as a
+//     unit; no crash state ever splits a line.
 //  3. All thread flush sets are discarded (they were in the volatile CPU).
 //
 // After Crash returns, the memory is still in the crashed state; call
@@ -166,16 +209,18 @@ func (m *Memory) FinishCrash(evictProb float64, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	mo := m.model
 	mo.mu.Lock()
-	for c, st := range mo.base {
-		if st.persistedVer == st.curVer {
+	for _, ls := range mo.lines {
+		if ls.persistedVer == ls.curVer {
 			continue // fully persistent: volatile == persisted
 		}
 		if evictProb > 0 && rng.Float64() < evictProb {
-			continue // line was evicted: volatile value survived
+			continue // whole line was evicted: volatile values survived
 		}
-		c.v.Store(st.persistedVal)
+		for c, pv := range ls.persisted {
+			c.v.Store(pv)
+		}
 	}
-	mo.base = make(map[*Cell]*cellState)
+	mo.lines = make(map[uintptr]*lineState)
 	mo.mu.Unlock()
 	for _, t := range m.Threads() {
 		t.flushSet = t.flushSet[:0]
@@ -183,6 +228,7 @@ func (m *Memory) FinishCrash(evictProb float64, seed int64) {
 		t.batchDepth = 0
 		t.pendingCommit = false
 	}
+	m.fenceTrap.Store(0)
 }
 
 // Restart lowers the crash flag so recovery code (and new workers) can run.
@@ -193,6 +239,31 @@ func (m *Memory) Restart() {
 // Crashed reports whether the crash flag is raised.
 func (m *Memory) Crashed() bool { return m.crashed.Load() }
 
+// CrashAtFence arms a deterministic crash schedule: the n-th Fence issued
+// from now on (n >= 1, counted across all threads) raises the crash flag
+// and aborts before persisting anything, exactly as a power failure landing
+// at that fence point would. The trap disarms after firing (or at
+// FinishCrash). Single-writer test hook: arm it only while the memory is
+// quiescent.
+func (m *Memory) CrashAtFence(n int) {
+	if m.model == nil {
+		panic("pmem: CrashAtFence requires ModeTracked")
+	}
+	if n < 1 {
+		panic("pmem: CrashAtFence needs n >= 1")
+	}
+	m.fenceTrap.Store(int64(n))
+}
+
+// checkFenceTrap fires the CrashAtFence schedule. Called at the top of
+// Fence, before any persistence happens.
+func (m *Memory) checkFenceTrap() {
+	if m.fenceTrap.Load() > 0 && m.fenceTrap.Add(-1) == 0 {
+		m.crashed.Store(true)
+		panic(errCrashed{})
+	}
+}
+
 // PersistAll declares the current volatile contents fully persisted. Use it
 // after constructing a data structure's initial state, mirroring the paper's
 // assumption that the initial structure resides in NVRAM before operations
@@ -202,7 +273,7 @@ func (m *Memory) PersistAll() {
 		return
 	}
 	m.model.mu.Lock()
-	m.model.base = make(map[*Cell]*cellState)
+	m.model.lines = make(map[uintptr]*lineState)
 	m.model.mu.Unlock()
 	for _, t := range m.Threads() {
 		t.flushSet = t.flushSet[:0]
@@ -212,7 +283,8 @@ func (m *Memory) PersistAll() {
 	// quiescent batch is open, and an empty flush set makes EndBatch cheap.
 }
 
-// DirtyCells reports how many cells are currently unpersisted (test hook).
+// DirtyCells reports how many cells currently hold a volatile value that
+// would not survive a crash (test hook).
 func (m *Memory) DirtyCells() int {
 	if m.model == nil {
 		return 0
@@ -220,8 +292,30 @@ func (m *Memory) DirtyCells() int {
 	m.model.mu.Lock()
 	defer m.model.mu.Unlock()
 	n := 0
-	for _, st := range m.model.base {
-		if st.persistedVer != st.curVer {
+	for _, ls := range m.model.lines {
+		if ls.persistedVer == ls.curVer {
+			continue
+		}
+		for c, pv := range ls.persisted {
+			if c.v.Load() != pv {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyLines reports how many lines are currently unpersisted — written
+// since their newest fenced flush (test and reporting hook).
+func (m *Memory) DirtyLines() int {
+	if m.model == nil {
+		return 0
+	}
+	m.model.mu.Lock()
+	defer m.model.mu.Unlock()
+	n := 0
+	for _, ls := range m.model.lines {
+		if ls.persistedVer != ls.curVer {
 			n++
 		}
 	}
@@ -229,15 +323,17 @@ func (m *Memory) DirtyCells() int {
 }
 
 // PersistedValue returns the value that would survive a crash for c right
-// now (test hook).
+// now, assuming c's line is not evicted (test hook).
 func (m *Memory) PersistedValue(c *Cell) uint64 {
 	if m.model == nil {
 		return c.raw()
 	}
 	m.model.mu.Lock()
 	defer m.model.mu.Unlock()
-	if st, ok := m.model.base[c]; ok {
-		return st.persistedVal
+	if ls, ok := m.model.lines[lineOf(c)]; ok {
+		if pv, ok := ls.persisted[c]; ok {
+			return pv
+		}
 	}
 	return c.raw()
 }

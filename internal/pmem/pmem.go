@@ -7,23 +7,30 @@
 // accesses go through a per-worker Thread, which provides atomic Load, Store
 // and CAS plus the persistence instructions Flush (clwb) and Fence (sfence).
 //
+// Persistence is cache-line accurate: cells are placed into 64-byte lines
+// by their real addresses (see line.go), Flush writes back a whole line and
+// coalesces repeat flushes of an unchanged line (Stats.FlushesElided), and
+// a crash persists or drops whole lines atomically — cells of one line
+// never part ways, exactly as on hardware.
+//
 // The memory runs in one of two modes:
 //
 //   - ModeFast: accesses are plain Go atomics; Flush and Fence charge a
 //     calibrated spin cost from a latency Profile and bump per-thread
-//     counters. This mode is used by the throughput benchmarks: the paper's
-//     claims are about the count and placement of flushes and fences, and the
-//     cost model exercises exactly the code paths the NVTraverse
-//     transformation changes.
+//     counters. Writes additionally bump a hashed per-line version table so
+//     flush coalescing is observable in the counters. This mode is used by
+//     the throughput benchmarks: the paper's claims are about the count and
+//     placement of flushes and fences, and the cost model exercises exactly
+//     the code paths the NVTraverse transformation changes.
 //
-//   - ModeTracked: the memory additionally maintains, for every cell written
-//     since the last full persist, the value last made persistent. Crash()
-//     rolls every such cell back to its persisted value (optionally letting a
-//     random subset "evict", i.e. persist on its own, as hardware caches may).
-//     While the crash flag is raised, every access panics with a crash
-//     sentinel so that in-flight operations stop mid-instruction, exactly as
-//     a power failure would stop them. This mode powers the durable
-//     linearizability crash tests.
+//   - ModeTracked: the memory additionally maintains, for every line written
+//     since the last full persist, the newest line image known to be
+//     persistent. Crash() rolls every dirty line back to its persisted image
+//     (optionally letting a random subset of lines "evict", i.e. persist on
+//     their own, as hardware caches may). While the crash flag is raised,
+//     every access panics with a crash sentinel so that in-flight operations
+//     stop mid-instruction, exactly as a power failure would stop them. This
+//     mode powers the durable linearizability crash tests.
 //
 // References between nodes are Ref values: arena handles with a low mark bit
 // (bit 0), an auxiliary bit (bit 1, used by data structures that need two
@@ -72,10 +79,24 @@ type Config struct {
 	Mode       Mode
 	Profile    Profile
 	MaxThreads int // capacity for NewThread; defaults to 64
+
+	// LineTableBits sizes the fast-mode per-line write-version table at
+	// 2^bits slots (defaults to DefaultLineTableBits). Lines hash into the
+	// table; collisions merge write versions and only perturb the flush-
+	// coalescing statistics. Tracked mode keys lines exactly and ignores
+	// this.
+	LineTableBits int
 }
 
 // DefaultMaxThreads is used when Config.MaxThreads is zero.
 const DefaultMaxThreads = 128
+
+// DefaultLineTableBits is used when Config.LineTableBits is zero: 2^14
+// line-padded slots, 1 MiB per fast-mode memory. Distinct lines hashing to
+// one slot merge their write versions, which only perturbs the
+// flush-coalescing counters (conservatively: merged lines look dirtier, so
+// fewer flushes elide).
+const DefaultLineTableBits = 14
 
 // Memory is one simulated persistent memory domain. All cells of a data
 // structure must be used with threads of the same Memory.
@@ -87,6 +108,21 @@ type Memory struct {
 	threads []*Thread
 
 	model *model // non-nil iff ModeTracked
+
+	// lineVer is the fast-mode hashed per-line write-version table (nil in
+	// tracked mode, which tracks lines exactly in the model). Slots are
+	// padded to one physical cache line each: the table sits on the
+	// Store/CAS hot path of every benchmark, and unpadded slots would add
+	// false-sharing contention to the very numbers fast mode measures.
+	lineVer []paddedVer
+
+	// fenceTrap implements the CrashAtFence deterministic crash schedule.
+	fenceTrap atomic.Int64
+}
+
+type paddedVer struct {
+	v atomic.Uint64
+	_ [LineSize - 8]byte
 }
 
 // New creates a Memory with the given configuration.
@@ -94,9 +130,20 @@ func New(cfg Config) *Memory {
 	if cfg.MaxThreads == 0 {
 		cfg.MaxThreads = DefaultMaxThreads
 	}
+	if cfg.LineTableBits == 0 {
+		cfg.LineTableBits = DefaultLineTableBits
+	}
+	if cfg.LineTableBits < 8 {
+		cfg.LineTableBits = 8
+	}
+	if cfg.LineTableBits > 22 {
+		cfg.LineTableBits = 22
+	}
 	m := &Memory{cfg: cfg}
 	if cfg.Mode == ModeTracked {
 		m.model = newModel()
+	} else {
+		m.lineVer = make([]paddedVer, 1<<cfg.LineTableBits)
 	}
 	return m
 }

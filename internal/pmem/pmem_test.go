@@ -429,15 +429,186 @@ func TestStaleFenceCannotRegressPersistence(t *testing.T) {
 func TestDirtyCellsCountsOnlyUnpersisted(t *testing.T) {
 	m := NewTracked()
 	th := m.NewThread()
-	var a, b Cell
-	th.Store(&a, 1)
-	th.Store(&b, 2)
+	// Distinct lines: persistence is line-granular, so the two cells must
+	// not share one (adjacent local variables often would).
+	lines := AllocLines(2)
+	a, b := &lines[0][0], &lines[1][0]
+	th.Store(a, 1)
+	th.Store(b, 2)
 	if m.DirtyCells() != 2 {
 		t.Fatalf("dirty = %d, want 2", m.DirtyCells())
 	}
-	th.Flush(&a)
+	if m.DirtyLines() != 2 {
+		t.Fatalf("dirty lines = %d, want 2", m.DirtyLines())
+	}
+	th.Flush(a)
 	th.Fence()
 	if m.DirtyCells() != 1 {
 		t.Fatalf("dirty after persisting one = %d, want 1", m.DirtyCells())
+	}
+	if m.DirtyLines() != 1 {
+		t.Fatalf("dirty lines after persisting one = %d, want 1", m.DirtyLines())
+	}
+}
+
+// --- line granularity ---
+
+func TestAllocLinesPlacement(t *testing.T) {
+	lines := AllocLines(3)
+	if len(lines) != 3 {
+		t.Fatalf("AllocLines(3) = %d groups", len(lines))
+	}
+	for i, ln := range lines {
+		if len(ln) != CellsPerLine {
+			t.Fatalf("group %d has %d cells", i, len(ln))
+		}
+		for j := 1; j < len(ln); j++ {
+			if !SameLine(&ln[0], &ln[j]) {
+				t.Fatalf("group %d: cells 0 and %d on different lines", i, j)
+			}
+		}
+	}
+	if SameLine(&lines[0][0], &lines[1][0]) || SameLine(&lines[1][7], &lines[2][0]) {
+		t.Fatalf("distinct groups share a line")
+	}
+}
+
+func TestLineFlushPersistsWholeLine(t *testing.T) {
+	// clwb semantics: flushing any cell of a line writes back the whole
+	// line, so a sibling cell's unflushed write persists with it.
+	m := NewTracked()
+	th := m.NewThread()
+	ln := AllocLines(1)[0]
+	a, b := &ln[0], &ln[1]
+	th.Store(a, 1)
+	th.Store(b, 2)
+	th.Flush(a) // never mentions b
+	th.Fence()
+	m.Crash()
+	m.FinishCrash(0, 1)
+	m.Restart()
+	if got := th.Load(b); got != 2 {
+		t.Fatalf("sibling cell did not persist with its line: %d, want 2", got)
+	}
+}
+
+func TestLineCrashIsAtomic(t *testing.T) {
+	// A dirty line rolls back as a unit: no crash state splits a line.
+	m := NewTracked()
+	th := m.NewThread()
+	ln := AllocLines(1)[0]
+	a, b := &ln[0], &ln[1]
+	th.Store(a, 1)
+	th.Store(b, 2)
+	th.Flush(a)
+	th.Fence() // line image {a:1, b:2} persistent
+	th.Store(a, 10)
+	th.Store(b, 20) // dirty on top
+	m.Crash()
+	m.FinishCrash(0, 1)
+	m.Restart()
+	av, bv := th.Load(a), th.Load(b)
+	if av != 1 || bv != 2 {
+		t.Fatalf("line split in crash: a=%d b=%d, want 1 2", av, bv)
+	}
+}
+
+func TestLineEvictionIsAtomic(t *testing.T) {
+	// Eviction keeps a whole line's volatile content, never a subset.
+	m := NewTracked()
+	th := m.NewThread()
+	ln := AllocLines(1)[0]
+	a, b := &ln[0], &ln[1]
+	th.Store(a, 10)
+	th.Store(b, 20) // dirty, never flushed
+	m.Crash()
+	m.FinishCrash(1.0, 42) // every dirty line evicts
+	m.Restart()
+	if th.Load(a) != 10 || th.Load(b) != 20 {
+		t.Fatalf("evicted line lost cells: a=%d b=%d", th.Load(a), th.Load(b))
+	}
+}
+
+func TestFlushCoalescing(t *testing.T) {
+	// Repeat flushes of an unchanged line coalesce; a write un-coalesces.
+	for _, mk := range []func() *Memory{NewTracked, func() *Memory { return NewFast(ProfileZero) }} {
+		m := mk()
+		th := m.NewThread()
+		ln := AllocLines(1)[0]
+		a, b := &ln[0], &ln[1]
+		th.Store(a, 1)
+		th.Flush(a)
+		th.Flush(a) // same line, unchanged: elided
+		th.Flush(b) // same line via sibling: elided
+		s := m.Stats()
+		if s.Flushes != 1 || s.FlushesElided != 2 {
+			t.Fatalf("mode %v: flushes=%d elided=%d, want 1/2", m.Mode(), s.Flushes, s.FlushesElided)
+		}
+		th.Store(b, 2) // writes the line: next flush must re-issue
+		th.Flush(a)
+		s = m.Stats()
+		if s.Flushes != 2 {
+			t.Fatalf("mode %v: flush after write elided: %+v", m.Mode(), s)
+		}
+		th.Fence() // fence closes the window
+		th.Flush(a)
+		s = m.Stats()
+		if s.Flushes != 3 {
+			t.Fatalf("mode %v: flush after fence elided: %+v", m.Mode(), s)
+		}
+	}
+}
+
+func TestCoalescedFlushStillDurable(t *testing.T) {
+	// An elided flush must lose nothing: the pending capture it coalesced
+	// into persists the same content at the next fence.
+	m := NewTracked()
+	th := m.NewThread()
+	ln := AllocLines(1)[0]
+	a, b := &ln[0], &ln[1]
+	th.Store(a, 7)
+	th.Store(b, 8)
+	th.Flush(a)
+	th.Flush(b) // elided: same line, same version
+	th.Fence()
+	m.Crash()
+	m.FinishCrash(0, 1)
+	m.Restart()
+	if th.Load(a) != 7 || th.Load(b) != 8 {
+		t.Fatalf("coalesced flush lost data: a=%d b=%d", th.Load(a), th.Load(b))
+	}
+}
+
+func TestCrashAtFence(t *testing.T) {
+	m := NewTracked()
+	th := m.NewThread()
+	ln := AllocLines(2)
+	a, b := &ln[0][0], &ln[1][0]
+	m.CrashAtFence(2)
+	th.Store(a, 1)
+	th.Flush(a)
+	th.Fence() // fence #1: runs
+	crashed := RunOp(func() {
+		th.Store(b, 2)
+		th.Flush(b)
+		th.Fence() // fence #2: trapped, never persists
+	})
+	if !crashed {
+		t.Fatalf("fence trap did not fire")
+	}
+	m.FinishCrash(0, 1)
+	m.Restart()
+	if th.Load(a) != 1 {
+		t.Fatalf("fence #1 did not persist: a=%d", th.Load(a))
+	}
+	if th.Load(b) != 0 {
+		t.Fatalf("trapped fence persisted: b=%d", th.Load(b))
+	}
+	// Trap is disarmed: fences run normally again.
+	th.Store(b, 3)
+	th.Flush(b)
+	th.Fence()
+	if m.PersistedValue(b) != 3 {
+		t.Fatalf("fence after disarm did not persist")
 	}
 }

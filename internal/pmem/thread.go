@@ -5,14 +5,21 @@ import "sync/atomic"
 // Stats counts memory and persistence events. In fast mode each Thread keeps
 // its own Stats (owner-written atomics, so snapshots from other goroutines
 // are race-free); Memory.Stats sums them.
+//
+// Flushes counts clwb instructions actually issued; FlushesElided counts
+// Flush calls coalesced away by the line model (the line was already
+// captured, unchanged, in the thread's pending flush set — see
+// Thread.Flush). Flushes+FlushesElided is the number of Flush calls the
+// persistence policy made.
 type Stats struct {
-	Reads   uint64
-	Writes  uint64
-	CASes   uint64
-	CASFail uint64
-	Flushes uint64
-	Fences  uint64
-	Ops     uint64
+	Reads         uint64
+	Writes        uint64
+	CASes         uint64
+	CASFail       uint64
+	Flushes       uint64
+	FlushesElided uint64
+	Fences        uint64
+	Ops           uint64
 }
 
 // Add accumulates o into s.
@@ -22,6 +29,7 @@ func (s *Stats) Add(o Stats) {
 	s.CASes += o.CASes
 	s.CASFail += o.CASFail
 	s.Flushes += o.Flushes
+	s.FlushesElided += o.FlushesElided
 	s.Fences += o.Fences
 	s.Ops += o.Ops
 }
@@ -29,24 +37,26 @@ func (s *Stats) Add(o Stats) {
 // Sub returns s minus o (for interval measurements).
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Reads:   s.Reads - o.Reads,
-		Writes:  s.Writes - o.Writes,
-		CASes:   s.CASes - o.CASes,
-		CASFail: s.CASFail - o.CASFail,
-		Flushes: s.Flushes - o.Flushes,
-		Fences:  s.Fences - o.Fences,
-		Ops:     s.Ops - o.Ops,
+		Reads:         s.Reads - o.Reads,
+		Writes:        s.Writes - o.Writes,
+		CASes:         s.CASes - o.CASes,
+		CASFail:       s.CASFail - o.CASFail,
+		Flushes:       s.Flushes - o.Flushes,
+		FlushesElided: s.FlushesElided - o.FlushesElided,
+		Fences:        s.Fences - o.Fences,
+		Ops:           s.Ops - o.Ops,
 	}
 }
 
 type threadStats struct {
-	reads   atomic.Uint64
-	writes  atomic.Uint64
-	cases   atomic.Uint64
-	casFail atomic.Uint64
-	flushes atomic.Uint64
-	fences  atomic.Uint64
-	ops     atomic.Uint64
+	reads       atomic.Uint64
+	writes      atomic.Uint64
+	cases       atomic.Uint64
+	casFail     atomic.Uint64
+	flushes     atomic.Uint64
+	flushElided atomic.Uint64
+	fences      atomic.Uint64
+	ops         atomic.Uint64
 }
 
 // Thread is a per-worker context: all cell accesses, persistence
@@ -72,9 +82,11 @@ type Thread struct {
 	batchDepth    int
 	pendingCommit bool
 
-	// flushSet holds (cell, value-at-flush-time) entries awaiting the next
-	// fence. Only used in tracked mode: a fence persists the value each
-	// line held when it was flushed, exactly like clwb+sfence.
+	// flushSet holds one entry per line flushed since the last fence. In
+	// tracked mode an entry carries a whole-line snapshot taken at flush
+	// time (clwb writes back the entire line); in fast mode it carries
+	// only the hashed line slot and write version, enough to coalesce
+	// repeat flushes of an unchanged line.
 	flushSet []flushEntry
 
 	// Scratch slices for data-structure operations (node lists returned by
@@ -86,10 +98,14 @@ type Thread struct {
 	_ [32]byte // reduce false sharing between Thread structs
 }
 
+// flushEntry is one pending line writeback: the line key (real line in
+// tracked mode, table slot in fast mode), the line's write version at
+// capture time, and — tracked mode only — the snapshot of every tracked
+// cell of the line.
 type flushEntry struct {
-	c   *Cell
-	v   uint64
-	ver uint64
+	line uintptr
+	ver  uint64
+	vals []cellVal
 }
 
 // Memory returns the owning memory domain.
@@ -98,13 +114,14 @@ func (t *Thread) Memory() *Memory { return t.mem }
 // StatsSnapshot returns this thread's counters.
 func (t *Thread) StatsSnapshot() Stats {
 	return Stats{
-		Reads:   t.st.reads.Load(),
-		Writes:  t.st.writes.Load(),
-		CASes:   t.st.cases.Load(),
-		CASFail: t.st.casFail.Load(),
-		Flushes: t.st.flushes.Load(),
-		Fences:  t.st.fences.Load(),
-		Ops:     t.st.ops.Load(),
+		Reads:         t.st.reads.Load(),
+		Writes:        t.st.writes.Load(),
+		CASes:         t.st.cases.Load(),
+		CASFail:       t.st.casFail.Load(),
+		Flushes:       t.st.flushes.Load(),
+		FlushesElided: t.st.flushElided.Load(),
+		Fences:        t.st.fences.Load(),
+		Ops:           t.st.ops.Load(),
 	}
 }
 
@@ -114,6 +131,7 @@ func (t *Thread) resetStats() {
 	t.st.cases.Store(0)
 	t.st.casFail.Store(0)
 	t.st.flushes.Store(0)
+	t.st.flushElided.Store(0)
 	t.st.fences.Store(0)
 	t.st.ops.Store(0)
 }
@@ -148,6 +166,7 @@ func (t *Thread) Store(c *Cell, v uint64) {
 		return
 	}
 	c.v.Store(v)
+	t.mem.lineVer[t.mem.lineSlot(c)].v.Add(1)
 }
 
 // CAS atomically compares-and-swaps a cell, returning whether it succeeded.
@@ -159,6 +178,9 @@ func (t *Thread) CAS(c *Cell, old, new uint64) bool {
 		ok = m.cas(c, old, new)
 	} else {
 		ok = c.v.CompareAndSwap(old, new)
+		if ok {
+			t.mem.lineVer[t.mem.lineSlot(c)].v.Add(1)
+		}
 	}
 	if !ok {
 		t.st.casFail.Add(1)
@@ -166,35 +188,60 @@ func (t *Thread) CAS(c *Cell, old, new uint64) bool {
 	return ok
 }
 
-// Flush issues a clwb for the cell: the value it currently holds will be
-// persisted by the next Fence. Flush alone guarantees nothing.
+// Flush issues a clwb for the cell's 64-byte line: the content the line
+// holds right now will be persisted — whole line, atomically — by the next
+// Fence. Flush alone guarantees nothing.
+//
+// Flush coalesces: when the thread's pending flush set already holds this
+// line at its current write version, the call is a no-op (counted in
+// Stats.FlushesElided, no latency charged). This is the paper's TSO
+// flush-coalescing optimization — clwb of a line that is already queued
+// for writeback, unchanged, does no additional work — and it is exact: any
+// write to the line bumps its version, so a changed line is always
+// re-captured.
 func (t *Thread) Flush(c *Cell) {
-	t.st.flushes.Add(1)
-	t.unfenced++
 	if m := t.mem.model; m != nil {
 		t.mem.checkCrash()
-		if e, ok := m.capture(c); ok {
-			t.flushSet = append(t.flushSet, e)
+		e, elided := m.flush(c, t.flushSet)
+		if elided {
+			t.st.flushElided.Add(1)
+			return
 		}
+		t.flushSet = append(t.flushSet, e)
+	} else {
+		slot := t.mem.lineSlot(c)
+		cur := t.mem.lineVer[slot].v.Load()
+		for i := range t.flushSet {
+			if t.flushSet[i].line == slot && t.flushSet[i].ver == cur {
+				t.st.flushElided.Add(1)
+				return
+			}
+		}
+		t.flushSet = append(t.flushSet, flushEntry{line: slot, ver: cur})
 	}
+	t.st.flushes.Add(1)
+	t.unfenced++
 	spin(t.mem.cfg.Profile.FlushCost)
 }
 
-// Fence issues an sfence: every value flushed by this thread since its last
-// fence is persisted.
+// Fence issues an sfence: every line flushed by this thread since its last
+// fence is persisted (tracked mode persists the flush-time snapshots).
 func (t *Thread) Fence() {
-	t.st.fences.Add(1)
-	t.unfenced = 0
 	if m := t.mem.model; m != nil {
 		t.mem.checkCrash()
+		t.mem.checkFenceTrap()
 		m.fence(t.flushSet)
-		t.flushSet = t.flushSet[:0]
 	}
+	t.st.fences.Add(1)
+	t.unfenced = 0
+	t.flushSet = t.flushSet[:0]
 	spin(t.mem.cfg.Profile.FenceCost)
 }
 
 // Unfenced reports how many flushes this thread has issued since its last
-// fence. Policies use it to skip provably idempotent fences.
+// fence. Policies use it to skip provably idempotent fences. Elided
+// flushes do not count: they only ever coalesce into an already-pending
+// line capture, so they never make a fence necessary.
 func (t *Thread) Unfenced() int { return t.unfenced }
 
 // CommitFence is the durability fence an operation issues before returning

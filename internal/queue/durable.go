@@ -24,19 +24,30 @@ type DurableQueue struct {
 	ar  *arena.Arena[DNode]
 
 	head pmem.Cell
+	_    [pmem.LineSize - 8]byte // head and tail persist independently
 	tail pmem.Cell
 	// returned[tid] is the persistent per-thread result slot (the paper's
 	// returnedValues array): after a crash, each thread can learn the
-	// value its last dequeue returned.
-	returned []pmem.Cell
+	// value its last dequeue returned. One line per slot, as the paper's
+	// implementation pads them: the slots are per-thread persistence
+	// state and must not share a crash fate (or a writeback) with a
+	// neighbor's slot.
+	returned []returnedSlot
+}
+
+type returnedSlot struct {
+	v pmem.Cell
+	_ [pmem.LineSize - 8]byte
 }
 
 // DNode is a DurableQueue node. DeqTID is 0 while unclaimed; a dequeuer
-// claims the node by CASing its thread ID + 1 into it.
+// claims the node by CASing its thread ID + 1 into it. Padded to one line
+// (see list.Node).
 type DNode struct {
 	Value  pmem.Cell
 	Next   pmem.Cell
 	DeqTID pmem.Cell
+	_      [40]byte
 }
 
 // EmptyMarker is stored in a thread's returned slot when its dequeue
@@ -50,7 +61,7 @@ func NewDurable(mem *pmem.Memory) *DurableQueue {
 		mem:      mem,
 		dom:      dom,
 		ar:       arena.New[DNode](dom, mem.MaxThreads()),
-		returned: make([]pmem.Cell, mem.MaxThreads()),
+		returned: make([]returnedSlot, mem.MaxThreads()),
 	}
 	t := mem.NewThread()
 	d := q.ar.Alloc(t.ID)
@@ -126,8 +137,8 @@ func (q *DurableQueue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 		}
 		if first == pmem.RefIndex(lv) {
 			if pmem.IsNil(next) {
-				t.Store(&q.returned[t.ID], EmptyMarker)
-				t.Flush(&q.returned[t.ID])
+				t.Store(&q.returned[t.ID].v, EmptyMarker)
+				t.Flush(&q.returned[t.ID].v)
 				t.Fence()
 				t.CountOp()
 				return 0, false
@@ -142,8 +153,8 @@ func (q *DurableQueue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 		v := t.Load(&nextN.Value)
 		if t.CAS(&nextN.DeqTID, 0, uint64(t.ID)+1) {
 			t.Flush(&nextN.DeqTID)
-			t.Store(&q.returned[t.ID], v)
-			t.Flush(&q.returned[t.ID])
+			t.Store(&q.returned[t.ID].v, v)
+			t.Flush(&q.returned[t.ID].v)
 			t.Fence()
 			if t.CAS(&q.head, hv, pmem.ClearTags(next)) {
 				t.Flush(&q.head)
@@ -168,7 +179,7 @@ func (q *DurableQueue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 
 // Returned exposes a thread's persistent result slot (crash tests).
 func (q *DurableQueue) Returned(t *pmem.Thread, tid int) uint64 {
-	return t.Load(&q.returned[tid])
+	return t.Load(&q.returned[tid].v)
 }
 
 // Recover re-derives head and tail: the persisted head may lag, so skip

@@ -21,10 +21,13 @@ import (
 	"repro/internal/pmem"
 )
 
-// Node is one queue node; Value is immutable after initialization.
+// Node is one queue node; Value is immutable after initialization. Padded
+// to a full 64-byte line: the persistence model is line-granular, and
+// nodes must not share their crash fate (see list.Node).
 type Node struct {
 	Value pmem.Cell
 	Next  pmem.Cell
+	_     [48]byte
 }
 
 // Queue is the NVTraverse-transformable Michael–Scott queue.
@@ -35,6 +38,7 @@ type Queue struct {
 	pol persist.Policy
 
 	anchor pmem.Cell // persistent: ref to the current dummy node
+	_      [pmem.LineSize - 8]byte
 	tail   pmem.Cell // auxiliary: hint to a node near the end
 }
 
@@ -75,23 +79,41 @@ func (q *Queue) Enqueue(t *pmem.Thread, value uint64) {
 	pol.InitWrite(t, &n.Value)
 	pol.InitWrite(t, &n.Next)
 	for {
-		// findEntry: the tail hint (auxiliary, may lag).
+		// findEntry: the tail hint (auxiliary, may lag). The hint is only
+		// ever written after the link reaching its target was fenced, so
+		// the hint's target is persistently reachable.
 		last := pmem.RefIndex(t.Load(&q.tail))
-		// traverse: walk to the actual last node.
+		// traverse: walk to the actual last node, remembering the link the
+		// walk followed into it.
 		lastN := q.node(last)
+		var reach *pmem.Cell
 		next := t.Load(&lastN.Next)
 		pol.TraverseRead(t, &lastN.Next)
 		for !pmem.IsNil(next) {
+			reach = &lastN.Next
 			last = pmem.RefIndex(next)
 			lastN = q.node(last)
 			next = t.Load(&lastN.Next)
 			pol.TraverseRead(t, &lastN.Next)
 		}
-		// Protocol 1: the last node is the traversal's destination; its
-		// next field is what the link CAS depends on.
+		// Protocol 1: ensureReachable flushes the link that made the
+		// destination reachable (§4.1: the current parent's link — links
+		// earlier on the path were fenced by the enqueuers whose CASes
+		// created their successors, so only the newest link can be
+		// unpersisted); makePersistent flushes the destination's next
+		// field, which the link CAS depends on. Omitting the reach link
+		// loses completed enqueues that linked behind an in-flight
+		// enqueue whose own link CAS was still unfenced at the crash:
+		// rolling that one link back severs every later node. Caught by
+		// crashtest.RunQueue torture.
 		t.Scratch = t.Scratch[:0]
-		cells := [...]*pmem.Cell{&lastN.Next}
-		pol.PostTraverse(t, cells[:])
+		if reach != nil {
+			cells := [...]*pmem.Cell{reach, &lastN.Next}
+			pol.PostTraverse(t, cells[:])
+		} else {
+			cells := [...]*pmem.Cell{&lastN.Next}
+			pol.PostTraverse(t, cells[:])
+		}
 		// critical: link, persist, then (volatile) advance the tail hint.
 		pol.BeforeCAS(t)
 		ok := t.CAS(&lastN.Next, next, pmem.MakeRef(idx))
@@ -123,6 +145,17 @@ func (q *Queue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 			pol.BeforeReturn(t)
 			t.CountOp()
 			return 0, false
+		}
+		// Never disconnect the node the tail hint points at without
+		// moving the hint forward first (the classic Michael–Scott
+		// help): once the anchor passes a node while the hint still
+		// names it, a stalled enqueuer's delayed hint-CAS could later
+		// re-install the by-then retired (and recyclable) node into the
+		// hint, and the next enqueue would traverse reclaimed memory.
+		// Advancing the hint here changes its value, so every such
+		// delayed CAS fails its expectation.
+		if tv := t.Load(&q.tail); pmem.RefIndex(tv) == dummy {
+			t.CAS(&q.tail, tv, pmem.ClearTags(next))
 		}
 		v := t.Load(&q.node(pmem.RefIndex(next)).Value) // immutable: no flush
 		pol.BeforeCAS(t)

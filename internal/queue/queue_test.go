@@ -79,14 +79,16 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 		consumers = 4
 		perProd   = 2000
 	)
-	var wg sync.WaitGroup
+	var wg, prodWG sync.WaitGroup
 	var got sync.Map
 	var consumed [consumers]int
 	for p := 0; p < producers; p++ {
 		th := mem.NewThread()
 		wg.Add(1)
+		prodWG.Add(1)
 		go func(p int, th *pmem.Thread) {
 			defer wg.Done()
+			defer prodWG.Done()
 			for i := 0; i < perProd; i++ {
 				q.Enqueue(th, uint64(p*perProd+i)+1)
 			}
@@ -127,11 +129,13 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 			}
 		}(c, th)
 	}
-	// Wait for producers (first `producers` Adds) then signal consumers.
-	// Simpler: producers and consumers share wg; close(done) after a
-	// busy-wait on total enqueued is fragile, so just close when the
-	// producers finish via a second WaitGroup.
-	close(doneAfterProducers(&wg, done))
+	// Consumers may only switch into drain-and-exit mode once no further
+	// enqueue can arrive; closing done any earlier lets every consumer
+	// exit on a momentarily-empty queue and strands the rest.
+	go func() {
+		prodWG.Wait()
+		close(done)
+	}()
 	wg.Wait()
 	total := 0
 	for _, c := range consumed {
@@ -140,14 +144,6 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 	if total != producers*perProd {
 		t.Fatalf("consumed %d, want %d", total, producers*perProd)
 	}
-}
-
-// doneAfterProducers is a small shim: the test above already waits on wg
-// for everything; closing done immediately just switches consumers into
-// drain-when-empty mode, which is the behaviour we want once producers
-// outpace them or finish.
-func doneAfterProducers(_ *sync.WaitGroup, done chan struct{}) chan struct{} {
-	return done
 }
 
 func TestTraversalQueueFlushCounts(t *testing.T) {

@@ -1,0 +1,65 @@
+package queue_test
+
+// Crash torture for both queues under the line-granular crash model: random
+// concurrent enqueues/dequeues, a crash at an arbitrary point (with random
+// whole-line evictions), recovery, then the FIFO durable-linearizability
+// check of crashtest.RunQueue. External test package: the harness factory
+// takes the queue through its exported surface, same as nvcrash does.
+
+import (
+	"testing"
+
+	"repro/internal/crashtest"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/queue"
+)
+
+func tortureRounds(t *testing.T) int {
+	if testing.Short() {
+		return 3
+	}
+	return 8
+}
+
+func runQueueTorture(t *testing.T, name string, factory func(mem *pmem.Memory) crashtest.QueueTarget) {
+	t.Helper()
+	for r := 0; r < tortureRounds(t); r++ {
+		res := crashtest.RunQueue(crashtest.OrderOptions{
+			Workers:        4,
+			OpsBeforeCrash: 300,
+			AddRatio:       60,
+			Prefill:        16,
+			EvictProb:      0.25,
+			Seed:           int64(r) + 1,
+		}, factory)
+		if len(res.Violations) > 0 {
+			for _, v := range res.Violations {
+				t.Errorf("%s round %d: %s", name, r, v)
+			}
+			t.Fatalf("%s round %d: %d violations (completed=%d inflight=%d survivors=%d)",
+				name, r, len(res.Violations), res.Completed, res.InFlight, res.Survivors)
+		}
+		if res.Completed < 300 {
+			t.Fatalf("%s round %d: only %d ops completed", name, r, res.Completed)
+		}
+	}
+}
+
+func TestCrashTortureTraversalQueue(t *testing.T) {
+	runQueueTorture(t, "nvtraverse", func(mem *pmem.Memory) crashtest.QueueTarget {
+		return queue.New(mem, persist.NVTraverse{})
+	})
+}
+
+func TestCrashTortureTraversalQueueIzraelevitz(t *testing.T) {
+	runQueueTorture(t, "izraelevitz", func(mem *pmem.Memory) crashtest.QueueTarget {
+		return queue.New(mem, persist.Izraelevitz{})
+	})
+}
+
+func TestCrashTortureDurableQueue(t *testing.T) {
+	runQueueTorture(t, "durable", func(mem *pmem.Memory) crashtest.QueueTarget {
+		return queue.NewDurable(mem)
+	})
+}

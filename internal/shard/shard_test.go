@@ -137,8 +137,15 @@ func TestBatchingSavesFences(t *testing.T) {
 	}
 	single := run(false)
 	batched := run(true)
-	if batched.Flushes != single.Flushes {
-		t.Fatalf("batching changed flush count: %d vs %d", batched.Flushes, single.Flushes)
+	// The policies make the same Flush calls either way; batching only
+	// lengthens the fence windows, so it may coalesce MORE of them away
+	// (line flush coalescing), never issue extra.
+	if batched.Flushes+batched.FlushesElided != single.Flushes+single.FlushesElided {
+		t.Fatalf("batching changed flush calls: %d+%d vs %d+%d",
+			batched.Flushes, batched.FlushesElided, single.Flushes, single.FlushesElided)
+	}
+	if batched.Flushes > single.Flushes {
+		t.Fatalf("batching issued more flushes: %d vs %d", batched.Flushes, single.Flushes)
 	}
 	// Batching defers the commit fence (one per op) into one fence per
 	// shard group: with 2 shards and one Apply, ~n commit fences collapse
@@ -147,6 +154,29 @@ func TestBatchingSavesFences(t *testing.T) {
 	if saved < n/2 {
 		t.Fatalf("batching saved only %d fences (single=%d batched=%d)",
 			saved, single.Fences, batched.Fences)
+	}
+}
+
+func TestStatsSurfaceFlushCoalescing(t *testing.T) {
+	// The per-line flush accounting must flow through the engine's
+	// aggregated stats: inserts flush several fields of one freshly
+	// initialized node, which share its cache line, so some flushes
+	// coalesce.
+	e := newFast(t, 2, core.KindHash)
+	s := e.NewSession()
+	for k := uint64(1); k <= 256; k++ {
+		s.Insert(k, k)
+	}
+	st := e.Stats()
+	if st.Total.Flushes == 0 || st.Total.FlushesElided == 0 {
+		t.Fatalf("flush accounting not surfaced: %+v", st.Total)
+	}
+	var sum uint64
+	for _, ps := range st.PerShard {
+		sum += ps.FlushesElided
+	}
+	if sum != st.Total.FlushesElided {
+		t.Fatalf("per-shard elided %d != total %d", sum, st.Total.FlushesElided)
 	}
 }
 

@@ -46,6 +46,7 @@ type Node struct {
 	Value pmem.Cell
 	Level pmem.Cell // number of levels in this tower (1..MaxLevel)
 	Next  [MaxLevel]pmem.Cell
+	_     [8]byte // pad to whole 64-byte lines (line-granular persistence)
 }
 
 // List is the skiplist.

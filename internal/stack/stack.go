@@ -18,10 +18,13 @@ import (
 	"repro/internal/pmem"
 )
 
-// Node is one stack node; Value is immutable after initialization.
+// Node is one stack node; Value is immutable after initialization. Padded
+// to a full 64-byte line: the persistence model is line-granular, and
+// nodes must not share their crash fate (see list.Node).
 type Node struct {
 	Value pmem.Cell
 	Next  pmem.Cell
+	_     [48]byte
 }
 
 // Stack is the durable Treiber stack.

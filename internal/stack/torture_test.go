@@ -1,0 +1,56 @@
+package stack_test
+
+// Crash torture for the Treiber stack under the line-granular crash model:
+// random concurrent pushes/pops, a crash at an arbitrary point (with random
+// whole-line evictions), recovery, then the LIFO durable-linearizability
+// check of crashtest.RunStack.
+
+import (
+	"testing"
+
+	"repro/internal/crashtest"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/stack"
+)
+
+func tortureRounds(t *testing.T) int {
+	if testing.Short() {
+		return 3
+	}
+	return 8
+}
+
+func runStackTorture(t *testing.T, name string, pol persist.Policy) {
+	t.Helper()
+	for r := 0; r < tortureRounds(t); r++ {
+		res := crashtest.RunStack(crashtest.OrderOptions{
+			Workers:        4,
+			OpsBeforeCrash: 300,
+			AddRatio:       60,
+			Prefill:        16,
+			EvictProb:      0.25,
+			Seed:           int64(r) + 1,
+		}, func(mem *pmem.Memory) crashtest.StackTarget {
+			return stack.New(mem, pol)
+		})
+		if len(res.Violations) > 0 {
+			for _, v := range res.Violations {
+				t.Errorf("%s round %d: %s", name, r, v)
+			}
+			t.Fatalf("%s round %d: %d violations (completed=%d inflight=%d survivors=%d)",
+				name, r, len(res.Violations), res.Completed, res.InFlight, res.Survivors)
+		}
+		if res.Completed < 300 {
+			t.Fatalf("%s round %d: only %d ops completed", name, r, res.Completed)
+		}
+	}
+}
+
+func TestCrashTortureStack(t *testing.T) {
+	runStackTorture(t, "nvtraverse", persist.NVTraverse{})
+}
+
+func TestCrashTortureStackIzraelevitz(t *testing.T) {
+	runStackTorture(t, "izraelevitz", persist.Izraelevitz{})
+}
