@@ -11,6 +11,10 @@
 //	nvbench -scale 4 -threads 16 -dur 500ms -panel 6g
 //	nvbench -ycsb A -shards 8         # one YCSB point against the engine
 //	nvbench -ycsb C -shards 8 -batch 32
+//	nvbench -ycsb E -kind skiplist    # range scans (ordered kinds only)
+//	nvbench -ycsb U -kind list        # atomic in-place RMW workload
+//	nvbench -panel yE                 # YCSB-E panel: ordered kinds x policies,
+//	                                  # single structure + 4-shard engine
 //	nvbench -flushstats               # flushes/op per structure, NVTraverse
 //	                                  # vs flush-everything, YCSB A/B/C
 //
@@ -53,7 +57,7 @@ func run(args []string, out io.Writer) error {
 		dur     = fs.Duration("dur", 150*time.Millisecond, "measurement duration per point")
 
 		flushes = fs.Bool("flushstats", false, "run the flush-accounting ablation (panels fA/fB/fC) and summarize flushes/op")
-		ycsb    = fs.String("ycsb", "", "run one YCSB workload (A, B, C, D, F) instead of a panel")
+		ycsb    = fs.String("ycsb", "", "run one YCSB workload (A, B, C, D, E, F, U) instead of a panel")
 		shards  = fs.Int("shards", 0, "shard count for -ycsb (0 = single structure)")
 		batch   = fs.Int("batch", 0, "read batch size for -ycsb engine runs")
 		kind    = fs.String("kind", "hash", "structure kind for -ycsb")

@@ -3,7 +3,9 @@
 // property Theorem 4.2 proves for NVTraverse structures). With -shards it
 // tortures the whole sharded KV engine instead: every shard's memory
 // crashes at once (mid-batch included), recovery runs in parallel, and the
-// checker verifies every shard's surviving state.
+// checker verifies every shard's surviving state. On ordered kinds the
+// checker additionally cross-validates the post-recovery full-range scan
+// (the engine's merged scan for -shards) against the recovered contents.
 //
 // The crash model is cache-line granular: whole 64-byte lines persist or
 // vanish atomically, and the eviction lottery evicts whole lines.

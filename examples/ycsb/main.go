@@ -1,9 +1,11 @@
 // ycsb: run the YCSB-style workload suite (A: 50/50 read-update, B: 95/5,
-// C: read-only, D: read-latest, F: read-modify-write; zipf-skewed keys)
-// against a single NVTraverse structure and against the hash-sharded
-// durable KV engine at several shard counts, then show what read batching
-// does to the fence count. Set NVBENCH_DUR to change the per-point
-// measurement time (the default keeps the whole run to a few seconds).
+// C: read-only, D: read-latest, E: range scans, F: read-modify-write,
+// U: atomic in-place RMW; zipf-skewed keys) against a single NVTraverse
+// structure and against the sharded durable KV engine at several shard
+// counts, then show what read batching does to the fence count. Workload
+// E needs a key order, so its rows run on the skiplist while the rest use
+// the hash table. Set NVBENCH_DUR to change the per-point measurement
+// time (the default keeps the whole run to a few seconds).
 package main
 
 import (
@@ -32,6 +34,9 @@ func main() {
 			cfg := base
 			cfg.Workload = wl.Name
 			cfg.Shards = shards
+			if wl.ScanPct > 0 {
+				cfg.Kind = core.KindSkiplist // scans need an ordered kind
+			}
 			res, err := bench.Run(cfg)
 			if err != nil {
 				panic(err)

@@ -77,3 +77,36 @@ func BenchmarkEngineYCSBA(b *testing.B) {
 		b.ReportMetric(res.FencePerOp, "fence/op")
 	}
 }
+
+// BenchmarkYCSBScanSkiplist runs YCSB-E on the skiplist, single structure
+// vs 4-shard engine (merged scans), reporting the per-op flush cost of the
+// destination-only scan persistence.
+func BenchmarkYCSBScanSkiplist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		single, err := Run(benchCfg(core.KindSkiplist, "nvtraverse", "E"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := benchCfg(core.KindSkiplist, "nvtraverse", "E")
+		cfg.Shards = 4
+		sharded, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(single.FlushPerOp, "single-flush/op")
+		b.ReportMetric(sharded.FlushPerOp, "engine-flush/op")
+	}
+}
+
+// BenchmarkYCSBAtomicRMW runs the RMW-heavy workload U through the atomic
+// in-place Update path.
+func BenchmarkYCSBAtomicRMW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(benchCfg(core.KindHash, "nvtraverse", "U"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FlushPerOp, "flush/op")
+		b.ReportMetric(res.FencePerOp, "fence/op")
+	}
+}

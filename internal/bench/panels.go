@@ -179,6 +179,46 @@ func Panels(o PanelOptions) []Panel {
 		add("s"+wl, "Sharded engine YCSB-"+wl+" scaling (NVRAM): shards 1/4/16 x threads", cs)
 	}
 
+	// --- Store API v2 workloads: YCSB E (range scans, the workload the
+	// point-op surface could not express) over every ordered kind, single
+	// structure and 4-shard engine (the engine merges per-shard ordered
+	// scans), under the three durable policies ---
+	{
+		var cs []Config
+		th := o.threads([]int{4})[0]
+		for _, kind := range core.OrderedKinds() {
+			for _, pol := range []string{"nvtraverse", "izraelevitz", "logfree"} {
+				for _, sh := range []int{0, 4} {
+					cs = append(cs, Config{
+						Kind: kind, Policy: pol, Profile: pmem.ProfileNVRAM,
+						Threads: th, Range: o.size(1 << 16), Duration: o.Duration,
+						Workload: "E", Shards: sh,
+					})
+				}
+			}
+		}
+		add("yE", "YCSB-E range scans: ordered kinds x durable policies, single + 4-shard engine", cs)
+	}
+
+	// --- RMW-heavy panel: workload U hammers the atomic in-place Update
+	// path (with GetOrInsert seeding) on every kind, single + sharded ---
+	{
+		var cs []Config
+		th := o.threads([]int{4})[0]
+		for _, kind := range core.Kinds() {
+			for _, pol := range []string{"nvtraverse", "logfree"} {
+				for _, sh := range []int{0, 4} {
+					cs = append(cs, Config{
+						Kind: kind, Policy: pol, Profile: pmem.ProfileNVRAM,
+						Threads: th, Range: o.size(1 << 16), Duration: o.Duration,
+						Workload: "U", Shards: sh,
+					})
+				}
+			}
+		}
+		add("yU", "YCSB-U atomic RMW: in-place Update across kinds, single + 4-shard engine", cs)
+	}
+
 	// --- Flush-accounting ablation: the paper's quantitative claim as a
 	// panel. For every structure, NVTraverse vs the flush-everything
 	// baseline (plus the hand-tuned link-and-persist) on YCSB A/B/C, zero

@@ -14,30 +14,38 @@ import (
 )
 
 // Workload is a YCSB-style operation mix over a skewed key distribution.
-// The percentages sum to 100. Updates are upserts (the set structures have
-// no in-place write, so an upsert of a present key is delete+insert);
-// inserts create fresh, monotonically increasing keys (workload D);
-// read-modify-write reads a key and upserts it back (workload F).
+// The percentages sum to 100. Updates are atomic upserts (in-place Update
+// with a GetOrInsert fallback); inserts create fresh, monotonically
+// increasing keys (workload D); read-modify-write reads a key and upserts
+// it back (workload F); scans visit a Zipf-distributed number of
+// consecutive keys from a Zipf-chosen start (workload E); atomic RMW
+// increments in place through the structure's Update critical section
+// (workload U).
 type Workload struct {
 	Name       string
 	ReadPct    int
 	UpdatePct  int
 	InsertPct  int
 	RMWPct     int
+	ScanPct    int     // range scans (workload E); needs an ordered kind
+	AtomicPct  int     // in-place atomic Update/GetOrInsert (workload U)
+	MaxScanLen int     // upper bound on scan lengths (default 100)
 	ReadLatest bool    // reads target recently inserted keys (workload D)
 	Theta      float64 // Zipf skew; 0 draws keys uniformly
 }
 
 // Workloads returns the YCSB core workloads this suite implements, in
-// letter order. E (range scans) is omitted: the set surface has no range
-// queries yet.
+// letter order, plus the RMW-heavy extension U. E (range scans) runs only
+// on ordered kinds — list, skiplist, and both BSTs.
 func Workloads() []Workload {
 	return []Workload{
 		{Name: "A", ReadPct: 50, UpdatePct: 50, Theta: 0.99},
 		{Name: "B", ReadPct: 95, UpdatePct: 5, Theta: 0.99},
 		{Name: "C", ReadPct: 100, Theta: 0.99},
 		{Name: "D", ReadPct: 95, InsertPct: 5, ReadLatest: true, Theta: 0.99},
+		{Name: "E", ScanPct: 95, InsertPct: 5, MaxScanLen: 100, Theta: 0.99},
 		{Name: "F", ReadPct: 50, RMWPct: 50, Theta: 0.99},
+		{Name: "U", ReadPct: 20, AtomicPct: 80, Theta: 0.99},
 	}
 }
 
@@ -57,14 +65,24 @@ type kvCtx interface {
 	get(k uint64) (uint64, bool)
 	put(k, v uint64)
 	insert(k, v uint64) bool
+	// scan visits keys of [lo, hi] ascending, at most max, and reports how
+	// many it saw. Only called when the workload has ScanPct > 0 (RunYCSB
+	// rejects those configurations on scanless targets up front).
+	scan(lo, hi uint64, max int) int
+	// update atomically increments k in place; reports whether k existed.
+	update(k uint64) bool
+	getOrInsert(k, v uint64) (uint64, bool)
 	multiGet(keys []uint64, dst []shard.OpResult) []shard.OpResult
 	rand() uint64
 }
 
 // singleCtx drives a single structure. multiGet degenerates to a loop: a
-// single structure has no per-shard fence batching to exploit.
+// single structure has no per-shard fence batching to exploit. sc holds
+// the full v2 surface when the target is a core structure; it is nil for
+// onefile targets, which then only support the point-op workloads.
 type singleCtx struct {
 	s  Target
+	sc core.Set
 	th *pmem.Thread
 }
 
@@ -73,9 +91,32 @@ func (c *singleCtx) insert(k, v uint64) bool     { return c.s.Insert(c.th, k, v)
 func (c *singleCtx) rand() uint64                { return c.th.Rand() }
 
 func (c *singleCtx) put(k, v uint64) {
-	for !c.s.Insert(c.th, k, v) {
-		c.s.Delete(c.th, k)
+	if c.sc == nil {
+		// OneFile target: no in-place update; upsert by delete+insert.
+		for !c.s.Insert(c.th, k, v) {
+			c.s.Delete(c.th, k)
+		}
+		return
 	}
+	core.Upsert(c.sc, c.th, k, v)
+}
+
+func (c *singleCtx) scan(lo, hi uint64, max int) int {
+	n := 0
+	c.sc.RangeScan(c.th, lo, hi, func(uint64, uint64) bool {
+		n++
+		return n < max
+	})
+	return n
+}
+
+func (c *singleCtx) update(k uint64) bool {
+	_, ok := c.sc.Update(c.th, k, func(old uint64) uint64 { return old + 1 })
+	return ok
+}
+
+func (c *singleCtx) getOrInsert(k, v uint64) (uint64, bool) {
+	return c.sc.GetOrInsert(c.th, k, v)
 }
 
 func (c *singleCtx) multiGet(keys []uint64, dst []shard.OpResult) []shard.OpResult {
@@ -99,6 +140,24 @@ func (c *engineCtx) insert(k, v uint64) bool     { return c.s.Insert(k, v) }
 func (c *engineCtx) rand() uint64                { return c.s.Rand() }
 func (c *engineCtx) multiGet(keys []uint64, dst []shard.OpResult) []shard.OpResult {
 	return c.s.MultiGet(keys, dst)
+}
+
+func (c *engineCtx) scan(lo, hi uint64, max int) int {
+	n := 0
+	c.s.Scan(lo, hi, func(uint64, uint64) bool {
+		n++
+		return n < max
+	})
+	return n
+}
+
+func (c *engineCtx) update(k uint64) bool {
+	_, ok := c.s.Update(k, func(old uint64) uint64 { return old + 1 })
+	return ok
+}
+
+func (c *engineCtx) getOrInsert(k, v uint64) (uint64, bool) {
+	return c.s.GetOrInsert(k, v)
 }
 
 // RunYCSB executes a YCSB-workload configuration against a single
@@ -127,7 +186,25 @@ func RunYCSB(cfg Config) (Result, error) {
 		wl.Theta = cfg.Theta
 	}
 	// Report the write fraction of the workload in the update column.
-	cfg.UpdatePct = wl.UpdatePct + wl.InsertPct + wl.RMWPct
+	cfg.UpdatePct = wl.UpdatePct + wl.InsertPct + wl.RMWPct + wl.AtomicPct
+
+	// Scans need a key order: reject unordered kinds (and the OneFile
+	// baseline, which predates the v2 surface) with a clear error instead
+	// of a silent zero row. The atomic-RMW workload needs the v2 surface
+	// but no order.
+	if wl.ScanPct > 0 {
+		if !core.Ordered(cfg.Kind) {
+			return Result{}, fmt.Errorf(
+				"bench: YCSB %s needs range scans, but kind %q is unordered — pick one of %v",
+				wl.Name, cfg.Kind, core.OrderedKinds())
+		}
+		if cfg.Policy == "onefile" {
+			return Result{}, fmt.Errorf("bench: YCSB %s needs range scans, which the onefile baseline does not implement", wl.Name)
+		}
+	}
+	if wl.AtomicPct > 0 && cfg.Policy == "onefile" {
+		return Result{}, fmt.Errorf("bench: YCSB %s needs atomic in-place updates, which the onefile baseline does not implement", wl.Name)
+	}
 
 	if cfg.Shards <= 0 {
 		s, mem, err := Build(cfg)
@@ -136,6 +213,7 @@ func RunYCSB(cfg Config) (Result, error) {
 		}
 		Prefill(s, mem, cfg)
 		threads := mem.Threads()
+		sc, _ := s.(core.Set)
 		ctxs := make([]kvCtx, cfg.Threads)
 		for i := range ctxs {
 			var th *pmem.Thread
@@ -144,7 +222,7 @@ func RunYCSB(cfg Config) (Result, error) {
 			} else {
 				th = mem.NewThread()
 			}
-			ctxs[i] = &singleCtx{s: s, th: th}
+			ctxs[i] = &singleCtx{s: s, sc: sc, th: th}
 		}
 		mem.ResetStats()
 		return measureWorkload(cfg, wl, ctxs, mem.Stats), nil
@@ -229,6 +307,16 @@ func measureWorkload(cfg Config, wl Workload, ctxs []kvCtx, stats func() pmem.St
 				}
 				return k
 			}
+			// Scan lengths draw from their own Zipf (YCSB E: most scans
+			// short, occasional long ones).
+			var zscan *Zipf
+			if wl.ScanPct > 0 {
+				maxLen := wl.MaxScanLen
+				if maxLen <= 0 {
+					maxLen = 100
+				}
+				zscan = NewZipf(uint64(maxLen), 0.99)
+			}
 			batch := cfg.BatchSize
 			var rkeys []uint64
 			var rres []shard.OpResult
@@ -252,10 +340,28 @@ func measureWorkload(cfg Config, wl Workload, ctxs []kvCtx, stats func() pmem.St
 						c.put(key(), c.rand())
 					case r < wl.ReadPct+wl.UpdatePct+wl.InsertPct:
 						c.insert(latest.Add(1), c.rand())
-					default: // read-modify-write
+					case r < wl.ReadPct+wl.UpdatePct+wl.InsertPct+wl.RMWPct:
+						// Read-modify-write, YCSB F style: a read followed
+						// by an upsert of the modified value.
 						k := key()
 						v, _ := c.get(k)
 						c.put(k, v+1)
+					case r < wl.ReadPct+wl.UpdatePct+wl.InsertPct+wl.RMWPct+wl.ScanPct:
+						// Range scan, YCSB E style: zipf start key, zipf
+						// item count; the key-space bound assumes the
+						// prefill's every-other-key density, and the scan
+						// stops early once it has seen its item count.
+						lo := key()
+						want := int(zscan.Next(c.rand()))
+						c.scan(lo, lo+4*uint64(want), want)
+					default:
+						// Atomic RMW (workload U): an in-place increment
+						// through the structure's critical section, seeding
+						// absent keys with GetOrInsert.
+						k := key()
+						if !c.update(k) {
+							c.getOrInsert(k, c.rand())
+						}
 					}
 					ops++
 				}

@@ -19,13 +19,13 @@ func ycsbCfg(wl string, shards int) Config {
 func TestWorkloadsWellFormed(t *testing.T) {
 	seen := map[string]bool{}
 	for _, w := range Workloads() {
-		if w.ReadPct+w.UpdatePct+w.InsertPct+w.RMWPct != 100 {
-			t.Fatalf("workload %s percentages sum to %d",
-				w.Name, w.ReadPct+w.UpdatePct+w.InsertPct+w.RMWPct)
+		sum := w.ReadPct + w.UpdatePct + w.InsertPct + w.RMWPct + w.ScanPct + w.AtomicPct
+		if sum != 100 {
+			t.Fatalf("workload %s percentages sum to %d", w.Name, sum)
 		}
 		seen[w.Name] = true
 	}
-	for _, name := range []string{"A", "B", "C", "D", "F"} {
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "U"} {
 		if !seen[name] {
 			t.Fatalf("workload %s missing", name)
 		}
@@ -33,14 +33,18 @@ func TestWorkloadsWellFormed(t *testing.T) {
 	if _, ok := WorkloadByName("ycsb-a"); !ok {
 		t.Fatal("ycsb-a alias not resolved")
 	}
-	if _, ok := WorkloadByName("E"); ok {
-		t.Fatal("workload E (scans) claimed to exist")
+	if _, ok := WorkloadByName("ycsb-e"); !ok {
+		t.Fatal("ycsb-e alias not resolved")
 	}
 }
 
 func TestRunYCSBSingleStructure(t *testing.T) {
 	for _, w := range Workloads() {
-		res, err := Run(ycsbCfg(w.Name, 0))
+		cfg := ycsbCfg(w.Name, 0)
+		if w.ScanPct > 0 {
+			cfg.Kind = core.KindSkiplist // scans need an ordered kind
+		}
+		res, err := Run(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
@@ -53,6 +57,64 @@ func TestRunYCSBSingleStructure(t *testing.T) {
 		if res.Workload != w.Name {
 			t.Fatalf("result workload = %q, want %q", res.Workload, w.Name)
 		}
+	}
+}
+
+// TestRunYCSBScans: workload E runs on every ordered kind, single and
+// sharded, under all three durable policies — and is rejected with a clear
+// error on the unordered hash table and the onefile baseline.
+func TestRunYCSBScans(t *testing.T) {
+	for _, kind := range core.OrderedKinds() {
+		for _, pol := range []string{"nvtraverse", "izraelevitz", "logfree"} {
+			for _, shards := range []int{0, 4} {
+				cfg := ycsbCfg("E", shards)
+				cfg.Kind = kind
+				cfg.Policy = pol
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s/%d: %v", kind, pol, shards, err)
+				}
+				if res.Ops == 0 {
+					t.Fatalf("%s/%s/%d: zero ops", kind, pol, shards)
+				}
+			}
+		}
+	}
+	for _, shards := range []int{0, 4} {
+		cfg := ycsbCfg("E", shards)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("shards=%d: YCSB E on hash accepted", shards)
+		}
+	}
+	cfg := ycsbCfg("E", 0)
+	cfg.Kind = core.KindList
+	cfg.Policy = "onefile"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("YCSB E on onefile accepted")
+	}
+}
+
+// TestRunYCSBAtomicRMW: workload U exercises the in-place Update path on
+// every kind (hash included — RMW needs no order).
+func TestRunYCSBAtomicRMW(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		for _, shards := range []int{0, 2} {
+			cfg := ycsbCfg("U", shards)
+			cfg.Kind = kind
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", kind, shards, err)
+			}
+			if res.Ops == 0 {
+				t.Fatalf("%s/%d: zero ops", kind, shards)
+			}
+		}
+	}
+	cfg := ycsbCfg("U", 0)
+	cfg.Kind = core.KindList
+	cfg.Policy = "onefile"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("YCSB U on onefile accepted")
 	}
 }
 

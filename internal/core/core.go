@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/ellenbst"
 	"repro/internal/hashtable"
+	"repro/internal/kv"
 	"repro/internal/list"
 	"repro/internal/nmbst"
 	"repro/internal/persist"
@@ -30,7 +31,10 @@ import (
 )
 
 // Set is the common surface of every traversal set/map structure: a map
-// from uint64 keys (in [1, 2^61)) to uint64 values with set-style inserts.
+// from uint64 keys (in [1, 2^61)) to uint64 values with set-style inserts,
+// atomic read-modify-write, and — on ordered kinds — range scans. This is
+// the Store API v2 contract; the shard engine and the store package
+// compose it into thread-free handles.
 type Set interface {
 	// Insert adds key with value; false if the key is already present.
 	Insert(t *pmem.Thread, key, value uint64) bool
@@ -38,12 +42,31 @@ type Set interface {
 	Delete(t *pmem.Thread, key uint64) bool
 	// Find reports membership and the associated value.
 	Find(t *pmem.Thread, key uint64) (uint64, bool)
+	// Update atomically read-modify-writes key's value in place (a CAS on
+	// the value word in the structure's critical section), returning the
+	// installed value, or (0, false) if key is absent. fn may be called
+	// several times under contention and must be pure.
+	Update(t *pmem.Thread, key uint64, fn func(old uint64) uint64) (uint64, bool)
+	// GetOrInsert atomically returns the present value of key
+	// (inserted=false) or inserts value and returns it (inserted=true).
+	GetOrInsert(t *pmem.Thread, key, value uint64) (v uint64, inserted bool)
+	// RangeScan visits every present key in [lo, hi] ascending, calling
+	// fn(key, value) until fn returns false or the range is exhausted.
+	// Unordered kinds return ErrUnordered. The scan is not an atomic
+	// snapshot: each key's presence is decided when its link is read, so
+	// keys mutated concurrently may or may not appear, while untouched
+	// keys are reported exactly. fn must not call operations of this
+	// structure on the same thread.
+	RangeScan(t *pmem.Thread, lo, hi uint64, fn func(key, value uint64) bool) error
 	// Recover is the paper's §4 recovery phase: run after a crash, before
 	// any other operation.
 	Recover(t *pmem.Thread)
 	// Contents returns the present keys (quiescent use only).
 	Contents(t *pmem.Thread) []uint64
 }
+
+// ErrUnordered is returned by RangeScan on kinds without a key order.
+var ErrUnordered = kv.ErrUnordered
 
 // Validator is implemented by structures with a structural self-check.
 type Validator interface {
@@ -65,6 +88,24 @@ const (
 // Kinds lists every structure kind in evaluation order.
 func Kinds() []Kind {
 	return []Kind{KindList, KindHash, KindEllenBST, KindNMBST, KindSkiplist}
+}
+
+// Ordered reports whether the kind maintains a key order — i.e. whether
+// RangeScan works on it. Four of the five kinds are ordered; only the hash
+// table is not.
+func Ordered(kind Kind) bool {
+	return kind != KindHash
+}
+
+// OrderedKinds lists the kinds that support RangeScan, in evaluation order.
+func OrderedKinds() []Kind {
+	var out []Kind
+	for _, k := range Kinds() {
+		if Ordered(k) {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // Params tunes structure construction.
@@ -113,6 +154,31 @@ var (
 	_ Validator = (*nmbst.Tree)(nil)
 	_ Validator = (*skiplist.List)(nil)
 )
+
+// Upsert sets key to value atomically: an in-place Update when the key is
+// present, a GetOrInsert when it is not, looping across the race between
+// the two. The key never transiently disappears and concurrent upserts
+// leave exactly one racing value in place. Every upsert path in the
+// repository (engine Put, store Put, bench workloads) goes through here.
+func Upsert(s Set, t *pmem.Thread, key, value uint64) {
+	for {
+		if _, ok := s.Update(t, key, func(uint64) uint64 { return value }); ok {
+			return
+		}
+		if _, inserted := s.GetOrInsert(t, key, value); inserted {
+			return
+		}
+	}
+}
+
+// ApplyUpdate runs Update with fn, treating a nil fn as the batched-op
+// convention "set to value if present" (shard.Op.Fn).
+func ApplyUpdate(s Set, t *pmem.Thread, key uint64, fn func(old uint64) uint64, value uint64) (uint64, bool) {
+	if fn == nil {
+		fn = func(uint64) uint64 { return value }
+	}
+	return s.Update(t, key, fn)
+}
 
 // SortedContents returns the structure's contents sorted ascending,
 // normalizing structures that do not guarantee a global order (the hash

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// TestRangeScanAfterCrash is the scan half of durable linearizability:
+// after a crash (with cache-eviction noise) and recovery, the full-range
+// scan must observe every durably committed key — each acknowledged insert
+// that no later operation deleted — and must agree exactly with the
+// recovered contents. Workers own disjoint key ranges, so "durably
+// committed and still present" is per-worker sequential and unambiguous.
+func TestRangeScanAfterCrash(t *testing.T) {
+	const (
+		workers        = 4
+		span           = 64 // keys per worker
+		opsBeforeCrash = 600
+	)
+	for _, kind := range OrderedKinds() {
+		for _, pol := range []persist.Policy{persist.NVTraverse{}, persist.Izraelevitz{}, persist.LinkAndPersist{}} {
+			kind, pol := kind, pol
+			t.Run(string(kind)+"/"+pol.Name(), func(t *testing.T) {
+				mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
+					MaxThreads: workers + 4})
+				s, err := NewSet(kind, mem, pol, Params{SizeHint: workers * span})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mem.PersistAll()
+
+				// mustHave[w] tracks worker w's keys whose last acknowledged
+				// operation was a successful insert (no in-flight op on the
+				// key afterwards): these are durably committed and present.
+				mustHave := make([]map[uint64]uint64, workers)
+				var completed atomic.Uint64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					th := mem.NewThread()
+					mine := map[uint64]uint64{}
+					mustHave[w] = mine
+					lo := uint64(w*span + 1)
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for !mem.Crashed() {
+							k := lo + th.Rand()%span
+							v := th.Rand() & ((1 << 32) - 1)
+							ins := th.Rand()%3 != 0 // 2/3 inserts, 1/3 deletes
+							var ok bool
+							crashed := pmem.RunOp(func() {
+								if ins {
+									ok = s.Insert(th, k, v)
+								} else {
+									ok = s.Delete(th, k)
+								}
+							})
+							if crashed {
+								// In flight at the crash: the op may land
+								// either way, so the key proves nothing.
+								delete(mine, k)
+								return
+							}
+							if ins && ok {
+								mine[k] = v
+							} else if !ins && ok {
+								delete(mine, k)
+							}
+							completed.Add(1)
+						}
+					}(w)
+				}
+				for completed.Load() < opsBeforeCrash {
+					runtime.Gosched()
+				}
+				mem.Crash()
+				wg.Wait()
+				mem.FinishCrash(0.3, int64(len(kind))*7919)
+				mem.Restart()
+
+				rec := mem.NewThread()
+				s.Recover(rec)
+
+				scanned := map[uint64]uint64{}
+				var order []uint64
+				if err := s.RangeScan(rec, 1, workers*span, func(k, v uint64) bool {
+					scanned[k] = v
+					order = append(order, k)
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+					t.Fatalf("post-recovery scan out of order: %v", order)
+				}
+				for w := range mustHave {
+					for k, v := range mustHave[w] {
+						got, ok := scanned[k]
+						if !ok {
+							t.Fatalf("durably committed key %d missing from post-recovery scan", k)
+						}
+						if got != v {
+							t.Fatalf("durably committed key %d: scan value %d, want %d", k, got, v)
+						}
+					}
+				}
+				// Scan/contents agreement.
+				contents := SortedContents(s, rec)
+				if len(contents) != len(order) {
+					t.Fatalf("scan found %d keys, contents %d", len(order), len(contents))
+				}
+				for i := range contents {
+					if contents[i] != order[i] {
+						t.Fatalf("scan/contents diverge at %d: %d vs %d", i, order[i], contents[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+func newSetOrDie(t *testing.T, kind Kind, pol persist.Policy, threads int) (Set, *pmem.Memory) {
+	t.Helper()
+	mem := pmem.New(pmem.Config{Mode: pmem.ModeFast, Profile: pmem.ProfileZero, MaxThreads: threads})
+	s, err := NewSet(kind, mem, pol, Params{SizeHint: 256})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", kind, pol.Name(), err)
+	}
+	return s, mem
+}
+
+// TestRangeScanMatchesSortedContents checks the quiescent contract on every
+// kind × policy: the scan of [lo, hi] is exactly the filtered sorted
+// contents, in order; the hash table reports ErrUnordered.
+func TestRangeScanMatchesSortedContents(t *testing.T) {
+	keys := []uint64{2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610}
+	for _, kind := range Kinds() {
+		for _, pol := range persist.All() {
+			s, mem := newSetOrDie(t, kind, pol, 8)
+			th := mem.NewThread()
+			for _, k := range keys {
+				s.Insert(th, k, k*10)
+			}
+			if !Ordered(kind) {
+				err := s.RangeScan(th, 1, 1000, func(uint64, uint64) bool { return true })
+				if !errors.Is(err, ErrUnordered) {
+					t.Fatalf("%s/%s: RangeScan err = %v, want ErrUnordered", kind, pol.Name(), err)
+				}
+				continue
+			}
+			for _, r := range [][2]uint64{{1, 1000}, {5, 100}, {6, 88}, {90, 143}, {700, 900}} {
+				lo, hi := r[0], r[1]
+				var got [][2]uint64
+				if err := s.RangeScan(th, lo, hi, func(k, v uint64) bool {
+					got = append(got, [2]uint64{k, v})
+					return true
+				}); err != nil {
+					t.Fatalf("%s/%s: RangeScan: %v", kind, pol.Name(), err)
+				}
+				var want []uint64
+				for _, k := range SortedContents(s, th) {
+					if k >= lo && k <= hi {
+						want = append(want, k)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s [%d,%d]: scan %v, want keys %v", kind, pol.Name(), lo, hi, got, want)
+				}
+				for i := range want {
+					if got[i][0] != want[i] || got[i][1] != want[i]*10 {
+						t.Fatalf("%s/%s [%d,%d]: scan[%d] = %v, want key %d value %d",
+							kind, pol.Name(), lo, hi, i, got[i], want[i], want[i]*10)
+					}
+				}
+			}
+			// Early stop: fn returning false ends the scan.
+			seen := 0
+			s.RangeScan(th, 1, 1000, func(uint64, uint64) bool {
+				seen++
+				return seen < 3
+			})
+			if seen != 3 {
+				t.Fatalf("%s/%s: early stop saw %d keys, want 3", kind, pol.Name(), seen)
+			}
+		}
+	}
+}
+
+// TestRangeScanConcurrent is the cross-kind × policy property test: with
+// mutators churning odd keys, every concurrent scan must report the stable
+// even keys exactly (with their values), in ascending order, and never
+// report a key outside the populated space.
+func TestRangeScanConcurrent(t *testing.T) {
+	const (
+		rangeMax = 512
+		mutators = 3
+		scanners = 2
+		rounds   = 300
+	)
+	for _, kind := range OrderedKinds() {
+		for _, pol := range persist.All() {
+			kind, pol := kind, pol
+			t.Run(string(kind)+"/"+pol.Name(), func(t *testing.T) {
+				s, mem := newSetOrDie(t, kind, pol, mutators+scanners+4)
+				setup := mem.NewThread()
+				stable := map[uint64]bool{}
+				for k := uint64(2); k <= rangeMax; k += 2 {
+					s.Insert(setup, k, k)
+					stable[k] = true
+				}
+				var stop atomic.Bool
+				var mwg, swg sync.WaitGroup
+				for w := 0; w < mutators; w++ {
+					th := mem.NewThread()
+					mwg.Add(1)
+					go func() {
+						defer mwg.Done()
+						for i := 0; i < rounds; i++ {
+							k := th.Rand()%(rangeMax/2)*2 + 1 // odd keys only
+							switch th.Rand() % 3 {
+							case 0:
+								s.Insert(th, k, k)
+							case 1:
+								s.Delete(th, k)
+							default:
+								s.Update(th, k, func(old uint64) uint64 { return old + 2 })
+							}
+						}
+					}()
+				}
+				errs := make(chan error, scanners)
+				for w := 0; w < scanners; w++ {
+					th := mem.NewThread()
+					swg.Add(1)
+					go func() {
+						defer swg.Done()
+						for {
+							last := uint64(0)
+							seenStable := 0
+							var scanErr error
+							err := s.RangeScan(th, 1, rangeMax, func(k, v uint64) bool {
+								switch {
+								case k <= last:
+									scanErr = fmt.Errorf("keys out of order: %d after %d", k, last)
+								case k > rangeMax:
+									scanErr = fmt.Errorf("alien key %d", k)
+								case stable[k] && v != k:
+									scanErr = fmt.Errorf("stable key %d has value %d", k, v)
+								}
+								if scanErr != nil {
+									return false
+								}
+								last = k
+								if stable[k] {
+									seenStable++
+								}
+								return true
+							})
+							if err == nil && scanErr == nil && seenStable != len(stable) {
+								scanErr = fmt.Errorf("scan saw %d stable keys, want %d", seenStable, len(stable))
+							}
+							if err != nil {
+								scanErr = err
+							}
+							if scanErr != nil {
+								errs <- scanErr
+								return
+							}
+							if stop.Load() {
+								return // one final pass ran after the mutators quiesced
+							}
+						}
+					}()
+				}
+				mwg.Wait()
+				stop.Store(true)
+				swg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestUpdateAtomicIncrement hammers one key set with concurrent atomic
+// increments; the final sums must account for every increment exactly.
+func TestUpdateAtomicIncrement(t *testing.T) {
+	const (
+		workers = 4
+		perKey  = 400
+	)
+	keys := []uint64{7, 99, 1024}
+	for _, kind := range Kinds() {
+		for _, pol := range persist.All() {
+			s, mem := newSetOrDie(t, kind, pol, workers+4)
+			setup := mem.NewThread()
+			for _, k := range keys {
+				s.Insert(setup, k, 0)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				th := mem.NewThread()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perKey; i++ {
+						for _, k := range keys {
+							if _, ok := s.Update(th, k, func(old uint64) uint64 { return old + 1 }); !ok {
+								t.Errorf("%s/%s: Update(%d) missed a present key", kind, pol.Name(), k)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+			th := mem.NewThread()
+			for _, k := range keys {
+				v, ok := s.Find(th, k)
+				if !ok || v != workers*perKey {
+					t.Fatalf("%s/%s: key %d = %d,%v want %d", kind, pol.Name(), k, v, ok, workers*perKey)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateAbsent: Update of an absent key reports false and installs
+// nothing.
+func TestUpdateAbsent(t *testing.T) {
+	for _, kind := range Kinds() {
+		s, mem := newSetOrDie(t, kind, persist.NVTraverse{}, 4)
+		th := mem.NewThread()
+		if _, ok := s.Update(th, 42, func(old uint64) uint64 { return old + 1 }); ok {
+			t.Fatalf("%s: Update of absent key succeeded", kind)
+		}
+		if _, ok := s.Find(th, 42); ok {
+			t.Fatalf("%s: Update materialized an absent key", kind)
+		}
+	}
+}
+
+// TestGetOrInsertSingleWinner races GetOrInsert on one key: exactly one
+// worker inserts, and everyone observes the winner's value.
+func TestGetOrInsertSingleWinner(t *testing.T) {
+	const workers = 8
+	for _, kind := range Kinds() {
+		for _, pol := range persist.All() {
+			s, mem := newSetOrDie(t, kind, pol, workers+4)
+			var inserted atomic.Uint64
+			values := make([]uint64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				th := mem.NewThread()
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					v, ins := s.GetOrInsert(th, 77, uint64(1000+w))
+					if ins {
+						inserted.Add(1)
+					}
+					values[w] = v
+				}()
+			}
+			wg.Wait()
+			if n := inserted.Load(); n != 1 {
+				t.Fatalf("%s/%s: %d workers inserted, want exactly 1", kind, pol.Name(), n)
+			}
+			th := mem.NewThread()
+			winner, ok := s.Find(th, 77)
+			if !ok {
+				t.Fatalf("%s/%s: key vanished", kind, pol.Name())
+			}
+			for w, v := range values {
+				if v != winner {
+					t.Fatalf("%s/%s: worker %d saw value %d, winner wrote %d", kind, pol.Name(), w, v, winner)
+				}
+			}
+		}
+	}
+}
+
+// TestGetOrInsertSequential: present keys are returned, absent inserted.
+func TestGetOrInsertSequential(t *testing.T) {
+	for _, kind := range Kinds() {
+		s, mem := newSetOrDie(t, kind, persist.NVTraverse{}, 4)
+		th := mem.NewThread()
+		if v, ins := s.GetOrInsert(th, 5, 50); !ins || v != 50 {
+			t.Fatalf("%s: first GetOrInsert = %d,%v", kind, v, ins)
+		}
+		if v, ins := s.GetOrInsert(th, 5, 99); ins || v != 50 {
+			t.Fatalf("%s: second GetOrInsert = %d,%v", kind, v, ins)
+		}
+	}
+}

@@ -27,6 +27,7 @@ package crashtest
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +50,15 @@ type Set interface {
 // no marked nodes after recovery, ...).
 type Validator interface {
 	Validate(t *pmem.Thread) error
+}
+
+// Scanner is the optional range-scan surface (Store API v2). When the
+// structure under test implements it and the scan does not report
+// "unordered", the checker additionally requires the post-recovery
+// full-range scan to observe exactly the recovered contents — every
+// durably committed key, no resurrected ones.
+type Scanner interface {
+	RangeScan(t *pmem.Thread, lo, hi uint64, fn func(key, value uint64) bool) error
 }
 
 // OpKind names an operation in a recorded history.
@@ -369,6 +379,39 @@ func Check(ds Set, rec *pmem.Thread, hs []*History, cfg CheckConfig) ([]Violatio
 		if err := v.Validate(rec); err != nil {
 			violations = append(violations,
 				Violation{0, "structural: " + err.Error()})
+		}
+	}
+
+	// Scan/contents agreement: the full-range scan of a recovered ordered
+	// structure must report exactly the recovered key set, in ascending
+	// order — a durably committed key missing from the scan (or a deleted
+	// key resurfacing in it) is a recovery bug even when per-key membership
+	// looks right.
+	if sc, ok := ds.(Scanner); ok {
+		var scanned []uint64
+		err := sc.RangeScan(rec, 1, 1<<61-1, func(k, _ uint64) bool {
+			scanned = append(scanned, k)
+			return true
+		})
+		if err == nil {
+			want := append([]uint64(nil), ds.Contents(rec)...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !sort.SliceIsSorted(scanned, func(i, j int) bool { return scanned[i] < scanned[j] }) {
+				violations = append(violations, Violation{0, "scan: keys out of order"})
+			}
+			if len(scanned) != len(want) {
+				violations = append(violations, Violation{0, fmt.Sprintf(
+					"scan: %d keys, contents has %d", len(scanned), len(want))})
+			} else {
+				for i := range want {
+					if scanned[i] != want[i] {
+						violations = append(violations, Violation{want[i], fmt.Sprintf(
+							"scan/contents diverge at position %d: scan %d, contents %d",
+							i, scanned[i], want[i])})
+						break
+					}
+				}
+			}
 		}
 	}
 

@@ -333,6 +333,19 @@ func (tr *Tree) helpMarked(t *pmem.Thread, idx uint64) {
 
 // Insert adds key with value; false if present.
 func (tr *Tree) Insert(t *pmem.Thread, key, value uint64) bool {
+	_, inserted := tr.insertGet(t, key, value, false)
+	return inserted
+}
+
+// GetOrInsert atomically returns the present value of key (inserted=false)
+// or inserts value and returns it (inserted=true).
+func (tr *Tree) GetOrInsert(t *pmem.Thread, key, value uint64) (v uint64, inserted bool) {
+	return tr.insertGet(t, key, value, true)
+}
+
+// insertGet is the shared critical section of Insert and GetOrInsert; see
+// list.insertGet for the wantValue contract.
+func (tr *Tree) insertGet(t *pmem.Thread, key, value uint64, wantValue bool) (uint64, bool) {
 	checkKey(key)
 	tr.dom.Enter(t.ID)
 	defer tr.dom.Exit(t.ID)
@@ -343,9 +356,14 @@ func (tr *Tree) Insert(t *pmem.Thread, key, value uint64) bool {
 		pol.PostTraverse(t, sr.cells)
 		lN := tr.node(sr.l)
 		if t.Load(&lN.Key) == key {
+			var v uint64
+			if wantValue {
+				v = t.Load(&lN.Value)
+				pol.ReadData(t, &lN.Value)
+			}
 			pol.BeforeReturn(t)
 			t.CountOp()
-			return false
+			return v, false
 		}
 		if state(sr.pUpdate) != stClean {
 			tr.help(t, pmem.Dirty(sr.pUpdate))
@@ -402,7 +420,7 @@ func (tr *Tree) Insert(t *pmem.Thread, key, value uint64) bool {
 			// word's info pointer, so the record may be recycled.
 			tr.infos.Retire(t.ID, idx)
 			t.CountOp()
-			return true
+			return value, true
 		}
 		// Flag failed: recycle the never-published allocations, help
 		// whoever beat us, retry.

@@ -1,0 +1,112 @@
+package ellenbst
+
+import (
+	"repro/internal/kv"
+	"repro/internal/pmem"
+)
+
+// Update atomically read-modify-writes the value of key in place with a CAS
+// on the leaf's value word. Returns the installed value and true, or
+// (0, false) if key is absent.
+//
+// Leaves are immutable in every field Ellen et al.'s algorithm reasons
+// about (Key, Leaf, the child links); the value word is user data that no
+// coordination step reads, so an in-place CAS cannot interfere with a
+// concurrent insert or delete. A delete that disconnects the leaf while
+// the CAS is in flight overlaps this operation, so the update may be
+// linearized before the deletion (the same argument as list.Update; the
+// epoch critical section keeps the leaf's slot from being recycled until
+// this operation exits). Persistence follows Protocol 2 with WroteData
+// flushing the new value before the commit fence.
+func (tr *Tree) Update(t *pmem.Thread, key uint64, fn func(old uint64) uint64) (uint64, bool) {
+	checkKey(key)
+	tr.dom.Enter(t.ID)
+	defer tr.dom.Exit(t.ID)
+	pol := tr.pol
+	sr := &tr.trs[t.ID].sr
+	for {
+		tr.traverse(t, key, sr)
+		pol.PostTraverse(t, sr.cells)
+		lN := tr.node(sr.l)
+		if t.Load(&lN.Key) != key {
+			pol.BeforeReturn(t)
+			t.CountOp()
+			return 0, false
+		}
+		old := t.Load(&lN.Value)
+		pol.ReadData(t, &lN.Value)
+		newv := fn(old)
+		pol.BeforeCAS(t)
+		if t.CAS(&lN.Value, old, newv) {
+			pol.WroteData(t, &lN.Value)
+			pol.BeforeReturn(t)
+			t.CountOp()
+			return newv, true
+		}
+		pol.BeforeReturn(t) // lost a value race: retraverse and retry
+	}
+}
+
+// RangeScan visits every present key in [lo, hi] in ascending order,
+// calling fn(key, value) until fn returns false or the range is exhausted.
+//
+// The scan is a pruned in-order walk: internal keys route exactly as the
+// search does (left subtree < key <= right subtree), so subtrees wholly
+// outside [lo, hi] are never entered and leaves arrive in key order. The
+// whole walk is traversal-phase — child links are read with TraverseRead
+// (no persistence under NVTraverse) and collected, then one PostTraverse
+// persists every link of the visited region (the scan's returned node set)
+// before the commit fence. Sentinel leaves (keys >= Inf1) are never in
+// range. See list.RangeScan for the consistency contract.
+func (tr *Tree) RangeScan(t *pmem.Thread, lo, hi uint64, fn func(key, value uint64) bool) error {
+	lo, hi, ok := kv.ClampKeyRange(lo, hi)
+	if !ok {
+		return nil
+	}
+	tr.dom.Enter(t.ID)
+	defer tr.dom.Exit(t.ID)
+	pol := tr.pol
+	sr := &tr.trs[t.ID].sr
+	sr.cells = sr.cells[:0]
+	stopped := false
+	var walk func(idx uint64)
+	walk = func(idx uint64) {
+		if stopped {
+			return
+		}
+		n := tr.node(idx)
+		if t.Load(&n.Leaf) == 1 {
+			k := t.Load(&n.Key)
+			if k >= lo && k <= hi {
+				v := t.Load(&n.Value)
+				pol.ReadData(t, &n.Value)
+				if !fn(k, v) {
+					stopped = true
+				}
+			}
+			return
+		}
+		k := t.Load(&n.Key)
+		if lo < k {
+			child := t.Load(&n.Left)
+			pol.TraverseRead(t, &n.Left)
+			sr.cells = append(sr.cells, &n.Left)
+			if c := pmem.RefIndex(child); c != 0 {
+				walk(c)
+			}
+		}
+		if hi >= k {
+			child := t.Load(&n.Right)
+			pol.TraverseRead(t, &n.Right)
+			sr.cells = append(sr.cells, &n.Right)
+			if c := pmem.RefIndex(child); c != 0 {
+				walk(c)
+			}
+		}
+	}
+	walk(tr.root)
+	pol.PostTraverse(t, sr.cells)
+	pol.BeforeReturn(t)
+	t.CountOp()
+	return nil
+}

@@ -10,6 +10,7 @@
 package hashtable
 
 import (
+	"repro/internal/kv"
 	"repro/internal/list"
 	"repro/internal/persist"
 	"repro/internal/pmem"
@@ -59,6 +60,23 @@ func (h *Table) Delete(t *pmem.Thread, key uint64) bool {
 // Find reports membership and value.
 func (h *Table) Find(t *pmem.Thread, key uint64) (uint64, bool) {
 	return h.bucket(key).Find(t, key)
+}
+
+// Update atomically read-modify-writes key's value in its bucket list.
+func (h *Table) Update(t *pmem.Thread, key uint64, fn func(old uint64) uint64) (uint64, bool) {
+	return h.bucket(key).Update(t, key, fn)
+}
+
+// GetOrInsert atomically returns the present value of key or inserts value.
+func (h *Table) GetOrInsert(t *pmem.Thread, key, value uint64) (uint64, bool) {
+	return h.bucket(key).GetOrInsert(t, key, value)
+}
+
+// RangeScan is unsupported: the hashed key space has no order to scan in.
+// Callers that need ordered iteration pick an ordered kind (list, skiplist,
+// ellenbst, nmbst).
+func (h *Table) RangeScan(_ *pmem.Thread, _, _ uint64, _ func(key, value uint64) bool) error {
+	return kv.ErrUnordered
 }
 
 // Recover runs the disconnect function on every bucket (paper §4 recovery).

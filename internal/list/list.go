@@ -254,6 +254,22 @@ func (l *List) trimMarked(t *pmem.Thread, tr *traversal) bool {
 // present. It is the operation layout of Algorithm 2: findEntry, traverse,
 // ensureReachable+makePersistent, critical.
 func (l *List) Insert(t *pmem.Thread, key, value uint64) bool {
+	_, inserted := l.insertGet(t, key, value, false)
+	return inserted
+}
+
+// GetOrInsert atomically returns the present value of key (inserted=false)
+// or inserts value and returns it (inserted=true). It is Insert's critical
+// section with the found branch reading the value instead of discarding it.
+func (l *List) GetOrInsert(t *pmem.Thread, key, value uint64) (v uint64, inserted bool) {
+	return l.insertGet(t, key, value, true)
+}
+
+// insertGet is the shared critical section of Insert and GetOrInsert.
+// wantValue selects whether the found branch loads (and persists reading)
+// the present value; Insert skips the load so its flush profile is
+// unchanged.
+func (l *List) insertGet(t *pmem.Thread, key, value uint64, wantValue bool) (uint64, bool) {
 	checkKey(key)
 	l.sh.Dom.Enter(t.ID)
 	defer l.sh.Dom.Exit(t.ID)
@@ -267,9 +283,15 @@ func (l *List) Insert(t *pmem.Thread, key, value uint64) bool {
 			continue
 		}
 		if tr.right != 0 && t.Load(&l.node(tr.right).Key) == key {
+			var v uint64
+			if wantValue {
+				rightN := l.node(tr.right)
+				v = t.Load(&rightN.Value)
+				pol.ReadData(t, &rightN.Value)
+			}
 			pol.BeforeReturn(t)
 			t.CountOp()
-			return false
+			return v, false
 		}
 		idx := l.sh.Ar.Alloc(t.ID)
 		n := l.node(idx)
@@ -292,7 +314,7 @@ func (l *List) Insert(t *pmem.Thread, key, value uint64) bool {
 		pol.BeforeReturn(t)
 		if ok {
 			t.CountOp()
-			return true
+			return value, true
 		}
 		l.sh.Ar.Free(t.ID, idx) // never published
 	}

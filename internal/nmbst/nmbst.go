@@ -273,6 +273,19 @@ func (tr *Tree) retireChain(t *pmem.Thread, succ, surv uint64) {
 
 // Insert adds key with value; false if present.
 func (tr *Tree) Insert(t *pmem.Thread, key, value uint64) bool {
+	_, inserted := tr.insertGet(t, key, value, false)
+	return inserted
+}
+
+// GetOrInsert atomically returns the present value of key (inserted=false)
+// or inserts value and returns it (inserted=true).
+func (tr *Tree) GetOrInsert(t *pmem.Thread, key, value uint64) (v uint64, inserted bool) {
+	return tr.insertGet(t, key, value, true)
+}
+
+// insertGet is the shared critical section of Insert and GetOrInsert; see
+// list.insertGet for the wantValue contract.
+func (tr *Tree) insertGet(t *pmem.Thread, key, value uint64, wantValue bool) (uint64, bool) {
 	checkKey(key)
 	tr.dom.Enter(t.ID)
 	defer tr.dom.Exit(t.ID)
@@ -283,9 +296,14 @@ func (tr *Tree) Insert(t *pmem.Thread, key, value uint64) bool {
 		pol.PostTraverse(t, sr.cells)
 		leafN := tr.node(sr.leaf)
 		if t.Load(&leafN.Key) == key {
+			var v uint64
+			if wantValue {
+				v = t.Load(&leafN.Value)
+				pol.ReadData(t, &leafN.Value)
+			}
 			pol.BeforeReturn(t)
 			t.CountOp()
-			return false
+			return v, false
 		}
 		if pmem.Marked(sr.leafEdge) || pmem.Tagged(sr.leafEdge) {
 			// The edge is frozen by a pending deletion: help it finish.
@@ -308,7 +326,7 @@ func (tr *Tree) Insert(t *pmem.Thread, key, value uint64) bool {
 		pol.BeforeReturn(t)
 		if ok {
 			t.CountOp()
-			return true
+			return value, true
 		}
 		tr.nodes.Free(t.ID, newLeaf)
 		tr.nodes.Free(t.ID, ni)

@@ -70,6 +70,15 @@ type Policy interface {
 	// Wrote is invoked after each write or CAS on shared memory in the
 	// critical method.
 	Wrote(t *pmem.Thread, c *pmem.Cell)
+	// WroteData is invoked after each write or CAS on a raw-data word (user
+	// values) of an already-published node — the in-place value update of
+	// the RMW operations. It must never tag the cell: the word holds user
+	// data, not a link. Policies that reason "published data was persisted
+	// before publication" (LinkAndPersist's ReadData) cannot apply that
+	// reasoning here, because this write happens after publication; they
+	// must flush (and fence) so the new value is durable before the
+	// operation's commit fence acknowledges it.
+	WroteData(t *pmem.Thread, c *pmem.Cell)
 	// BeforeCAS is invoked before each write or CAS on shared memory.
 	BeforeCAS(t *pmem.Thread)
 	// BeforeReturn is invoked before the operation attempt returns or
@@ -88,6 +97,7 @@ func (None) Read(*pmem.Thread, *pmem.Cell)           {}
 func (None) ReadData(*pmem.Thread, *pmem.Cell)       {}
 func (None) InitWrite(*pmem.Thread, *pmem.Cell)      {}
 func (None) Wrote(*pmem.Thread, *pmem.Cell)          {}
+func (None) WroteData(*pmem.Thread, *pmem.Cell)      {}
 func (None) BeforeCAS(*pmem.Thread)                  {}
 func (None) BeforeReturn(*pmem.Thread)               {}
 
@@ -126,6 +136,11 @@ func (Izraelevitz) Wrote(t *pmem.Thread, c *pmem.Cell) {
 	t.Fence()
 }
 
+func (Izraelevitz) WroteData(t *pmem.Thread, c *pmem.Cell) {
+	t.Flush(c)
+	t.Fence()
+}
+
 func (Izraelevitz) BeforeCAS(t *pmem.Thread)    { t.Fence() }
 func (Izraelevitz) BeforeReturn(t *pmem.Thread) { t.CommitFence() }
 
@@ -151,6 +166,7 @@ func (NVTraverse) Read(t *pmem.Thread, c *pmem.Cell)      { t.Flush(c) }
 func (NVTraverse) ReadData(t *pmem.Thread, c *pmem.Cell)  { t.Flush(c) }
 func (NVTraverse) InitWrite(t *pmem.Thread, c *pmem.Cell) { t.Flush(c) }
 func (NVTraverse) Wrote(t *pmem.Thread, c *pmem.Cell)     { t.Flush(c) }
+func (NVTraverse) WroteData(t *pmem.Thread, c *pmem.Cell) { t.Flush(c) }
 func (NVTraverse) BeforeCAS(t *pmem.Thread)               { t.Fence() }
 func (NVTraverse) BeforeReturn(t *pmem.Thread)            { t.CommitFence() }
 
@@ -205,6 +221,17 @@ func (LinkAndPersist) ReadData(t *pmem.Thread, c *pmem.Cell) {}
 func (LinkAndPersist) InitWrite(t *pmem.Thread, c *pmem.Cell) { t.Flush(c) }
 
 func (LinkAndPersist) Wrote(t *pmem.Thread, c *pmem.Cell) { flushTagged(t, c) }
+
+// WroteData flushes and fences immediately, without tagging: an in-place
+// value write invalidates the "persisted before publication" reasoning
+// behind ReadData's no-op, and the untagged word gives later readers no way
+// to tell. The eager fence narrows (but cannot close — see DESIGN.md) the
+// window in which a concurrent ReadData returns the not-yet-persistent
+// value; the automatic transformations have no such window.
+func (LinkAndPersist) WroteData(t *pmem.Thread, c *pmem.Cell) {
+	t.Flush(c)
+	t.Fence()
+}
 
 func (LinkAndPersist) BeforeCAS(t *pmem.Thread) {
 	if t.Unfenced() > 0 {

@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/persist"
+)
+
+func newEngine(t *testing.T, shards int, kind core.Kind) *Engine {
+	t.Helper()
+	eng, err := New(Config{Shards: shards, Kind: kind, Policy: persist.NVTraverse{},
+		MaxSessions: 16, Params: core.Params{SizeHint: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestScanMergesShards: the merged engine scan must return the same
+// globally ordered sequence a single structure would, with keys scattered
+// over shards by the hash.
+func TestScanMergesShards(t *testing.T) {
+	for _, shards := range []int{1, 4, 7} {
+		eng := newEngine(t, shards, core.KindSkiplist)
+		s := eng.NewSession()
+		var want []uint64
+		for k := uint64(1); k <= 500; k += 3 {
+			s.Insert(k, k*2)
+			want = append(want, k)
+		}
+		var got []uint64
+		err := s.Scan(1, 1000, func(k, v uint64) bool {
+			if v != k*2 {
+				t.Fatalf("shards=%d: key %d value %d", shards, k, v)
+			}
+			got = append(got, k)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: scan %d keys, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: scan[%d] = %d, want %d", shards, i, got[i], want[i])
+			}
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("shards=%d: merged scan out of order", shards)
+		}
+		// Bounded sub-range with early stop.
+		count := 0
+		s.Scan(100, 200, func(k, v uint64) bool {
+			if k < 100 || k > 200 {
+				t.Fatalf("key %d outside [100, 200]", k)
+			}
+			count++
+			return count < 5
+		})
+		if count != 5 {
+			t.Fatalf("early stop saw %d keys", count)
+		}
+	}
+}
+
+// TestScanUnorderedEngine: a hash-sharded hash engine has no key order.
+func TestScanUnorderedEngine(t *testing.T) {
+	eng := newEngine(t, 4, core.KindHash)
+	s := eng.NewSession()
+	s.Insert(1, 1)
+	err := s.Scan(1, 10, func(uint64, uint64) bool { return true })
+	if !errors.Is(err, kv.ErrUnordered) {
+		t.Fatalf("Scan err = %v, want ErrUnordered", err)
+	}
+}
+
+// TestApplyUpdateAndScan drives the new batched op kinds through Apply.
+func TestApplyUpdateAndScan(t *testing.T) {
+	eng := newEngine(t, 4, core.KindList)
+	s := eng.NewSession()
+	for k := uint64(10); k <= 20; k++ {
+		s.Insert(k, k)
+	}
+	res := s.Apply([]Op{
+		{Kind: OpUpdate, Key: 10, Fn: func(old uint64) uint64 { return old + 5 }},
+		{Kind: OpUpdate, Key: 99, Fn: func(old uint64) uint64 { return old + 5 }}, // absent
+		{Kind: OpUpdate, Key: 11, Value: 111},                                     // nil Fn: conditional overwrite
+		{Kind: OpScan, Key: 10, Hi: 20},
+		{Kind: OpGet, Key: 10},
+	}, nil)
+	if !res[0].OK || res[0].Value != 15 {
+		t.Fatalf("OpUpdate = %+v, want value 15", res[0])
+	}
+	if res[1].OK {
+		t.Fatalf("OpUpdate on absent key reported OK")
+	}
+	if !res[2].OK || res[2].Value != 111 {
+		t.Fatalf("OpUpdate overwrite = %+v", res[2])
+	}
+	if !res[3].OK || res[3].Value != 11 {
+		t.Fatalf("OpScan = %+v, want 11 keys", res[3])
+	}
+	if !res[4].OK || res[4].Value != 15 {
+		t.Fatalf("OpGet = %+v, want updated value 15", res[4])
+	}
+}
+
+// TestPutAtomic: concurrent Puts of one key must leave exactly one racing
+// value, and the key must never transiently vanish (the old delete+insert
+// upsert violated both).
+func TestPutAtomic(t *testing.T) {
+	eng := newEngine(t, 2, core.KindSkiplist)
+	setup := eng.NewSession()
+	setup.Put(5, 1)
+	const (
+		writers = 4
+		puts    = 300
+	)
+	var stop atomic.Bool
+	var missed atomic.Bool
+	var readers, writersWG sync.WaitGroup
+	readers.Add(1)
+	go func() { // reader: the key must always be present
+		defer readers.Done()
+		s := eng.NewSession()
+		for !stop.Load() {
+			if _, ok := s.Get(5); !ok {
+				missed.Store(true)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		s := eng.NewSession()
+		w := w
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < puts; i++ {
+				s.Put(5, uint64(w*1000+i))
+			}
+		}()
+	}
+	writersWG.Wait()
+	stop.Store(true)
+	readers.Wait()
+	if missed.Load() {
+		t.Fatal("key transiently absent during concurrent Put")
+	}
+	v, ok := setup.Get(5)
+	if !ok {
+		t.Fatal("key absent after Puts")
+	}
+	if v >= writers*1000+puts || v%1000 >= puts {
+		t.Fatalf("final value %d was never written", v)
+	}
+}

@@ -238,20 +238,30 @@ func (e *Engine) Validate(s *Session) error {
 // OpKind names a Session operation.
 type OpKind uint8
 
-// The engine's operation vocabulary. OpPut is an upsert; OpInsert and
-// OpDelete keep the underlying structures' set semantics (fail if
-// present/absent), which is what the crash-test checker models.
+// The engine's operation vocabulary. OpPut is an atomic upsert; OpInsert
+// and OpDelete keep the underlying structures' set semantics (fail if
+// present/absent), which is what the crash-test checker models. OpUpdate
+// is the atomic read-modify-write (Op.Fn, or "set to Op.Value if present"
+// when Fn is nil); OpScan counts the keys of [Op.Key, Op.Hi] across all
+// shards.
 const (
 	OpGet OpKind = iota
 	OpPut
 	OpInsert
 	OpDelete
+	OpUpdate
+	OpScan
 )
 
 // Op is one operation of a batch.
 type Op struct {
 	Kind       OpKind
 	Key, Value uint64
+	// Hi is OpScan's inclusive upper bound ([Key, Hi]).
+	Hi uint64
+	// Fn is OpUpdate's transform over the present value. A nil Fn makes
+	// OpUpdate a conditional overwrite: set to Value if the key is present.
+	Fn func(old uint64) uint64
 }
 
 // OpResult is the outcome of one batch operation: the value for gets, and
@@ -267,7 +277,14 @@ type OpResult struct {
 type Session struct {
 	eng    *Engine
 	th     []*pmem.Thread
-	groups [][]int // scratch: batch op indexes grouped per shard
+	groups [][]int    // scratch: batch op indexes grouped per shard
+	bufs   [][]kvPair // scratch: per-shard scan collection buffers
+	heads  []int      // scratch: per-shard merge cursors
+}
+
+// kvPair is one collected scan result during a merged engine scan.
+type kvPair struct {
+	key, value uint64
 }
 
 // NewSession registers a session (one thread on every shard's memory).
@@ -307,20 +324,74 @@ func (s *Session) Delete(key uint64) bool {
 	return s.eng.shards[i].set.Delete(s.th[i], key)
 }
 
-// upsert loops insert/delete until the insert lands. Built from the set
-// operations, so it is not atomic — concurrent upserts of one key leave
-// it present with one of the racing values.
-func upsert(set core.Set, th *pmem.Thread, key, value uint64) {
-	for !set.Insert(th, key, value) {
-		set.Delete(th, key)
-	}
-}
-
-// Put upserts: afterwards the key maps to value (see upsert for the
-// atomicity caveat).
+// Put upserts atomically (core.Upsert): afterwards the key maps to value.
 func (s *Session) Put(key, value uint64) {
 	i := s.eng.ShardFor(key)
-	upsert(s.eng.shards[i].set, s.th[i], key, value)
+	core.Upsert(s.eng.shards[i].set, s.th[i], key, value)
+}
+
+// Update atomically read-modify-writes key's value on its shard; see
+// core.Set.Update for the contract.
+func (s *Session) Update(key uint64, fn func(old uint64) uint64) (uint64, bool) {
+	i := s.eng.ShardFor(key)
+	return s.eng.shards[i].set.Update(s.th[i], key, fn)
+}
+
+// GetOrInsert atomically returns the present value of key or inserts value.
+func (s *Session) GetOrInsert(key, value uint64) (v uint64, inserted bool) {
+	i := s.eng.ShardFor(key)
+	return s.eng.shards[i].set.GetOrInsert(s.th[i], key, value)
+}
+
+// Scan visits every present key in [lo, hi] ascending across all shards,
+// calling fn(key, value) until fn returns false or the range is exhausted.
+// Keys are hash-partitioned, so each shard's RangeScan yields an ordered
+// disjoint stream; the session collects the per-shard streams and k-way
+// merges them into one globally ordered sequence. The collection phase
+// always scans the full [lo, hi] on every shard (an early fn stop saves the
+// merge, not the shard scans) — callers bound hi accordingly. Returns
+// core.ErrUnordered when the engine's kind has no key order.
+func (s *Session) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+	e := s.eng
+	if len(e.shards) == 1 {
+		return e.shards[0].set.RangeScan(s.th[0], lo, hi, fn)
+	}
+	if s.bufs == nil {
+		s.bufs = make([][]kvPair, len(e.shards))
+		s.heads = make([]int, len(e.shards))
+	}
+	for i := range e.shards {
+		buf := s.bufs[i][:0]
+		err := e.shards[i].set.RangeScan(s.th[i], lo, hi, func(k, v uint64) bool {
+			buf = append(buf, kvPair{k, v})
+			return true
+		})
+		s.bufs[i] = buf
+		if err != nil {
+			return err
+		}
+		s.heads[i] = 0
+	}
+	for {
+		best := -1
+		var bestKey uint64
+		for i := range s.bufs {
+			if s.heads[i] >= len(s.bufs[i]) {
+				continue
+			}
+			if k := s.bufs[i][s.heads[i]].key; best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		p := s.bufs[best][s.heads[best]]
+		s.heads[best]++
+		if !fn(p.key, p.value) {
+			return nil
+		}
+	}
 }
 
 func (s *Session) exec(i int, op Op) OpResult {
@@ -333,18 +404,24 @@ func (s *Session) exec(i int, op Op) OpResult {
 		return OpResult{Value: op.Value, OK: set.Insert(th, op.Key, op.Value)}
 	case OpDelete:
 		return OpResult{OK: set.Delete(th, op.Key)}
+	case OpUpdate:
+		nv, ok := core.ApplyUpdate(set, th, op.Key, op.Fn, op.Value)
+		return OpResult{Value: nv, OK: ok}
 	default: // OpPut
-		upsert(set, th, op.Key, op.Value)
+		core.Upsert(set, th, op.Key, op.Value)
 		return OpResult{Value: op.Value, OK: true}
 	}
 }
 
-// Apply executes a batch: operations are grouped by shard and each shard
-// group runs inside BeginBatch/EndBatch, so the whole group shares one
-// commit fence instead of fencing per operation. Results are positionally
-// aligned with ops (dst is reused when it has capacity). The batch is
-// durable when Apply returns; a crash during Apply may leave any subset of
-// the batch's individual operations applied.
+// Apply executes a batch: keyed operations are grouped by shard and each
+// shard group runs inside BeginBatch/EndBatch, so the whole group shares
+// one commit fence instead of fencing per operation. OpScan operations
+// touch every shard, so they run up front through Session.Scan (their
+// OpResult carries the number of keys in [Key, Hi] and OK reports scan
+// support). Results are positionally aligned with ops (dst is reused when
+// it has capacity). The batch is durable when Apply returns; a crash
+// during Apply may leave any subset of the batch's individual operations
+// applied.
 func (s *Session) Apply(ops []Op, dst []OpResult) []OpResult {
 	if cap(dst) < len(ops) {
 		dst = make([]OpResult, len(ops))
@@ -354,6 +431,15 @@ func (s *Session) Apply(ops []Op, dst []OpResult) []OpResult {
 		s.groups[i] = s.groups[i][:0]
 	}
 	for i := range ops {
+		if ops[i].Kind == OpScan {
+			var count uint64
+			err := s.Scan(ops[i].Key, ops[i].Hi, func(uint64, uint64) bool {
+				count++
+				return true
+			})
+			dst[i] = OpResult{Value: count, OK: err == nil}
+			continue
+		}
 		sh := s.eng.ShardFor(ops[i].Key)
 		s.groups[sh] = append(s.groups[sh], i)
 	}

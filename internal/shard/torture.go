@@ -180,5 +180,12 @@ func (v engineView) Find(_ *pmem.Thread, key uint64) (uint64, bool) {
 func (v engineView) Recover(_ *pmem.Thread)           { v.sess.eng.Recover(v.sess) }
 func (v engineView) Contents(_ *pmem.Thread) []uint64 { return v.sess.eng.Contents(v.sess) }
 
+// RangeScan lets the checker cross-validate the merged engine scan against
+// the recovered contents (ordered kinds only; hash engines report
+// ErrUnordered and the checker skips the comparison).
+func (v engineView) RangeScan(_ *pmem.Thread, lo, hi uint64, fn func(key, value uint64) bool) error {
+	return v.sess.Scan(lo, hi, fn)
+}
+
 // Validate lets the checker run every shard's structural self-check.
 func (v engineView) Validate(_ *pmem.Thread) error { return v.sess.eng.Validate(v.sess) }

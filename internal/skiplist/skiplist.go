@@ -297,6 +297,19 @@ retryLevel:
 
 // Insert adds key with value; false if present.
 func (l *List) Insert(t *pmem.Thread, key, value uint64) bool {
+	_, inserted := l.insertGet(t, key, value, false)
+	return inserted
+}
+
+// GetOrInsert atomically returns the present value of key (inserted=false)
+// or inserts value and returns it (inserted=true).
+func (l *List) GetOrInsert(t *pmem.Thread, key, value uint64) (v uint64, inserted bool) {
+	return l.insertGet(t, key, value, true)
+}
+
+// insertGet is the shared critical section of Insert and GetOrInsert; see
+// list.insertGet for the wantValue contract.
+func (l *List) insertGet(t *pmem.Thread, key, value uint64, wantValue bool) (uint64, bool) {
 	checkKey(key)
 	l.dom.Enter(t.ID)
 	defer l.dom.Exit(t.ID)
@@ -312,9 +325,15 @@ func (l *List) Insert(t *pmem.Thread, key, value uint64) bool {
 			continue
 		}
 		if tr.right != 0 && t.Load(&l.node(tr.right).Key) == key {
+			var v uint64
+			if wantValue {
+				rightN := l.node(tr.right)
+				v = t.Load(&rightN.Value)
+				pol.ReadData(t, &rightN.Value)
+			}
 			pol.BeforeReturn(t)
 			t.CountOp()
-			return false
+			return v, false
 		}
 		lvl := randomLevel(t)
 		idx := l.ar.Alloc(t.ID)
@@ -345,7 +364,7 @@ func (l *List) Insert(t *pmem.Thread, key, value uint64) bool {
 		// Linearized and persisted; now link the tower (volatile).
 		l.linkTower(t, idx, lvl, key, tr)
 		t.CountOp()
-		return true
+		return value, true
 	}
 }
 

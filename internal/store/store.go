@@ -1,0 +1,299 @@
+// Package store is the unified durable-store surface of the repository —
+// Store API v2. One Store interface is satisfied by both backends:
+//
+//   - a bare traversal structure (one pmem.Memory, one core.Set), and
+//   - the hash-sharded engine (shard.Engine).
+//
+// Callers hold a Session — the per-goroutine operation handle — and never
+// need to know which backend they were given: benchmarks, CLIs, examples
+// and the typed Map facade all target Session. A bare structure's session
+// binds a pmem.Thread to the structure; an engine's session is exactly
+// shard.Session (which satisfies the interface structurally). Batched
+// Apply, atomic read-modify-write and ordered range scans work on both;
+// the engine's Scan k-way merges the per-shard ordered streams.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/shard"
+)
+
+// Op and OpResult are the batched-operation vocabulary, shared with the
+// engine (a bare structure's Apply honors the same contract, with the whole
+// batch as one fence group).
+type (
+	Op       = shard.Op
+	OpResult = shard.OpResult
+)
+
+// Session is the per-goroutine handle on a Store. One goroutine at a time;
+// scans' fn must not re-enter the same session.
+type Session interface {
+	// Get looks up a key.
+	Get(key uint64) (uint64, bool)
+	// Put upserts atomically: afterwards the key maps to value.
+	Put(key, value uint64)
+	// Insert adds key with value; false if the key is already present.
+	Insert(key, value uint64) bool
+	// Delete removes a key; false if absent.
+	Delete(key uint64) bool
+	// Update atomically read-modify-writes key's value in place; see
+	// core.Set.Update.
+	Update(key uint64, fn func(old uint64) uint64) (uint64, bool)
+	// GetOrInsert atomically returns the present value or inserts value.
+	GetOrInsert(key, value uint64) (v uint64, inserted bool)
+	// Scan visits every present key in [lo, hi] ascending; ErrUnordered on
+	// kinds without a key order. See core.Set.RangeScan for consistency.
+	Scan(lo, hi uint64, fn func(key, value uint64) bool) error
+	// Apply executes a batch with one commit fence per fence group.
+	Apply(ops []Op, dst []OpResult) []OpResult
+	// MultiGet batch-reads keys.
+	MultiGet(keys []uint64, dst []OpResult) []OpResult
+	// Rand draws from the session's per-goroutine RNG.
+	Rand() uint64
+}
+
+// Store is one durable key-value store, bare or sharded.
+type Store interface {
+	// NewSession registers a per-goroutine handle.
+	NewSession() Session
+	// Kind reports the underlying structure kind.
+	Kind() core.Kind
+	// Shards reports the shard count; 0 means a bare structure.
+	Shards() int
+	// Ordered reports whether Scan works on this store.
+	Ordered() bool
+	// Recover runs the paper's recovery phase (after a crash, before any
+	// other operation; quiescent).
+	Recover()
+	// Contents returns every present key (quiescent use only).
+	Contents() []uint64
+	// Stats aggregates the persistence-instruction counters.
+	Stats() pmem.Stats
+	// ResetStats clears the counters.
+	ResetStats()
+}
+
+// Config parameterizes Open. The zero value opens a bare NVTraverse hash
+// table on a fast NVRAM-profile memory.
+type Config struct {
+	// Kind is the structure kind (default core.KindHash).
+	Kind core.Kind
+	// Policy is the persistence transformation (default persist.NVTraverse).
+	Policy persist.Policy
+	// Profile is the latency profile for fast-mode memories.
+	Profile pmem.Profile
+	// SizeHint is the expected key-range size.
+	SizeHint int
+	// Buckets overrides the hash bucket count (hash kind only).
+	Buckets int
+	// Tracked builds tracked memories (crash testing) instead of fast ones.
+	Tracked bool
+	// Shards > 0 opens the sharded engine instead of a bare structure.
+	Shards int
+	// MaxSessions bounds NewSession calls (default 64).
+	MaxSessions int
+}
+
+// Open builds a Store for cfg: a bare structure when cfg.Shards == 0, the
+// sharded engine otherwise.
+func Open(cfg Config) (Store, error) {
+	if cfg.Kind == "" {
+		cfg.Kind = core.KindHash
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = persist.NVTraverse{}
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.Shards > 0 {
+		eng, err := shard.New(shard.Config{
+			Shards:      cfg.Shards,
+			Kind:        cfg.Kind,
+			Policy:      cfg.Policy,
+			Profile:     cfg.Profile,
+			Tracked:     cfg.Tracked,
+			MaxSessions: cfg.MaxSessions,
+			Params:      core.Params{SizeHint: cfg.SizeHint, Buckets: cfg.Buckets},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &EngineStore{eng: eng, admin: eng.NewSession()}, nil
+	}
+	mode := pmem.ModeFast
+	if cfg.Tracked {
+		mode = pmem.ModeTracked
+	}
+	mem := pmem.New(pmem.Config{
+		Mode:    mode,
+		Profile: cfg.Profile,
+		// +2: the structure constructor registers a thread, plus the
+		// store's admin thread.
+		MaxThreads: cfg.MaxSessions + 2,
+	})
+	set, err := core.NewSet(cfg.Kind, mem, cfg.Policy, core.Params{
+		SizeHint: cfg.SizeHint, Buckets: cfg.Buckets,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Single{mem: mem, set: set, kind: cfg.Kind, admin: mem.NewThread()}, nil
+}
+
+// Single is the bare-structure backend: one memory, one structure.
+type Single struct {
+	mem   *pmem.Memory
+	set   core.Set
+	kind  core.Kind
+	admin *pmem.Thread
+}
+
+// NewSingle wraps an existing structure and memory as a Store (migration
+// path for callers that built via core.NewSet).
+func NewSingle(mem *pmem.Memory, set core.Set, kind core.Kind) *Single {
+	return &Single{mem: mem, set: set, kind: kind, admin: mem.NewThread()}
+}
+
+// Memory exposes the backing memory (crash testing, stats).
+func (s *Single) Memory() *pmem.Memory { return s.mem }
+
+// Set exposes the backing structure (tests, recovery inspection).
+func (s *Single) Set() core.Set { return s.set }
+
+func (s *Single) NewSession() Session {
+	return &singleSession{set: s.set, th: s.mem.NewThread()}
+}
+
+func (s *Single) Kind() core.Kind    { return s.kind }
+func (s *Single) Shards() int        { return 0 }
+func (s *Single) Ordered() bool      { return core.Ordered(s.kind) }
+func (s *Single) Recover()           { s.set.Recover(s.admin) }
+func (s *Single) Contents() []uint64 { return s.set.Contents(s.admin) }
+func (s *Single) Stats() pmem.Stats  { return s.mem.Stats() }
+func (s *Single) ResetStats()        { s.mem.ResetStats() }
+
+// singleSession binds one thread to a bare structure.
+type singleSession struct {
+	set core.Set
+	th  *pmem.Thread
+}
+
+func (s *singleSession) Get(key uint64) (uint64, bool) { return s.set.Find(s.th, key) }
+func (s *singleSession) Insert(key, value uint64) bool { return s.set.Insert(s.th, key, value) }
+func (s *singleSession) Delete(key uint64) bool        { return s.set.Delete(s.th, key) }
+func (s *singleSession) Rand() uint64                  { return s.th.Rand() }
+
+func (s *singleSession) Put(key, value uint64) {
+	core.Upsert(s.set, s.th, key, value)
+}
+
+func (s *singleSession) Update(key uint64, fn func(old uint64) uint64) (uint64, bool) {
+	return s.set.Update(s.th, key, fn)
+}
+
+func (s *singleSession) GetOrInsert(key, value uint64) (uint64, bool) {
+	return s.set.GetOrInsert(s.th, key, value)
+}
+
+func (s *singleSession) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+	return s.set.RangeScan(s.th, lo, hi, fn)
+}
+
+// Apply executes the batch as one fence group: a bare structure has a
+// single memory, so the whole batch shares one commit fence (the engine
+// pays one per shard group). Matching the engine's Apply, OpScan
+// operations run before the batch's keyed operations — the two backends
+// must return identical results for the same batch.
+func (s *singleSession) Apply(ops []Op, dst []OpResult) []OpResult {
+	if cap(dst) < len(ops) {
+		dst = make([]OpResult, len(ops))
+	}
+	dst = dst[:len(ops)]
+	for i := range ops {
+		if ops[i].Kind == shard.OpScan {
+			dst[i] = s.execScan(ops[i])
+		}
+	}
+	s.th.BeginBatch()
+	for i := range ops {
+		if ops[i].Kind != shard.OpScan {
+			dst[i] = s.exec(ops[i])
+		}
+	}
+	s.th.EndBatch()
+	return dst
+}
+
+func (s *singleSession) execScan(op Op) OpResult {
+	var count uint64
+	err := s.set.RangeScan(s.th, op.Key, op.Hi, func(uint64, uint64) bool {
+		count++
+		return true
+	})
+	return OpResult{Value: count, OK: err == nil}
+}
+
+func (s *singleSession) exec(op Op) OpResult {
+	switch op.Kind {
+	case shard.OpGet:
+		v, ok := s.set.Find(s.th, op.Key)
+		return OpResult{Value: v, OK: ok}
+	case shard.OpInsert:
+		return OpResult{Value: op.Value, OK: s.set.Insert(s.th, op.Key, op.Value)}
+	case shard.OpDelete:
+		return OpResult{OK: s.set.Delete(s.th, op.Key)}
+	case shard.OpUpdate:
+		nv, ok := core.ApplyUpdate(s.set, s.th, op.Key, op.Fn, op.Value)
+		return OpResult{Value: nv, OK: ok}
+	default: // shard.OpPut
+		s.Put(op.Key, op.Value)
+		return OpResult{Value: op.Value, OK: true}
+	}
+}
+
+func (s *singleSession) MultiGet(keys []uint64, dst []OpResult) []OpResult {
+	if cap(dst) < len(keys) {
+		dst = make([]OpResult, len(keys))
+	}
+	dst = dst[:len(keys)]
+	s.th.BeginBatch()
+	for i, k := range keys {
+		v, ok := s.set.Find(s.th, k)
+		dst[i] = OpResult{Value: v, OK: ok}
+	}
+	s.th.EndBatch()
+	return dst
+}
+
+// EngineStore is the sharded backend.
+type EngineStore struct {
+	eng   *shard.Engine
+	admin *shard.Session
+}
+
+// NewEngineStore wraps an existing engine as a Store (migration path for
+// callers that built via shard.New).
+func NewEngineStore(eng *shard.Engine) *EngineStore {
+	return &EngineStore{eng: eng, admin: eng.NewSession()}
+}
+
+// Engine exposes the backing engine (crash testing, per-shard inspection).
+func (s *EngineStore) Engine() *shard.Engine { return s.eng }
+
+func (s *EngineStore) NewSession() Session { return s.eng.NewSession() }
+func (s *EngineStore) Kind() core.Kind     { return s.eng.Kind() }
+func (s *EngineStore) Shards() int         { return s.eng.NumShards() }
+func (s *EngineStore) Ordered() bool       { return core.Ordered(s.eng.Kind()) }
+func (s *EngineStore) Recover()            { s.eng.Recover(s.admin) }
+func (s *EngineStore) Contents() []uint64  { return s.eng.Contents(s.admin) }
+func (s *EngineStore) Stats() pmem.Stats   { return s.eng.Stats().Total }
+func (s *EngineStore) ResetStats()         { s.eng.ResetStats() }
+
+// Interface conformance: the engine's session is a store Session as-is.
+var _ Session = (*shard.Session)(nil)

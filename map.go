@@ -1,0 +1,102 @@
+package nvtraverse
+
+// Map is the typed facade over the uint64 store core: a Map[K, V] wraps a
+// StoreSession with a pair of codecs, so callers work in their own key and
+// value types while every operation — including atomic read-modify-write
+// and ordered scans — is executed by the underlying durable structure.
+//
+// Like the session it wraps, a Map is a per-goroutine handle: build one
+// Map per worker over that worker's session.
+type Map[K any, V any] struct {
+	h  StoreSession
+	kc Codec[K]
+	vc Codec[V]
+}
+
+// Codec converts between a user type and the store's uint64 words.
+// Key codecs must be injective, and — for Scan to iterate in the caller's
+// order — monotone: a < b must imply Encode(a) < Encode(b). Encoded keys
+// must lie in [1, 2^61); values may use all 64 bits.
+type Codec[T any] interface {
+	Encode(T) uint64
+	Decode(uint64) T
+}
+
+// NewMap builds a typed view over a store session.
+func NewMap[K any, V any](h StoreSession, kc Codec[K], vc Codec[V]) *Map[K, V] {
+	return &Map[K, V]{h: h, kc: kc, vc: vc}
+}
+
+// Get looks up a key; on a miss the value is V's zero value (never a
+// decode of the store's raw 0, which some codecs map elsewhere).
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	w, ok := m.h.Get(m.kc.Encode(key))
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return m.vc.Decode(w), true
+}
+
+// Put upserts atomically: afterwards the key maps to value.
+func (m *Map[K, V]) Put(key K, value V) {
+	m.h.Put(m.kc.Encode(key), m.vc.Encode(value))
+}
+
+// Insert adds key with value; false if the key is already present.
+func (m *Map[K, V]) Insert(key K, value V) bool {
+	return m.h.Insert(m.kc.Encode(key), m.vc.Encode(value))
+}
+
+// Delete removes a key; false if absent.
+func (m *Map[K, V]) Delete(key K) bool {
+	return m.h.Delete(m.kc.Encode(key))
+}
+
+// Update atomically read-modify-writes key's value in place, returning the
+// installed value, or the zero value and false if key is absent. fn may be
+// called several times under contention and must be pure.
+func (m *Map[K, V]) Update(key K, fn func(old V) V) (V, bool) {
+	w, ok := m.h.Update(m.kc.Encode(key), func(old uint64) uint64 {
+		return m.vc.Encode(fn(m.vc.Decode(old)))
+	})
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return m.vc.Decode(w), true
+}
+
+// GetOrInsert atomically returns the present value (inserted=false) or
+// inserts value and returns it (inserted=true).
+func (m *Map[K, V]) GetOrInsert(key K, value V) (v V, inserted bool) {
+	w, ins := m.h.GetOrInsert(m.kc.Encode(key), m.vc.Encode(value))
+	return m.vc.Decode(w), ins
+}
+
+// Scan visits every present key in [lo, hi] in ascending encoded order,
+// calling fn until it returns false or the range is exhausted. Requires an
+// ordered kind (ErrUnordered otherwise) and a monotone key codec. See
+// core.Set.RangeScan for the consistency contract.
+func (m *Map[K, V]) Scan(lo, hi K, fn func(key K, value V) bool) error {
+	return m.h.Scan(m.kc.Encode(lo), m.kc.Encode(hi), func(k, v uint64) bool {
+		return fn(m.kc.Decode(k), m.vc.Decode(v))
+	})
+}
+
+// Session exposes the wrapped untyped handle.
+func (m *Map[K, V]) Session() StoreSession { return m.h }
+
+// Uint64Codec is the identity codec. As a key codec it requires keys in
+// [1, 2^61); as a value codec it is unrestricted.
+type Uint64Codec struct{}
+
+func (Uint64Codec) Encode(v uint64) uint64 { return v }
+func (Uint64Codec) Decode(w uint64) uint64 { return w }
+
+// IntCodec maps non-negative ints with a +1 shift, so 0 is a legal,
+// scannable key. Keys must lie in [0, 2^61-2); the mapping is monotone.
+type IntCodec struct{}
+
+func (IntCodec) Encode(v int) uint64 { return uint64(v) + 1 }
+func (IntCodec) Decode(w uint64) int { return int(w - 1) }

@@ -5,20 +5,26 @@
 // Data Structures, the Destination is More Important than the Journey"
 // (PLDI 2020).
 //
-// Quick start:
+// Quick start (Store API v2):
 //
-//	mem := nvtraverse.NewMemory(nvtraverse.NVRAM)
-//	set, _ := nvtraverse.NewSet(nvtraverse.Skiplist, mem, nvtraverse.PolicyNVTraverse)
-//	th := mem.NewThread()          // one per goroutine
-//	set.Insert(th, 42, 420)
-//	v, ok := set.Find(th, 42)
+//	st, _ := nvtraverse.Open(nvtraverse.Skiplist)
+//	h := st.NewSession()           // one per goroutine
+//	h.Put(42, 420)
+//	v, ok := h.Get(42)
+//	h.Update(42, func(old uint64) uint64 { return old + 1 })
+//	h.Scan(1, 100, func(k, v uint64) bool { return true })
+//
+// Open takes functional options — WithPolicy, WithProfile, WithSizeHint,
+// WithShards, WithTracked — and returns a Store: the same interface over a
+// bare structure and over the hash-sharded engine, so the handle works
+// identically whether the store has one shard or sixty-four. NewMap wraps
+// a handle in a typed Map[K, V] with pluggable codecs.
 //
 // After a (simulated) crash — see pmem.Memory's tracked mode — call
-// set.Recover before issuing new operations.
+// Store.Recover (or Set.Recover) before issuing new operations.
 //
-// For a multi-structure system rather than a single set, NewEngine builds
-// the hash-sharded durable KV engine (N independent shards, batched
-// operations with one commit fence per shard group, parallel recovery).
+// The v1 surface (NewSet/NewSetSized on a caller-owned Memory, NewEngine)
+// remains available below as thin wrappers; new code should use Open.
 //
 // Everything here delegates to the internal packages; see DESIGN.md for
 // the system inventory and internal/persist for the transformation itself.
@@ -72,11 +78,19 @@ func NewMemory(profile pmem.Profile) *Memory {
 }
 
 // NewSet builds a durable set of the given kind with the given policy.
+//
+// Deprecated: use Open(kind, WithPolicy(pol), ...), which owns its memory
+// and returns the unified Store surface (scans, RMW, sessions). NewSet
+// remains for callers that manage the Memory themselves — structures it
+// returns now carry the v2 operations (Update, GetOrInsert, RangeScan)
+// too, since they are part of the Set contract.
 func NewSet(kind core.Kind, mem *Memory, pol persist.Policy) (Set, error) {
 	return core.NewSet(kind, mem, pol, core.Params{})
 }
 
 // NewSetSized builds a durable set with a size hint (hash bucket count).
+//
+// Deprecated: use Open(kind, WithPolicy(pol), WithSizeHint(n)).
 func NewSetSized(kind core.Kind, mem *Memory, pol persist.Policy, sizeHint int) (Set, error) {
 	return core.NewSet(kind, mem, pol, core.Params{SizeHint: sizeHint})
 }
@@ -108,15 +122,24 @@ type (
 	OpResult = shard.OpResult
 )
 
-// Batched operation kinds for Session.Apply.
+// Batched operation kinds for Session.Apply and StoreSession.Apply.
+// OpUpdate is the atomic read-modify-write (Op.Fn, or conditional
+// overwrite with Op.Value when Fn is nil); OpScan counts the keys of
+// [Op.Key, Op.Hi].
 const (
 	OpGet    = shard.OpGet
 	OpPut    = shard.OpPut
 	OpInsert = shard.OpInsert
 	OpDelete = shard.OpDelete
+	OpUpdate = shard.OpUpdate
+	OpScan   = shard.OpScan
 )
 
 // NewEngine builds a sharded durable KV engine.
+//
+// Deprecated: use Open(kind, WithShards(n), ...), which returns the same
+// engine behind the unified Store surface. NewEngine remains for callers
+// that want the concrete *Engine (per-shard inspection, crash testing).
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return shard.New(cfg)
 }

@@ -1,0 +1,94 @@
+package nvtraverse
+
+import (
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/store"
+)
+
+// Store is the unified durable-store surface (Store API v2): one interface
+// satisfied by both a bare traversal structure and the sharded engine.
+// Open is the constructor; StoreSession is the per-goroutine handle.
+type Store = store.Store
+
+// StoreSession is the per-goroutine operation handle of a Store: point
+// ops, atomic read-modify-write (Update, GetOrInsert, atomic Put), ordered
+// range scans (Scan), and batched Apply/MultiGet. A bare structure and an
+// engine hand out the same handle type, so callers never need to know
+// which they hold.
+type StoreSession = store.Session
+
+// ErrUnordered is returned by Scan/RangeScan on kinds without a key order
+// (the hash table).
+var ErrUnordered = core.ErrUnordered
+
+// Option configures Open.
+type Option func(*store.Config)
+
+// WithPolicy selects the persistence transformation (default
+// PolicyNVTraverse).
+func WithPolicy(pol persist.Policy) Option {
+	return func(c *store.Config) { c.Policy = pol }
+}
+
+// WithProfile selects the simulated latency profile (default NVRAM).
+func WithProfile(p pmem.Profile) Option {
+	return func(c *store.Config) { c.Profile = p }
+}
+
+// WithSizeHint declares the expected key-range size (hash bucket sizing,
+// shard sizing).
+func WithSizeHint(n int) Option {
+	return func(c *store.Config) { c.SizeHint = n }
+}
+
+// WithBuckets overrides the hash bucket count (hash kind only).
+func WithBuckets(n int) Option {
+	return func(c *store.Config) { c.Buckets = n }
+}
+
+// WithTracked builds the store on tracked memories for crash testing
+// (slower; supports Crash/FinishCrash via the backend accessors).
+func WithTracked() Option {
+	return func(c *store.Config) { c.Tracked = true }
+}
+
+// WithShards opens the hash-sharded engine with n shards instead of a bare
+// structure. Scans merge the per-shard ordered streams.
+func WithShards(n int) Option {
+	return func(c *store.Config) { c.Shards = n }
+}
+
+// WithMaxSessions bounds NewSession calls (default 64).
+func WithMaxSessions(n int) Option {
+	return func(c *store.Config) { c.MaxSessions = n }
+}
+
+// Open builds a durable store of the given structure kind.
+//
+//	st, _ := nvtraverse.Open(nvtraverse.Skiplist,
+//	        nvtraverse.WithPolicy(nvtraverse.PolicyNVTraverse),
+//	        nvtraverse.WithShards(8),
+//	        nvtraverse.WithSizeHint(1<<20))
+//	h := st.NewSession() // one per goroutine
+//	h.Put(42, 420)
+//	h.Scan(1, 100, func(k, v uint64) bool { ...; return true })
+//
+// With no options the store is a bare NVTraverse structure on a fast
+// NVRAM-profile memory. Open replaces the positional constructors NewSet,
+// NewSetSized and NewEngine, which remain as deprecated wrappers.
+func Open(kind Kind, opts ...Option) (Store, error) {
+	cfg := store.Config{Kind: kind}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return store.Open(cfg)
+}
+
+// Kind names a structure kind (see the re-exported constants List,
+// HashMap, EllenBST, NMBST, Skiplist).
+type Kind = core.Kind
+
+// Ordered reports whether a kind supports range scans.
+func Ordered(kind Kind) bool { return core.Ordered(kind) }
