@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race fmt vet staticcheck apicheck bench-smoke bench-ci ci
+.PHONY: build test short race fmt vet staticcheck apicheck bench-smoke bench-ci bench-json ci
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,11 @@ test:
 short:
 	NVBENCH_DUR=10ms $(GO) test -short ./...
 
-# Race pass over the concurrency-heavy packages only, kept short.
+# Race pass over the concurrency-heavy packages only, kept short. pmem is
+# in the list for the striped-model stress tests; epoch for the
+# registration high-water mark.
 race:
-	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/core ./internal/store ./internal/list ./internal/skiplist ./internal/queue ./internal/stack ./internal/shard ./internal/crashtest
+	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/pmem ./internal/epoch ./internal/core ./internal/store ./internal/list ./internal/skiplist ./internal/queue ./internal/stack ./internal/shard ./internal/crashtest
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -48,6 +50,8 @@ bench-smoke:
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -ycsb E -kind skiplist -threads 2 -range 2048 -profile zero
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -ycsb U -kind list -shards 2 -threads 2 -range 512 -profile zero
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -flushstats -threads 2 -scale 1024
+	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -json /tmp/nvbench-smoke.json -label smoke
+	$(GO) run ./cmd/nvbench -verifyjson /tmp/nvbench-smoke.json
 	$(GO) run ./cmd/nvcrash -rounds 2 -ops 150 -workers 2 -keys 64
 	$(GO) run ./cmd/nvcrash -kind queue -rounds 2 -ops 150 -workers 2
 	$(GO) run ./cmd/nvcrash -kind stack -rounds 2 -ops 150 -workers 2
@@ -59,5 +63,16 @@ bench-smoke:
 bench-ci:
 	NVBENCH_DUR=5ms $(GO) test -run=NONE -bench=. -benchtime=1x ./internal/bench/...
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -panel yE -threads 2 -scale 256
+
+# Run the JSON baseline suite (fast-mode panels + the tracked-mode torture
+# throughput proxy) and write BENCH_4.json. Compare against a prior capture
+# with: make bench-json BENCH_CMP=path/to/old.json. The committed
+# BENCH_4.json was produced at PR 4 with -dur 2s against the pre-PR commit.
+BENCH_JSON ?= BENCH_4.json
+BENCH_DUR  ?= 500ms
+bench-json:
+	$(GO) run ./cmd/nvbench -dur $(BENCH_DUR) -json $(BENCH_JSON) \
+		$(if $(BENCH_CMP),-cmp $(BENCH_CMP)) $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
+	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_JSON)
 
 ci: fmt vet build short race apicheck bench-smoke bench-ci

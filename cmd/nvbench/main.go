@@ -56,6 +56,11 @@ func run(args []string, out io.Writer) error {
 		threads = fs.Int("threads", 8, "cap thread sweeps (or thread count for -ycsb)")
 		dur     = fs.Duration("dur", 150*time.Millisecond, "measurement duration per point")
 
+		jsonOut    = fs.String("json", "", "run the baseline suite and write a BenchDoc JSON to this path")
+		jsonCmp    = fs.String("cmp", "", "baseline BenchDoc to compare against (embeds rows + speedups into -json output)")
+		jsonLabel  = fs.String("label", "", "label recorded in the -json document")
+		jsonVerify = fs.String("verifyjson", "", "parse a BenchDoc JSON and assert every row has nonzero ops/s")
+
 		flushes = fs.Bool("flushstats", false, "run the flush-accounting ablation (panels fA/fB/fC) and summarize flushes/op")
 		ycsb    = fs.String("ycsb", "", "run one YCSB workload (A, B, C, D, E, F, U) instead of a panel")
 		shards  = fs.Int("shards", 0, "shard count for -ycsb (0 = single structure)")
@@ -76,6 +81,46 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := bench.PanelOptions{SizeScale: *scale, ThreadCap: *threads, Duration: *dur}
+
+	if *jsonVerify != "" {
+		doc, err := bench.LoadBenchDoc(*jsonVerify)
+		if err != nil {
+			return err
+		}
+		if err := doc.Verify(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: ok (%d rows", *jsonVerify, len(doc.Rows))
+		if len(doc.Speedups) > 0 {
+			fmt.Fprintf(out, ", %d speedups", len(doc.Speedups))
+		}
+		fmt.Fprintln(out, ")")
+		return nil
+	}
+
+	if *jsonOut != "" {
+		rows, err := bench.RunBaseline(*dur, func(line string) { fmt.Fprintln(out, line) })
+		if err != nil {
+			return err
+		}
+		doc := bench.NewBenchDoc(*jsonLabel, rows)
+		if *jsonCmp != "" {
+			base, err := bench.LoadBenchDoc(*jsonCmp)
+			if err != nil {
+				return err
+			}
+			doc.Compare(base)
+			for _, s := range doc.Speedups {
+				fmt.Fprintf(out, "%-12s %10.0f -> %10.0f ops/s  %.2fx\n",
+					s.Panel, s.BaseOpsPerSec, s.NewOpsPerSec, s.Speedup)
+			}
+		}
+		if err := doc.WriteFile(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *jsonOut)
+		return nil
+	}
 
 	if *list {
 		for _, p := range bench.Panels(opts) {

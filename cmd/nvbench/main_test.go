@@ -43,6 +43,38 @@ func TestRunYCSBEnginePoint(t *testing.T) {
 	}
 }
 
+func TestJSONCaptureCompareVerify(t *testing.T) {
+	t.Setenv("NVBENCH_DUR", "5ms")
+	dir := t.TempDir()
+	base := dir + "/base.json"
+	next := dir + "/next.json"
+	var sb strings.Builder
+	if err := run([]string{"-json", base, "-label", "base"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-verifyjson", base}, &sb); err != nil {
+		t.Fatalf("fresh capture fails verification: %v", err)
+	}
+	sb.Reset()
+	if err := run([]string{"-json", next, "-cmp", base, "-label", "next"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "x\n") || !strings.Contains(out, "tracked-4t") {
+		t.Fatalf("comparison output lacks speedup rows:\n%s", out)
+	}
+	sb.Reset()
+	if err := run([]string{"-verifyjson", next}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speedups") {
+		t.Fatalf("verify of compared doc does not report speedups:\n%s", sb.String())
+	}
+	if err := run([]string{"-verifyjson", dir + "/missing.json"}, &sb); err == nil {
+		t.Fatal("verify of missing file succeeded")
+	}
+}
+
 func TestBadArgs(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{}, &sb); err == nil {

@@ -1,0 +1,209 @@
+// JSON baseline harness: a small fixed panel of throughput rows that is
+// cheap enough to run on every change, written as a machine-readable
+// document (BENCH_N.json) so perf PRs can quote measured speedups against a
+// baseline captured with the *same harness* at the previous commit, and CI
+// can archive the trajectory as a workflow artifact.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+// JSONRow is one benchmark row of a BenchDoc.
+type JSONRow struct {
+	Panel      string  `json:"panel"`
+	Kind       string  `json:"kind"`
+	Policy     string  `json:"policy"`
+	Profile    string  `json:"profile"`
+	Threads    int     `json:"threads"`
+	Range      uint64  `json:"range,omitempty"`
+	Workload   string  `json:"workload,omitempty"`
+	Shards     int     `json:"shards,omitempty"`
+	Ops        uint64  `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	FlushPerOp float64 `json:"flush_per_op"`
+	ElidePerOp float64 `json:"elide_per_op"`
+	FencePerOp float64 `json:"fence_per_op"`
+}
+
+// SpeedupRow compares one panel row against the same row of a baseline doc.
+type SpeedupRow struct {
+	Panel         string  `json:"panel"`
+	BaseOpsPerSec float64 `json:"base_ops_per_sec"`
+	NewOpsPerSec  float64 `json:"new_ops_per_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// BenchDoc is the on-disk format of a benchmark capture (BENCH_N.json).
+// When the capture was compared against a baseline, the baseline's rows and
+// the per-panel speedups are embedded so the document is self-contained.
+type BenchDoc struct {
+	Schema    int          `json:"schema"`
+	Label     string       `json:"label,omitempty"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Rows      []JSONRow    `json:"rows"`
+	Baseline  []JSONRow    `json:"baseline,omitempty"`
+	Speedups  []SpeedupRow `json:"speedups,omitempty"`
+}
+
+// rowFromResult flattens a Result into a JSONRow under a panel id.
+func rowFromResult(panel string, r Result) JSONRow {
+	return JSONRow{
+		Panel:      panel,
+		Kind:       string(r.Kind),
+		Policy:     r.Policy,
+		Profile:    r.Profile.Name,
+		Threads:    r.Threads,
+		Range:      r.Range,
+		Workload:   r.Workload,
+		Shards:     r.Shards,
+		Ops:        r.Ops,
+		OpsPerSec:  r.Mops * 1e6,
+		FlushPerOp: r.FlushPerOp,
+		ElidePerOp: r.ElidePerOp,
+		FencePerOp: r.FencePerOp,
+	}
+}
+
+// BaselineConfig is one named row of the baseline suite.
+type BaselineConfig struct {
+	Panel string
+	Cfg   Config // ignored when Tracked
+	// Tracked rows run the TrackedThroughput proxy instead of a workload.
+	Tracked bool
+}
+
+// BaselineSuite is the fixed panel behind nvbench -json: a read-heavy
+// fast-mode row (the stats-bound hot path), a write-heavy row, the paper's
+// small-list row (fence-bound), an engine row, and the tracked-mode torture
+// throughput proxy (the lock-bound path). dur is the measurement time per
+// row (NVBENCH_DUR still overrides).
+func BaselineSuite(dur time.Duration) []BaselineConfig {
+	return []BaselineConfig{
+		{Panel: "fastC-skip8", Cfg: Config{
+			Kind: core.KindSkiplist, Policy: "nvtraverse", Profile: pmem.ProfileZero,
+			Threads: 8, Range: 1 << 16, Workload: "C", Duration: dur,
+		}},
+		{Panel: "fastA-hash4", Cfg: Config{
+			Kind: core.KindHash, Policy: "nvtraverse", Profile: pmem.ProfileNVRAM,
+			Threads: 4, Range: 1 << 16, Workload: "A", Duration: dur,
+		}},
+		{Panel: "list-nvram4", Cfg: Config{
+			Kind: core.KindList, Policy: "nvtraverse", Profile: pmem.ProfileNVRAM,
+			Threads: 4, Range: 1024, UpdatePct: 20, Duration: dur,
+		}},
+		{Panel: "engineC-4sh", Cfg: Config{
+			Kind: core.KindHash, Policy: "nvtraverse", Profile: pmem.ProfileZero,
+			Threads: 4, Range: 1 << 16, Workload: "C", Shards: 4, Duration: dur,
+		}},
+		{Panel: "tracked-4t", Cfg: Config{Threads: 4, Duration: dur}, Tracked: true},
+	}
+}
+
+// RunBaseline executes the baseline suite and returns its rows. progress,
+// when non-nil, receives one line per completed row.
+func RunBaseline(dur time.Duration, progress func(string)) ([]JSONRow, error) {
+	var rows []JSONRow
+	for _, bc := range BaselineSuite(dur) {
+		var (
+			res Result
+			err error
+		)
+		if bc.Tracked {
+			res = TrackedThroughput(bc.Cfg.Threads, bc.Cfg.Duration)
+		} else {
+			res, err = Run(bc.Cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: baseline row %s: %w", bc.Panel, err)
+		}
+		row := rowFromResult(bc.Panel, res)
+		rows = append(rows, row)
+		if progress != nil {
+			progress(fmt.Sprintf("%-12s %10.0f ops/s  flush/op %.2f  elide/op %.2f  fence/op %.2f",
+				row.Panel, row.OpsPerSec, row.FlushPerOp, row.ElidePerOp, row.FencePerOp))
+		}
+	}
+	return rows, nil
+}
+
+// NewBenchDoc assembles a document from captured rows.
+func NewBenchDoc(label string, rows []JSONRow) *BenchDoc {
+	return &BenchDoc{
+		Schema:    1,
+		Label:     label,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Rows:      rows,
+	}
+}
+
+// Compare embeds base's rows into doc and computes per-panel speedups
+// (new ops/s divided by base ops/s, matched by panel id).
+func (d *BenchDoc) Compare(base *BenchDoc) {
+	d.Baseline = base.Rows
+	byPanel := make(map[string]JSONRow, len(base.Rows))
+	for _, r := range base.Rows {
+		byPanel[r.Panel] = r
+	}
+	d.Speedups = d.Speedups[:0]
+	for _, r := range d.Rows {
+		b, ok := byPanel[r.Panel]
+		if !ok || b.OpsPerSec <= 0 {
+			continue
+		}
+		d.Speedups = append(d.Speedups, SpeedupRow{
+			Panel:         r.Panel,
+			BaseOpsPerSec: b.OpsPerSec,
+			NewOpsPerSec:  r.OpsPerSec,
+			Speedup:       r.OpsPerSec / b.OpsPerSec,
+		})
+	}
+}
+
+// Verify checks the structural invariants bench-smoke asserts: at least one
+// row, and every row measured a nonzero throughput.
+func (d *BenchDoc) Verify() error {
+	if d.Schema != 1 {
+		return fmt.Errorf("bench: unknown BenchDoc schema %d", d.Schema)
+	}
+	if len(d.Rows) == 0 {
+		return fmt.Errorf("bench: BenchDoc has no rows")
+	}
+	for _, r := range d.Rows {
+		if r.OpsPerSec <= 0 || r.Ops == 0 {
+			return fmt.Errorf("bench: row %s has zero throughput (ops=%d)", r.Panel, r.Ops)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the document as indented JSON.
+func (d *BenchDoc) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// LoadBenchDoc reads a document written by WriteFile.
+func LoadBenchDoc(path string) (*BenchDoc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d BenchDoc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestBenchDocRoundTripAndCompare(t *testing.T) {
+	rows := []JSONRow{
+		{Panel: "a", Kind: "list", OpsPerSec: 100, Ops: 10},
+		{Panel: "b", Kind: "hash", OpsPerSec: 400, Ops: 40},
+	}
+	base := NewBenchDoc("base", rows)
+	doc := NewBenchDoc("next", []JSONRow{
+		{Panel: "a", Kind: "list", OpsPerSec: 250, Ops: 25},
+		{Panel: "c", Kind: "skiplist", OpsPerSec: 50, Ops: 5}, // no counterpart
+	})
+	doc.Compare(base)
+	if len(doc.Speedups) != 1 {
+		t.Fatalf("speedups = %d, want 1 (unmatched panels skipped)", len(doc.Speedups))
+	}
+	s := doc.Speedups[0]
+	if s.Panel != "a" || s.Speedup < 2.49 || s.Speedup > 2.51 {
+		t.Fatalf("speedup row = %+v, want panel a at 2.5x", s)
+	}
+	if len(doc.Baseline) != 2 {
+		t.Fatalf("baseline not embedded: %d rows", len(doc.Baseline))
+	}
+
+	path := filepath.Join(t.TempDir(), "doc.json")
+	if err := doc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "next" || len(got.Rows) != 2 || len(got.Speedups) != 1 {
+		t.Fatalf("roundtrip mangled doc: %+v", got)
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatalf("valid doc fails verification: %v", err)
+	}
+}
+
+func TestBenchDocVerifyRejects(t *testing.T) {
+	if err := (&BenchDoc{Schema: 1}).Verify(); err == nil {
+		t.Fatal("empty doc verified")
+	}
+	if err := (&BenchDoc{Schema: 2, Rows: []JSONRow{{Panel: "a", OpsPerSec: 1, Ops: 1}}}).Verify(); err == nil {
+		t.Fatal("unknown schema verified")
+	}
+	bad := &BenchDoc{Schema: 1, Rows: []JSONRow{{Panel: "a", OpsPerSec: 0, Ops: 0}}}
+	if err := bad.Verify(); err == nil {
+		t.Fatal("zero-throughput row verified")
+	}
+}
+
+func TestTrackedThroughputProxy(t *testing.T) {
+	res := TrackedThroughput(2, 20*time.Millisecond)
+	if res.Ops == 0 || res.Mops <= 0 {
+		t.Fatalf("tracked proxy measured nothing: %+v", res)
+	}
+	// The proxy's op shape is fixed: two private-line stores + flush, one
+	// shared CAS + flush, one fence. Flush and fence rates are therefore
+	// pinned by construction (elision can only reduce issued flushes).
+	if res.FencePerOp < 0.99 || res.FencePerOp > 1.01 {
+		t.Fatalf("fence/op = %v, want 1", res.FencePerOp)
+	}
+	if sum := res.FlushPerOp + res.ElidePerOp; sum < 1.99 || sum > 2.01 {
+		t.Fatalf("flush+elide per op = %v, want 2", sum)
+	}
+}
+
+func TestRunBaselineSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every baseline row")
+	}
+	var lines []string
+	rows, err := RunBaseline(10*time.Millisecond, func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(BaselineSuite(0)) || len(lines) != len(rows) {
+		t.Fatalf("rows=%d progress=%d, want %d", len(rows), len(lines), len(BaselineSuite(0)))
+	}
+	doc := NewBenchDoc("smoke", rows)
+	if err := doc.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+// TrackedThroughput is the tracked-mode torture throughput proxy: the same
+// Store/CAS/Flush/Fence instruction mix a crash-torture worker issues, on a
+// ModeTracked memory, without the crash/recovery phases — so it measures
+// exactly the cost of the tracked write-back model (stripe locking, line
+// bookkeeping, snapshot capture), which is what bounds how many schedules a
+// crash-fuzz run can explore per second.
+//
+// Each worker owns privateLines 64-byte lines and shares sharedLines with
+// everyone. One "op" is: two stores to a private line, a flush of it, a CAS
+// increment on a random shared line, a flush of that, and one fence — a
+// typical durable-insert footprint (write node, flush node, publish link,
+// flush link, commit fence).
+func TrackedThroughput(threads int, dur time.Duration) Result {
+	const (
+		privateLines = 4
+		sharedLines  = 8
+	)
+	if threads < 1 {
+		threads = 1
+	}
+	mem := pmem.New(pmem.Config{
+		Mode:       pmem.ModeTracked,
+		Profile:    pmem.ProfileZero,
+		MaxThreads: threads + 2,
+	})
+	private := make([][][]pmem.Cell, threads)
+	for i := range private {
+		private[i] = pmem.AllocLines(privateLines)
+	}
+	shared := pmem.AllocLines(sharedLines)
+	mem.PersistAll()
+
+	dur = EffectiveDuration(dur)
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < threads; i++ {
+		th := mem.NewThread()
+		mine := private[i]
+		wg.Add(1)
+		go func(th *pmem.Thread) {
+			defer wg.Done()
+			var ops uint64
+			for !stop.Load() {
+				for j := 0; j < 16; j++ {
+					r := th.Rand()
+					ln := mine[r%privateLines]
+					a := &ln[r%pmem.CellsPerLine]
+					b := &ln[(r>>8)%pmem.CellsPerLine]
+					th.Store(a, r)
+					th.Store(b, r^0xff)
+					th.Flush(a)
+					sc := &shared[(r>>16)%sharedLines][(r>>24)%pmem.CellsPerLine]
+					old := th.Load(sc)
+					th.CAS(sc, old, old+1)
+					th.Flush(sc)
+					th.Fence()
+					th.CountOp()
+					ops++
+				}
+			}
+			total.Add(ops)
+		}(th)
+	}
+	timer := time.NewTimer(dur)
+	<-timer.C
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := mem.Stats()
+	ops := total.Load()
+	res := Result{
+		Config: Config{
+			Kind:    core.Kind("tracked"),
+			Policy:  "model",
+			Profile: pmem.ProfileZero,
+			Threads: threads,
+		},
+		Ops:     ops,
+		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
+		Elapsed: elapsed,
+	}
+	if ops > 0 {
+		res.FlushPerOp = float64(st.Flushes) / float64(ops)
+		res.ElidePerOp = float64(st.FlushesElided) / float64(ops)
+		res.FencePerOp = float64(st.Fences) / float64(ops)
+	}
+	return res
+}

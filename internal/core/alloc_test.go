@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// Zero-allocation guards for the fast-mode point-op hot path: Get (Find),
+// Put (Upsert of an existing key), and the raw persistence instructions
+// Flush/Fence. A single heap allocation per operation costs more than the
+// whole simulated access on these paths and silently poisons every
+// throughput panel, so any regression must fail loudly here.
+func TestFastModeHotPathAllocs(t *testing.T) {
+	for _, kind := range []Kind{KindList, KindSkiplist} {
+		t.Run(string(kind), func(t *testing.T) {
+			mem := pmem.NewFast(pmem.ProfileZero)
+			pol, _ := persist.ByName("nvtraverse")
+			s, err := NewSet(kind, mem, pol, Params{SizeHint: 1 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := mem.NewThread()
+			const key = 321
+			for k := uint64(1); k <= 1024; k += 2 {
+				s.Insert(th, k, k)
+			}
+			// Warm up scratch buffers, the pending-line set, and the
+			// upsert closure pool before measuring.
+			for i := 0; i < 64; i++ {
+				s.Find(th, key)
+				Upsert(s, th, key, uint64(i))
+			}
+
+			if avg := testing.AllocsPerRun(200, func() {
+				s.Find(th, key)
+			}); avg != 0 {
+				t.Errorf("%s Get: %v allocs/op, want 0", kind, avg)
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				Upsert(s, th, key, 7)
+			}); avg != 0 {
+				t.Errorf("%s Put: %v allocs/op, want 0", kind, avg)
+			}
+		})
+	}
+}
+
+func TestFastModeFlushFenceAllocs(t *testing.T) {
+	mem := pmem.NewFast(pmem.ProfileZero)
+	th := mem.NewThread()
+	lines := pmem.AllocLines(16)
+	flushAll := func() {
+		for i := range lines {
+			th.Flush(&lines[i][0])
+		}
+		th.Fence()
+	}
+	flushAll() // warm up the line set
+	if avg := testing.AllocsPerRun(200, flushAll); avg != 0 {
+		t.Errorf("Flush+Fence: %v allocs per 16-line batch, want 0", avg)
+	}
+}
+
+// The guard would be vacuous if AllocsPerRun could not see allocations on
+// this path at all, so prove the harness bites: an allocating Update
+// closure must register.
+func TestAllocGuardDetectsAllocations(t *testing.T) {
+	mem := pmem.NewFast(pmem.ProfileZero)
+	pol, _ := persist.ByName("nvtraverse")
+	s, err := NewSet(KindList, mem, pol, Params{SizeHint: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := mem.NewThread()
+	s.Insert(th, 1, 1)
+	sink := uint64(0)
+	if avg := testing.AllocsPerRun(50, func() {
+		v := th.Rand()
+		fn := func(uint64) uint64 { return v } // escapes: fresh closure
+		s.Update(th, 1, fn)
+		r := fmt.Sprintf("%d", v) // definitely allocates
+		sink += uint64(len(r))
+	}); avg == 0 {
+		t.Fatalf("alloc harness saw 0 allocs on an allocating path (sink=%d)", sink)
+	}
+}

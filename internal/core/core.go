@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/ellenbst"
 	"repro/internal/hashtable"
@@ -155,20 +156,39 @@ var (
 	_ Validator = (*skiplist.List)(nil)
 )
 
+// constFn is a reusable "return this constant" Update closure. A literal
+// closure capturing value would escape into the Update interface call and
+// cost one heap allocation per upsert on the hottest write path; pooled
+// boxes make Upsert allocation-free at steady state (the alloc-guard tests
+// pin this).
+type constFn struct {
+	v  uint64
+	fn func(uint64) uint64
+}
+
+var constFnPool = sync.Pool{New: func() any {
+	b := &constFn{}
+	b.fn = func(uint64) uint64 { return b.v }
+	return b
+}}
+
 // Upsert sets key to value atomically: an in-place Update when the key is
 // present, a GetOrInsert when it is not, looping across the race between
 // the two. The key never transiently disappears and concurrent upserts
 // leave exactly one racing value in place. Every upsert path in the
 // repository (engine Put, store Put, bench workloads) goes through here.
 func Upsert(s Set, t *pmem.Thread, key, value uint64) {
+	b := constFnPool.Get().(*constFn)
+	b.v = value
 	for {
-		if _, ok := s.Update(t, key, func(uint64) uint64 { return value }); ok {
-			return
+		if _, ok := s.Update(t, key, b.fn); ok {
+			break
 		}
 		if _, inserted := s.GetOrInsert(t, key, value); inserted {
-			return
+			break
 		}
 	}
+	constFnPool.Put(b)
 }
 
 // ApplyUpdate runs Update with fn, treating a nil fn as the batched-op

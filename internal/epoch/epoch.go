@@ -16,7 +16,12 @@ import "sync/atomic"
 // [0, maxThreads).
 type Domain struct {
 	global atomic.Uint64
-	slots  []slot
+	// hwm is the registered-thread high-water mark: one past the highest
+	// thread ID that has ever entered. TryAdvance scans only slots[:hwm],
+	// so a domain sized for DefaultMaxThreads costs what its *occupancy*
+	// costs, not what its capacity costs.
+	hwm   atomic.Int64
+	slots []slot
 }
 
 type slot struct {
@@ -45,6 +50,20 @@ func (d *Domain) Epoch() uint64 { return d.global.Load() }
 // cleanly through data-structure operations).
 func (d *Domain) Enter(tid int) {
 	s := &d.slots[tid]
+	if s.enters == 0 {
+		// First Enter of this slot (or first after Reset): raise the
+		// high-water mark before announcing, so any TryAdvance that could
+		// matter to this thread's references scans its slot. A scan that
+		// loads hwm before this CAS can only miss announcements made after
+		// its own start — the same benign race a scan loading the slot just
+		// before the announcement always had.
+		for {
+			h := d.hwm.Load()
+			if int64(tid) < h || d.hwm.CompareAndSwap(h, int64(tid)+1) {
+				break
+			}
+		}
+	}
 	e := d.global.Load()
 	s.val.Store((e+1)<<1 | 1)
 	s.enters++
@@ -64,10 +83,14 @@ func (d *Domain) Active(tid int) bool {
 }
 
 // TryAdvance advances the global epoch iff every active thread has announced
-// the current epoch. It returns the (possibly new) global epoch.
+// the current epoch. It returns the (possibly new) global epoch. Only the
+// slots up to the registered high-water mark are scanned: threads that never
+// entered cannot be active, and threads that could hold references from
+// before an advance are registered before they announce.
 func (d *Domain) TryAdvance() uint64 {
 	e := d.global.Load()
-	for i := range d.slots {
+	n := int(d.hwm.Load())
+	for i := 0; i < n; i++ {
 		v := d.slots[i].val.Load()
 		if v&1 == 1 && (v>>1)-1 != e {
 			return e // someone is still in an older epoch
@@ -86,8 +109,12 @@ func (d *Domain) SafeToReclaim(retireEpoch uint64) bool {
 
 // Reset returns the domain to its initial state. Only for post-crash
 // recovery, when no thread is active: all announcement state was volatile.
+// The high-water mark resets too — surviving threads re-register on their
+// next Enter (enters was zeroed), so a smaller post-crash worker set scans
+// only its own prefix.
 func (d *Domain) Reset() {
 	d.global.Store(0)
+	d.hwm.Store(0)
 	for i := range d.slots {
 		d.slots[i].val.Store(0)
 		d.slots[i].enters = 0

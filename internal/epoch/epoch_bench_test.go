@@ -1,0 +1,51 @@
+package epoch
+
+import "testing"
+
+func TestHighWaterMark(t *testing.T) {
+	d := New(128)
+	if got := d.hwm.Load(); got != 0 {
+		t.Fatalf("fresh domain hwm = %d", got)
+	}
+	d.Enter(0)
+	d.Exit(0)
+	d.Enter(5)
+	d.Exit(5)
+	if got := d.hwm.Load(); got != 6 {
+		t.Fatalf("hwm after tids 0,5 = %d, want 6", got)
+	}
+	// Advancing must still see a laggard below the mark.
+	d.Enter(3)
+	e := d.Epoch()
+	d.TryAdvance()
+	d.TryAdvance()
+	if d.Epoch() > e+1 {
+		t.Fatalf("epoch advanced past active thread: %d -> %d", e, d.Epoch())
+	}
+	d.Exit(3)
+	// Reset keeps registration useful: re-entering re-registers.
+	d.Reset()
+	d.Enter(2)
+	if got := d.hwm.Load(); got < 3 {
+		t.Fatalf("hwm after reset+enter = %d, want >= 3", got)
+	}
+}
+
+// benchTryAdvance measures one TryAdvance over a domain of the default
+// capacity (128 slots) with `active` registered threads — the satellite
+// claim: a 2-thread workload should pay for 2 slots, not 128.
+func benchTryAdvance(b *testing.B, capacity, active int) {
+	d := New(capacity)
+	for tid := 0; tid < active; tid++ {
+		d.Enter(tid)
+		d.Exit(tid)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.TryAdvance()
+	}
+}
+
+func BenchmarkTryAdvance2of128(b *testing.B)   { benchTryAdvance(b, 128, 2) }
+func BenchmarkTryAdvance8of128(b *testing.B)   { benchTryAdvance(b, 128, 8) }
+func BenchmarkTryAdvance128of128(b *testing.B) { benchTryAdvance(b, 128, 128) }

@@ -11,6 +11,14 @@ func newThread() (*pmem.Memory, *pmem.Thread) {
 	return m, m.NewThread()
 }
 
+// stats publishes th's owner-written counters (these tests drive
+// persistence instructions directly, between operation boundaries) and
+// returns the memory's aggregate.
+func stats(m *pmem.Memory, th *pmem.Thread) pmem.Stats {
+	th.PublishStats()
+	return m.Stats()
+}
+
 func TestByName(t *testing.T) {
 	cases := map[string]string{
 		"none":           "none",
@@ -54,7 +62,7 @@ func TestNoneIsFree(t *testing.T) {
 	p.Wrote(th, &c)
 	p.BeforeCAS(th)
 	p.BeforeReturn(th)
-	if s := m.Stats(); s.Flushes != 0 || s.Fences != 0 {
+	if s := stats(m, th); s.Flushes != 0 || s.Fences != 0 {
 		t.Fatalf("None persisted: %+v", s)
 	}
 }
@@ -66,7 +74,7 @@ func TestIzraelevitzFlushesEveryAccess(t *testing.T) {
 	p.TraverseRead(th, &c)
 	p.Read(th, &c)
 	p.Wrote(th, &c)
-	s := m.Stats()
+	s := stats(m, th)
 	if s.Flushes != 3 || s.Fences != 3 {
 		t.Fatalf("Izraelevitz: %+v", s)
 	}
@@ -80,23 +88,23 @@ func TestNVTraversePlacement(t *testing.T) {
 	a, b, c := &lines[0][0], &lines[1][0], &lines[2][0]
 	p := NVTraverse{}
 	p.TraverseRead(th, a) // free
-	if s := m.Stats(); s.Flushes != 0 {
+	if s := stats(m, th); s.Flushes != 0 {
 		t.Fatalf("traverse read flushed")
 	}
 	p.PostTraverse(th, []*pmem.Cell{a, b, c})
-	s := m.Stats()
+	s := stats(m, th)
 	if s.Flushes != 3 || s.Fences != 1 {
 		t.Fatalf("PostTraverse: %+v", s)
 	}
 	p.Read(th, a)  // flush, no fence (fresh window: PostTraverse fenced)
 	p.Wrote(th, b) // flush, no fence
-	s = m.Stats()
+	s = stats(m, th)
 	if s.Flushes != 5 || s.Fences != 1 {
 		t.Fatalf("critical accesses: %+v", s)
 	}
 	p.BeforeCAS(th)
 	p.BeforeReturn(th)
-	if s := m.Stats(); s.Fences != 3 {
+	if s := stats(m, th); s.Fences != 3 {
 		t.Fatalf("fences: %+v", s)
 	}
 }
@@ -111,7 +119,7 @@ func TestLinkAndPersistTagging(t *testing.T) {
 	if th.Load(&c)&pmem.PersistBit == 0 {
 		t.Fatalf("flush did not tag the cell")
 	}
-	s := m.Stats()
+	s := stats(m, th)
 	if s.Flushes != 1 || s.Fences != 1 {
 		t.Fatalf("first flush: %+v", s)
 	}
@@ -120,7 +128,7 @@ func TestLinkAndPersistTagging(t *testing.T) {
 	p.Read(th, &c)
 	p.Wrote(th, &c)
 	p.PostTraverse(th, []*pmem.Cell{&c})
-	s = m.Stats()
+	s = stats(m, th)
 	if s.Flushes != 1 || s.Fences != 1 {
 		t.Fatalf("tagged flushes not elided: %+v", s)
 	}
@@ -128,7 +136,7 @@ func TestLinkAndPersistTagging(t *testing.T) {
 	// A store clears the tag (new values are dirty by construction).
 	th.Store(&c, pmem.Dirty(pmem.MakeRef(10)))
 	p.Read(th, &c)
-	if s := m.Stats(); s.Flushes != 2 {
+	if s := stats(m, th); s.Flushes != 2 {
 		t.Fatalf("flush after store elided: %+v", s)
 	}
 }
@@ -138,13 +146,13 @@ func TestLinkAndPersistFenceElision(t *testing.T) {
 	p := LinkAndPersist{}
 	p.BeforeCAS(th)
 	p.BeforeReturn(th)
-	if s := m.Stats(); s.Fences != 0 {
+	if s := stats(m, th); s.Fences != 0 {
 		t.Fatalf("fences with nothing unfenced: %+v", s)
 	}
 	var c pmem.Cell
 	th.Flush(&c) // raw unfenced flush
 	p.BeforeCAS(th)
-	if s := m.Stats(); s.Fences != 1 {
+	if s := stats(m, th); s.Fences != 1 {
 		t.Fatalf("fence with pending flush elided: %+v", s)
 	}
 }

@@ -23,6 +23,13 @@ const (
 // lineOf returns the line key of a cell: its address divided by LineSize.
 func lineOf(c *Cell) uintptr { return uintptr(unsafe.Pointer(c)) >> lineShift }
 
+// cellSlot returns the cell's slot within its 64-byte line (0..CellsPerLine-1).
+// Cells are 8-byte and 8-aligned, so slot identity is exact: one cell per
+// (line, slot).
+func cellSlot(c *Cell) uintptr {
+	return (uintptr(unsafe.Pointer(c)) >> 3) & (CellsPerLine - 1)
+}
+
 // SameLine reports whether two cells fall into the same 64-byte line (and
 // therefore persist and vanish together in a crash).
 func SameLine(a, b *Cell) bool { return lineOf(a) == lineOf(b) }
@@ -44,14 +51,4 @@ func AllocLines(n int) [][]Cell {
 		out[i] = buf[off+i*CellsPerLine : off+(i+1)*CellsPerLine]
 	}
 	return out
-}
-
-// lineSlot maps a cell's line to a slot of the fast-mode line-version
-// table. Distinct lines may collide; collisions merge their write
-// versions, which only perturbs the flush-coalescing statistics (fast mode
-// has no crash semantics), and the multiplicative hash keeps neighboring
-// lines apart.
-func (m *Memory) lineSlot(c *Cell) uintptr {
-	h := uint64(lineOf(c)) * 0x9e3779b97f4a7c15
-	return uintptr(h >> (64 - uint(m.cfg.LineTableBits)))
 }

@@ -50,127 +50,159 @@ func RunOp(f func()) (crashed bool) {
 // orders the writebacks). Without the version guard, a thread fencing a
 // stale capture after another thread persisted a newer image would regress
 // the line and silently "lose" a completed, correctly-persisted operation.
+// A line holds exactly CellsPerLine cells, so the per-line state is a pair
+// of fixed-size arrays indexed by the cell's slot within its line plus a
+// bitmask of which slots have ever been written — no per-line map, so the
+// store/flush/fence hot path of the tracked model does no hashing and no
+// allocation beyond the lineState itself.
 type lineState struct {
 	curVer       uint64
 	persistedVer uint64
-	persisted    map[*Cell]uint64
+	mask         uint8                // slots with a tracked baseline
+	cells        [CellsPerLine]*Cell  // slot -> cell (for crash rollback)
+	persisted    [CellsPerLine]uint64 // slot -> persisted value
 }
 
-// cellVal is one cell of a whole-line flush snapshot.
-type cellVal struct {
-	c *Cell
-	v uint64
-}
+// modelStripeBits sizes the stripe array at 2^bits stripes. 64 stripes keep
+// the chance of two unrelated lines contending on one lock low at the
+// thread counts the torture harnesses run, for a few KB of footprint.
+const modelStripeBits = 6
 
-// model is the tracked write-back state, keyed by line.
-type model struct {
+// modelStripe is one lock stripe of the tracked write-back state: a mutex
+// and the line states that hash to it. Lines map to stripes by a
+// multiplicative hash of the line key, so all operations on one line —
+// store, CAS, flush capture, fence application — always meet on the same
+// stripe lock, which is the only mutual exclusion per-line semantics need.
+type modelStripe struct {
 	mu    sync.Mutex
 	lines map[uintptr]*lineState
+	// Pad the struct to a whole cache line (mutex 8B + map header 8B + 48B)
+	// so adjacent stripes never false-share.
+	_ [48]byte
+}
+
+// model is the tracked write-back state, sharded into line stripes so that
+// threads touching different lines do not serialize on one global mutex.
+//
+// Lock ordering rule: per-line operations lock exactly one stripe.
+// Whole-memory operations (FinishCrash, PersistAll, DirtyCells, DirtyLines)
+// lock every stripe in index order — the single total order that makes two
+// concurrent whole-memory operations deadlock-free. Fence deliberately does
+// NOT take all stripes: it locks one stripe per pending entry, which
+// persists each line atomically and monotonically; hardware gives no
+// cross-line atomicity at an sfence either (each line writeback completes
+// individually), so per-entry locking preserves the modeled semantics
+// exactly.
+type model struct {
+	stripes [1 << modelStripeBits]modelStripe
 }
 
 func newModel() *model {
-	return &model{lines: make(map[uintptr]*lineState)}
+	m := &model{}
+	for i := range m.stripes {
+		m.stripes[i].lines = make(map[uintptr]*lineState)
+	}
+	return m
 }
 
-// line returns the tracked state of c's line, creating it on first write.
-// Caller holds m.mu.
-func (m *model) line(c *Cell) *lineState {
-	key := lineOf(c)
-	ls := m.lines[key]
+// stripeOf returns the stripe a line key hashes to.
+func (m *model) stripeOf(line uintptr) *modelStripe {
+	h := uint64(line) * 0x9e3779b97f4a7c15
+	return &m.stripes[h>>(64-modelStripeBits)]
+}
+
+// lockAll acquires every stripe in index order (see the ordering rule on
+// model); unlockAll releases them.
+func (m *model) lockAll() {
+	for i := range m.stripes {
+		m.stripes[i].mu.Lock()
+	}
+}
+
+func (m *model) unlockAll() {
+	for i := range m.stripes {
+		m.stripes[i].mu.Unlock()
+	}
+}
+
+// line returns the tracked state of the line within its stripe, creating it
+// on first write. Caller holds st.mu.
+func (st *modelStripe) line(key uintptr) *lineState {
+	ls := st.lines[key]
 	if ls == nil {
-		ls = &lineState{persisted: make(map[*Cell]uint64)}
-		m.lines[key] = ls
+		ls = &lineState{}
+		st.lines[key] = ls
 	}
 	return ls
 }
 
 // touch baselines c within its line state: the first write of a cell
-// records its pre-write value as the persisted baseline. Caller holds m.mu.
-func (m *model) touch(ls *lineState, c *Cell) {
-	if _, ok := ls.persisted[c]; !ok {
-		ls.persisted[c] = c.v.Load()
+// records its pre-write value as the persisted baseline. Caller holds the
+// line's stripe lock.
+func (ls *lineState) touch(c *Cell) {
+	slot := cellSlot(c)
+	if ls.mask&(1<<slot) == 0 {
+		ls.mask |= 1 << slot
+		ls.cells[slot] = c
+		ls.persisted[slot] = c.v.Load()
 	}
 }
 
-// store bumps the line's write version and performs the volatile write.
+// store bumps the line's write version and performs the volatile write,
+// under the line's stripe lock.
 func (m *model) store(c *Cell, v uint64) {
-	m.mu.Lock()
-	ls := m.line(c)
-	m.touch(ls, c)
+	key := lineOf(c)
+	st := m.stripeOf(key)
+	st.mu.Lock()
+	ls := st.line(key)
+	ls.touch(c)
 	ls.curVer++
 	c.v.Store(v)
-	m.mu.Unlock()
+	st.mu.Unlock()
 }
 
 func (m *model) cas(c *Cell, old, new uint64) bool {
-	m.mu.Lock()
+	key := lineOf(c)
+	st := m.stripeOf(key)
+	st.mu.Lock()
 	cur := c.v.Load()
 	if cur != old {
-		m.mu.Unlock()
+		st.mu.Unlock()
 		return false
 	}
-	ls := m.line(c)
-	m.touch(ls, c)
+	ls := st.line(key)
+	ls.touch(c)
 	ls.curVer++
 	c.v.Store(new)
-	m.mu.Unlock()
+	st.mu.Unlock()
 	return true
-}
-
-// flush records a clwb of c's line: a snapshot of every tracked cell of the
-// line, read consistently under the model lock, tagged with the line's
-// current write version. The flush is elided — a no-op, like clwb of a line
-// the CPU already has in flight to memory — when the issuing thread's
-// pending set already holds a capture of this line at the same version:
-// nothing was written to the line since that capture, so the thread's next
-// fence persists exactly the content this flush would have captured. The
-// version check makes elision exact; a line rewritten after its capture is
-// always re-flushed.
-func (m *model) flush(c *Cell, pending []flushEntry) (flushEntry, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	key := lineOf(c)
-	var cur uint64
-	ls := m.lines[key]
-	if ls != nil {
-		cur = ls.curVer
-	}
-	for i := range pending {
-		if pending[i].line == key && pending[i].ver == cur {
-			return flushEntry{}, true
-		}
-	}
-	e := flushEntry{line: key, ver: cur}
-	if ls != nil {
-		e.vals = make([]cellVal, 0, len(ls.persisted))
-		for cc := range ls.persisted {
-			e.vals = append(e.vals, cellVal{c: cc, v: cc.v.Load()})
-		}
-	}
-	return e, false
 }
 
 // fence persists every flushed line snapshot, monotonically: an entry only
 // advances a line's persisted state if it captured a newer write version,
-// and it advances the whole line at once — lines persist atomically.
+// and it advances the whole line at once — lines persist atomically. Each
+// entry locks only its line's stripe; see model for why per-entry locking
+// is faithful.
 func (m *model) fence(entries []flushEntry) {
-	if len(entries) == 0 {
-		return
-	}
-	m.mu.Lock()
-	for _, e := range entries {
-		ls := m.lines[e.line]
+	for i := range entries {
+		e := &entries[i]
+		st := m.stripeOf(e.line)
+		st.mu.Lock()
+		ls := st.lines[e.line]
 		if ls == nil {
+			st.mu.Unlock()
 			continue // PersistAll intervened: already fully persistent
 		}
 		if e.ver > ls.persistedVer {
 			ls.persistedVer = e.ver
-			for _, cv := range e.vals {
-				ls.persisted[cv.c] = cv.v
+			for slot := 0; slot < CellsPerLine; slot++ {
+				if e.mask&(1<<slot) != 0 {
+					ls.persisted[slot] = e.vals[slot]
+				}
 			}
 		}
+		st.mu.Unlock()
 	}
-	m.mu.Unlock()
 }
 
 // Crash simulates a power failure on a tracked memory:
@@ -208,23 +240,27 @@ func (m *Memory) FinishCrash(evictProb float64, seed int64) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	mo := m.model
-	mo.mu.Lock()
-	for _, ls := range mo.lines {
-		if ls.persistedVer == ls.curVer {
-			continue // fully persistent: volatile == persisted
+	mo.lockAll()
+	for i := range mo.stripes {
+		st := &mo.stripes[i]
+		for _, ls := range st.lines {
+			if ls.persistedVer == ls.curVer {
+				continue // fully persistent: volatile == persisted
+			}
+			if evictProb > 0 && rng.Float64() < evictProb {
+				continue // whole line was evicted: volatile values survived
+			}
+			for slot, c := range ls.cells {
+				if ls.mask&(1<<slot) != 0 {
+					c.v.Store(ls.persisted[slot])
+				}
+			}
 		}
-		if evictProb > 0 && rng.Float64() < evictProb {
-			continue // whole line was evicted: volatile values survived
-		}
-		for c, pv := range ls.persisted {
-			c.v.Store(pv)
-		}
+		st.lines = make(map[uintptr]*lineState)
 	}
-	mo.lines = make(map[uintptr]*lineState)
-	mo.mu.Unlock()
+	mo.unlockAll()
 	for _, t := range m.Threads() {
-		t.flushSet = t.flushSet[:0]
-		t.unfenced = 0
+		t.resetFlushState()
 		t.batchDepth = 0
 		t.pendingCommit = false
 	}
@@ -272,12 +308,13 @@ func (m *Memory) PersistAll() {
 	if m.model == nil {
 		return
 	}
-	m.model.mu.Lock()
-	m.model.lines = make(map[uintptr]*lineState)
-	m.model.mu.Unlock()
+	m.model.lockAll()
+	for i := range m.model.stripes {
+		m.model.stripes[i].lines = make(map[uintptr]*lineState)
+	}
+	m.model.unlockAll()
 	for _, t := range m.Threads() {
-		t.flushSet = t.flushSet[:0]
-		t.unfenced = 0
+		t.resetFlushState()
 	}
 	// Batch state is deliberately left alone: PersistAll may run while a
 	// quiescent batch is open, and an empty flush set makes EndBatch cheap.
@@ -289,16 +326,18 @@ func (m *Memory) DirtyCells() int {
 	if m.model == nil {
 		return 0
 	}
-	m.model.mu.Lock()
-	defer m.model.mu.Unlock()
+	m.model.lockAll()
+	defer m.model.unlockAll()
 	n := 0
-	for _, ls := range m.model.lines {
-		if ls.persistedVer == ls.curVer {
-			continue
-		}
-		for c, pv := range ls.persisted {
-			if c.v.Load() != pv {
-				n++
+	for i := range m.model.stripes {
+		for _, ls := range m.model.stripes[i].lines {
+			if ls.persistedVer == ls.curVer {
+				continue
+			}
+			for slot, c := range ls.cells {
+				if ls.mask&(1<<slot) != 0 && c.v.Load() != ls.persisted[slot] {
+					n++
+				}
 			}
 		}
 	}
@@ -311,28 +350,33 @@ func (m *Memory) DirtyLines() int {
 	if m.model == nil {
 		return 0
 	}
-	m.model.mu.Lock()
-	defer m.model.mu.Unlock()
+	m.model.lockAll()
+	defer m.model.unlockAll()
 	n := 0
-	for _, ls := range m.model.lines {
-		if ls.persistedVer != ls.curVer {
-			n++
+	for i := range m.model.stripes {
+		for _, ls := range m.model.stripes[i].lines {
+			if ls.persistedVer != ls.curVer {
+				n++
+			}
 		}
 	}
 	return n
 }
 
 // PersistedValue returns the value that would survive a crash for c right
-// now, assuming c's line is not evicted (test hook).
+// now, assuming c's line is not evicted (test hook). It locks only c's
+// stripe.
 func (m *Memory) PersistedValue(c *Cell) uint64 {
 	if m.model == nil {
 		return c.raw()
 	}
-	m.model.mu.Lock()
-	defer m.model.mu.Unlock()
-	if ls, ok := m.model.lines[lineOf(c)]; ok {
-		if pv, ok := ls.persisted[c]; ok {
-			return pv
+	key := lineOf(c)
+	st := m.model.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ls, ok := st.lines[key]; ok {
+		if slot := cellSlot(c); ls.mask&(1<<slot) != 0 {
+			return ls.persisted[slot]
 		}
 	}
 	return c.raw()

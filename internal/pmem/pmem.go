@@ -107,6 +107,12 @@ type Memory struct {
 	mu      sync.Mutex
 	threads []*Thread
 
+	// threadsPub is the published, immutable snapshot of threads, rebuilt
+	// by NewThread. Threads() hands it out without locking or copying, so
+	// stats aggregation inside measurement loops costs one atomic load
+	// instead of a mutex plus a slice allocation per call.
+	threadsPub atomic.Pointer[[]*Thread]
+
 	model *model // non-nil iff ModeTracked
 
 	// lineVer is the fast-mode hashed per-line write-version table (nil in
@@ -180,19 +186,30 @@ func (m *Memory) NewThread() *Thread {
 		panic(fmt.Sprintf("pmem: thread limit %d exceeded", m.cfg.MaxThreads))
 	}
 	t := &Thread{
-		ID:  len(m.threads),
-		mem: m,
-		rng: uint64(len(m.threads))*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		ID:        len(m.threads),
+		mem:       m,
+		rng:       uint64(len(m.threads))*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		model:     m.model,
+		lineVer:   m.lineVer,
+		lineShift: uint8(64 - m.cfg.LineTableBits),
+		flushCost: int32(m.cfg.Profile.FlushCost),
+		fenceCost: int32(m.cfg.Profile.FenceCost),
 	}
 	m.threads = append(m.threads, t)
+	snap := append([]*Thread(nil), m.threads...)
+	m.threadsPub.Store(&snap)
 	return t
 }
 
-// Threads returns the registered threads (for stats aggregation).
+// Threads returns the registered threads (for stats aggregation). The
+// returned slice is a shared immutable snapshot — callers must not modify
+// it.
 func (m *Memory) Threads() []*Thread {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]*Thread(nil), m.threads...)
+	p := m.threadsPub.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // Stats sums the per-thread statistics.
@@ -204,7 +221,10 @@ func (m *Memory) Stats() Stats {
 	return s
 }
 
-// ResetStats clears all per-thread counters.
+// ResetStats clears all per-thread counters. It writes the owner-side
+// counter fields directly, so it must only be called while no thread is
+// mid-operation (measurement harnesses reset between runs, which is
+// exactly that quiescent point).
 func (m *Memory) ResetStats() {
 	for _, t := range m.Threads() {
 		t.resetStats()

@@ -82,6 +82,7 @@ func TestFastModeBasics(t *testing.T) {
 	}
 	th.Flush(&c)
 	th.Fence()
+	th.PublishStats()
 	s := m.Stats()
 	if s.Reads != 2 || s.Writes != 1 || s.CASes != 2 || s.CASFail != 1 ||
 		s.Flushes != 1 || s.Fences != 1 {
@@ -96,6 +97,8 @@ func TestStatsPerThreadAndReset(t *testing.T) {
 	a.Flush(&c)
 	a.Fence()
 	b.Flush(&c)
+	a.PublishStats()
+	b.PublishStats()
 	if a.StatsSnapshot().Flushes != 1 || b.StatsSnapshot().Flushes != 1 {
 		t.Fatalf("per-thread stats wrong")
 	}
@@ -540,18 +543,21 @@ func TestFlushCoalescing(t *testing.T) {
 		th.Flush(a)
 		th.Flush(a) // same line, unchanged: elided
 		th.Flush(b) // same line via sibling: elided
+		th.PublishStats()
 		s := m.Stats()
 		if s.Flushes != 1 || s.FlushesElided != 2 {
 			t.Fatalf("mode %v: flushes=%d elided=%d, want 1/2", m.Mode(), s.Flushes, s.FlushesElided)
 		}
 		th.Store(b, 2) // writes the line: next flush must re-issue
 		th.Flush(a)
+		th.PublishStats()
 		s = m.Stats()
 		if s.Flushes != 2 {
 			t.Fatalf("mode %v: flush after write elided: %+v", m.Mode(), s)
 		}
 		th.Fence() // fence closes the window
 		th.Flush(a)
+		th.PublishStats()
 		s = m.Stats()
 		if s.Flushes != 3 {
 			t.Fatalf("mode %v: flush after fence elided: %+v", m.Mode(), s)

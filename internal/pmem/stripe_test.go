@@ -1,0 +1,201 @@
+package pmem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The striped tracked model must preserve the single-lock model's semantics
+// under concurrency: per-line atomicity (cells of one line persist and roll
+// back together), monotonic persistence (a line's persisted state never
+// moves backwards), and exact quiescent accounting (a fully fenced memory
+// has no dirty lines). These tests run in the -race suite: the stress
+// shapes are chosen so every pair of stripes, and both the one-stripe and
+// all-stripe lock paths, are exercised concurrently.
+
+// TestStripedModelConcurrentStress hammers private and shared lines from
+// many goroutines with Store/CAS/Flush/Fence while a checker concurrently
+// asserts the monotonic-persistence invariant through PersistedValue and
+// DirtyLines/DirtyCells (the all-stripe lock path). At quiescence every
+// write has been fenced, so the model must report a fully clean memory.
+func TestStripedModelConcurrentStress(t *testing.T) {
+	const (
+		workers       = 8
+		privPerWorker = 4
+		sharedCount   = 6
+		iters         = 400
+	)
+	m := NewTracked()
+	priv := make([][][]Cell, workers)
+	for w := range priv {
+		priv[w] = AllocLines(privPerWorker)
+	}
+	shared := AllocLines(sharedCount)
+	m.PersistAll()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := m.NewThread()
+		mine := priv[w]
+		wg.Add(1)
+		go func(w int, th *Thread) {
+			defer wg.Done()
+			for i := 1; i <= iters; i++ {
+				ln := mine[i%privPerWorker]
+				// Private line: both cells carry the same monotonically
+				// increasing sequence number, persisted as a unit.
+				th.Store(&ln[0], uint64(i))
+				th.Store(&ln[1], uint64(i))
+				th.Flush(&ln[0])
+				// Shared line: CAS increment, crossing stripes with the
+				// other workers.
+				sc := &shared[(w+i)%sharedCount][0]
+				for {
+					old := th.Load(sc)
+					if th.CAS(sc, old, old+1) {
+						break
+					}
+				}
+				th.Flush(sc)
+				th.Fence()
+				th.CountOp()
+			}
+		}(w, th)
+	}
+
+	// Checker: monotonic persistence per private line, plus the whole-
+	// memory accounting path, concurrently with the mutators.
+	checker := make([][]uint64, workers)
+	for w := range checker {
+		checker[w] = make([]uint64, privPerWorker)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			for w := 0; w < workers; w++ {
+				for j := 0; j < privPerWorker; j++ {
+					pv := m.PersistedValue(&priv[w][j][0])
+					if pv < checker[w][j] {
+						t.Errorf("persisted value of worker %d line %d went backwards: %d -> %d",
+							w, j, checker[w][j], pv)
+						return
+					}
+					checker[w][j] = pv
+				}
+			}
+			if m.DirtyLines() < 0 || m.DirtyCells() < 0 {
+				t.Error("negative dirty accounting")
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	<-done
+
+	// Quiescent: every worker's last action on every line it touched was
+	// flush+fence, and fences apply monotonically, so nothing may be dirty.
+	if n := m.DirtyLines(); n != 0 {
+		t.Fatalf("quiescent fenced memory has %d dirty lines", n)
+	}
+	for w := 0; w < workers; w++ {
+		for j := 0; j < privPerWorker; j++ {
+			c0, c1 := &priv[w][j][0], &priv[w][j][1]
+			if pv := m.PersistedValue(c0); pv != c0.raw() {
+				t.Fatalf("worker %d line %d: persisted %d != volatile %d", w, j, pv, c0.raw())
+			}
+			if c0.raw() != c1.raw() {
+				t.Fatalf("worker %d line %d: cells diverged: %d vs %d", w, j, c0.raw(), c1.raw())
+			}
+		}
+	}
+	for i := range shared {
+		sc := &shared[i][0]
+		if pv := m.PersistedValue(sc); pv != sc.raw() {
+			t.Fatalf("shared line %d: persisted %d != volatile %d", i, pv, sc.raw())
+		}
+	}
+}
+
+// TestStripedModelCrashAtFence drives the same concurrent mix under
+// deterministic crash-at-fence-k schedules and checks, after rollback, the
+// invariants durable linearizability demands of the substrate: cells of one
+// line never part ways, no fenced write is ever lost, and no value that was
+// never stored can materialize.
+func TestStripedModelCrashAtFence(t *testing.T) {
+	const (
+		workers       = 4
+		privPerWorker = 3
+		iters         = 200
+	)
+	for _, fenceK := range []int{1, 3, 17, 101, 399} {
+		m := NewTracked()
+		priv := make([][][]Cell, workers)
+		for w := range priv {
+			priv[w] = AllocLines(privPerWorker)
+		}
+		m.PersistAll()
+		m.CrashAtFence(fenceK)
+
+		// durable[w][j] is the newest sequence number whose fence returned.
+		// last[w][j] is the newest sequence number stored at all.
+		durable := make([][]uint64, workers)
+		last := make([][]uint64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			durable[w] = make([]uint64, privPerWorker)
+			last[w] = make([]uint64, privPerWorker)
+			th := m.NewThread()
+			mine := priv[w]
+			wg.Add(1)
+			go func(w int, th *Thread) {
+				defer wg.Done()
+				for i := 1; i <= iters; i++ {
+					j := i % privPerWorker
+					ln := mine[j]
+					crashed := RunOp(func() {
+						th.Store(&ln[0], uint64(i))
+						th.Store(&ln[1], uint64(i))
+						last[w][j] = uint64(i)
+						th.Flush(&ln[0])
+						th.Fence()
+						durable[w][j] = uint64(i)
+					})
+					if crashed {
+						return
+					}
+				}
+			}(w, th)
+		}
+		wg.Wait()
+		m.FinishCrash(0, int64(fenceK))
+		m.Restart()
+
+		th := m.NewThread()
+		for w := 0; w < workers; w++ {
+			for j := 0; j < privPerWorker; j++ {
+				v0 := th.Load(&priv[w][j][0])
+				v1 := th.Load(&priv[w][j][1])
+				if v0 != v1 {
+					t.Fatalf("k=%d: worker %d line %d split in crash: %d vs %d",
+						fenceK, w, j, v0, v1)
+				}
+				if v0 < durable[w][j] {
+					t.Fatalf("k=%d: worker %d line %d lost fenced write: have %d, fenced %d",
+						fenceK, w, j, v0, durable[w][j])
+				}
+				if v0 > last[w][j] {
+					t.Fatalf("k=%d: worker %d line %d holds never-stored value %d (last stored %d)",
+						fenceK, w, j, v0, last[w][j])
+				}
+			}
+		}
+		if n := m.DirtyLines(); n != 0 {
+			t.Fatalf("k=%d: %d dirty lines after FinishCrash", fenceK, n)
+		}
+	}
+}

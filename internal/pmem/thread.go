@@ -2,9 +2,12 @@ package pmem
 
 import "sync/atomic"
 
-// Stats counts memory and persistence events. In fast mode each Thread keeps
-// its own Stats (owner-written atomics, so snapshots from other goroutines
-// are race-free); Memory.Stats sums them.
+// Stats counts memory and persistence events. Each Thread accumulates its
+// counters in plain owner-written fields and publishes them to atomics only
+// at operation boundaries (CountOp) or on an explicit PublishStats, so
+// snapshots from other goroutines are race-free and the per-access hot path
+// pays a plain add instead of an atomic RMW; Memory.Stats sums the
+// published snapshots.
 //
 // Flushes counts clwb instructions actually issued; FlushesElided counts
 // Flush calls coalesced away by the line model (the line was already
@@ -48,7 +51,19 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
-type threadStats struct {
+// localStats are the owner-written counters: only the owning goroutine
+// touches them, with plain (non-atomic) adds. They become visible to other
+// goroutines only as a whole, via publish.
+type localStats Stats
+
+// publishedStats is the atomically published snapshot of a thread's
+// localStats. The only hot-path publication point is the operation boundary
+// (CountOp): one batch of eight uncontended atomic stores per completed
+// operation, instead of an atomic read-modify-write per simulated access.
+// Mid-run snapshots from other goroutines are therefore at most one
+// operation stale; code that reads counters outside operation boundaries
+// (microbenchmarks, instruction-level tests) calls PublishStats first.
+type publishedStats struct {
 	reads       atomic.Uint64
 	writes      atomic.Uint64
 	cases       atomic.Uint64
@@ -68,8 +83,18 @@ type Thread struct {
 	ID int
 
 	mem *Memory
-	st  threadStats
+	st  localStats
 	rng uint64
+
+	// Hot-path caches of owning-Memory state, copied at registration so
+	// every simulated access costs one Thread-local read instead of a
+	// pointer chase through mem and its config. All are immutable for the
+	// Memory's lifetime.
+	model     *model      // mem.model
+	lineVer   []paddedVer // mem.lineVer (fast mode)
+	lineShift uint8       // 64 - LineTableBits (fast mode)
+	flushCost int32       // mem.cfg.Profile.FlushCost
+	fenceCost int32       // mem.cfg.Profile.FenceCost
 
 	// unfenced counts flushes issued since the last fence. Policies that
 	// model link-and-persist use it to elide fences when nothing is
@@ -82,11 +107,17 @@ type Thread struct {
 	batchDepth    int
 	pendingCommit bool
 
-	// flushSet holds one entry per line flushed since the last fence. In
-	// tracked mode an entry carries a whole-line snapshot taken at flush
-	// time (clwb writes back the entire line); in fast mode it carries
-	// only the hashed line slot and write version, enough to coalesce
-	// repeat flushes of an unchanged line.
+	// lines is the pending flush set: every line flushed since the last
+	// fence, at its capture-time write version, in an open-addressed table
+	// reset by generation bump. Both modes consult it to coalesce repeat
+	// flushes of an unchanged line in O(1).
+	lines lineSet
+
+	// flushSet (tracked mode only) holds one entry per issued flush in
+	// order, each carrying its whole-line snapshot inline (clwb writes back
+	// the entire line; a line is at most CellsPerLine cells, so the
+	// snapshot is a fixed-size array and tracked-mode Flush is
+	// allocation-free at steady state).
 	flushSet []flushEntry
 
 	// Scratch slices for data-structure operations (node lists returned by
@@ -95,49 +126,96 @@ type Thread struct {
 	Scratch      []uint64
 	ScratchCells []*Cell
 
+	// lastPub mirrors the counters as of the last publish, so publish can
+	// skip the atomic store for counters the operation did not move.
+	lastPub localStats
+	pub     publishedStats
+
 	_ [32]byte // reduce false sharing between Thread structs
 }
 
-// flushEntry is one pending line writeback: the line key (real line in
-// tracked mode, table slot in fast mode), the line's write version at
-// capture time, and — tracked mode only — the snapshot of every tracked
-// cell of the line.
+// flushEntry is one pending tracked-mode line writeback: the line key, the
+// line's write version at capture time, and the snapshot of every tracked
+// cell of the line (vals[slot] for each slot set in mask).
 type flushEntry struct {
 	line uintptr
 	ver  uint64
-	vals []cellVal
+	mask uint8
+	vals [CellsPerLine]uint64
 }
 
 // Memory returns the owning memory domain.
 func (t *Thread) Memory() *Memory { return t.mem }
 
-// StatsSnapshot returns this thread's counters.
+// publish atomically stores the owner-written counters into the published
+// snapshot, skipping counters unchanged since the last publication (the
+// compares are thread-local and predictable; the atomic stores are not
+// free). Owner-only.
+func (t *Thread) publish() {
+	if t.st.Reads != t.lastPub.Reads {
+		t.pub.reads.Store(t.st.Reads)
+	}
+	if t.st.Writes != t.lastPub.Writes {
+		t.pub.writes.Store(t.st.Writes)
+	}
+	if t.st.CASes != t.lastPub.CASes {
+		t.pub.cases.Store(t.st.CASes)
+	}
+	if t.st.CASFail != t.lastPub.CASFail {
+		t.pub.casFail.Store(t.st.CASFail)
+	}
+	if t.st.Flushes != t.lastPub.Flushes {
+		t.pub.flushes.Store(t.st.Flushes)
+	}
+	if t.st.FlushesElided != t.lastPub.FlushesElided {
+		t.pub.flushElided.Store(t.st.FlushesElided)
+	}
+	if t.st.Fences != t.lastPub.Fences {
+		t.pub.fences.Store(t.st.Fences)
+	}
+	if t.st.Ops != t.lastPub.Ops {
+		t.pub.ops.Store(t.st.Ops)
+	}
+	t.lastPub = t.st
+}
+
+// PublishStats atomically publishes the thread's counters so that
+// StatsSnapshot observes every event so far. It may only be called by the
+// owning goroutine. Operations publish automatically at their boundary
+// (CountOp); PublishStats exists for code that drives persistence
+// instructions directly and reads counters between operations.
+func (t *Thread) PublishStats() { t.publish() }
+
+// StatsSnapshot returns this thread's counters as of its last publication
+// point (CountOp or PublishStats) — race-free from any goroutine, and
+// exact whenever the thread is between operations.
 func (t *Thread) StatsSnapshot() Stats {
 	return Stats{
-		Reads:         t.st.reads.Load(),
-		Writes:        t.st.writes.Load(),
-		CASes:         t.st.cases.Load(),
-		CASFail:       t.st.casFail.Load(),
-		Flushes:       t.st.flushes.Load(),
-		FlushesElided: t.st.flushElided.Load(),
-		Fences:        t.st.fences.Load(),
-		Ops:           t.st.ops.Load(),
+		Reads:         t.pub.reads.Load(),
+		Writes:        t.pub.writes.Load(),
+		CASes:         t.pub.cases.Load(),
+		CASFail:       t.pub.casFail.Load(),
+		Flushes:       t.pub.flushes.Load(),
+		FlushesElided: t.pub.flushElided.Load(),
+		Fences:        t.pub.fences.Load(),
+		Ops:           t.pub.ops.Load(),
 	}
 }
 
+// resetStats clears the thread's counters. Callers (Memory.ResetStats) must
+// only invoke it while the thread is quiescent.
 func (t *Thread) resetStats() {
-	t.st.reads.Store(0)
-	t.st.writes.Store(0)
-	t.st.cases.Store(0)
-	t.st.casFail.Store(0)
-	t.st.flushes.Store(0)
-	t.st.flushElided.Store(0)
-	t.st.fences.Store(0)
-	t.st.ops.Store(0)
+	t.st = localStats{}
+	t.publish()
 }
 
-// CountOp records one completed high-level operation (for per-op metrics).
-func (t *Thread) CountOp() { t.st.ops.Add(1) }
+// CountOp records one completed high-level operation (for per-op metrics)
+// and publishes the thread's counters — the operation boundary is the
+// canonical publication point.
+func (t *Thread) CountOp() {
+	t.st.Ops++
+	t.publish()
+}
 
 // Rand returns the next value of the thread's splitmix64 generator.
 func (t *Thread) Rand() uint64 {
@@ -148,42 +226,53 @@ func (t *Thread) Rand() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Load atomically reads a cell.
+// Load atomically reads a cell: one real atomic load plus a plain counter
+// add — the fast-mode read path carries no atomic read-modify-write.
 func (t *Thread) Load(c *Cell) uint64 {
-	t.st.reads.Add(1)
-	if t.mem.model != nil {
+	t.st.Reads++
+	if t.model != nil {
 		t.mem.checkCrash()
 	}
 	return c.v.Load()
 }
 
+// fastSlot maps a cell's line to a slot of the fast-mode line-version
+// table (thread-cached shift). Distinct lines may collide; collisions merge
+// their write versions, which only perturbs the flush-coalescing statistics
+// (fast mode has no crash semantics), and the multiplicative hash keeps
+// neighboring lines apart.
+func (t *Thread) fastSlot(c *Cell) uintptr {
+	h := uint64(lineOf(c)) * 0x9e3779b97f4a7c15
+	return uintptr(h >> t.lineShift)
+}
+
 // Store atomically writes a cell.
 func (t *Thread) Store(c *Cell, v uint64) {
-	t.st.writes.Add(1)
-	if m := t.mem.model; m != nil {
+	t.st.Writes++
+	if m := t.model; m != nil {
 		t.mem.checkCrash()
 		m.store(c, v)
 		return
 	}
 	c.v.Store(v)
-	t.mem.lineVer[t.mem.lineSlot(c)].v.Add(1)
+	t.lineVer[t.fastSlot(c)].v.Add(1)
 }
 
 // CAS atomically compares-and-swaps a cell, returning whether it succeeded.
 func (t *Thread) CAS(c *Cell, old, new uint64) bool {
-	t.st.cases.Add(1)
+	t.st.CASes++
 	var ok bool
-	if m := t.mem.model; m != nil {
+	if m := t.model; m != nil {
 		t.mem.checkCrash()
 		ok = m.cas(c, old, new)
 	} else {
 		ok = c.v.CompareAndSwap(old, new)
 		if ok {
-			t.mem.lineVer[t.mem.lineSlot(c)].v.Add(1)
+			t.lineVer[t.fastSlot(c)].v.Add(1)
 		}
 	}
 	if !ok {
-		t.st.casFail.Add(1)
+		t.st.CASFail++
 	}
 	return ok
 }
@@ -198,44 +287,83 @@ func (t *Thread) CAS(c *Cell, old, new uint64) bool {
 // flush-coalescing optimization — clwb of a line that is already queued
 // for writeback, unchanged, does no additional work — and it is exact: any
 // write to the line bumps its version, so a changed line is always
-// re-captured.
+// re-captured. The pending set is an open-addressed line table (lineSet),
+// so the coalescing check is O(1) regardless of how many lines a batch has
+// flushed since the last fence.
 func (t *Thread) Flush(c *Cell) {
-	if m := t.mem.model; m != nil {
+	if m := t.model; m != nil {
 		t.mem.checkCrash()
-		e, elided := m.flush(c, t.flushSet)
-		if elided {
-			t.st.flushElided.Add(1)
+		if !t.flushTracked(c, m) {
+			t.st.FlushesElided++
 			return
 		}
-		t.flushSet = append(t.flushSet, e)
 	} else {
-		slot := t.mem.lineSlot(c)
-		cur := t.mem.lineVer[slot].v.Load()
-		for i := range t.flushSet {
-			if t.flushSet[i].line == slot && t.flushSet[i].ver == cur {
-				t.st.flushElided.Add(1)
-				return
+		slot := t.fastSlot(c)
+		cur := t.lineVer[slot].v.Load()
+		if !t.lines.put(slot, cur) {
+			t.st.FlushesElided++
+			return
+		}
+	}
+	t.st.Flushes++
+	t.unfenced++
+	spin(int(t.flushCost))
+}
+
+// flushTracked records a clwb of c's line in tracked mode: under the line's
+// stripe lock it reads the line's current write version, consults the
+// thread's pending set, and — unless the flush coalesces (returns false) —
+// captures a consistent snapshot of every tracked cell of the line inline
+// in the appended flush entry.
+func (t *Thread) flushTracked(c *Cell, mo *model) bool {
+	key := lineOf(c)
+	st := mo.stripeOf(key)
+	st.mu.Lock()
+	var cur uint64
+	ls := st.lines[key]
+	if ls != nil {
+		cur = ls.curVer
+	}
+	if !t.lines.put(key, cur) {
+		st.mu.Unlock()
+		return false
+	}
+	e := flushEntry{line: key, ver: cur}
+	if ls != nil {
+		e.mask = ls.mask
+		for slot, cc := range ls.cells {
+			if ls.mask&(1<<slot) != 0 {
+				e.vals[slot] = cc.v.Load()
 			}
 		}
-		t.flushSet = append(t.flushSet, flushEntry{line: slot, ver: cur})
 	}
-	t.st.flushes.Add(1)
-	t.unfenced++
-	spin(t.mem.cfg.Profile.FlushCost)
+	st.mu.Unlock()
+	t.flushSet = append(t.flushSet, e)
+	return true
 }
 
 // Fence issues an sfence: every line flushed by this thread since its last
-// fence is persisted (tracked mode persists the flush-time snapshots).
+// fence is persisted (tracked mode persists the flush-time snapshots), and
+// the pending flush set is reset (a generation bump, not a clear).
 func (t *Thread) Fence() {
-	if m := t.mem.model; m != nil {
+	if m := t.model; m != nil {
 		t.mem.checkCrash()
 		t.mem.checkFenceTrap()
 		m.fence(t.flushSet)
+		t.flushSet = t.flushSet[:0]
 	}
-	t.st.fences.Add(1)
+	t.st.Fences++
 	t.unfenced = 0
+	t.lines.reset()
+	spin(int(t.fenceCost))
+}
+
+// resetFlushState discards all pending flush bookkeeping (crash rollback,
+// PersistAll). Callers must ensure the thread is quiescent.
+func (t *Thread) resetFlushState() {
 	t.flushSet = t.flushSet[:0]
-	spin(t.mem.cfg.Profile.FenceCost)
+	t.lines.reset()
+	t.unfenced = 0
 }
 
 // Unfenced reports how many flushes this thread has issued since its last

@@ -161,7 +161,8 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// ResetStats clears every shard's counters.
+// ResetStats clears every shard's counters. Call it only while no
+// session is mid-operation (see pmem.Memory.ResetStats).
 func (e *Engine) ResetStats() {
 	for i := range e.shards {
 		e.shards[i].mem.ResetStats()

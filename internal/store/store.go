@@ -74,7 +74,8 @@ type Store interface {
 	Contents() []uint64
 	// Stats aggregates the persistence-instruction counters.
 	Stats() pmem.Stats
-	// ResetStats clears the counters.
+	// ResetStats clears the counters. Call it only while no session is
+	// mid-operation (between measurement runs).
 	ResetStats()
 }
 
