@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race fmt vet staticcheck apicheck bench-smoke bench-ci bench-json ci
+.PHONY: build test short race fmt vet staticcheck apicheck server-smoke bench-smoke bench-ci bench-gate bench-json ci
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ short:
 # in the list for the striped-model stress tests; epoch for the
 # registration high-water mark.
 race:
-	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/pmem ./internal/epoch ./internal/core ./internal/store ./internal/list ./internal/skiplist ./internal/queue ./internal/stack ./internal/shard ./internal/crashtest
+	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/pmem ./internal/epoch ./internal/core ./internal/store ./internal/list ./internal/skiplist ./internal/queue ./internal/stack ./internal/shard ./internal/crashtest ./internal/batcher ./internal/server
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -42,8 +42,16 @@ staticcheck:
 apicheck:
 	$(GO) test -run TestV1FacadeSymbols .
 
+# Serve-and-load smoke over a Unix socket: the whole wire stack (listener,
+# protocol, pipelining, group-commit batcher) runs a few thousand ops and
+# must finish with zero errors and a clean shutdown.
+server-smoke:
+	$(GO) run ./cmd/nvserver -selftest -conns 4 -pipeline 8 -ops 5000 -range 4096 -shards 4
+	$(GO) run ./cmd/nvserver -selftest -kind skiplist -shards 2 -workload E -prefill -conns 2 -pipeline 4 -ops 2000 -range 2048
+
 # Exercise both CLIs end to end with tiny workloads so they cannot rot.
-bench-smoke:
+# server-smoke rides along so the serving layer cannot rot locally either.
+bench-smoke: server-smoke
 	$(GO) run ./cmd/nvbench -list
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -panel sA -threads 2 -scale 256
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -ycsb A -shards 4 -threads 2 -range 512 -profile zero
@@ -64,6 +72,17 @@ bench-ci:
 	NVBENCH_DUR=5ms $(GO) test -run=NONE -bench=. -benchtime=1x ./internal/bench/...
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -panel yE -threads 2 -scale 256
 
+# Regression gate: capture the baseline suite (with latency percentiles and
+# the server row) and compare against the committed BENCH_4.json, failing
+# on a >35% throughput drop on any zero-profile panel. CI uploads the
+# capture as the next BENCH_N artifact.
+BENCH_GATE_OUT ?= BENCH_5-capture.json
+BENCH_GATE_DUR ?= 1s
+bench-gate:
+	$(GO) run ./cmd/nvbench -dur $(BENCH_GATE_DUR) -json $(BENCH_GATE_OUT) \
+		-cmp BENCH_4.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
+	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_GATE_OUT)
+
 # Run the JSON baseline suite (fast-mode panels + the tracked-mode torture
 # throughput proxy) and write BENCH_4.json. Compare against a prior capture
 # with: make bench-json BENCH_CMP=path/to/old.json. The committed
@@ -75,4 +94,4 @@ bench-json:
 		$(if $(BENCH_CMP),-cmp $(BENCH_CMP)) $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_JSON)
 
-ci: fmt vet build short race apicheck bench-smoke bench-ci
+ci: fmt vet build short race apicheck bench-smoke bench-ci bench-gate

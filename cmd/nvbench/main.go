@@ -36,6 +36,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/pmem"
+	"repro/internal/server"
 )
 
 func main() {
@@ -60,6 +61,8 @@ func run(args []string, out io.Writer) error {
 		jsonCmp    = fs.String("cmp", "", "baseline BenchDoc to compare against (embeds rows + speedups into -json output)")
 		jsonLabel  = fs.String("label", "", "label recorded in the -json document")
 		jsonVerify = fs.String("verifyjson", "", "parse a BenchDoc JSON and assert every row has nonzero ops/s")
+		tolerance  = fs.Float64("tolerance", 0, "with -cmp: fail when a zero-profile panel regressed beyond this fraction (0.35 = fail below 0.65x; 0 disables the gate)")
+		noServer   = fs.Bool("noserver", false, "with -json: skip the server (wire protocol) baseline row")
 
 		flushes = fs.Bool("flushstats", false, "run the flush-accounting ablation (panels fA/fB/fC) and summarize flushes/op")
 		ycsb    = fs.String("ycsb", "", "run one YCSB workload (A, B, C, D, E, F, U) instead of a panel")
@@ -103,6 +106,19 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if !*noServer {
+			// The wire-protocol row: serve-and-load over a Unix socket, so
+			// the capture carries network-path throughput and latency
+			// percentiles next to the in-process panels.
+			res, err := server.Bench(*dur)
+			if err != nil {
+				return fmt.Errorf("server baseline row: %w", err)
+			}
+			row := bench.RowFromResult("srv-unix4", res)
+			rows = append(rows, row)
+			fmt.Fprintf(out, "%-12s %10.0f ops/s  flush/op %.2f  elide/op %.2f  fence/op %.2f  p50 %.1fµs  p99 %.1fµs\n",
+				row.Panel, row.OpsPerSec, row.FlushPerOp, row.ElidePerOp, row.FencePerOp, row.P50us, row.P99us)
+		}
 		doc := bench.NewBenchDoc(*jsonLabel, rows)
 		if *jsonCmp != "" {
 			base, err := bench.LoadBenchDoc(*jsonCmp)
@@ -114,11 +130,23 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintf(out, "%-12s %10.0f -> %10.0f ops/s  %.2fx\n",
 					s.Panel, s.BaseOpsPerSec, s.NewOpsPerSec, s.Speedup)
 			}
+			if warn := doc.MachineMismatch(); warn != "" {
+				fmt.Fprintf(out, "warning: %s\n", warn)
+			}
 		}
 		if err := doc.WriteFile(*jsonOut); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", *jsonOut)
+		// Gate after writing: the capture exists as an artifact even when a
+		// regression fails the run.
+		if *jsonCmp != "" && *tolerance > 0 {
+			if err := doc.GateRegressions(*tolerance); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "regression gate: ok (zero-profile panels within %.0f%% of %s)\n",
+				*tolerance*100, *jsonCmp)
+		}
 		return nil
 	}
 

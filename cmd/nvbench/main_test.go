@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 func TestListPanels(t *testing.T) {
@@ -72,6 +74,50 @@ func TestJSONCaptureCompareVerify(t *testing.T) {
 	}
 	if err := run([]string{"-verifyjson", dir + "/missing.json"}, &sb); err == nil {
 		t.Fatal("verify of missing file succeeded")
+	}
+}
+
+// TestToleranceGate: comparing against itself passes the gate; comparing
+// against an inflated baseline fails it, but still writes the capture.
+func TestToleranceGate(t *testing.T) {
+	t.Setenv("NVBENCH_DUR", "5ms")
+	dir := t.TempDir()
+	base := dir + "/base.json"
+	var sb strings.Builder
+	if err := run([]string{"-json", base, "-noserver"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-json", dir + "/same.json", "-noserver", "-cmp", base,
+		"-tolerance", "0.99"}, &sb); err != nil {
+		t.Fatalf("self-comparison failed a 99%% tolerance gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "regression gate: ok") {
+		t.Fatalf("gate did not report:\n%s", sb.String())
+	}
+	// Inflate the baseline's zero-profile rows 1000x: everything now looks
+	// like a massive regression.
+	doc, err := bench.LoadBenchDoc(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range doc.Rows {
+		if doc.Rows[i].Profile == "zero" {
+			doc.Rows[i].OpsPerSec *= 1000
+		}
+	}
+	inflated := dir + "/inflated.json"
+	if err := doc.WriteFile(inflated); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	capture := dir + "/gated.json"
+	if err := run([]string{"-json", capture, "-noserver", "-cmp", inflated,
+		"-tolerance", "0.35"}, &sb); err == nil {
+		t.Fatalf("1000x regression passed the gate:\n%s", sb.String())
+	}
+	if err := run([]string{"-verifyjson", capture}, &sb); err != nil {
+		t.Fatalf("capture missing after gate failure: %v", err)
 	}
 }
 

@@ -1,0 +1,260 @@
+// Command nvserver serves the durable key-value store over a pipelined
+// RESP-lite protocol (TCP or Unix sockets), with the group-commit batcher
+// amortizing one commit fence per shard group across all connections. It
+// doubles as the load generator for that protocol.
+//
+// Serve:
+//
+//	nvserver -listen unix:/tmp/nv.sock -shards 8
+//	nvserver -listen tcp:127.0.0.1:7420 -kind skiplist -profile nvram
+//
+// Load (against a running server):
+//
+//	nvserver -load -connect unix:/tmp/nv.sock -conns 8 -pipeline 32 -dur 5s
+//	nvserver -load -connect tcp:127.0.0.1:7420 -workload C -ops 100000
+//
+// Self-test (serve + load in one process over a temp Unix socket; exits
+// nonzero on any protocol error — the CI server-smoke gate):
+//
+//	nvserver -selftest -conns 4 -pipeline 8 -ops 5000
+//
+// The -json flag writes the load result as a BenchDoc row (same schema as
+// nvbench -json), so server captures land in the same document format as
+// the in-process panels.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/batcher"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nvserver", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "unix:/tmp/nvserver.sock", "serve address: unix:/path or tcp:host:port")
+		load     = fs.Bool("load", false, "run the load generator instead of serving")
+		selftest = fs.Bool("selftest", false, "serve and load in one process over a temp unix socket")
+		connect  = fs.String("connect", "unix:/tmp/nvserver.sock", "server address for -load")
+		serveFor = fs.Duration("serve-for", 0, "stop serving after this long (0 = until SIGINT/SIGTERM)")
+
+		kind     = fs.String("kind", "hash", "structure kind (hash, list, skiplist, ellenbst, nmbst)")
+		policy   = fs.String("policy", "nvtraverse", "persistence policy")
+		profile  = fs.String("profile", "zero", "latency profile: nvram, dram, zero")
+		shards   = fs.Int("shards", 4, "shard count (0 = bare structure)")
+		size     = fs.Int("size", 1<<16, "expected key-range size hint")
+		maxConns = fs.Int("max-conns", 64, "maximum concurrent connections")
+
+		maxBatch = fs.Int("maxbatch", 64, "group-commit: flush at this many pending writes")
+		maxDelay = fs.Duration("maxdelay", 50*time.Microsecond, "group-commit: flush after the oldest write waited this long")
+
+		conns    = fs.Int("conns", 4, "load: concurrent connections")
+		pipeline = fs.Int("pipeline", 16, "load: requests in flight per connection")
+		ops      = fs.Uint64("ops", 0, "load: total operation budget (0 = run -dur)")
+		dur      = fs.Duration("dur", time.Second, "load: duration when -ops is 0")
+		workload = fs.String("workload", "A", "load: YCSB workload (A, B, C, D, E, F, U)")
+		keys     = fs.Uint64("range", 1<<14, "load: key range")
+		theta    = fs.Float64("theta", 0, "load: Zipf skew override (0 = workload default)")
+		prefill  = fs.Bool("prefill", false, "load: insert every other key before measuring")
+		jsonOut  = fs.String("json", "", "load: write the result as a BenchDoc JSON row to this path")
+		label    = fs.String("label", "", "load: label recorded in the -json document")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	loadCfg := server.LoadConfig{
+		Conns: *conns, Pipeline: *pipeline, Ops: *ops,
+		Duration: bench.EffectiveDuration(*dur), Workload: *workload,
+		Range: *keys, Theta: *theta, Prefill: *prefill,
+	}
+
+	switch {
+	case *selftest && *load:
+		return fmt.Errorf("-selftest and -load are mutually exclusive")
+	case *selftest:
+		return runSelfTest(out, *kind, *policy, *profile, *shards, *size, *maxConns,
+			batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay}, loadCfg, *jsonOut, *label)
+	case *load:
+		loadCfg.Addr = *connect
+		res, err := server.RunLoad(loadCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res)
+		if res.Errors > 0 {
+			return fmt.Errorf("%d protocol errors", res.Errors)
+		}
+		return writeLoadDoc(*jsonOut, *label, loadCfg, res, out)
+	default:
+		return runServe(out, *listen, *serveFor, *kind, *policy, *profile, *shards, *size,
+			*maxConns, batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
+	}
+}
+
+// openStore builds the store behind the server.
+func openStore(kind, policy, profile string, shards, size, maxConns int) (store.Store, error) {
+	pol, ok := persist.ByName(policy)
+	if !ok {
+		return nil, fmt.Errorf("unknown policy %q", policy)
+	}
+	if !pol.Durable() {
+		return nil, fmt.Errorf("policy %q is not durable; the server acknowledges writes as durable", policy)
+	}
+	prof, err := profileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	return store.Open(store.Config{
+		Kind:        core.Kind(kind),
+		Policy:      pol,
+		Profile:     prof,
+		Shards:      shards,
+		SizeHint:    size,
+		MaxSessions: maxConns + 4,
+	})
+}
+
+func runServe(out io.Writer, listen string, serveFor time.Duration,
+	kind, policy, profile string, shards, size, maxConns int, bcfg batcher.Config) error {
+	st, err := openStore(kind, policy, profile, shards, size, maxConns)
+	if err != nil {
+		return err
+	}
+	srv := server.New(st, server.Config{MaxConns: maxConns, Batch: bcfg})
+	ln, err := server.Listen(listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "nvserver: serving %s/%d-shard (%s, %s) on %s\n",
+		kind, shards, policy, profile, listen)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	if serveFor > 0 {
+		select {
+		case <-time.After(serveFor):
+		case <-stop:
+		case err := <-done:
+			return err
+		}
+	} else {
+		select {
+		case <-stop:
+		case err := <-done:
+			return err
+		}
+	}
+	srv.Close()
+	fmt.Fprintln(out, "nvserver: shut down cleanly")
+	return <-done
+}
+
+// runSelfTest serves on a private Unix socket and immediately drives it
+// with the load generator: the zero-to-working smoke of the whole wire
+// stack. Any protocol error fails the run.
+func runSelfTest(out io.Writer, kind, policy, profile string, shards, size, maxConns int,
+	bcfg batcher.Config, loadCfg server.LoadConfig, jsonOut, label string) error {
+	st, err := openStore(kind, policy, profile, shards, size, maxConns)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "nvserver-selftest")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	addr := "unix:" + filepath.Join(dir, "nv.sock")
+	srv := server.New(st, server.Config{MaxConns: maxConns, Batch: bcfg})
+	ln, err := server.Listen(addr)
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	loadCfg.Addr = addr
+	if loadCfg.Ops == 0 && loadCfg.Duration <= 0 {
+		loadCfg.Ops = 5000
+	}
+	res, err := server.RunLoad(loadCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res)
+	srv.Close()
+	if err := <-done; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("selftest: %d protocol errors", res.Errors)
+	}
+	if res.Ops == 0 {
+		return fmt.Errorf("selftest: no operations completed")
+	}
+	fmt.Fprintln(out, "selftest: ok (clean shutdown, zero errors)")
+	return writeLoadDoc(jsonOut, label, loadCfg, res, out)
+}
+
+// writeLoadDoc lands a load result in the BenchDoc schema (nvbench -json
+// compatible) under the "srv-load" panel.
+func writeLoadDoc(path, label string, cfg server.LoadConfig, res server.LoadResult, out io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	row := bench.RowFromResult("srv-load", bench.Result{
+		Config: bench.Config{
+			Kind: core.Kind("wire"), Policy: "server", Profile: pmem.Profile{Name: "-"},
+			Threads: cfg.Conns, Range: cfg.Range, Workload: cfg.Workload,
+		},
+		Ops:     res.Ops,
+		Mops:    res.OpsPerSec / 1e6,
+		Elapsed: res.Elapsed,
+		Lat:     res.Lat,
+	})
+	doc := bench.NewBenchDoc(label, []bench.JSONRow{row})
+	if err := doc.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+func profileByName(name string) (pmem.Profile, error) {
+	switch name {
+	case "nvram":
+		return pmem.ProfileNVRAM, nil
+	case "dram":
+		return pmem.ProfileDRAM, nil
+	case "zero":
+		return pmem.ProfileZero, nil
+	}
+	return pmem.Profile{}, fmt.Errorf("unknown profile %q", name)
+}

@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// TestMainRuns smoke-tests the server example end to end.
+func TestMainRuns(t *testing.T) {
+	main()
+}

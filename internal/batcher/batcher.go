@@ -1,0 +1,299 @@
+// Package batcher is the group-commit stage between a network front end
+// and a store.Store: writes submitted by many connections are collected
+// into one batch and applied through a single session's ApplyCommitted, so
+// the commit fence that durable linearizability demands before every
+// acknowledgement is paid once per shard group per flush instead of once
+// per request — the same amortization shard.Session.Apply performs for one
+// caller's batch, extended across callers.
+//
+// The batching rule is the classic group-commit tradeoff: a flush happens
+// when the pending batch reaches Config.MaxBatch requests, or when the
+// oldest pending request has waited Config.MaxDelay, whichever comes first.
+// A larger batch amortizes the fence further; the delay bounds the latency
+// a lonely request pays for the amortization.
+//
+// Correctness is the reply-after-fence rule: a request's callback runs only
+// after the commit fence covering its operation has landed (ApplyCommitted
+// fires per fence group), so a reply implies durability — a crash can only
+// lose requests that were never acknowledged. One worker goroutine owns the
+// session and applies batches in submission order, so requests on one key
+// are applied in the order they were submitted.
+package batcher
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pmem"
+	"repro/internal/store"
+)
+
+// Errors a request callback may receive.
+var (
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("batcher: closed")
+	// ErrCrashed completes requests whose covering fence never landed
+	// because the memory crashed: the request was not acknowledged and may
+	// or may not have taken effect (in-flight under durable linearizability).
+	ErrCrashed = errors.New("batcher: store crashed before commit")
+)
+
+// Config tunes the group-commit policy.
+type Config struct {
+	// MaxBatch flushes as soon as this many requests are pending
+	// (default 64).
+	MaxBatch int
+	// MaxDelay flushes once the oldest pending request has waited this
+	// long (default 50µs). Zero keeps the default; group commit without a
+	// latency bound would strand lonely requests.
+	MaxDelay time.Duration
+}
+
+// Stats counts batcher activity (monotone, read with atomic snapshots).
+type Stats struct {
+	// Ops is the number of requests applied.
+	Ops uint64
+	// Flushes is the number of batches applied.
+	Flushes uint64
+	// Groups is the number of completion groups (one per shard fence group
+	// per flush, plus one per flush that carried scans).
+	Groups uint64
+}
+
+// request is one submitted operation and its completion callback.
+type request struct {
+	op store.Op
+	cb func(store.OpResult, error)
+}
+
+// Batcher is the group-commit stage. Submit from any goroutine; one
+// internal worker owns the store session and applies batches.
+type Batcher struct {
+	sess  store.Session
+	async store.AsyncSession // non-nil when the session supports ApplyCommitted
+	cfg   Config
+
+	mu      sync.Mutex
+	pending []*request
+	firstAt time.Time // submission time of the oldest pending request
+	closed  bool
+	crashed bool
+
+	kick chan struct{} // size-1 worker wakeup
+	done chan struct{} // closed when the worker exits
+
+	ops     atomic.Uint64
+	flushes atomic.Uint64
+	groups  atomic.Uint64
+}
+
+// New starts a batcher over one new session of st.
+func New(st store.Store, cfg Config) *Batcher {
+	return NewSession(st.NewSession(), cfg)
+}
+
+// NewSession starts a batcher that owns sess: the caller must not use sess
+// afterwards (sessions are single-goroutine, and the worker is that
+// goroutine now).
+func NewSession(sess store.Session, cfg Config) *Batcher {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50 * time.Microsecond
+	}
+	b := &Batcher{
+		sess: sess,
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	b.async, _ = sess.(store.AsyncSession)
+	go b.worker()
+	return b
+}
+
+// Submit enqueues one operation. cb is invoked exactly once — from the
+// worker goroutine, after the commit fence covering op has landed (or with
+// an error if the batcher closed or the store crashed first) — so it must
+// be quick and must not call back into the batcher synchronously.
+func (b *Batcher) Submit(op store.Op, cb func(store.OpResult, error)) {
+	r := &request{op: op, cb: cb}
+	b.mu.Lock()
+	if b.closed || b.crashed {
+		err := ErrClosed
+		if b.crashed {
+			err = ErrCrashed
+		}
+		b.mu.Unlock()
+		cb(store.OpResult{}, err)
+		return
+	}
+	b.pending = append(b.pending, r)
+	n := len(b.pending)
+	if n == 1 {
+		b.firstAt = time.Now()
+	}
+	b.mu.Unlock()
+	// Wake the worker on the first request (to arm the delay) and when the
+	// batch fills (to flush early). A full kick channel means a wakeup is
+	// already on the way.
+	if n == 1 || n >= b.cfg.MaxBatch {
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Do submits op and blocks for its result: the synchronous convenience
+// wrapper (tests, simple clients). The calling goroutine rides the next
+// group commit.
+func (b *Batcher) Do(op store.Op) (store.OpResult, error) {
+	type outcome struct {
+		res store.OpResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	b.Submit(op, func(res store.OpResult, err error) { ch <- outcome{res, err} })
+	o := <-ch
+	return o.res, o.err
+}
+
+// Close flushes the pending batch, stops the worker, and fails later
+// submissions with ErrClosed. It returns once the worker has exited.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+	<-b.done
+}
+
+// Stats snapshots the activity counters.
+func (b *Batcher) Stats() Stats {
+	return Stats{
+		Ops:     b.ops.Load(),
+		Flushes: b.flushes.Load(),
+		Groups:  b.groups.Load(),
+	}
+}
+
+// worker is the single goroutine that owns the session: it waits for
+// pending requests, applies the group-commit rule, and flushes.
+func (b *Batcher) worker() {
+	defer close(b.done)
+	var reqs []*request
+	var ops []store.Op
+	var dst []store.OpResult
+	for {
+		b.mu.Lock()
+		for len(b.pending) == 0 {
+			if b.closed {
+				b.mu.Unlock()
+				return
+			}
+			b.mu.Unlock()
+			<-b.kick
+			b.mu.Lock()
+		}
+		// Group-commit rule: flush on a full batch, on close, or once the
+		// oldest request has waited MaxDelay; otherwise sleep until one of
+		// those can happen (a kick means the batch may have filled).
+		if len(b.pending) < b.cfg.MaxBatch && !b.closed {
+			wait := b.cfg.MaxDelay - time.Since(b.firstAt)
+			if wait > 0 {
+				b.mu.Unlock()
+				timer := time.NewTimer(wait)
+				select {
+				case <-b.kick:
+				case <-timer.C:
+				}
+				timer.Stop()
+				b.mu.Lock()
+				if len(b.pending) < b.cfg.MaxBatch && !b.closed &&
+					time.Since(b.firstAt) < b.cfg.MaxDelay {
+					b.mu.Unlock()
+					continue
+				}
+			}
+		}
+		reqs = append(reqs[:0], b.pending...)
+		b.pending = b.pending[:0]
+		b.mu.Unlock()
+		if !b.flush(reqs, &ops, &dst) {
+			b.abort(reqs)
+			return
+		}
+	}
+}
+
+// flush applies one batch and completes its requests per fence group.
+// Returns false when the memory crashed mid-batch: completed requests were
+// already acknowledged (their fences landed before the crash), the rest are
+// failed by abort, and the worker must stop — the store needs recovery.
+func (b *Batcher) flush(reqs []*request, opsp *[]store.Op, dstp *[]store.OpResult) bool {
+	ops := (*opsp)[:0]
+	for _, r := range reqs {
+		ops = append(ops, r.op)
+	}
+	*opsp = ops
+	// Pre-size dst so ApplyCommitted cannot reallocate it out from under
+	// the committed callback.
+	dst := *dstp
+	if cap(dst) < len(ops) {
+		dst = make([]store.OpResult, len(ops))
+	}
+	dst = dst[:len(ops)]
+	*dstp = dst
+	committed := func(idxs []int) {
+		b.groups.Add(1)
+		for _, i := range idxs {
+			if r := reqs[i]; r != nil {
+				reqs[i] = nil
+				r.cb(dst[i], nil)
+			}
+		}
+	}
+	crashed := pmem.RunOp(func() {
+		if b.async != nil {
+			b.async.ApplyCommitted(ops, dst, committed)
+		} else {
+			// Fallback for sessions without the async surface: the whole
+			// batch acknowledges together when Apply returns.
+			b.sess.Apply(ops, dst)
+			idxs := make([]int, len(reqs))
+			for i := range idxs {
+				idxs[i] = i
+			}
+			committed(idxs)
+		}
+	})
+	b.flushes.Add(1)
+	b.ops.Add(uint64(len(reqs)))
+	return !crashed
+}
+
+// abort fails every request that was never acknowledged — the rest of the
+// crashed batch plus everything still pending — with ErrCrashed, and marks
+// the batcher crashed so later submissions fail fast.
+func (b *Batcher) abort(reqs []*request) {
+	b.mu.Lock()
+	b.crashed = true
+	rest := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	for _, r := range reqs {
+		if r != nil {
+			r.cb(store.OpResult{}, ErrCrashed)
+		}
+	}
+	for _, r := range rest {
+		r.cb(store.OpResult{}, ErrCrashed)
+	}
+}

@@ -48,7 +48,9 @@ type Config struct {
 // Result is one benchmark outcome. FlushPerOp counts clwb instructions
 // actually issued per operation; ElidePerOp counts Flush calls the line
 // model coalesced away (see pmem.Stats.FlushesElided) — their sum is the
-// number of Flush calls the persistence policy made.
+// number of Flush calls the persistence policy made. Lat, when non-nil,
+// holds sampled per-operation latencies (every latSampleMask+1-th
+// operation; the timer cost is kept off the other operations).
 type Result struct {
 	Config
 	Ops        uint64
@@ -57,7 +59,16 @@ type Result struct {
 	ElidePerOp float64
 	FencePerOp float64
 	Elapsed    time.Duration
+	Lat        *Histogram
 }
+
+// latSampleMask selects which operations get timed: ops with
+// (count & latSampleMask) == 0, i.e. one in latSampleMask+1. Sampling keeps
+// the two time.Now calls off 31 of 32 operations, which matters on the
+// zero-profile panels where an operation is tens of nanoseconds — measured
+// overhead at 1/32 is under 2% on the fastest panel, and a 100ms run still
+// collects thousands of samples.
+const latSampleMask = 31
 
 // Target is the operation surface the harness drives.
 type Target interface {
@@ -181,6 +192,7 @@ func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
 	var stop atomic.Bool
 	var total atomic.Uint64
 	threads := mem.Threads()
+	hists := make([]*Histogram, cfg.Threads)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < cfg.Threads; i++ {
@@ -191,14 +203,23 @@ func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
 		} else {
 			th = mem.NewThread()
 		}
+		hists[i] = &Histogram{}
 		wg.Add(1)
-		go func(th *pmem.Thread) {
+		go func(th *pmem.Thread, h *Histogram) {
 			defer wg.Done()
 			var ops uint64
-			for !stop.Load() {
+			// Do-while: even if the stop flag wins the race with this
+			// goroutine's first schedule (tiny CI durations), every thread
+			// contributes at least one block, so no run measures zero ops.
+			for {
 				for j := 0; j < 32; j++ {
 					k := th.Rand()%cfg.Range + 1
 					r := int(th.Rand() % 100)
+					sample := ops&latSampleMask == 0
+					var t0 time.Time
+					if sample {
+						t0 = time.Now()
+					}
 					switch {
 					case r < cfg.UpdatePct/2:
 						s.Insert(th, k, k)
@@ -207,11 +228,17 @@ func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
 					default:
 						s.Find(th, k)
 					}
+					if sample {
+						h.Record(time.Since(t0))
+					}
 					ops++
+				}
+				if stop.Load() {
+					break
 				}
 			}
 			total.Add(ops)
-		}(th)
+		}(th, hists[i])
 	}
 	timer := time.NewTimer(dur)
 	<-timer.C
@@ -220,11 +247,16 @@ func Measure(s Target, mem *pmem.Memory, cfg Config) Result {
 	elapsed := time.Since(start)
 	st := mem.Stats()
 	ops := total.Load()
+	lat := &Histogram{}
+	for _, h := range hists {
+		lat.Merge(h)
+	}
 	res := Result{
 		Config:  cfg,
 		Ops:     ops,
 		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
 		Elapsed: elapsed,
+		Lat:     lat,
 	}
 	if ops > 0 {
 		res.FlushPerOp = float64(st.Flushes) / float64(ops)

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistIndexMonotonic pins the bucket layout: indexes are monotone in the
+// value, contiguous, and in range for the whole int64 span.
+func TestHistIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, ns := range []int64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1000, 1e6, 1e9, 1e12, 1 << 62} {
+		idx := histIndex(ns)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", ns, idx)
+		}
+		if idx < prev {
+			t.Fatalf("histIndex(%d) = %d < previous %d", ns, idx, prev)
+		}
+		prev = idx
+	}
+	if histIndex(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+}
+
+// TestHistValueBounds pins the inverse: every value falls into a bucket
+// whose upper bound is ≥ the value and within ~1/histSubCount of it.
+func TestHistValueBounds(t *testing.T) {
+	for _, ns := range []int64{0, 1, 31, 32, 63, 64, 1000, 12345, 1e6, 1e9 + 7} {
+		idx := histIndex(ns)
+		hi := histValue(idx)
+		if hi < ns {
+			t.Fatalf("value %d: bucket upper bound %d below the value", ns, hi)
+		}
+		if ns >= histSubCount && float64(hi-ns) > float64(ns)/float64(histSubCount)+1 {
+			t.Fatalf("value %d: bucket upper bound %d too loose", ns, hi)
+		}
+	}
+}
+
+// TestHistQuantiles compares histogram quantiles against exact order
+// statistics of a random sample: each must match within the bucket's
+// relative width.
+func TestHistQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	vals := make([]int64, 10000)
+	for i := range vals {
+		v := int64(rng.ExpFloat64() * 50_000) // ~50µs exponential
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Fatalf("q%.3f: histogram %d below exact %d", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)/histSubCount+1 {
+			t.Fatalf("q%.3f: histogram %d too far above exact %d", q, got, exact)
+		}
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != time.Duration(vals[0]) || h.Max() != time.Duration(vals[len(vals)-1]) {
+		t.Fatalf("min/max %v/%v want %d/%d", h.Min(), h.Max(), vals[0], vals[len(vals)-1])
+	}
+}
+
+// TestHistMerge verifies merged histograms equal one histogram fed the
+// union of the samples.
+func TestHistMerge(t *testing.T) {
+	var a, b, both Histogram
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(i * 997)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Min() != both.Min() || a.Max() != both.Max() || a.Mean() != both.Mean() {
+		t.Fatalf("merge mismatch: %v vs %v", a.Summary(), both.Summary())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q%.2f: %v vs %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+// TestHistEmpty pins zero-value behavior.
+func TestHistEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if h.Summary() != "no latency samples" {
+		t.Fatalf("summary %q", h.Summary())
+	}
+}

@@ -10,13 +10,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/pmem"
 )
 
-// JSONRow is one benchmark row of a BenchDoc.
+// JSONRow is one benchmark row of a BenchDoc. The latency percentile
+// fields (schema 2) are in microseconds and come from an HDR-style sampled
+// histogram (see Histogram); they are zero/omitted on rows whose harness
+// recorded no samples, and on documents captured before schema 2.
 type JSONRow struct {
 	Panel      string  `json:"panel"`
 	Kind       string  `json:"kind"`
@@ -31,6 +35,11 @@ type JSONRow struct {
 	FlushPerOp float64 `json:"flush_per_op"`
 	ElidePerOp float64 `json:"elide_per_op"`
 	FencePerOp float64 `json:"fence_per_op"`
+	LatSamples uint64  `json:"lat_samples,omitempty"`
+	P50us      float64 `json:"p50_us,omitempty"`
+	P95us      float64 `json:"p95_us,omitempty"`
+	P99us      float64 `json:"p99_us,omitempty"`
+	P999us     float64 `json:"p999_us,omitempty"`
 }
 
 // SpeedupRow compares one panel row against the same row of a baseline doc.
@@ -52,11 +61,30 @@ type BenchDoc struct {
 	Rows      []JSONRow    `json:"rows"`
 	Baseline  []JSONRow    `json:"baseline,omitempty"`
 	Speedups  []SpeedupRow `json:"speedups,omitempty"`
+	// BaselineNumCPU and BaselineGo record the compared document's machine
+	// (set by Compare): absolute ops/s only gate meaningfully between
+	// comparable machines, so mismatches are surfaced next to the speedups.
+	BaselineNumCPU int    `json:"baseline_num_cpu,omitempty"`
+	BaselineGo     string `json:"baseline_go_version,omitempty"`
 }
 
-// rowFromResult flattens a Result into a JSONRow under a panel id.
-func rowFromResult(panel string, r Result) JSONRow {
-	return JSONRow{
+// MachineMismatch reports a human-readable capture/baseline machine
+// difference, or "" when the machines look comparable. Callers print it
+// next to gate results so a cross-machine comparison can't fail silently
+// confusingly.
+func (d *BenchDoc) MachineMismatch() string {
+	if d.BaselineNumCPU != 0 && d.BaselineNumCPU != d.NumCPU {
+		return fmt.Sprintf("baseline captured with %d CPUs, this capture has %d — absolute ops/s are not comparable",
+			d.BaselineNumCPU, d.NumCPU)
+	}
+	return ""
+}
+
+// RowFromResult flattens a Result into a JSONRow under a panel id, so
+// external harnesses (the server load generator) land in the same document
+// schema as the in-process panels.
+func RowFromResult(panel string, r Result) JSONRow {
+	row := JSONRow{
 		Panel:      panel,
 		Kind:       string(r.Kind),
 		Policy:     r.Policy,
@@ -71,6 +99,14 @@ func rowFromResult(panel string, r Result) JSONRow {
 		ElidePerOp: r.ElidePerOp,
 		FencePerOp: r.FencePerOp,
 	}
+	if r.Lat != nil && r.Lat.Count() > 0 {
+		row.LatSamples = r.Lat.Count()
+		row.P50us = float64(r.Lat.Quantile(0.50)) / 1e3
+		row.P95us = float64(r.Lat.Quantile(0.95)) / 1e3
+		row.P99us = float64(r.Lat.Quantile(0.99)) / 1e3
+		row.P999us = float64(r.Lat.Quantile(0.999)) / 1e3
+	}
+	return row
 }
 
 // BaselineConfig is one named row of the baseline suite.
@@ -125,20 +161,25 @@ func RunBaseline(dur time.Duration, progress func(string)) ([]JSONRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: baseline row %s: %w", bc.Panel, err)
 		}
-		row := rowFromResult(bc.Panel, res)
+		row := RowFromResult(bc.Panel, res)
 		rows = append(rows, row)
 		if progress != nil {
-			progress(fmt.Sprintf("%-12s %10.0f ops/s  flush/op %.2f  elide/op %.2f  fence/op %.2f",
-				row.Panel, row.OpsPerSec, row.FlushPerOp, row.ElidePerOp, row.FencePerOp))
+			progress(fmt.Sprintf("%-12s %10.0f ops/s  flush/op %.2f  elide/op %.2f  fence/op %.2f  p50 %.1fµs  p99 %.1fµs",
+				row.Panel, row.OpsPerSec, row.FlushPerOp, row.ElidePerOp, row.FencePerOp, row.P50us, row.P99us))
 		}
 	}
 	return rows, nil
 }
 
+// CurrentSchema is the BenchDoc schema this harness writes. Schema 2 added
+// the latency percentile fields; schema-1 documents (no percentiles) still
+// load and compare.
+const CurrentSchema = 2
+
 // NewBenchDoc assembles a document from captured rows.
 func NewBenchDoc(label string, rows []JSONRow) *BenchDoc {
 	return &BenchDoc{
-		Schema:    1,
+		Schema:    CurrentSchema,
 		Label:     label,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
@@ -150,6 +191,8 @@ func NewBenchDoc(label string, rows []JSONRow) *BenchDoc {
 // (new ops/s divided by base ops/s, matched by panel id).
 func (d *BenchDoc) Compare(base *BenchDoc) {
 	d.Baseline = base.Rows
+	d.BaselineNumCPU = base.NumCPU
+	d.BaselineGo = base.GoVersion
 	byPanel := make(map[string]JSONRow, len(base.Rows))
 	for _, r := range base.Rows {
 		byPanel[r.Panel] = r
@@ -170,9 +213,10 @@ func (d *BenchDoc) Compare(base *BenchDoc) {
 }
 
 // Verify checks the structural invariants bench-smoke asserts: at least one
-// row, and every row measured a nonzero throughput.
+// row, every row measured a nonzero throughput, and — on schema-2 documents
+// — rows that recorded latency samples carry monotone percentiles.
 func (d *BenchDoc) Verify() error {
-	if d.Schema != 1 {
+	if d.Schema < 1 || d.Schema > CurrentSchema {
 		return fmt.Errorf("bench: unknown BenchDoc schema %d", d.Schema)
 	}
 	if len(d.Rows) == 0 {
@@ -182,6 +226,43 @@ func (d *BenchDoc) Verify() error {
 		if r.OpsPerSec <= 0 || r.Ops == 0 {
 			return fmt.Errorf("bench: row %s has zero throughput (ops=%d)", r.Panel, r.Ops)
 		}
+		if r.LatSamples > 0 {
+			if r.P50us <= 0 || r.P50us > r.P95us || r.P95us > r.P99us || r.P99us > r.P999us {
+				return fmt.Errorf("bench: row %s has non-monotone latency percentiles (%.2f/%.2f/%.2f/%.2f µs)",
+					r.Panel, r.P50us, r.P95us, r.P99us, r.P999us)
+			}
+		}
+	}
+	return nil
+}
+
+// GateRegressions is the CI bench-regression gate: after Compare, every
+// pinned panel — the zero-profile rows, whose throughput is CPU-bound
+// rather than dominated by the calibrated spin costs — must not have
+// regressed by more than tolerance (0.35 fails below 0.65x). Rows present
+// on only one side gate nothing (new panels are allowed to appear).
+func (d *BenchDoc) GateRegressions(tolerance float64) error {
+	if len(d.Speedups) == 0 {
+		return fmt.Errorf("bench: regression gate needs a compared document (run with -cmp)")
+	}
+	profile := make(map[string]string, len(d.Rows))
+	for _, r := range d.Rows {
+		profile[r.Panel] = r.Profile
+	}
+	var failures []string
+	for _, s := range d.Speedups {
+		if profile[s.Panel] != "zero" {
+			continue
+		}
+		if s.Speedup < 1-tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f -> %.0f ops/s (%.2fx, floor %.2fx)",
+				s.Panel, s.BaseOpsPerSec, s.NewOpsPerSec, s.Speedup, 1-tolerance))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: throughput regression beyond %.0f%% tolerance:\n  %s",
+			tolerance*100, strings.Join(failures, "\n  "))
 	}
 	return nil
 }

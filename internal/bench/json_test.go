@@ -48,12 +48,71 @@ func TestBenchDocVerifyRejects(t *testing.T) {
 	if err := (&BenchDoc{Schema: 1}).Verify(); err == nil {
 		t.Fatal("empty doc verified")
 	}
-	if err := (&BenchDoc{Schema: 2, Rows: []JSONRow{{Panel: "a", OpsPerSec: 1, Ops: 1}}}).Verify(); err == nil {
+	if err := (&BenchDoc{Schema: CurrentSchema + 1, Rows: []JSONRow{{Panel: "a", OpsPerSec: 1, Ops: 1}}}).Verify(); err == nil {
 		t.Fatal("unknown schema verified")
+	}
+	// Schema 1 documents (pre-percentile captures, e.g. BENCH_4.json) must
+	// keep verifying.
+	if err := (&BenchDoc{Schema: 1, Rows: []JSONRow{{Panel: "a", OpsPerSec: 1, Ops: 1}}}).Verify(); err != nil {
+		t.Fatalf("schema-1 doc rejected: %v", err)
 	}
 	bad := &BenchDoc{Schema: 1, Rows: []JSONRow{{Panel: "a", OpsPerSec: 0, Ops: 0}}}
 	if err := bad.Verify(); err == nil {
 		t.Fatal("zero-throughput row verified")
+	}
+	scrambled := &BenchDoc{Schema: 2, Rows: []JSONRow{
+		{Panel: "a", OpsPerSec: 1, Ops: 1, LatSamples: 10, P50us: 9, P95us: 5, P99us: 6, P999us: 7},
+	}}
+	if err := scrambled.Verify(); err == nil {
+		t.Fatal("non-monotone percentiles verified")
+	}
+}
+
+// TestGateRegressions pins the CI regression gate: only zero-profile panels
+// participate, and only drops beyond the tolerance fail.
+func TestGateRegressions(t *testing.T) {
+	base := NewBenchDoc("base", []JSONRow{
+		{Panel: "zfast", Profile: "zero", OpsPerSec: 1000, Ops: 10},
+		{Panel: "nvram", Profile: "nvram", OpsPerSec: 1000, Ops: 10},
+	})
+	mk := func(zops, nops float64) *BenchDoc {
+		d := NewBenchDoc("next", []JSONRow{
+			{Panel: "zfast", Profile: "zero", OpsPerSec: zops, Ops: 10},
+			{Panel: "nvram", Profile: "nvram", OpsPerSec: nops, Ops: 10},
+		})
+		d.Compare(base)
+		return d
+	}
+	if err := mk(700, 1000).GateRegressions(0.35); err != nil {
+		t.Fatalf("0.7x on a zero panel is within a 35%% tolerance: %v", err)
+	}
+	if err := mk(600, 1000).GateRegressions(0.35); err == nil {
+		t.Fatal("0.6x on a zero panel passed a 35% tolerance gate")
+	}
+	// A collapse on a latency-profile panel does not gate.
+	if err := mk(1000, 100).GateRegressions(0.35); err != nil {
+		t.Fatalf("non-zero-profile panels must not gate: %v", err)
+	}
+	if err := NewBenchDoc("x", nil).GateRegressions(0.35); err == nil {
+		t.Fatal("gate without a comparison must fail loudly")
+	}
+}
+
+// TestMachineMismatch: Compare records the baseline machine, and a CPU
+// count difference is surfaced.
+func TestMachineMismatch(t *testing.T) {
+	base := NewBenchDoc("base", []JSONRow{{Panel: "a", OpsPerSec: 1, Ops: 1}})
+	doc := NewBenchDoc("next", []JSONRow{{Panel: "a", OpsPerSec: 1, Ops: 1}})
+	doc.Compare(base)
+	if doc.BaselineNumCPU != base.NumCPU || doc.BaselineGo != base.GoVersion {
+		t.Fatalf("baseline machine not recorded: %+v", doc)
+	}
+	if doc.MachineMismatch() != "" {
+		t.Fatalf("same machine flagged: %s", doc.MachineMismatch())
+	}
+	doc.BaselineNumCPU = doc.NumCPU + 4
+	if doc.MachineMismatch() == "" {
+		t.Fatal("CPU-count mismatch not flagged")
 	}
 }
 

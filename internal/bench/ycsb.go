@@ -279,11 +279,13 @@ func measureWorkload(cfg Config, wl Workload, ctxs []kvCtx, stats func() pmem.St
 	// distribution; workload D's inserts advance it.
 	var latest atomic.Uint64
 	latest.Store(cfg.Range)
+	hists := make([]*Histogram, len(ctxs))
 	var wg sync.WaitGroup
 	start := time.Now()
-	for _, c := range ctxs {
+	for ci, c := range ctxs {
+		hists[ci] = &Histogram{}
 		wg.Add(1)
-		go func(c kvCtx) {
+		go func(c kvCtx, h *Histogram) {
 			defer wg.Done()
 			var z *Zipf
 			if wl.Theta > 0 {
@@ -321,7 +323,9 @@ func measureWorkload(cfg Config, wl Workload, ctxs []kvCtx, stats func() pmem.St
 			var rkeys []uint64
 			var rres []shard.OpResult
 			var ops uint64
-			for !stop.Load() {
+			// Do-while (see Measure): every worker contributes at least one
+			// block even when the stop flag wins the first-schedule race.
+			for {
 				n := 32
 				if batch > 1 {
 					n = batch
@@ -329,6 +333,15 @@ func measureWorkload(cfg Config, wl Workload, ctxs []kvCtx, stats func() pmem.St
 				rkeys = rkeys[:0]
 				for j := 0; j < n; j++ {
 					r := int(c.rand() % 100)
+					// Sample one in latSampleMask+1 operations into the
+					// latency histogram. Batched reads are deferred into one
+					// MultiGet below, so their per-op latency is not
+					// attributable here and they go unsampled.
+					sample := ops&latSampleMask == 0 && batch <= 1
+					var t0 time.Time
+					if sample {
+						t0 = time.Now()
+					}
 					switch {
 					case r < wl.ReadPct:
 						if batch > 1 {
@@ -363,14 +376,20 @@ func measureWorkload(cfg Config, wl Workload, ctxs []kvCtx, stats func() pmem.St
 							c.getOrInsert(k, c.rand())
 						}
 					}
+					if sample {
+						h.Record(time.Since(t0))
+					}
 					ops++
 				}
 				if len(rkeys) > 0 {
 					rres = c.multiGet(rkeys, rres)
 				}
+				if stop.Load() {
+					break
+				}
 			}
 			total.Add(ops)
-		}(c)
+		}(c, hists[ci])
 	}
 	timer := time.NewTimer(dur)
 	<-timer.C
@@ -379,11 +398,16 @@ func measureWorkload(cfg Config, wl Workload, ctxs []kvCtx, stats func() pmem.St
 	elapsed := time.Since(start)
 	st := stats()
 	ops := total.Load()
+	lat := &Histogram{}
+	for _, h := range hists {
+		lat.Merge(h)
+	}
 	res := Result{
 		Config:  cfg,
 		Ops:     ops,
 		Mops:    float64(ops) / elapsed.Seconds() / 1e6,
 		Elapsed: elapsed,
+		Lat:     lat,
 	}
 	if ops > 0 {
 		res.FlushPerOp = float64(st.Flushes) / float64(ops)

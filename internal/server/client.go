@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client is a pipelining protocol client: Send* methods queue commands in
+// the write buffer, Flush pushes them to the wire, and the Read* methods
+// consume replies in send order. The synchronous helpers (Put, Get, ...)
+// wrap a send+flush+read pair. A Client is not safe for concurrent use.
+type Client struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a server address ("unix:/path", "tcp:host:port", or
+// bare "host:port").
+func Dial(addr string) (*Client, error) {
+	network, address := SplitAddr(addr)
+	c, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// Flush pushes queued commands to the wire.
+func (cl *Client) Flush() error { return cl.bw.Flush() }
+
+// Send queues one raw command line (no terminator).
+func (cl *Client) Send(line string) error {
+	if _, err := cl.bw.WriteString(line); err != nil {
+		return err
+	}
+	_, err := cl.bw.WriteString("\r\n")
+	return err
+}
+
+// SendGet, SendPut, SendInsert, SendDel, SendUpdate queue point commands
+// without allocating the command string.
+func (cl *Client) SendGet(k uint64) error    { return cl.send1("GET", k) }
+func (cl *Client) SendDel(k uint64) error    { return cl.send1("DEL", k) }
+func (cl *Client) SendPut(k, v uint64) error { return cl.send2("PUT", k, v) }
+func (cl *Client) SendInsert(k, v uint64) error {
+	return cl.send2("INSERT", k, v)
+}
+func (cl *Client) SendUpdate(k, v uint64) error {
+	return cl.send2("UPDATE", k, v)
+}
+
+// SendScan queues a SCAN with a result cap.
+func (cl *Client) SendScan(lo, hi uint64, max int) error {
+	var buf [96]byte
+	b := append(buf[:0], "SCAN "...)
+	b = strconv.AppendUint(b, lo, 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, hi, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(max), 10)
+	b = append(b, '\r', '\n')
+	_, err := cl.bw.Write(b)
+	return err
+}
+
+func (cl *Client) send1(cmd string, k uint64) error {
+	var buf [64]byte
+	b := append(buf[:0], cmd...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, k, 10)
+	b = append(b, '\r', '\n')
+	_, err := cl.bw.Write(b)
+	return err
+}
+
+func (cl *Client) send2(cmd string, k, v uint64) error {
+	var buf [96]byte
+	b := append(buf[:0], cmd...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, k, 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	b = append(b, '\r', '\n')
+	_, err := cl.bw.Write(b)
+	return err
+}
+
+// Reply is one parsed server reply. Exactly one interpretation applies per
+// command (see the protocol table in the package comment).
+type Reply struct {
+	// Status holds "+" replies ("OK", "PONG").
+	Status string
+	// Value and Found hold "$" replies ($-1 sets Found false).
+	Value uint64
+	Found bool
+	// Int holds ":" replies.
+	Int int64
+	// Array holds "*" reply payload lines, verbatim without terminators.
+	Array []string
+	// Err holds "-ERR" replies.
+	Err string
+}
+
+// IsErr reports whether the reply is a protocol-level error.
+func (r Reply) IsErr() bool { return r.Err != "" }
+
+// ReadReply consumes one reply (flushing queued commands first is the
+// caller's job; the sync helpers do it).
+func (cl *Client) ReadReply() (Reply, error) {
+	line, err := cl.readLine()
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) == 0 {
+		return Reply{}, errors.New("server: empty reply line")
+	}
+	switch line[0] {
+	case '+':
+		return Reply{Status: line[1:]}, nil
+	case '-':
+		return Reply{Err: strings.TrimPrefix(line[1:], "ERR ")}, nil
+	case ':':
+		n, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return Reply{}, fmt.Errorf("server: bad integer reply %q", line)
+		}
+		return Reply{Int: n}, nil
+	case '$':
+		if line == "$-1" {
+			return Reply{}, nil
+		}
+		v, err := strconv.ParseUint(line[1:], 10, 64)
+		if err != nil {
+			return Reply{}, fmt.Errorf("server: bad value reply %q", line)
+		}
+		return Reply{Value: v, Found: true}, nil
+	case '*':
+		n, err := strconv.Atoi(line[1:])
+		if err != nil || n < 0 {
+			return Reply{}, fmt.Errorf("server: bad array reply %q", line)
+		}
+		arr := make([]string, n)
+		for i := 0; i < n; i++ {
+			if arr[i], err = cl.readLine(); err != nil {
+				return Reply{}, err
+			}
+		}
+		return Reply{Array: arr}, nil
+	}
+	return Reply{}, fmt.Errorf("server: unknown reply %q", line)
+}
+
+func (cl *Client) readLine() (string, error) {
+	line, err := cl.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// roundTrip flushes and reads one reply, folding protocol errors into err.
+func (cl *Client) roundTrip() (Reply, error) {
+	if err := cl.Flush(); err != nil {
+		return Reply{}, err
+	}
+	r, err := cl.ReadReply()
+	if err != nil {
+		return Reply{}, err
+	}
+	if r.IsErr() {
+		return r, errors.New("server: " + r.Err)
+	}
+	return r, nil
+}
+
+// Ping round-trips a PING.
+func (cl *Client) Ping() error {
+	if err := cl.Send("PING"); err != nil {
+		return err
+	}
+	_, err := cl.roundTrip()
+	return err
+}
+
+// Put upserts key to value.
+func (cl *Client) Put(k, v uint64) error {
+	if err := cl.SendPut(k, v); err != nil {
+		return err
+	}
+	_, err := cl.roundTrip()
+	return err
+}
+
+// Get looks up a key.
+func (cl *Client) Get(k uint64) (uint64, bool, error) {
+	if err := cl.SendGet(k); err != nil {
+		return 0, false, err
+	}
+	r, err := cl.roundTrip()
+	return r.Value, r.Found, err
+}
+
+// Insert adds key with value; false if present.
+func (cl *Client) Insert(k, v uint64) (bool, error) {
+	if err := cl.SendInsert(k, v); err != nil {
+		return false, err
+	}
+	r, err := cl.roundTrip()
+	return r.Int == 1, err
+}
+
+// Del removes a key; false if absent.
+func (cl *Client) Del(k uint64) (bool, error) {
+	if err := cl.SendDel(k); err != nil {
+		return false, err
+	}
+	r, err := cl.roundTrip()
+	return r.Int == 1, err
+}
+
+// Update sets key to v if present, returning the new value.
+func (cl *Client) Update(k, v uint64) (uint64, bool, error) {
+	if err := cl.SendUpdate(k, v); err != nil {
+		return 0, false, err
+	}
+	r, err := cl.roundTrip()
+	return r.Value, r.Found, err
+}
+
+// Scan returns up to max pairs of [lo, hi] in key order.
+func (cl *Client) Scan(lo, hi uint64, max int) (keys, vals []uint64, err error) {
+	if err := cl.SendScan(lo, hi, max); err != nil {
+		return nil, nil, err
+	}
+	r, err := cl.roundTrip()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, line := range r.Array {
+		k, v, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, nil, fmt.Errorf("server: bad scan entry %q", line)
+		}
+		ku, err1 := strconv.ParseUint(k, 10, 64)
+		vu, err2 := strconv.ParseUint(v, 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, nil, fmt.Errorf("server: bad scan entry %q", line)
+		}
+		keys = append(keys, ku)
+		vals = append(vals, vu)
+	}
+	return keys, vals, nil
+}
+
+// Stats fetches the server's counters.
+func (cl *Client) Stats() (map[string]uint64, error) {
+	if err := cl.Send("STATS"); err != nil {
+		return nil, err
+	}
+	r, err := cl.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64, len(r.Array))
+	for _, line := range r.Array {
+		name, v, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("server: bad stats entry %q", line)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: bad stats entry %q", line)
+		}
+		m[name] = n
+	}
+	return m, nil
+}
+
+// Quit sends QUIT and closes.
+func (cl *Client) Quit() error {
+	if err := cl.Send("QUIT"); err != nil {
+		return err
+	}
+	if _, err := cl.roundTrip(); err != nil {
+		return err
+	}
+	return cl.Close()
+}

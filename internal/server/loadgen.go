@@ -1,0 +1,392 @@
+// The embedded load generator: closed-loop pipelining clients driving the
+// wire protocol with the YCSB key and operation distributions of
+// internal/bench, measuring throughput and an HDR-style latency histogram
+// per request. It exists so the server can be exercised and measured with
+// the same workload vocabulary — and land in the same BenchDoc JSON schema
+// — as the in-process harness.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/store"
+)
+
+// LoadConfig configures RunLoad.
+type LoadConfig struct {
+	// Addr is the server address ("unix:/path", "tcp:host:port", "host:port").
+	Addr string
+	// Conns is the number of concurrent connections (default 4).
+	Conns int
+	// Pipeline is the number of requests each connection keeps in flight
+	// (default 16; 1 = strict request/response).
+	Pipeline int
+	// Ops is the total operation budget across connections; 0 runs for
+	// Duration instead.
+	Ops uint64
+	// Duration bounds the run when Ops is 0 (default 1s).
+	Duration time.Duration
+	// Workload is a YCSB workload letter (see bench.Workloads; default A).
+	Workload string
+	// Range is the key range (default 1<<16).
+	Range uint64
+	// Theta overrides the workload's Zipf skew when > 0.
+	Theta float64
+	// Prefill inserts every other key of [1, Range] before measuring.
+	Prefill bool
+	// Seed perturbs the per-connection RNGs.
+	Seed int64
+}
+
+// LoadResult is one load run's outcome.
+type LoadResult struct {
+	Ops       uint64
+	Errors    uint64
+	Elapsed   time.Duration
+	OpsPerSec float64
+	Lat       *bench.Histogram
+}
+
+// String renders the result for humans.
+func (r LoadResult) String() string {
+	return fmt.Sprintf("%d ops in %v  %.0f ops/s  %d errors\n%s",
+		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Errors, r.Lat.Summary())
+}
+
+// RunLoad drives the server at cfg.Addr. Every connection runs the same
+// closed-loop: keep Pipeline requests outstanding, read replies in order,
+// and record client-perceived latency (send enqueue to reply) per request.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 16
+	}
+	if cfg.Range == 0 {
+		cfg.Range = 1 << 16
+	}
+	if cfg.Workload == "" {
+		cfg.Workload = "A"
+	}
+	if cfg.Ops == 0 && cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	wl, ok := bench.WorkloadByName(cfg.Workload)
+	if !ok {
+		return LoadResult{}, fmt.Errorf("server: unknown YCSB workload %q", cfg.Workload)
+	}
+	if cfg.Theta > 0 {
+		wl.Theta = cfg.Theta
+	}
+
+	if cfg.Prefill {
+		if err := prefillWire(cfg); err != nil {
+			return LoadResult{}, fmt.Errorf("server: prefill: %w", err)
+		}
+	}
+
+	var (
+		latest  atomic.Uint64 // newest inserted key (workload D reads, inserts)
+		total   atomic.Uint64
+		errs    atomic.Uint64
+		firstMu sync.Mutex
+		firstEr error
+	)
+	latest.Store(cfg.Range)
+	perConn := cfg.Ops / uint64(cfg.Conns)
+	if cfg.Ops > 0 && perConn == 0 {
+		perConn = 1
+	}
+	deadline := time.Time{}
+	if cfg.Ops == 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	hists := make([]*bench.Histogram, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < cfg.Conns; ci++ {
+		hists[ci] = &bench.Histogram{}
+		wg.Add(1)
+		go func(ci int, h *bench.Histogram) {
+			defer wg.Done()
+			ops, errors, err := loadConn(cfg, wl, ci, perConn, deadline, &latest, h)
+			total.Add(ops)
+			errs.Add(errors)
+			if err != nil {
+				firstMu.Lock()
+				if firstEr == nil {
+					firstEr = err
+				}
+				firstMu.Unlock()
+			}
+		}(ci, hists[ci])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstEr != nil {
+		return LoadResult{}, firstEr
+	}
+	lat := &bench.Histogram{}
+	for _, h := range hists {
+		lat.Merge(h)
+	}
+	return LoadResult{
+		Ops:       total.Load(),
+		Errors:    errs.Load(),
+		Elapsed:   elapsed,
+		OpsPerSec: float64(total.Load()) / elapsed.Seconds(),
+		Lat:       lat,
+	}, nil
+}
+
+// splitmix is the per-connection RNG (same generator as pmem.Thread.Rand).
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// loadConn runs one connection's closed loop.
+func loadConn(cfg LoadConfig, wl bench.Workload, ci int, budget uint64,
+	deadline time.Time, latest *atomic.Uint64, h *bench.Histogram) (ops, errors uint64, err error) {
+	cl, err := Dial(cfg.Addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+
+	rng := splitmix(uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(ci+1)*0x2545f4914f6cdd1d)
+	var z *bench.Zipf
+	if wl.Theta > 0 {
+		z = bench.NewZipf(cfg.Range, wl.Theta)
+	}
+	key := func() uint64 {
+		r := rng.next()
+		var k uint64
+		if z != nil {
+			k = z.Next(r)
+		} else {
+			k = r%cfg.Range + 1
+		}
+		if wl.ReadLatest {
+			max := latest.Load()
+			if k > max {
+				k = max
+			}
+			k = max - k + 1
+		}
+		return k
+	}
+	var zscan *bench.Zipf
+	if wl.ScanPct > 0 {
+		maxLen := wl.MaxScanLen
+		if maxLen <= 0 {
+			maxLen = 100
+		}
+		zscan = bench.NewZipf(uint64(maxLen), 0.99)
+	}
+
+	// send issues one workload operation; the reply kinds all fold into the
+	// same error accounting, so the ring only tracks send timestamps.
+	send := func() error {
+		r := int(rng.next() % 100)
+		switch {
+		case r < wl.ReadPct:
+			return cl.SendGet(key())
+		case r < wl.ReadPct+wl.UpdatePct:
+			return cl.SendPut(key(), rng.next())
+		case r < wl.ReadPct+wl.UpdatePct+wl.InsertPct:
+			return cl.SendInsert(latest.Add(1), rng.next())
+		case r < wl.ReadPct+wl.UpdatePct+wl.InsertPct+wl.RMWPct+wl.AtomicPct:
+			// RMW over the wire is the server-side conditional overwrite:
+			// one round trip through the structure's Update critical section.
+			return cl.SendUpdate(key(), rng.next())
+		default:
+			lo := key()
+			want := int(zscan.Next(rng.next()))
+			return cl.SendScan(lo, lo+4*uint64(want), want)
+		}
+	}
+
+	times := make([]time.Time, cfg.Pipeline) // FIFO ring of send timestamps
+	head, tail, inflight := 0, 0, 0
+	readOne := func() error {
+		rep, err := cl.ReadReply()
+		if err != nil {
+			return err
+		}
+		h.Record(time.Since(times[head]))
+		head = (head + 1) % len(times)
+		inflight--
+		ops++
+		if rep.IsErr() {
+			errors++
+		}
+		return nil
+	}
+	for {
+		if budget > 0 && ops+uint64(inflight) >= budget {
+			break
+		}
+		if budget == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		times[tail] = time.Now()
+		tail = (tail + 1) % len(times)
+		if err := send(); err != nil {
+			return ops, errors, err
+		}
+		inflight++
+		if inflight == cfg.Pipeline {
+			if err := cl.Flush(); err != nil {
+				return ops, errors, err
+			}
+			if err := readOne(); err != nil {
+				return ops, errors, err
+			}
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		return ops, errors, err
+	}
+	for inflight > 0 {
+		if err := readOne(); err != nil {
+			return ops, errors, err
+		}
+	}
+	return ops, errors, nil
+}
+
+// prefillWire inserts every other key of [1, Range] over the wire, the
+// key-partitioned pipelined equivalent of bench.Prefill.
+func prefillWire(cfg LoadConfig) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Conns)
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := Dial(cfg.Addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			pending := 0
+			for k := uint64(1 + 2*w); k <= cfg.Range; k += 2 * uint64(cfg.Conns) {
+				if err := cl.SendInsert(k, k); err != nil {
+					errCh <- err
+					return
+				}
+				if pending++; pending == 64 {
+					if err := drain(cl, pending); err != nil {
+						errCh <- err
+						return
+					}
+					pending = 0
+				}
+			}
+			if err := drain(cl, pending); err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+func drain(cl *Client, n int) error {
+	if err := cl.Flush(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := cl.ReadReply(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bench runs a self-contained serve-and-load cycle — a 4-shard
+// zero-profile hash engine behind a Unix socket, four pipelining
+// connections of YCSB-A — and returns the outcome as a bench.Result, so
+// nvbench's JSON baseline can carry a server row next to the in-process
+// panels. The wire stack (sockets, parsing, batching) is the measured
+// object; the zero profile keeps simulated memory latency out of it.
+func Bench(dur time.Duration) (bench.Result, error) {
+	const conns, shards = 4, 4
+	var keyRange uint64 = 1 << 15
+	cfg := bench.Config{
+		Kind: core.KindHash, Policy: "nvtraverse", Profile: pmem.ProfileZero,
+		Threads: conns, Range: keyRange, Workload: "A", Shards: shards,
+	}
+	st, err := store.Open(store.Config{
+		Kind: cfg.Kind, Policy: persist.NVTraverse{}, Profile: cfg.Profile,
+		Shards: shards, SizeHint: int(keyRange), MaxSessions: conns + 8,
+	})
+	if err != nil {
+		return bench.Result{}, err
+	}
+	dir, err := os.MkdirTemp("", "nvserver-bench")
+	if err != nil {
+		return bench.Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	addr := "unix:" + filepath.Join(dir, "nv.sock")
+	srv := New(st, Config{MaxConns: conns + 2})
+	ln, err := Listen(addr)
+	if err != nil {
+		return bench.Result{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+
+	if err := prefillWire(LoadConfig{Addr: addr, Conns: conns, Range: keyRange}); err != nil {
+		return bench.Result{}, err
+	}
+	st.ResetStats()
+	res, err := RunLoad(LoadConfig{
+		Addr: addr, Conns: conns, Pipeline: 16,
+		Duration: bench.EffectiveDuration(dur),
+		Workload: cfg.Workload, Range: keyRange,
+	})
+	if err != nil {
+		return bench.Result{}, err
+	}
+	if res.Errors > 0 {
+		return bench.Result{}, fmt.Errorf("server: bench run saw %d protocol errors", res.Errors)
+	}
+	stats := st.Stats()
+	out := bench.Result{
+		Config:  cfg,
+		Ops:     res.Ops,
+		Mops:    res.OpsPerSec / 1e6,
+		Elapsed: res.Elapsed,
+		Lat:     res.Lat,
+	}
+	if res.Ops > 0 {
+		out.FlushPerOp = float64(stats.Flushes) / float64(res.Ops)
+		out.ElidePerOp = float64(stats.FlushesElided) / float64(res.Ops)
+		out.FencePerOp = float64(stats.Fences) / float64(res.Ops)
+	}
+	return out, nil
+}

@@ -1,0 +1,575 @@
+// Package server is the network front end of the durable store: a
+// pipelined, RESP-lite text protocol over TCP or Unix sockets on top of
+// store.Store, with the group-commit batcher (internal/batcher) at its
+// core. Every write a connection submits rides a shared batch, so the
+// commit fence durable linearizability demands before an acknowledgement
+// is paid once per shard group per flush across all connections — the
+// network-level analogue of shard.Session.Apply's per-batch amortization.
+//
+// # Protocol
+//
+// Requests are single lines of space-separated decimal fields, terminated
+// by LF (CRLF accepted). Keys and values are uint64:
+//
+//	PING                      -> +PONG
+//	GET k                     -> $value | $-1
+//	PUT k v                   -> +OK                 (atomic upsert)
+//	INSERT k v                -> :1 | :0             (1 = inserted)
+//	DEL k                     -> :1 | :0             (1 = deleted)
+//	UPDATE k v                -> $newvalue | $-1     (set to v if present)
+//	SCAN lo hi [max]          -> *n, then n lines "k v"
+//	MGET k1 k2 ... kn         -> *n, then n lines $value | $-1
+//	STATS                     -> *n, then n lines "name value"
+//	QUIT                      -> +OK, connection closes
+//
+// Errors are "-ERR message". Clients may pipeline: the server replies in
+// request order, and a reply to a write is sent only after the commit
+// fence covering it has landed (reply-after-fence; see DESIGN.md). Within
+// one connection, a read observes every write the same connection issued
+// before it.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/batcher"
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxConns bounds concurrent connections (each holds a read session of
+	// the store while open; default 64). Excess connections are refused
+	// with an error reply.
+	MaxConns int
+	// Pipeline bounds the per-connection reply queue: a client may have at
+	// most this many requests outstanding before the server stops reading
+	// its socket (default 128).
+	Pipeline int
+	// Batch is the group-commit policy for writes.
+	Batch batcher.Config
+	// MaxScan caps SCAN reply sizes (default 4096 entries); the explicit
+	// limit argument may lower it but not raise it.
+	MaxScan int
+}
+
+// Server serves the store protocol. One Server may serve many listeners.
+type Server struct {
+	st  store.Store
+	b   *batcher.Batcher
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	sessions  chan store.Session
+	created   int
+	closed    bool
+
+	handlers sync.WaitGroup
+}
+
+// New builds a server over st. The server owns one batcher session; read
+// sessions are drawn from a pool of at most cfg.MaxConns. Callers must
+// ensure the store was opened with MaxSessions ≥ MaxConns+2.
+func New(st store.Store, cfg Config) *Server {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 128
+	}
+	if cfg.MaxScan <= 0 {
+		cfg.MaxScan = 4096
+	}
+	return &Server{
+		st:        st,
+		b:         batcher.New(st, cfg.Batch),
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		sessions:  make(chan store.Session, cfg.MaxConns),
+	}
+}
+
+// Batcher exposes the group-commit stage (stats, tests).
+func (s *Server) Batcher() *batcher.Batcher { return s.b }
+
+// Listen resolves an address of the form "unix:/path/to.sock",
+// "tcp:host:port", or a bare "host:port" (TCP). A stale Unix socket file
+// is removed before binding.
+func Listen(addr string) (net.Listener, error) {
+	network, address := SplitAddr(addr)
+	if network == "unix" {
+		os.Remove(address)
+	}
+	return net.Listen(network, address)
+}
+
+// SplitAddr splits "unix:/path" / "tcp:host:port" / "host:port" into
+// (network, address).
+func SplitAddr(addr string) (network, address string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", addr[len("unix:"):]
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", addr[len("tcp:"):]
+	default:
+		return "tcp", addr
+	}
+}
+
+// ListenAndServe listens on addr (see Listen) and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := Listen(addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after Close,
+// or the accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: closed")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.handlers.Done()
+			s.handle(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, waits for the
+// handlers to drain, and flushes and stops the batcher.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.handlers.Wait()
+	s.b.Close()
+}
+
+// getSession draws a read session from the pool, creating one if the pool
+// has headroom.
+func (s *Server) getSession() (store.Session, bool) {
+	select {
+	case sess := <-s.sessions:
+		return sess, true
+	default:
+	}
+	s.mu.Lock()
+	if s.created < s.cfg.MaxConns {
+		s.created++
+		s.mu.Unlock()
+		return s.st.NewSession(), true
+	}
+	s.mu.Unlock()
+	// Pool exhausted and no free session: refuse rather than block, so a
+	// connection flood cannot wedge the accept loop's handlers.
+	return nil, false
+}
+
+func (s *Server) putSession(sess store.Session) { s.sessions <- sess }
+
+// slot is one in-order reply: the writer goroutine sends buf once ready is
+// closed. Write replies are completed by the batcher callback; read replies
+// are completed synchronously by the reader.
+type slot struct {
+	ready chan struct{}
+	buf   []byte
+}
+
+// handle runs one connection: a reader goroutine (this one) parses and
+// dispatches commands, a writer goroutine sends completed replies in
+// request order. The bounded slot channel is the pipelining window and the
+// backpressure: when a client floods requests faster than commits, the
+// reader blocks enqueueing and the socket fills.
+func (s *Server) handle(c net.Conn) {
+	defer c.Close()
+	sess, ok := s.getSession()
+	if !ok {
+		fmt.Fprintf(c, "-ERR max connections (%d) reached\r\n", s.cfg.MaxConns)
+		return
+	}
+	defer s.putSession(sess)
+
+	slots := make(chan *slot, s.cfg.Pipeline)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		bw := bufio.NewWriterSize(c, 64<<10)
+		for sl := range slots {
+			<-sl.ready
+			bw.Write(sl.buf)
+			// Flush only when no further reply is queued: pipelined replies
+			// coalesce into few syscalls.
+			if len(slots) == 0 {
+				bw.Flush()
+			}
+		}
+		bw.Flush()
+	}()
+	// On exit: stop the reply stream, let the writer drain every completed
+	// reply (a QUIT's +OK must reach the wire), then the deferred c.Close
+	// runs.
+	defer func() {
+		close(slots)
+		writerWG.Wait()
+	}()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	conn := &connState{srv: s, sess: sess, slots: slots}
+	for {
+		line, err := br.ReadSlice('\n')
+		if err != nil {
+			if errors.Is(err, bufio.ErrBufferFull) {
+				conn.reply([]byte("-ERR request line too long\r\n"))
+			}
+			return
+		}
+		if !conn.dispatch(line) {
+			return
+		}
+	}
+}
+
+// connState is the per-connection request dispatcher.
+type connState struct {
+	srv   *Server
+	sess  store.Session
+	slots chan<- *slot
+	// lastWrite is the ready channel of the most recent write this
+	// connection submitted: reads wait on it so a connection observes its
+	// own writes in program order even though writes commit asynchronously.
+	lastWrite chan struct{}
+	// scratch buffers reused across requests.
+	fields  []string
+	keys    []uint64
+	res     []store.OpResult
+	scanBuf []scanKV
+}
+
+// scanKV is one collected SCAN entry.
+type scanKV struct{ k, v uint64 }
+
+// reply enqueues an already-complete reply.
+func (cs *connState) reply(buf []byte) {
+	sl := &slot{ready: make(chan struct{}), buf: buf}
+	close(sl.ready)
+	cs.slots <- sl
+}
+
+// submitWrite enqueues a reply slot for op and submits it to the batcher;
+// format renders the result once the covering fence lands.
+func (cs *connState) submitWrite(op store.Op, format func(store.OpResult) []byte) {
+	sl := &slot{ready: make(chan struct{})}
+	cs.slots <- sl
+	cs.lastWrite = sl.ready
+	cs.srv.b.Submit(op, func(res store.OpResult, err error) {
+		if err != nil {
+			sl.buf = []byte("-ERR " + err.Error() + "\r\n")
+		} else {
+			sl.buf = format(res)
+		}
+		close(sl.ready)
+	})
+}
+
+// awaitWrites blocks until the connection's last submitted write has
+// committed (read-your-writes ordering).
+func (cs *connState) awaitWrites() {
+	if cs.lastWrite != nil {
+		<-cs.lastWrite
+		cs.lastWrite = nil
+	}
+}
+
+// dispatch parses and executes one request line; false closes the
+// connection.
+func (cs *connState) dispatch(line []byte) bool {
+	fields := splitFields(line, cs.fields[:0])
+	cs.fields = fields
+	if len(fields) == 0 {
+		return true // blank line: ignore
+	}
+	cmd := fields[0]
+	args := fields[1:]
+	switch {
+	case strings.EqualFold(cmd, "GET"):
+		k, ok := parse1(cs, args, "GET key")
+		if !ok {
+			return true
+		}
+		cs.awaitWrites()
+		v, found := cs.sess.Get(k)
+		cs.reply(appendValue(nil, v, found))
+	case strings.EqualFold(cmd, "PUT"):
+		k, v, ok := parse2(cs, args, "PUT key value")
+		if !ok {
+			return true
+		}
+		cs.submitWrite(store.Op{Kind: shard.OpPut, Key: k, Value: v},
+			func(store.OpResult) []byte { return []byte("+OK\r\n") })
+	case strings.EqualFold(cmd, "INSERT"):
+		k, v, ok := parse2(cs, args, "INSERT key value")
+		if !ok {
+			return true
+		}
+		cs.submitWrite(store.Op{Kind: shard.OpInsert, Key: k, Value: v}, appendBoolInt)
+	case strings.EqualFold(cmd, "DEL"):
+		k, ok := parse1(cs, args, "DEL key")
+		if !ok {
+			return true
+		}
+		cs.submitWrite(store.Op{Kind: shard.OpDelete, Key: k}, appendBoolInt)
+	case strings.EqualFold(cmd, "UPDATE"):
+		k, v, ok := parse2(cs, args, "UPDATE key value")
+		if !ok {
+			return true
+		}
+		cs.submitWrite(store.Op{Kind: shard.OpUpdate, Key: k, Value: v},
+			func(res store.OpResult) []byte { return appendValue(nil, res.Value, res.OK) })
+	case strings.EqualFold(cmd, "SCAN"):
+		cs.execScan(args)
+	case strings.EqualFold(cmd, "MGET"):
+		cs.execMGet(args)
+	case strings.EqualFold(cmd, "STATS"):
+		cs.awaitWrites()
+		cs.reply(cs.statsReply())
+	case strings.EqualFold(cmd, "PING"):
+		cs.reply([]byte("+PONG\r\n"))
+	case strings.EqualFold(cmd, "QUIT"):
+		cs.reply([]byte("+OK\r\n"))
+		return false
+	default:
+		cs.reply([]byte("-ERR unknown command '" + cmd + "'\r\n"))
+	}
+	return true
+}
+
+func (cs *connState) execScan(args []string) {
+	if len(args) < 2 || len(args) > 3 {
+		cs.reply([]byte("-ERR usage: SCAN lo hi [max]\r\n"))
+		return
+	}
+	lo, err1 := strconv.ParseUint(args[0], 10, 64)
+	hi, err2 := strconv.ParseUint(args[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		cs.reply([]byte("-ERR SCAN bounds must be uint64\r\n"))
+		return
+	}
+	max := cs.srv.cfg.MaxScan
+	if len(args) == 3 {
+		m, err := strconv.Atoi(args[2])
+		if err != nil || m < 0 {
+			cs.reply([]byte("-ERR SCAN max must be a non-negative int\r\n"))
+			return
+		}
+		if m < max {
+			max = m
+		}
+	}
+	cs.awaitWrites()
+	items := cs.scanBuf[:0]
+	if max > 0 {
+		err := cs.sess.Scan(lo, hi, func(k, v uint64) bool {
+			items = append(items, scanKV{k, v})
+			return len(items) < max
+		})
+		if err != nil {
+			cs.scanBuf = items
+			cs.reply([]byte("-ERR " + err.Error() + "\r\n"))
+			return
+		}
+	}
+	cs.scanBuf = items
+	buf := appendArrayHeader(nil, len(items))
+	for _, it := range items {
+		buf = strconv.AppendUint(buf, it.k, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, it.v, 10)
+		buf = append(buf, '\r', '\n')
+	}
+	cs.reply(buf)
+}
+
+func (cs *connState) execMGet(args []string) {
+	if len(args) == 0 {
+		cs.reply([]byte("-ERR usage: MGET key...\r\n"))
+		return
+	}
+	keys := cs.keys[:0]
+	for _, a := range args {
+		k, err := strconv.ParseUint(a, 10, 64)
+		if err != nil {
+			cs.reply([]byte("-ERR MGET keys must be uint64\r\n"))
+			return
+		}
+		keys = append(keys, k)
+	}
+	cs.keys = keys
+	cs.awaitWrites()
+	cs.res = cs.sess.MultiGet(keys, cs.res)
+	buf := appendArrayHeader(nil, len(keys))
+	for _, r := range cs.res {
+		buf = appendValue(buf, r.Value, r.OK)
+	}
+	cs.reply(buf)
+}
+
+func (cs *connState) statsReply() []byte {
+	st := cs.srv.st.Stats()
+	bs := cs.srv.b.Stats()
+	stats := []struct {
+		name string
+		v    uint64
+	}{
+		{"ops", st.Ops},
+		{"reads", st.Reads},
+		{"writes", st.Writes},
+		{"flushes", st.Flushes},
+		{"flushes_elided", st.FlushesElided},
+		{"fences", st.Fences},
+		{"batch_ops", bs.Ops},
+		{"batch_flushes", bs.Flushes},
+		{"batch_groups", bs.Groups},
+	}
+	buf := appendArrayHeader(nil, len(stats))
+	for _, s := range stats {
+		buf = append(buf, s.name...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, s.v, 10)
+		buf = append(buf, '\r', '\n')
+	}
+	return buf
+}
+
+// parse1 and parse2 parse fixed uint64 argument lists, replying with a
+// usage error on mismatch.
+func parse1(cs *connState, args []string, usage string) (uint64, bool) {
+	if len(args) != 1 {
+		cs.reply([]byte("-ERR usage: " + usage + "\r\n"))
+		return 0, false
+	}
+	k, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		cs.reply([]byte("-ERR arguments must be uint64\r\n"))
+		return 0, false
+	}
+	return k, true
+}
+
+func parse2(cs *connState, args []string, usage string) (uint64, uint64, bool) {
+	if len(args) != 2 {
+		cs.reply([]byte("-ERR usage: " + usage + "\r\n"))
+		return 0, 0, false
+	}
+	k, err1 := strconv.ParseUint(args[0], 10, 64)
+	v, err2 := strconv.ParseUint(args[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		cs.reply([]byte("-ERR arguments must be uint64\r\n"))
+		return 0, 0, false
+	}
+	return k, v, true
+}
+
+// splitFields splits a request line on single spaces, trimming the
+// CR/LF terminator, into dst (reused scratch).
+func splitFields(line []byte, dst []string) []string {
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ' ' {
+			if start >= 0 {
+				dst = append(dst, string(line[start:i]))
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	return dst
+}
+
+func appendValue(buf []byte, v uint64, ok bool) []byte {
+	if !ok {
+		return append(buf, '$', '-', '1', '\r', '\n')
+	}
+	buf = append(buf, '$')
+	buf = strconv.AppendUint(buf, v, 10)
+	return append(buf, '\r', '\n')
+}
+
+func appendBoolInt(res store.OpResult) []byte {
+	if res.OK {
+		return []byte(":1\r\n")
+	}
+	return []byte(":0\r\n")
+}
+
+func appendArrayHeader(buf []byte, n int) []byte {
+	buf = append(buf, '*')
+	buf = strconv.AppendInt(buf, int64(n), 10)
+	return append(buf, '\r', '\n')
+}
+
+// connCount is a test hook: live connections.
+func (s *Server) connCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/store"
+)
+
+// startServer spins up a server over a fresh store on a Unix socket in a
+// test temp dir and tears both down with the test.
+func startServer(t *testing.T, kind core.Kind, shards int, scfg Config) (string, *Server, store.Store) {
+	t.Helper()
+	if scfg.MaxConns == 0 {
+		scfg.MaxConns = 8
+	}
+	st, err := store.Open(store.Config{
+		Kind: kind, Policy: persist.NVTraverse{}, Profile: pmem.ProfileZero,
+		Shards: shards, SizeHint: 1 << 12, MaxSessions: scfg.MaxConns + 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := "unix:" + filepath.Join(t.TempDir(), "nv.sock")
+	srv := New(st, scfg)
+	ln, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return addr, srv, st
+}
+
+// TestRoundTrips exercises every command synchronously over a Unix socket.
+func TestRoundTrips(t *testing.T) {
+	addr, _, _ := startServer(t, core.KindSkiplist, 4, Config{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get(7); err != nil || !ok || v != 70 {
+		t.Fatalf("get: %d %v %v", v, ok, err)
+	}
+	if _, ok, err := cl.Get(8); err != nil || ok {
+		t.Fatalf("missing get: %v %v", ok, err)
+	}
+	if ins, err := cl.Insert(8, 80); err != nil || !ins {
+		t.Fatalf("insert: %v %v", ins, err)
+	}
+	if ins, err := cl.Insert(8, 81); err != nil || ins {
+		t.Fatalf("duplicate insert: %v %v", ins, err)
+	}
+	if v, ok, err := cl.Update(8, 88); err != nil || !ok || v != 88 {
+		t.Fatalf("update: %d %v %v", v, ok, err)
+	}
+	if _, ok, err := cl.Update(9, 99); err != nil || ok {
+		t.Fatalf("update missing: %v %v", ok, err)
+	}
+	keys, vals, err := cl.Scan(1, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != 7 || keys[1] != 8 || vals[1] != 88 {
+		t.Fatalf("scan: %v %v", keys, vals)
+	}
+	// An explicit zero cap returns an empty scan, not one element.
+	if keys, _, err := cl.Scan(1, 100, 0); err != nil || len(keys) != 0 {
+		t.Fatalf("scan max=0: %v %v", keys, err)
+	}
+	if del, err := cl.Del(7); err != nil || !del {
+		t.Fatalf("del: %v %v", del, err)
+	}
+	if del, err := cl.Del(7); err != nil || del {
+		t.Fatalf("double del: %v %v", del, err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["batch_ops"] == 0 || stats["fences"] == 0 {
+		t.Fatalf("stats missing activity: %v", stats)
+	}
+	if err := cl.Quit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCP round-trips over a TCP listener (the loopback path).
+func TestTCP(t *testing.T) {
+	st, err := store.Open(store.Config{
+		Kind: core.KindHash, Profile: pmem.ProfileZero, SizeHint: 1 << 10, MaxSessions: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, Config{MaxConns: 4})
+	ln, err := Listen("tcp:127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Put(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get(1); err != nil || !ok || v != 2 {
+		t.Fatalf("get over tcp: %d %v %v", v, ok, err)
+	}
+}
+
+// TestPipelining sends a burst of commands without reading, then checks
+// every reply arrives in order — including the read-your-writes pair where
+// a pipelined GET follows the PUT of the same key.
+func TestPipelining(t *testing.T) {
+	addr, srv, _ := startServer(t, core.KindHash, 4, Config{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Phase 1: a pure write burst. The pipeline keeps the batcher fed, so
+	// the burst must coalesce into far fewer flushes than writes.
+	const n = 200
+	for i := uint64(1); i <= n; i++ {
+		if err := cl.SendPut(i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= n; i++ {
+		put, err := cl.ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if put.Status != "OK" {
+			t.Fatalf("put %d: %+v", i, put)
+		}
+	}
+	bs := srv.Batcher().Stats()
+	if bs.Ops != n {
+		t.Fatalf("batcher saw %d ops, want %d", bs.Ops, n)
+	}
+	if bs.Flushes >= n/2 {
+		t.Fatalf("pipelined writes barely batched: %d flushes for %d writes", bs.Flushes, n)
+	}
+
+	// Phase 2: alternating PUT/GET pairs pipelined in one burst. Each GET
+	// must observe the connection's preceding PUT (read-your-writes), which
+	// forces the server to hold the GET until the PUT's fence lands — the
+	// ordering cost of reading your own pipelined writes.
+	for i := uint64(1); i <= 50; i++ {
+		if err := cl.SendPut(i, i*7); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.SendGet(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if put, err := cl.ReadReply(); err != nil || put.Status != "OK" {
+			t.Fatalf("put %d: %+v %v", i, put, err)
+		}
+		get, err := cl.ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !get.Found || get.Value != i*7 {
+			t.Fatalf("pipelined get %d after put: %+v (read-your-writes broken)", i, get)
+		}
+	}
+}
+
+// TestErrorReplies pins the protocol's error surface; the connection stays
+// usable after each error.
+func TestErrorReplies(t *testing.T) {
+	addr, _, _ := startServer(t, core.KindHash, 0, Config{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, bad := range []string{
+		"BOGUS 1 2",
+		"GET",
+		"GET notanumber",
+		"PUT 1",
+		"SCAN 1",
+		"SCAN 1 2 -3",
+		"MGET",
+		"SCAN 1 100 5", // hash kind: unordered
+	} {
+		if err := cl.Send(bad); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := cl.ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.IsErr() {
+			t.Fatalf("%q: expected error reply, got %+v", bad, rep)
+		}
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("connection unusable after error replies: %v", err)
+	}
+}
+
+// TestMGet covers the batch read path.
+func TestMGet(t *testing.T) {
+	addr, _, _ := startServer(t, core.KindHash, 4, Config{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := uint64(1); i <= 5; i++ {
+		if err := cl.Put(i, i+100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Send("MGET 1 3 9 5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"$101", "$103", "$-1", "$105"}
+	if len(rep.Array) != len(want) {
+		t.Fatalf("mget: %v", rep.Array)
+	}
+	for i := range want {
+		if rep.Array[i] != want[i] {
+			t.Fatalf("mget[%d] = %q, want %q", i, rep.Array[i], want[i])
+		}
+	}
+}
+
+// TestMaxConns: connections beyond the session pool get a clean error.
+func TestMaxConns(t *testing.T) {
+	addr, _, _ := startServer(t, core.KindHash, 0, Config{MaxConns: 2})
+	var keep []*Client
+	defer func() {
+		for _, c := range keep {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		cl, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep = append(keep, cl)
+		if err := cl.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	over, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	rep, err := over.ReadReply()
+	if err != nil || !rep.IsErr() || !strings.Contains(rep.Err, "max connections") {
+		t.Fatalf("over-limit connection: %+v %v", rep, err)
+	}
+}
+
+// TestConcurrentConnections drives many writers through separate
+// connections and checks the union of writes.
+func TestConcurrentConnections(t *testing.T) {
+	addr, srv, st := startServer(t, core.KindHash, 4, Config{MaxConns: 8})
+	const conns, per = 6, 150
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < per; i++ {
+				k := uint64(c*per + i + 1)
+				if err := cl.Put(k, k*3); err != nil {
+					t.Errorf("put %d: %v", k, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	sess := st.NewSession()
+	for k := uint64(1); k <= conns*per; k++ {
+		if v, ok := sess.Get(k); !ok || v != k*3 {
+			t.Fatalf("key %d: %d %v", k, v, ok)
+		}
+	}
+	if bs := srv.Batcher().Stats(); bs.Ops != conns*per {
+		t.Fatalf("batcher ops %d, want %d", bs.Ops, conns*per)
+	}
+}
+
+// TestLoadGenerator runs the embedded load generator end to end on every
+// point workload and checks zero protocol errors.
+func TestLoadGenerator(t *testing.T) {
+	addr, _, _ := startServer(t, core.KindSkiplist, 4, Config{MaxConns: 8})
+	for _, wl := range []string{"A", "C", "E", "U"} {
+		res, err := RunLoad(LoadConfig{
+			Addr: addr, Conns: 2, Pipeline: 8, Ops: 2000,
+			Workload: wl, Range: 1 << 10, Prefill: wl == "E",
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if res.Errors > 0 {
+			t.Fatalf("%s: %d protocol errors", wl, res.Errors)
+		}
+		if res.Ops < 2000-2*8 || res.Ops > 2000 {
+			t.Fatalf("%s: ops %d, want ~2000", wl, res.Ops)
+		}
+		if res.Lat.Count() == 0 || res.Lat.Quantile(0.5) <= 0 {
+			t.Fatalf("%s: no latency samples: %s", wl, res.Lat.Summary())
+		}
+	}
+}
+
+// TestBenchRow: the self-contained server bench produces a well-formed
+// bench.Result row with populated percentiles.
+func TestBenchRow(t *testing.T) {
+	res, err := Bench(50 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Mops <= 0 {
+		t.Fatalf("empty bench result: %+v", res)
+	}
+	if res.Lat == nil || res.Lat.Count() == 0 {
+		t.Fatal("bench result has no latency histogram")
+	}
+	if res.FencePerOp <= 0 {
+		t.Fatalf("bench result has no fence accounting: %+v", res)
+	}
+}
+
+// TestServerSmokeScript is the server-smoke scenario in miniature: serve,
+// load, verify, shut down cleanly. Used as the reference for the Makefile
+// target.
+func TestServerSmokeScript(t *testing.T) {
+	addr, srv, _ := startServer(t, core.KindHash, 4, Config{MaxConns: 8})
+	res, err := RunLoad(LoadConfig{Addr: addr, Conns: 4, Pipeline: 8, Ops: 4000, Range: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	srv.Close()
+	if n := srv.connCount(); n != 0 {
+		t.Fatalf("%d connections survive Close", n)
+	}
+	// Close is idempotent.
+	srv.Close()
+}

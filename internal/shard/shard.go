@@ -276,11 +276,12 @@ type OpResult struct {
 // pmem.Thread per shard. A Session must be used by one goroutine at a
 // time.
 type Session struct {
-	eng    *Engine
-	th     []*pmem.Thread
-	groups [][]int    // scratch: batch op indexes grouped per shard
-	bufs   [][]kvPair // scratch: per-shard scan collection buffers
-	heads  []int      // scratch: per-shard merge cursors
+	eng      *Engine
+	th       []*pmem.Thread
+	groups   [][]int    // scratch: batch op indexes grouped per shard
+	scanIdxs []int      // scratch: batch op indexes holding scans
+	bufs     [][]kvPair // scratch: per-shard scan collection buffers
+	heads    []int      // scratch: per-shard merge cursors
 }
 
 // kvPair is one collected scan result during a merged engine scan.
@@ -424,6 +425,20 @@ func (s *Session) exec(i int, op Op) OpResult {
 // during Apply may leave any subset of the batch's individual operations
 // applied.
 func (s *Session) Apply(ops []Op, dst []OpResult) []OpResult {
+	return s.ApplyCommitted(ops, dst, nil)
+}
+
+// ApplyCommitted executes a batch like Apply, additionally invoking
+// committed(idxs) the moment the results at those batch indexes become safe
+// to acknowledge: once per shard group, immediately after the group's
+// commit fence lands, and once for the batch's scans (reads need no fence).
+// This is the asynchronous submission surface the group-commit batcher
+// builds on — a caller multiplexing requests from many clients can release
+// each request as its shard group commits instead of holding every reply
+// until the whole batch returns. idxs aliases internal scratch: it is valid
+// only during the callback. A nil committed makes ApplyCommitted exactly
+// Apply.
+func (s *Session) ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int)) []OpResult {
 	if cap(dst) < len(ops) {
 		dst = make([]OpResult, len(ops))
 	}
@@ -431,6 +446,7 @@ func (s *Session) Apply(ops []Op, dst []OpResult) []OpResult {
 	for i := range s.groups {
 		s.groups[i] = s.groups[i][:0]
 	}
+	s.scanIdxs = s.scanIdxs[:0]
 	for i := range ops {
 		if ops[i].Kind == OpScan {
 			var count uint64
@@ -439,10 +455,14 @@ func (s *Session) Apply(ops []Op, dst []OpResult) []OpResult {
 				return true
 			})
 			dst[i] = OpResult{Value: count, OK: err == nil}
+			s.scanIdxs = append(s.scanIdxs, i)
 			continue
 		}
 		sh := s.eng.ShardFor(ops[i].Key)
 		s.groups[sh] = append(s.groups[sh], i)
+	}
+	if committed != nil && len(s.scanIdxs) > 0 {
+		committed(s.scanIdxs)
 	}
 	for sh := range s.groups {
 		g := s.groups[sh]
@@ -455,6 +475,14 @@ func (s *Session) Apply(ops []Op, dst []OpResult) []OpResult {
 			dst[i] = s.exec(sh, ops[i])
 		}
 		th.EndBatch()
+		// The group's commit fence lands after its last operation's CountOp,
+		// so publish here: acknowledgement time is a stats observation point
+		// (the batcher's fence-accounting tests read Stats at batch
+		// boundaries).
+		th.PublishStats()
+		if committed != nil {
+			committed(g)
+		}
 	}
 	return dst
 }

@@ -57,6 +57,19 @@ type Session interface {
 	Rand() uint64
 }
 
+// AsyncSession is the completion-callback extension of Session that the
+// group-commit batcher (internal/batcher) builds on: ApplyCommitted
+// executes a batch like Apply but invokes committed(idxs) the moment the
+// results at those batch indexes are safe to acknowledge — once per fence
+// group, right after that group's commit fence lands, and once for scans
+// (reads need no fence). idxs aliases internal scratch and is valid only
+// during the callback. Both backends implement AsyncSession; it is a
+// separate interface only so Session stays implementable by test doubles.
+type AsyncSession interface {
+	Session
+	ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int)) []OpResult
+}
+
 // Store is one durable key-value store, bare or sharded.
 type Store interface {
 	// NewSession registers a per-goroutine handle.
@@ -181,8 +194,10 @@ func (s *Single) ResetStats()        { s.mem.ResetStats() }
 
 // singleSession binds one thread to a bare structure.
 type singleSession struct {
-	set core.Set
-	th  *pmem.Thread
+	set       core.Set
+	th        *pmem.Thread
+	scanIdxs  []int // scratch: batch op indexes holding scans
+	keyedIdxs []int // scratch: the rest of the batch
 }
 
 func (s *singleSession) Get(key uint64) (uint64, bool) { return s.set.Find(s.th, key) }
@@ -212,22 +227,42 @@ func (s *singleSession) Scan(lo, hi uint64, fn func(key, value uint64) bool) err
 // operations run before the batch's keyed operations — the two backends
 // must return identical results for the same batch.
 func (s *singleSession) Apply(ops []Op, dst []OpResult) []OpResult {
+	return s.ApplyCommitted(ops, dst, nil)
+}
+
+// ApplyCommitted is the AsyncSession surface on a bare structure: the whole
+// keyed batch is one fence group, so committed fires once for the scans
+// (before the group, mirroring the engine) and once for everything else
+// after the group's commit fence.
+func (s *singleSession) ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int)) []OpResult {
 	if cap(dst) < len(ops) {
 		dst = make([]OpResult, len(ops))
 	}
 	dst = dst[:len(ops)]
+	s.scanIdxs = s.scanIdxs[:0]
+	s.keyedIdxs = s.keyedIdxs[:0]
 	for i := range ops {
 		if ops[i].Kind == shard.OpScan {
 			dst[i] = s.execScan(ops[i])
+			s.scanIdxs = append(s.scanIdxs, i)
+		} else {
+			s.keyedIdxs = append(s.keyedIdxs, i)
 		}
+	}
+	if committed != nil && len(s.scanIdxs) > 0 {
+		committed(s.scanIdxs)
 	}
 	s.th.BeginBatch()
-	for i := range ops {
-		if ops[i].Kind != shard.OpScan {
-			dst[i] = s.exec(ops[i])
-		}
+	for _, i := range s.keyedIdxs {
+		dst[i] = s.exec(ops[i])
 	}
 	s.th.EndBatch()
+	// Publish after the batch fence so Stats read at the acknowledgement
+	// point include it (see shard.Session.ApplyCommitted).
+	s.th.PublishStats()
+	if committed != nil && len(s.keyedIdxs) > 0 {
+		committed(s.keyedIdxs)
+	}
 	return dst
 }
 
@@ -296,5 +331,10 @@ func (s *EngineStore) Contents() []uint64  { return s.eng.Contents(s.admin) }
 func (s *EngineStore) Stats() pmem.Stats   { return s.eng.Stats().Total }
 func (s *EngineStore) ResetStats()         { s.eng.ResetStats() }
 
-// Interface conformance: the engine's session is a store Session as-is.
-var _ Session = (*shard.Session)(nil)
+// Interface conformance: the engine's session is a store Session as-is,
+// and both backends' sessions carry the async completion surface.
+var (
+	_ Session      = (*shard.Session)(nil)
+	_ AsyncSession = (*shard.Session)(nil)
+	_ AsyncSession = (*singleSession)(nil)
+)
