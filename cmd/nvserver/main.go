@@ -158,19 +158,15 @@ func runServe(out io.Writer, listen string, serveFor time.Duration,
 	defer signal.Stop(stop)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+	var after <-chan time.Time // nil (blocks forever) unless a duration was set
 	if serveFor > 0 {
-		select {
-		case <-time.After(serveFor):
-		case <-stop:
-		case err := <-done:
-			return err
-		}
-	} else {
-		select {
-		case <-stop:
-		case err := <-done:
-			return err
-		}
+		after = time.After(serveFor)
+	}
+	select {
+	case <-after:
+	case <-stop:
+	case err := <-done:
+		return err
 	}
 	srv.Close()
 	fmt.Fprintln(out, "nvserver: shut down cleanly")

@@ -115,10 +115,14 @@ func NewSession(sess store.Session, cfg Config) *Batcher {
 	return b
 }
 
-// Submit enqueues one operation. cb is invoked exactly once — from the
-// worker goroutine, after the commit fence covering op has landed (or with
-// an error if the batcher closed or the store crashed first) — so it must
-// be quick and must not call back into the batcher synchronously.
+// Submit enqueues one operation. cb is invoked exactly once, after the
+// commit fence covering op has landed or with an error if the batcher
+// closed or the store crashed first. It normally runs on the worker
+// goroutine, but when the batcher is already closed or crashed at Submit
+// time the rejection runs synchronously on the caller's goroutine — so cb
+// must be quick, must not call back into the batcher, and must not assume
+// worker-goroutine context (e.g. it may run under any locks the caller
+// holds across Submit).
 func (b *Batcher) Submit(op store.Op, cb func(store.OpResult, error)) {
 	r := &request{op: op, cb: cb}
 	b.mu.Lock()

@@ -38,6 +38,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/batcher"
 	"repro/internal/shard"
@@ -104,12 +106,40 @@ func New(st store.Store, cfg Config) *Server {
 func (s *Server) Batcher() *batcher.Batcher { return s.b }
 
 // Listen resolves an address of the form "unix:/path/to.sock",
-// "tcp:host:port", or a bare "host:port" (TCP). A stale Unix socket file
-// is removed before binding.
+// "tcp:host:port", or a bare "host:port" (TCP). A Unix socket file left
+// behind by a dead server is detected — the bind fails with EADDRINUSE and
+// nothing answers a probe connection — and removed before one retry, so a
+// restart succeeds without a second live server ever being able to steal
+// the address. The probe-remove-rebind sequence is serialized through a
+// flock on a sidecar "<path>.lock" file, so two simultaneously restarting
+// servers cannot unlink each other's fresh bind; the loser sees the
+// winner answer its probe and fails with the original EADDRINUSE.
 func Listen(addr string) (net.Listener, error) {
 	network, address := SplitAddr(addr)
-	if network == "unix" {
-		os.Remove(address)
+	ln, err := net.Listen(network, address)
+	if err == nil || network != "unix" || !errors.Is(err, syscall.EADDRINUSE) {
+		return ln, err
+	}
+	lock, lerr := os.OpenFile(address+".lock", os.O_CREATE|os.O_RDWR, 0o600)
+	if lerr != nil {
+		return nil, err
+	}
+	defer lock.Close() // Close drops the flock
+	if syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB) != nil {
+		// Another process is mid-takeover: the address is theirs now.
+		return nil, err
+	}
+	if c, derr := net.DialTimeout(network, address, 250*time.Millisecond); derr == nil {
+		c.Close() // a live server answered: genuinely in use
+		return nil, err
+	} else if !errors.Is(derr, syscall.ECONNREFUSED) && !errors.Is(derr, os.ErrNotExist) {
+		// Only a refused connection (or the file vanishing) proves the
+		// owner is dead. Anything else — e.g. EAGAIN from a live server
+		// whose accept backlog is full — must not cost it the socket.
+		return nil, err
+	}
+	if rerr := os.Remove(address); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+		return nil, err
 	}
 	return net.Listen(network, address)
 }
@@ -288,10 +318,15 @@ type connState struct {
 	srv   *Server
 	sess  store.Session
 	slots chan<- *slot
-	// lastWrite is the ready channel of the most recent write this
-	// connection submitted: reads wait on it so a connection observes its
-	// own writes in program order even though writes commit asynchronously.
-	lastWrite chan struct{}
+	// writes counts the connection's outstanding (submitted, not yet
+	// committed) writes. Reads wait for it to drain: within one batcher
+	// flush, shard groups are acknowledged in shard-index order, not
+	// submission order, so waiting on only the most recent write would let
+	// a read run while an earlier write to a later-committing shard is
+	// still unexecuted. Add and Wait both happen on the reader goroutine
+	// only (Done comes from the batcher callback), which satisfies the
+	// WaitGroup reuse rule.
+	writes sync.WaitGroup
 	// scratch buffers reused across requests.
 	fields  []string
 	keys    []uint64
@@ -302,11 +337,18 @@ type connState struct {
 // scanKV is one collected SCAN entry.
 type scanKV struct{ k, v uint64 }
 
+// closedReady is the shared pre-closed channel of every already-complete
+// reply: only write slots, whose completion is asynchronous, need a
+// private channel.
+var closedReady = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
 // reply enqueues an already-complete reply.
 func (cs *connState) reply(buf []byte) {
-	sl := &slot{ready: make(chan struct{}), buf: buf}
-	close(sl.ready)
-	cs.slots <- sl
+	cs.slots <- &slot{ready: closedReady, buf: buf}
 }
 
 // submitWrite enqueues a reply slot for op and submits it to the batcher;
@@ -314,7 +356,7 @@ func (cs *connState) reply(buf []byte) {
 func (cs *connState) submitWrite(op store.Op, format func(store.OpResult) []byte) {
 	sl := &slot{ready: make(chan struct{})}
 	cs.slots <- sl
-	cs.lastWrite = sl.ready
+	cs.writes.Add(1)
 	cs.srv.b.Submit(op, func(res store.OpResult, err error) {
 		if err != nil {
 			sl.buf = []byte("-ERR " + err.Error() + "\r\n")
@@ -322,16 +364,16 @@ func (cs *connState) submitWrite(op store.Op, format func(store.OpResult) []byte
 			sl.buf = format(res)
 		}
 		close(sl.ready)
+		cs.writes.Done()
 	})
 }
 
-// awaitWrites blocks until the connection's last submitted write has
-// committed (read-your-writes ordering).
+// awaitWrites blocks until every write this connection has submitted has
+// committed or failed (read-your-writes ordering). Waiting on all
+// outstanding writes — not just the most recent — matters because the
+// batcher acknowledges one flush's shard groups in shard-index order.
 func (cs *connState) awaitWrites() {
-	if cs.lastWrite != nil {
-		<-cs.lastWrite
-		cs.lastWrite = nil
-	}
+	cs.writes.Wait()
 }
 
 // dispatch parses and executes one request line; false closes the

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/batcher"
 	"repro/internal/core"
 	"repro/internal/persist"
 	"repro/internal/pmem"
@@ -204,6 +207,212 @@ func TestPipelining(t *testing.T) {
 			t.Fatalf("pipelined get %d after put: %+v (read-your-writes broken)", i, get)
 		}
 	}
+}
+
+// TestReadYourWritesAcrossShards regression-tests the ordering bug where a
+// read waited only on the connection's most recent write: within one
+// batcher flush, shard groups are acknowledged in shard-index order, not
+// submission order, so an earlier write to a later-committing shard could
+// still be unexecuted when the latest write's fence landed. Each round
+// pipelines PUT a, a filler burst spread across every shard, PUT b, GET a
+// into a single flush; the GET must observe a no matter which shards a and
+// b hash to. The NVRAM profile stretches each flush's execution (spin cost
+// per op), widening the window between one shard group's acknowledgement
+// and a later group's execution so the old code fails reliably.
+func TestReadYourWritesAcrossShards(t *testing.T) {
+	st, err := store.Open(store.Config{
+		Kind: core.KindHash, Policy: persist.NVTraverse{}, Profile: pmem.ProfileNVRAM,
+		Shards: 8, SizeHint: 1 << 16, MaxSessions: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := "unix:" + filepath.Join(t.TempDir(), "nv.sock")
+	srv := New(st, Config{
+		MaxConns: 8,
+		Pipeline: 4096,
+		Batch:    batcher.Config{MaxBatch: 8192, MaxDelay: 2 * time.Millisecond},
+	})
+	ln, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const rounds, filler = 40, 2000
+	next := uint64(1)
+	for r := 0; r < rounds; r++ {
+		a := next
+		next++
+		if err := cl.SendPut(a, a*3); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < filler; i++ {
+			k := next
+			next++
+			if err := cl.SendPut(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := next
+		next++
+		if err := cl.SendPut(b, b*3); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.SendGet(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < filler+2; i++ {
+			put, err := cl.ReadReply()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if put.Status != "OK" {
+				t.Fatalf("round %d put %d: %+v", r, i, put)
+			}
+		}
+		get, err := cl.ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !get.Found || get.Value != a*3 {
+			t.Fatalf("round %d: pipelined GET %d = %+v — stale read, earlier write to a later-committing shard not awaited", r, a, get)
+		}
+	}
+}
+
+// inversionSession is a stub AsyncSession whose ApplyCommitted applies and
+// acknowledges a batch's operations one at a time in REVERSE submission
+// order, pausing between acknowledgements — a deterministic stand-in for
+// the shard engine acknowledging one flush's shard groups in shard-index
+// order while later groups are still unexecuted.
+type inversionSession struct {
+	mu    sync.Mutex
+	m     map[uint64]uint64
+	pause time.Duration
+}
+
+func (s *inversionSession) Get(key uint64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+func (s *inversionSession) Put(key, value uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = value
+}
+func (s *inversionSession) Insert(uint64, uint64) bool                   { return false }
+func (s *inversionSession) Delete(uint64) bool                           { return false }
+func (s *inversionSession) Update(uint64, func(uint64) uint64) (uint64, bool) { return 0, false }
+func (s *inversionSession) GetOrInsert(uint64, uint64) (uint64, bool)    { return 0, false }
+func (s *inversionSession) Scan(uint64, uint64, func(uint64, uint64) bool) error {
+	return nil
+}
+func (s *inversionSession) Apply(ops []store.Op, dst []store.OpResult) []store.OpResult {
+	return s.ApplyCommitted(ops, dst, nil)
+}
+func (s *inversionSession) MultiGet([]uint64, []store.OpResult) []store.OpResult { return nil }
+func (s *inversionSession) Rand() uint64                                         { return 0 }
+
+func (s *inversionSession) ApplyCommitted(ops []store.Op, dst []store.OpResult, committed func(idxs []int)) []store.OpResult {
+	if cap(dst) < len(ops) {
+		dst = make([]store.OpResult, len(ops))
+	}
+	dst = dst[:len(ops)]
+	for i := len(ops) - 1; i >= 0; i-- {
+		s.Put(ops[i].Key, ops[i].Value)
+		dst[i] = store.OpResult{Value: ops[i].Value, OK: true}
+		if committed != nil {
+			committed([]int{i})
+		}
+		if i > 0 {
+			time.Sleep(s.pause)
+		}
+	}
+	return dst
+}
+
+// TestAwaitWritesWaitsForAllOutstanding regression-tests the read-your-
+// writes bug deterministically: a connection pipelines PUT a, PUT b, GET a,
+// and the store acknowledges b's write long before a's is even applied
+// (inversionSession). A read that waited only on the connection's most
+// recent write would run between the two acknowledgements and miss a; the
+// server must hold the GET until every outstanding write has committed.
+func TestAwaitWritesWaitsForAllOutstanding(t *testing.T) {
+	sess := &inversionSession{m: make(map[uint64]uint64), pause: 100 * time.Millisecond}
+	// MaxBatch 2 flushes exactly when both PUTs are pending; the long
+	// MaxDelay keeps the first PUT from flushing alone.
+	b := batcher.NewSession(sess, batcher.Config{MaxBatch: 2, MaxDelay: time.Second})
+	defer b.Close()
+	srv := &Server{b: b, cfg: Config{MaxScan: 16}}
+	slots := make(chan *slot, 16)
+	cs := &connState{srv: srv, sess: sess, slots: slots}
+
+	cs.dispatch([]byte("PUT 7 21\n"))
+	cs.dispatch([]byte("PUT 8 24\n"))
+	cs.dispatch([]byte("GET 7\n")) // blocks until read-your-writes holds
+
+	want := []string{"+OK\r\n", "+OK\r\n", "$21\r\n"}
+	for i, w := range want {
+		sl := <-slots
+		<-sl.ready
+		if got := string(sl.buf); got != w {
+			t.Fatalf("reply %d = %q, want %q (stale read: GET ran before the earlier write was applied)", i, got, w)
+		}
+	}
+}
+
+// TestListenSocketOwnership pins the Unix socket rules: Listen must not
+// steal a live server's socket, and must replace a socket file left behind
+// by a dead server (bind fails, nothing answers a probe).
+func TestListenSocketOwnership(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nv.sock")
+	addr := "unix:" + path
+
+	ln, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second, err := Listen(addr); err == nil {
+		second.Close()
+		t.Fatal("second Listen stole a live server's socket")
+	}
+	// The failed attempt must not have unlinked the live socket.
+	if c, err := net.Dial("unix", path); err != nil {
+		t.Fatalf("live socket unusable after failed Listen: %v", err)
+	} else {
+		c.Close()
+	}
+
+	// Leave a stale socket file behind: keep the file on close, so the
+	// path exists with no listener — the dead-server case.
+	ln.(*net.UnixListener).SetUnlinkOnClose(false)
+	ln.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("stale socket file not left in place: %v", err)
+	}
+	ln2, err := Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen over a stale socket: %v", err)
+	}
+	ln2.Close()
 }
 
 // TestErrorReplies pins the protocol's error surface; the connection stays
