@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race fmt vet staticcheck apicheck server-smoke bench-smoke bench-ci bench-gate bench-json ci
+.PHONY: build test short race fmt vet staticcheck apicheck server-smoke crash-smoke bench-smoke bench-ci bench-gate bench-json ci
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,18 @@ server-smoke:
 	$(GO) run ./cmd/nvserver -selftest -conns 4 -pipeline 8 -ops 5000 -range 4096 -shards 4
 	$(GO) run ./cmd/nvserver -selftest -kind skiplist -shards 2 -workload E -prefill -conns 2 -pipeline 4 -ops 2000 -range 2048
 
+# SIGKILL-restart recovery smoke: spawn a file-backed nvserver child, kill
+# -9 it mid-load, restart it on the same data directory, and fail unless
+# the durable-linearizability checker passes with every acknowledged write
+# present. A second round SIGTERMs the restarted server (checkpoint path)
+# and re-verifies. CRASH_SMOKE_DATA pins the data dir (CI points it at a
+# workspace path so the WAL/checkpoint files can be uploaded on failure).
+CRASH_SMOKE_DATA ?=
+crash-smoke:
+	$(GO) run ./cmd/nvserver -crashsmoke $(if $(CRASH_SMOKE_DATA),-data $(CRASH_SMOKE_DATA)) \
+		-shards 4 -conns 4 -smoke-acks 4000
+	$(GO) run ./cmd/nvserver -crashsmoke -kind skiplist -shards 2 -conns 2 -smoke-acks 2000
+
 # Exercise both CLIs end to end with tiny workloads so they cannot rot.
 # server-smoke rides along so the serving layer cannot rot locally either.
 bench-smoke: server-smoke
@@ -72,26 +84,27 @@ bench-ci:
 	NVBENCH_DUR=5ms $(GO) test -run=NONE -bench=. -benchtime=1x ./internal/bench/...
 	NVBENCH_DUR=5ms $(GO) run ./cmd/nvbench -panel yE -threads 2 -scale 256
 
-# Regression gate: capture the baseline suite (with latency percentiles and
-# the server row) and compare against the committed BENCH_4.json, failing
-# on a >35% throughput drop on any zero-profile panel. CI uploads the
-# capture as the next BENCH_N artifact.
-BENCH_GATE_OUT ?= BENCH_5-capture.json
+# Regression gate: capture the baseline suite (with latency percentiles,
+# the server rows and the recovery-replay row) and compare against the
+# committed BENCH_5.json, failing on a >35% throughput drop on any
+# zero-profile panel. CI uploads the capture as the next BENCH_N artifact.
+BENCH_GATE_OUT ?= BENCH_6-capture.json
 BENCH_GATE_DUR ?= 1s
 bench-gate:
 	$(GO) run ./cmd/nvbench -dur $(BENCH_GATE_DUR) -json $(BENCH_GATE_OUT) \
-		-cmp BENCH_4.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
+		-cmp BENCH_5.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_GATE_OUT)
 
-# Run the JSON baseline suite (fast-mode panels + the tracked-mode torture
-# throughput proxy) and write BENCH_4.json. Compare against a prior capture
-# with: make bench-json BENCH_CMP=path/to/old.json. The committed
-# BENCH_4.json was produced at PR 4 with -dur 2s against the pre-PR commit.
-BENCH_JSON ?= BENCH_4.json
+# Run the JSON baseline suite (fast-mode panels, the tracked-mode torture
+# throughput proxy, the server rows and the recovery-replay row) and write
+# BENCH_6.json. Compare against a prior capture with:
+# make bench-json BENCH_CMP=path/to/old.json. The committed BENCH_6.json
+# was produced at PR 6 with -dur 2s.
+BENCH_JSON ?= BENCH_6.json
 BENCH_DUR  ?= 500ms
 bench-json:
 	$(GO) run ./cmd/nvbench -dur $(BENCH_DUR) -json $(BENCH_JSON) \
 		$(if $(BENCH_CMP),-cmp $(BENCH_CMP)) $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_JSON)
 
-ci: fmt vet build short race apicheck bench-smoke bench-ci bench-gate
+ci: fmt vet build short race apicheck bench-smoke crash-smoke bench-ci bench-gate

@@ -107,17 +107,27 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if !*noServer {
-			// The wire-protocol row: serve-and-load over a Unix socket, so
+			// The wire-protocol rows: serve-and-load over a Unix socket, so
 			// the capture carries network-path throughput and latency
-			// percentiles next to the in-process panels.
-			res, err := server.Bench(*dur)
-			if err != nil {
-				return fmt.Errorf("server baseline row: %w", err)
+			// percentiles next to the in-process panels. The -file variant
+			// runs the same workload on the durable file backend; the delta
+			// is the serving-path cost of real durability.
+			for _, sb := range []struct {
+				panel string
+				run   func(time.Duration) (bench.Result, error)
+			}{
+				{"srv-unix4", server.Bench},
+				{"srv-unix4-file", server.BenchFile},
+			} {
+				res, err := sb.run(*dur)
+				if err != nil {
+					return fmt.Errorf("server baseline row %s: %w", sb.panel, err)
+				}
+				row := bench.RowFromResult(sb.panel, res)
+				rows = append(rows, row)
+				fmt.Fprintf(out, "%-12s %10.0f ops/s  flush/op %.2f  elide/op %.2f  fence/op %.2f  p50 %.1fµs  p99 %.1fµs\n",
+					row.Panel, row.OpsPerSec, row.FlushPerOp, row.ElidePerOp, row.FencePerOp, row.P50us, row.P99us)
 			}
-			row := bench.RowFromResult("srv-unix4", res)
-			rows = append(rows, row)
-			fmt.Fprintf(out, "%-12s %10.0f ops/s  flush/op %.2f  elide/op %.2f  fence/op %.2f  p50 %.1fµs  p99 %.1fµs\n",
-				row.Panel, row.OpsPerSec, row.FlushPerOp, row.ElidePerOp, row.FencePerOp, row.P50us, row.P99us)
 		}
 		doc := bench.NewBenchDoc(*jsonLabel, rows)
 		if *jsonCmp != "" {

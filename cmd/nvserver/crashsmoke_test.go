@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the nvserver executable: the
+// crashsmoke orchestrator spawns os.Executable(), which under `go test` is
+// this binary, so NVSERVER_REEXEC=1 routes the child invocation straight
+// into run() instead of the test runner.
+func TestMain(m *testing.M) {
+	if os.Getenv("NVSERVER_REEXEC") == "1" {
+		if err := run(os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "nvserver:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestCrashSmokeSIGKILL is the in-tree version of `make crash-smoke`: a
+// real child process, a real SIGKILL, a real restart on the same data
+// directory, and the durable-linearizability checker over the wire.
+func TestCrashSmokeSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes; skipped in -short")
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  smokeConfig
+	}{
+		{"hash-4shard", smokeConfig{kind: "hash", shards: 4, size: 1 << 14, conns: 4, acks: 2000}},
+		{"skiplist-2shard", smokeConfig{kind: "skiplist", shards: 2, size: 1 << 14, conns: 2, acks: 1000}},
+		{"hash-bare", smokeConfig{kind: "hash", shards: 0, size: 1 << 14, conns: 2, acks: 1000}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.dir = t.TempDir()
+			var out strings.Builder
+			if err := runCrashSmoke(&out, cfg); err != nil {
+				t.Fatalf("%v\n%s", err, out.String())
+			}
+			if !strings.Contains(out.String(), "crashsmoke: ok") {
+				t.Fatalf("no ok line:\n%s", out.String())
+			}
+		})
+	}
+}

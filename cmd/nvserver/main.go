@@ -65,6 +65,11 @@ func run(args []string, out io.Writer) error {
 		shards   = fs.Int("shards", 4, "shard count (0 = bare structure)")
 		size     = fs.Int("size", 1<<16, "expected key-range size hint")
 		maxConns = fs.Int("max-conns", 64, "maximum concurrent connections")
+		dataDir  = fs.String("data", "", "durable data directory (WAL + checkpoints; empty = in-memory only)")
+		syncWAL  = fs.Bool("sync", false, "fsync the WAL at every commit fence (needs -data)")
+
+		crashsmoke = fs.Bool("crashsmoke", false, "SIGKILL-restart smoke: spawn a -data server, kill it mid-load, restart, check every acked write")
+		smokeAcks  = fs.Uint64("smoke-acks", 4000, "crashsmoke: acknowledged writes before the kill")
 
 		maxBatch = fs.Int("maxbatch", 64, "group-commit: flush at this many pending writes")
 		maxDelay = fs.Duration("maxdelay", 50*time.Microsecond, "group-commit: flush after the oldest write waited this long")
@@ -93,9 +98,18 @@ func run(args []string, out io.Writer) error {
 		Range: *keys, Theta: *theta, Prefill: *prefill,
 	}
 
+	if *syncWAL && *dataDir == "" && !*crashsmoke {
+		return fmt.Errorf("-sync needs -data")
+	}
+
 	switch {
 	case *selftest && *load:
 		return fmt.Errorf("-selftest and -load are mutually exclusive")
+	case *crashsmoke:
+		return runCrashSmoke(out, smokeConfig{
+			dir: *dataDir, kind: *kind, policy: *policy, shards: *shards,
+			size: *size, sync: *syncWAL, conns: *conns, acks: *smokeAcks,
+		})
 	case *selftest:
 		return runSelfTest(out, *kind, *policy, *profile, *shards, *size, *maxConns,
 			batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay}, loadCfg, *jsonOut, *label)
@@ -112,12 +126,14 @@ func run(args []string, out io.Writer) error {
 		return writeLoadDoc(*jsonOut, *label, loadCfg, res, out)
 	default:
 		return runServe(out, *listen, *serveFor, *kind, *policy, *profile, *shards, *size,
-			*maxConns, batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
+			*maxConns, *dataDir, *syncWAL, batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
 	}
 }
 
-// openStore builds the store behind the server.
-func openStore(kind, policy, profile string, shards, size, maxConns int) (store.Store, error) {
+// openStore builds the store behind the server. With a data directory the
+// open replays any existing WAL/checkpoint, so a restarted server resumes
+// exactly the acknowledged state of its predecessor.
+func openStore(kind, policy, profile string, shards, size, maxConns int, dataDir string, syncWAL bool) (store.Store, error) {
 	pol, ok := persist.ByName(policy)
 	if !ok {
 		return nil, fmt.Errorf("unknown policy %q", policy)
@@ -136,12 +152,15 @@ func openStore(kind, policy, profile string, shards, size, maxConns int) (store.
 		Shards:      shards,
 		SizeHint:    size,
 		MaxSessions: maxConns + 4,
+		Dir:         dataDir,
+		SyncFence:   syncWAL,
 	})
 }
 
 func runServe(out io.Writer, listen string, serveFor time.Duration,
-	kind, policy, profile string, shards, size, maxConns int, bcfg batcher.Config) error {
-	st, err := openStore(kind, policy, profile, shards, size, maxConns)
+	kind, policy, profile string, shards, size, maxConns int,
+	dataDir string, syncWAL bool, bcfg batcher.Config) error {
+	st, err := openStore(kind, policy, profile, shards, size, maxConns, dataDir, syncWAL)
 	if err != nil {
 		return err
 	}
@@ -152,6 +171,12 @@ func runServe(out io.Writer, listen string, serveFor time.Duration,
 	}
 	fmt.Fprintf(out, "nvserver: serving %s/%d-shard (%s, %s) on %s\n",
 		kind, shards, policy, profile, listen)
+	if st.Durable() {
+		rs := st.ReplayStats()
+		fmt.Fprintf(out, "nvserver: data dir %s: replayed %d records / %d lines / %d WAL bytes (+%d checkpoint bytes) in %s%s\n",
+			dataDir, rs.Records, rs.Lines, rs.Bytes, rs.CheckpointBytes, rs.Elapsed,
+			map[bool]string{true: ", torn tail truncated", false: ""}[rs.Truncated])
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -169,8 +194,21 @@ func runServe(out io.Writer, listen string, serveFor time.Duration,
 		return err
 	}
 	srv.Close()
+	if err := <-done; err != nil {
+		return err
+	}
+	// Clean shutdown of a durable store: checkpoint (so the next open
+	// replays a snapshot, not the whole log) and close the files.
+	if st.Durable() {
+		if err := st.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint on shutdown: %w", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
 	fmt.Fprintln(out, "nvserver: shut down cleanly")
-	return <-done
+	return nil
 }
 
 // runSelfTest serves on a private Unix socket and immediately drives it
@@ -178,7 +216,7 @@ func runServe(out io.Writer, listen string, serveFor time.Duration,
 // stack. Any protocol error fails the run.
 func runSelfTest(out io.Writer, kind, policy, profile string, shards, size, maxConns int,
 	bcfg batcher.Config, loadCfg server.LoadConfig, jsonOut, label string) error {
-	st, err := openStore(kind, policy, profile, shards, size, maxConns)
+	st, err := openStore(kind, policy, profile, shards, size, maxConns, "", false)
 	if err != nil {
 		return err
 	}

@@ -70,6 +70,14 @@ type Arena[T any] struct {
 	ts       []threadState
 	nodeSize uintptr
 	carve    bool // pointer-free T: chunks carved 64-byte aligned
+
+	// space, when non-nil, is the durable-backend registration namespace:
+	// each chunk registers as region (space, chunkIndex) so its fenced line
+	// snapshots reach the write-ahead log. regd (guarded by grow) tracks
+	// which chunks are registered. Nil on non-durable memories — Persist
+	// leaves it nil, so the allocation path carries no overhead.
+	space *pmem.Space
+	regd  map[uint64]bool
 }
 
 // New creates an arena attached to an epoch domain, with per-thread state
@@ -173,10 +181,81 @@ func (a *Arena[T]) Alloc(tid int) uint64 {
 		a.grow.Lock()
 		if a.chunks[ci].Load() == nil {
 			a.chunks[ci].Store(a.newChunk())
+			a.registerChunk(ci)
 		}
 		a.grow.Unlock()
 	}
 	return idx
+}
+
+// Persist registers the arena's node memory with the durable backend under
+// sp: every chunk — existing and future — becomes the on-disk region
+// (sp, chunkIndex), and replay re-materializes chunks a previous boot had
+// grown to before writing recovered nodes into them. Handle addresses are
+// deterministic relative to each chunk base, so a node's replayed line
+// snapshots land exactly where the recovered structure's handles point.
+//
+// Call it once, right after New, during deterministic construction (the
+// space numbering depends on construction order). No-op on a memory
+// without a file backend. Requires a pointer-free node type (carved,
+// line-aligned chunks): registration is meaningless for GC-managed chunks.
+func (a *Arena[T]) Persist(sp *pmem.Space) {
+	if sp == nil || !sp.Durable() {
+		return
+	}
+	if !a.carve || a.nodeSize == 0 {
+		panic("arena: Persist requires a pointer-free node type")
+	}
+	a.grow.Lock()
+	defer a.grow.Unlock()
+	if a.space != nil {
+		panic("arena: Persist called twice")
+	}
+	a.space = sp
+	a.regd = make(map[uint64]bool)
+	for ci := uint64(0); ci < maxChunks; ci++ {
+		if a.chunks[ci].Load() == nil {
+			continue
+		}
+		a.registerChunk(ci)
+	}
+	sp.Provide(func(sub uint32) { a.ensureChunk(uint64(sub)) })
+}
+
+// registerChunk registers chunk ci with the durable backend (idempotent).
+// Caller holds a.grow. ChunkSize is a multiple of 64, so the chunk's byte
+// size is always line-sized regardless of the node type.
+func (a *Arena[T]) registerChunk(ci uint64) {
+	if a.space == nil || a.regd[ci] {
+		return
+	}
+	a.regd[ci] = true
+	p := unsafe.Pointer(a.chunks[ci].Load())
+	a.space.Register(uint32(ci), p, ChunkSize*a.nodeSize)
+}
+
+// ensureChunk is the replay-time provider: it materializes chunk ci if this
+// boot has not grown to it yet, registers it, and advances the high-water
+// mark past it so post-recovery allocations can never collide with replayed
+// live nodes. The skipped slots are reclaimed by the structure's
+// RebuildFreeLists pass after recovery.
+func (a *Arena[T]) ensureChunk(ci uint64) {
+	if ci >= maxChunks {
+		return
+	}
+	a.grow.Lock()
+	if a.chunks[ci].Load() == nil {
+		a.chunks[ci].Store(a.newChunk())
+	}
+	a.registerChunk(ci)
+	a.grow.Unlock()
+	end := (ci + 1) * ChunkSize
+	for {
+		cur := a.next.Load()
+		if cur >= end || a.next.CompareAndSwap(cur, end) {
+			return
+		}
+	}
 }
 
 // Free returns a never-published handle directly to the thread's free list

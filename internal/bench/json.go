@@ -40,6 +40,11 @@ type JSONRow struct {
 	P95us      float64 `json:"p95_us,omitempty"`
 	P99us      float64 `json:"p99_us,omitempty"`
 	P999us     float64 `json:"p999_us,omitempty"`
+	// ReplayRecords/ReplayBytes (schema 3) are set on recovery rows: the
+	// WAL records and bytes replayed during a file-backed cold start. On
+	// such rows Ops counts replayed records and OpsPerSec is records/s.
+	ReplayRecords uint64 `json:"replay_records,omitempty"`
+	ReplayBytes   uint64 `json:"replay_bytes,omitempty"`
 }
 
 // SpeedupRow compares one panel row against the same row of a baseline doc.
@@ -112,9 +117,12 @@ func RowFromResult(panel string, r Result) JSONRow {
 // BaselineConfig is one named row of the baseline suite.
 type BaselineConfig struct {
 	Panel string
-	Cfg   Config // ignored when Tracked
+	Cfg   Config // ignored when Tracked or Recovery
 	// Tracked rows run the TrackedThroughput proxy instead of a workload.
 	Tracked bool
+	// Recovery rows run RecoveryRow: write a file-backed store, reopen it,
+	// and report WAL replay throughput instead of a workload.
+	Recovery bool
 }
 
 // BaselineSuite is the fixed panel behind nvbench -json: a read-heavy
@@ -141,6 +149,7 @@ func BaselineSuite(dur time.Duration) []BaselineConfig {
 			Threads: 4, Range: 1 << 16, Workload: "C", Shards: 4, Duration: dur,
 		}},
 		{Panel: "tracked-4t", Cfg: Config{Threads: 4, Duration: dur}, Tracked: true},
+		{Panel: "recovery", Recovery: true},
 	}
 }
 
@@ -149,6 +158,18 @@ func BaselineSuite(dur time.Duration) []BaselineConfig {
 func RunBaseline(dur time.Duration, progress func(string)) ([]JSONRow, error) {
 	var rows []JSONRow
 	for _, bc := range BaselineSuite(dur) {
+		if bc.Recovery {
+			r, err := RecoveryRow(bc.Panel)
+			if err != nil {
+				return nil, fmt.Errorf("bench: baseline row %s: %w", bc.Panel, err)
+			}
+			rows = append(rows, r)
+			if progress != nil {
+				progress(fmt.Sprintf("%-12s %10.0f rec/s  replayed %d records / %d bytes",
+					r.Panel, r.OpsPerSec, r.ReplayRecords, r.ReplayBytes))
+			}
+			continue
+		}
 		var (
 			res Result
 			err error
@@ -172,9 +193,9 @@ func RunBaseline(dur time.Duration, progress func(string)) ([]JSONRow, error) {
 }
 
 // CurrentSchema is the BenchDoc schema this harness writes. Schema 2 added
-// the latency percentile fields; schema-1 documents (no percentiles) still
-// load and compare.
-const CurrentSchema = 2
+// the latency percentile fields; schema 3 added the recovery-replay fields
+// (ReplayRecords/ReplayBytes). Older documents still load and compare.
+const CurrentSchema = 3
 
 // NewBenchDoc assembles a document from captured rows.
 func NewBenchDoc(label string, rows []JSONRow) *BenchDoc {

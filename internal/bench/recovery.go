@@ -1,0 +1,75 @@
+// Recovery-time benchmark row: how fast a file-backed store comes back.
+// The row writes a fixed batch of upserts through a 4-shard engine on a
+// throwaway directory, closes it without a checkpoint (so the entire
+// history sits in the WALs), reopens it, and reports the replay cost the
+// open measured — records and bytes replayed, and records/s as the row's
+// throughput (replay runs one goroutine per shard, so elapsed is the
+// slowest shard's wall clock).
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/store"
+)
+
+// recoveryOps is the write count behind the recovery row. Fixed rather
+// than duration-scaled: replay throughput is deterministic in the record
+// count, so a fixed corpus gives comparable rows across captures.
+const recoveryOps = 20000
+
+// RecoveryRow builds, reopens and measures; see the package comment above.
+func RecoveryRow(panel string) (JSONRow, error) {
+	dir, err := os.MkdirTemp("", "nvbench-recovery")
+	if err != nil {
+		return JSONRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := store.Config{
+		Kind:     core.KindHash,
+		Policy:   persist.NVTraverse{},
+		Profile:  pmem.ProfileZero,
+		Shards:   4,
+		SizeHint: recoveryOps,
+		Dir:      dir,
+	}
+	st, err := store.Open(cfg)
+	if err != nil {
+		return JSONRow{}, err
+	}
+	s := st.NewSession()
+	for k := uint64(1); k <= recoveryOps; k++ {
+		s.Put(k, k^0xdecaf)
+	}
+	if err := st.Close(); err != nil {
+		return JSONRow{}, err
+	}
+
+	st2, err := store.Open(cfg)
+	if err != nil {
+		return JSONRow{}, err
+	}
+	rs := st2.ReplayStats()
+	if err := st2.Close(); err != nil {
+		return JSONRow{}, err
+	}
+	if rs.Records == 0 || rs.Elapsed <= 0 {
+		return JSONRow{}, fmt.Errorf("recovery row replayed nothing (stats %+v)", rs)
+	}
+	return JSONRow{
+		Panel:         panel,
+		Kind:          string(cfg.Kind),
+		Policy:        cfg.Policy.Name(),
+		Profile:       cfg.Profile.Name,
+		Threads:       cfg.Shards, // replay parallelism
+		Shards:        cfg.Shards,
+		Ops:           rs.Records,
+		OpsPerSec:     float64(rs.Records) / rs.Elapsed.Seconds(),
+		ReplayRecords: rs.Records,
+		ReplayBytes:   rs.Bytes,
+	}, nil
+}

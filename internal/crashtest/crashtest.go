@@ -145,6 +145,14 @@ type Options struct {
 	EvictProb      float64 // probability an unpersisted line survives anyway
 	Seed           int64
 	UpdateRatio    int // percent of ops that are updates (rest are finds); default 60
+
+	// Dir, when non-empty, runs the round against the durable file backend:
+	// the structure is built on a file-backed tracked memory, and the crash
+	// abandons that memory outright — volatile state and unflushed userspace
+	// WAL buffers die with it, exactly as SIGKILL would take them — before a
+	// fresh memory + structure reopen the directory, replay the log, and
+	// recover. EvictProb is ignored (the file is the only survivor).
+	Dir string
 }
 
 type worker struct {
@@ -168,9 +176,11 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 	if opts.UpdateRatio == 0 {
 		opts.UpdateRatio = 60
 	}
-	mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
-		MaxThreads: opts.Workers + 8})
+	cfg := pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
+		MaxThreads: opts.Workers + 8, Dir: opts.Dir}
+	mem := pmem.New(cfg)
 	ds := factory(mem)
+	mustRecoverFiles(mem)
 
 	setup := mem.NewThread()
 	prefilled := map[uint64]uint64{}
@@ -251,10 +261,21 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 	}
 	mem.Crash()
 	wg.Wait()
-	mem.FinishCrash(opts.EvictProb, opts.Seed)
-	mem.Restart()
-
-	rec := mem.NewThread()
+	var rec *pmem.Thread
+	if opts.Dir == "" {
+		mem.FinishCrash(opts.EvictProb, opts.Seed)
+		mem.Restart()
+		rec = mem.NewThread()
+	} else {
+		// SIGKILL semantics: abandon the crashed memory without rollback or
+		// Close — anything not flushed at a commit point is simply gone —
+		// and rebuild from the directory. Construction is deterministic, so
+		// the fresh structure's handles address the replayed lines.
+		mem = pmem.New(cfg)
+		ds = factory(mem)
+		mustRecoverFiles(mem)
+		rec = mem.NewThread()
+	}
 	ds.Recover(rec)
 
 	res := Result{Completed: completed.Load()}
@@ -273,6 +294,16 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 		res.InFlight += len(h.inflight)
 	}
 	return res
+}
+
+// mustRecoverFiles brings a file-backed memory online (no-op otherwise).
+// Harness code panics on IO errors: a broken test directory is a test bug.
+func mustRecoverFiles(mem *pmem.Memory) {
+	if mem.Durable() {
+		if _, err := mem.RecoverFiles(); err != nil {
+			panic("crashtest: " + err.Error())
+		}
+	}
 }
 
 type keyState struct {

@@ -59,6 +59,10 @@ type OrderOptions struct {
 	Prefill        int     // values added (and persisted) before the history
 	EvictProb      float64 // probability an unpersisted line survives anyway
 	Seed           int64
+
+	// Dir runs the round against the durable file backend with SIGKILL
+	// reopen semantics (see Options.Dir).
+	Dir string
 }
 
 func (o *OrderOptions) defaults() {
@@ -98,10 +102,19 @@ type orderWorker struct {
 }
 
 // runOrder drives one crash round over an abstract add/remove surface.
+// reopened is the post-crash surface a file-backed round recovers into: the
+// rebuilt container's recovery/contents plus a recovery thread of the fresh
+// memory.
+type reopened struct {
+	recoverFn func(t *pmem.Thread)
+	contents  func(t *pmem.Thread) []uint64
+	rec       *pmem.Thread
+}
+
 func runOrder(opts OrderOptions, prefill func(t *pmem.Thread, v uint64),
 	add func(t *pmem.Thread, v uint64), remove func(t *pmem.Thread) (uint64, bool),
 	recoverFn func(t *pmem.Thread), contents func(t *pmem.Thread) []uint64,
-	mem *pmem.Memory, kind orderKind) Result {
+	mem *pmem.Memory, kind orderKind, reopen func() reopened) Result {
 
 	setup := mem.NewThread()
 	prefillProducer := opts.Workers // producer id for prefilled values
@@ -157,10 +170,15 @@ func runOrder(opts OrderOptions, prefill func(t *pmem.Thread, v uint64),
 	}
 	mem.Crash()
 	wg.Wait()
-	mem.FinishCrash(opts.EvictProb, opts.Seed)
-	mem.Restart()
-
-	rec := mem.NewThread()
+	var rec *pmem.Thread
+	if reopen == nil {
+		mem.FinishCrash(opts.EvictProb, opts.Seed)
+		mem.Restart()
+		rec = mem.NewThread()
+	} else {
+		ro := reopen()
+		recoverFn, contents, rec = ro.recoverFn, ro.contents, ro.rec
+	}
 	recoverFn(rec)
 
 	res := Result{Completed: completed.Load()}
@@ -311,26 +329,48 @@ func checkOrder(kind orderKind, workers []*orderWorker, prefilled []uint64,
 // fresh tracked memory and checks FIFO durable linearizability.
 func RunQueue(opts OrderOptions, factory func(mem *pmem.Memory) QueueTarget) Result {
 	opts.defaults()
-	mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
-		MaxThreads: opts.Workers + 8})
+	cfg := pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
+		MaxThreads: opts.Workers + 8, Dir: opts.Dir}
+	mem := pmem.New(cfg)
 	q := factory(mem)
+	mustRecoverFiles(mem)
+	var reopen func() reopened
+	if opts.Dir != "" {
+		reopen = func() reopened {
+			m2 := pmem.New(cfg)
+			q2 := factory(m2)
+			mustRecoverFiles(m2)
+			return reopened{recoverFn: q2.Recover, contents: q2.Contents, rec: m2.NewThread()}
+		}
+	}
 	return runOrder(opts,
 		func(t *pmem.Thread, v uint64) { q.Enqueue(t, v) },
 		func(t *pmem.Thread, v uint64) { q.Enqueue(t, v) },
 		func(t *pmem.Thread) (uint64, bool) { return q.Dequeue(t) },
-		q.Recover, q.Contents, mem, fifo)
+		q.Recover, q.Contents, mem, fifo, reopen)
 }
 
 // RunStack executes one crash round against a stack built by factory on a
 // fresh tracked memory and checks LIFO durable linearizability.
 func RunStack(opts OrderOptions, factory func(mem *pmem.Memory) StackTarget) Result {
 	opts.defaults()
-	mem := pmem.New(pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
-		MaxThreads: opts.Workers + 8})
+	cfg := pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
+		MaxThreads: opts.Workers + 8, Dir: opts.Dir}
+	mem := pmem.New(cfg)
 	s := factory(mem)
+	mustRecoverFiles(mem)
+	var reopen func() reopened
+	if opts.Dir != "" {
+		reopen = func() reopened {
+			m2 := pmem.New(cfg)
+			s2 := factory(m2)
+			mustRecoverFiles(m2)
+			return reopened{recoverFn: s2.Recover, contents: s2.Contents, rec: m2.NewThread()}
+		}
+	}
 	return runOrder(opts,
 		func(t *pmem.Thread, v uint64) { s.Push(t, v) },
 		func(t *pmem.Thread, v uint64) { s.Push(t, v) },
 		func(t *pmem.Thread) (uint64, bool) { return s.Pop(t) },
-		s.Recover, s.Contents, mem, lifo)
+		s.Recover, s.Contents, mem, lifo, reopen)
 }

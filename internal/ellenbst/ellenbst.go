@@ -119,6 +119,10 @@ func New(mem *pmem.Memory, pol persist.Policy) *Tree {
 		pol:   pol,
 		trs:   make([]paddedSearch, mem.MaxThreads()),
 	}
+	// Fixed registration order (nodes, then infos) keeps on-disk space IDs
+	// stable across boots.
+	tr.nodes.Persist(mem.NewSpace())
+	tr.infos.Persist(mem.NewSpace())
 	t := mem.NewThread()
 	l1 := tr.newLeaf(t, Inf1, 0)
 	l2 := tr.newLeaf(t, Inf2, 0)

@@ -65,13 +65,17 @@ type paddedTraversal struct {
 // NewShared builds the substrate on a memory with the given policy.
 func NewShared(mem *pmem.Memory, pol persist.Policy) *Shared {
 	dom := epoch.New(mem.MaxThreads())
-	return &Shared{
+	sh := &Shared{
 		Mem: mem,
 		Dom: dom,
 		Ar:  arena.New[Node](dom, mem.MaxThreads()),
 		Pol: pol,
 		trs: make([]paddedTraversal, mem.MaxThreads()),
 	}
+	// All persistent state (head sentinels included) lives in arena nodes,
+	// so registering the arena is all the durable backend needs.
+	sh.Ar.Persist(mem.NewSpace())
+	return sh
 }
 
 // List is one sorted list: a head sentinel handle plus the shared substrate.

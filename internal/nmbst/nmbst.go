@@ -85,6 +85,7 @@ func New(mem *pmem.Memory, pol persist.Policy) *Tree {
 		pol:   pol,
 		trs:   make([]paddedSeek, mem.MaxThreads()),
 	}
+	tr.nodes.Persist(mem.NewSpace())
 	t := mem.NewThread()
 	l0 := tr.newNode(t, Inf0, 1, 0, pmem.NilRef, pmem.NilRef)
 	l1 := tr.newNode(t, Inf1, 1, 0, pmem.NilRef, pmem.NilRef)

@@ -242,6 +242,16 @@ func (LinkAndPersist) BeforeCAS(t *pmem.Thread) {
 func (LinkAndPersist) BeforeReturn(t *pmem.Thread) {
 	if t.Unfenced() > 0 {
 		t.CommitFence()
+		return
+	}
+	// Nothing of ours is unfenced, but the values this operation depends on
+	// may have been fenced by *another* thread whose WAL record is still in
+	// the shared userspace buffer (a tagged link means "some fence covered
+	// this", not "the file has it"). The operation is about to be
+	// acknowledged, so push the buffer to the OS. Free without a file
+	// backend, and deferred to EndBatch inside a batch.
+	if !t.InBatch() {
+		t.DurableSync()
 	}
 }
 

@@ -1,0 +1,455 @@
+package pmem
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// The durable file backend gives a Memory real on-disk state: every fenced
+// line snapshot of a *registered region* is appended to a write-ahead log,
+// and a periodic checkpoint dumps the regions whole and truncates the log.
+// The simulated cost model and the line/fence accounting are untouched —
+// durability rides on the same flush-set captures the simulation already
+// takes — so every structure, the shard engine, the batcher and nvserver
+// run unchanged against a directory instead of (only) simulated NVRAM.
+//
+// The commit unit is the fence. A Fence with pending captured lines appends
+// exactly one WAL record (the thread's coalesced line set since its last
+// fence); records from all threads interleave in a single per-Memory log,
+// buffered in userspace and flushed to the OS at the points where an
+// operation may be acknowledged: CommitFence outside a batch, the closing
+// fence of EndBatch, and Thread.DurableSync (the link-and-persist policy's
+// "some other thread already fenced my link" return path). A SIGKILL after
+// an acknowledgement therefore always finds the acknowledged record in the
+// file — group commit at the file layer mirrors the batcher's group commit
+// at the wire. Config.SyncFence additionally fdatasyncs at those points for
+// power-loss (not just process-death) durability.
+//
+// Addresses do not survive a process restart, so the log cannot record raw
+// pointers. Instead, structures register the memory that backs their cells
+// as regions with stable coordinates: a Space (numbered in deterministic
+// construction order) plus a caller-chosen sub-tag (for arenas, the chunk
+// index). A line is logged as (tag, line index within region, write
+// version, cell values); replay maps the tag back to wherever the region
+// lives in the restarted process. Lines outside every registered region
+// (test scaffolding, harness-private cells) are simply not durable.
+//
+// Replay applies records in log order under the same monotonic-version
+// guard as Fence: a record only advances a line it captured at a newer
+// write version than the newest already applied. Versions are scoped by a
+// boot counter (bumped on every successful open) so that version counters
+// restarting from zero in a new process cannot lose to a previous boot's
+// records.
+
+// walEntry is one captured line in a WAL record: the region coordinate
+// (tag, idx), the line's write version at capture time, the mask of slots
+// with tracked content, and the cell values. Fast mode captures whole
+// lines (mask 0xff) at Flush; tracked mode reuses the flush-set snapshots.
+type walEntry struct {
+	tag  uint64
+	idx  uint32
+	mask uint8
+	ver  uint64
+	vals [CellsPerLine]uint64
+}
+
+// region is one registered span of cell-backing memory: size bytes at base,
+// 64-byte aligned, addressed on disk by tag.
+type region struct {
+	tag  uint64
+	base uintptr
+	size uintptr
+	// ptr is the GC-visible interior pointer that both keeps the backing
+	// slab alive and is the legal base for unsafe.Add arithmetic.
+	ptr unsafe.Pointer
+}
+
+// WALStats counts log appends since the backend went live (reporting hook).
+type WALStats struct {
+	Records uint64
+	Lines   uint64
+	Bytes   uint64
+}
+
+// ReplayStats summarizes one RecoverFiles pass (and is the source of the
+// recovery-time bench row).
+type ReplayStats struct {
+	// Records and Lines count applied WAL records / line entries.
+	Records uint64
+	Lines   uint64
+	// Bytes is the WAL byte count replayed; CheckpointBytes the checkpoint
+	// payload loaded before it.
+	Bytes           uint64
+	CheckpointBytes uint64
+	// Truncated reports that a torn tail was cut off at the first bad frame.
+	Truncated bool
+	Elapsed   time.Duration
+}
+
+// Add accumulates o into s (Elapsed keeps the maximum: shards replay in
+// parallel, so the wall-clock cost is the slowest shard's).
+func (s *ReplayStats) Add(o ReplayStats) {
+	s.Records += o.Records
+	s.Lines += o.Lines
+	s.Bytes += o.Bytes
+	s.CheckpointBytes += o.CheckpointBytes
+	s.Truncated = s.Truncated || o.Truncated
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+}
+
+// durableMem is the per-Memory file backend state.
+type durableMem struct {
+	dir  string
+	sync bool
+
+	// Region registry. regions is the sorted-by-base lookup snapshot the
+	// flush path binary-searches lock-free; regMu guards mutation.
+	regMu     sync.Mutex
+	regions   atomic.Pointer[[]*region]
+	byTag     map[uint64]*region
+	providers map[uint32]func(sub uint32)
+
+	// Log writer state. live flips on after RecoverFiles: appends before
+	// that (structure construction) are dropped — construction is
+	// deterministic and replay overlays it, so logging it would only let a
+	// fresh sentinel record shadow recovered state.
+	mu      sync.Mutex
+	live    bool
+	f       *os.File
+	bw      *bufio.Writer
+	gen     uint64
+	boot    uint64
+	scratch []byte
+	wstats  WALStats
+	replay  ReplayStats
+
+	// dirty is true while the userspace buffer may hold unflushed records;
+	// checked lock-free so DurableSync costs one atomic load when clean.
+	dirty atomic.Bool
+}
+
+func newDurableMem(dir string, syncFence bool) *durableMem {
+	return &durableMem{
+		dir:       dir,
+		sync:      syncFence,
+		byTag:     make(map[uint64]*region),
+		providers: make(map[uint32]func(sub uint32)),
+	}
+}
+
+// Durable reports whether the memory has a file backend configured.
+func (m *Memory) Durable() bool { return m.durable != nil }
+
+// Dir returns the file backend's directory ("" without one).
+func (m *Memory) Dir() string {
+	if m.durable == nil {
+		return ""
+	}
+	return m.durable.dir
+}
+
+// WALStats reports the log appends since the backend went live.
+func (m *Memory) WALStats() WALStats {
+	if m.durable == nil {
+		return WALStats{}
+	}
+	d := m.durable
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wstats
+}
+
+// ReplayStats reports the outcome of the RecoverFiles pass (zero before it
+// ran, or without a file backend).
+func (m *Memory) ReplayStats() ReplayStats {
+	if m.durable == nil {
+		return ReplayStats{}
+	}
+	d := m.durable
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.replay
+}
+
+// Space is a registration namespace of the durable backend. Structures
+// obtain one per persistent allocation domain (an arena, a root-cell slab)
+// via Memory.NewSpace; because structure construction is deterministic and
+// single-threaded, the n-th NewSpace call names the same domain in every
+// boot, which is what makes on-disk tags stable across restarts. On a
+// memory without a file backend every Space method is a cheap no-op, so
+// structures register unconditionally.
+type Space struct {
+	m  *Memory
+	id uint32
+}
+
+// NewSpace allocates the next space ID (deterministic: call order is
+// construction order).
+func (m *Memory) NewSpace() *Space {
+	return &Space{m: m, id: m.spaceSeq.Add(1) - 1}
+}
+
+// ID returns the space's registration ID.
+func (s *Space) ID() uint32 { return s.id }
+
+// Durable reports whether the space is backed by a file backend (false on a
+// plain memory, where every Space method is a no-op).
+func (s *Space) Durable() bool { return s.m.durable != nil }
+
+func spaceTag(space, sub uint32) uint64 {
+	return uint64(space)<<32 | uint64(sub)
+}
+
+// Register records that size bytes at p back cells whose fenced snapshots
+// should be durable, addressed on disk as (space, sub). p must be 64-byte
+// aligned and size a multiple of 64: regions are line-granular. Registering
+// the same (space, sub) twice, or overlapping an existing region, panics —
+// both are construction bugs.
+func (s *Space) Register(sub uint32, p unsafe.Pointer, size uintptr) {
+	d := s.m.durable
+	if d == nil {
+		return
+	}
+	if uintptr(p)%LineSize != 0 || size == 0 || size%LineSize != 0 {
+		panic("pmem: Register needs a line-aligned, line-sized region")
+	}
+	r := &region{tag: spaceTag(s.id, sub), base: uintptr(p), size: size, ptr: p}
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	if _, dup := d.byTag[r.tag]; dup {
+		panic(fmt.Sprintf("pmem: region (space %d, sub %d) registered twice", s.id, sub))
+	}
+	old := d.regions.Load()
+	var regs []*region
+	if old != nil {
+		regs = append(regs, *old...)
+	}
+	i := sort.Search(len(regs), func(i int) bool { return regs[i].base >= r.base })
+	if i > 0 && regs[i-1].base+regs[i-1].size > r.base {
+		panic("pmem: Register overlaps an existing region")
+	}
+	if i < len(regs) && r.base+r.size > regs[i].base {
+		panic("pmem: Register overlaps an existing region")
+	}
+	regs = append(regs, nil)
+	copy(regs[i+1:], regs[i:])
+	regs[i] = r
+	d.byTag[r.tag] = r
+	d.regions.Store(&regs)
+}
+
+// Provide installs the space's region materializer: replay calls it for
+// every sub-tag it encounters, and the callback must ensure the region
+// (space, sub) is registered — re-allocating a chunk the previous boot had
+// grown to, say — before replay writes into it. It is also called for
+// already-registered tags so allocators can recover their high-water marks.
+func (s *Space) Provide(provider func(sub uint32)) {
+	d := s.m.durable
+	if d == nil {
+		return
+	}
+	d.regMu.Lock()
+	d.providers[s.id] = provider
+	d.regMu.Unlock()
+}
+
+// Lines allocates n dedicated 64-byte lines (see AllocLines) and registers
+// them as the region (space, sub) — the way structures place persistent
+// root cells under the file backend.
+func (s *Space) Lines(sub uint32, n int) [][]Cell {
+	lines := AllocLines(n)
+	if s.m.durable != nil {
+		s.Register(sub, unsafe.Pointer(&lines[0][0]), uintptr(n)*LineSize)
+	}
+	return lines
+}
+
+// lookup finds the region containing the line-aligned address, or nil.
+func (d *durableMem) lookup(addr uintptr) *region {
+	p := d.regions.Load()
+	if p == nil {
+		return nil
+	}
+	regs := *p
+	lo, hi := 0, len(regs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if regs[mid].base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	if r := regs[lo-1]; addr < r.base+r.size {
+		return r
+	}
+	return nil
+}
+
+// provided invokes the tag's space provider (replay-time materialization);
+// seen dedupes so a provider runs once per tag per replay.
+func (d *durableMem) provided(tag uint64, seen map[uint64]bool) {
+	if seen[tag] {
+		return
+	}
+	seen[tag] = true
+	d.regMu.Lock()
+	p := d.providers[uint32(tag>>32)]
+	d.regMu.Unlock()
+	if p != nil {
+		p(uint32(tag))
+	}
+}
+
+// captureFast snapshots c's whole line for the WAL (fast mode, durable
+// only): called from Flush after the coalescing check admitted the line.
+// Reading the version before the content is what makes replay ack-safe: a
+// write's own capture (which happens after the write in program order)
+// always carries a version at least as new as the write's bump, so any
+// record that could shadow it during replay must itself contain the write.
+func (t *Thread) captureFast(d *durableMem, c *Cell, ver uint64) {
+	addr := uintptr(unsafe.Pointer(c)) &^ uintptr(LineSize-1)
+	r := d.lookup(addr)
+	if r == nil {
+		return // unregistered line: not durable
+	}
+	e := walEntry{tag: r.tag, idx: uint32((addr - r.base) >> lineShift), mask: 0xff, ver: ver}
+	p := unsafe.Add(r.ptr, addr-r.base)
+	for i := 0; i < CellsPerLine; i++ {
+		e.vals[i] = (*atomic.Uint64)(unsafe.Add(p, i*8)).Load()
+	}
+	t.walPend = append(t.walPend, e)
+}
+
+// entryForLine builds a WAL entry for a tracked line's current volatile
+// content (used when the simulation declares a line persisted outside a
+// fence: PersistAll, crash-time eviction). ok=false when the line backs no
+// registered region. Caller holds the line's stripe lock.
+func (d *durableMem) entryForLine(key uintptr, ls *lineState) (walEntry, bool) {
+	addr := key << lineShift
+	r := d.lookup(addr)
+	if r == nil {
+		return walEntry{}, false
+	}
+	e := walEntry{
+		tag:  r.tag,
+		idx:  uint32((addr - r.base) >> lineShift),
+		mask: ls.mask,
+		ver:  ls.curVer,
+	}
+	for slot, c := range ls.cells {
+		if ls.mask&(1<<slot) != 0 {
+			e.vals[slot] = c.v.Load()
+		}
+	}
+	return e, true
+}
+
+// walFromFlushSet converts the tracked-mode flush-set snapshots into WAL
+// entries (the model already captured content and version at flush time).
+func (t *Thread) walFromFlushSet(d *durableMem) {
+	for i := range t.flushSet {
+		fe := &t.flushSet[i]
+		if fe.mask == 0 {
+			continue // line never written: nothing beyond construction state
+		}
+		addr := fe.line << lineShift
+		r := d.lookup(addr)
+		if r == nil {
+			continue
+		}
+		t.walPend = append(t.walPend, walEntry{
+			tag:  r.tag,
+			idx:  uint32((addr - r.base) >> lineShift),
+			mask: fe.mask,
+			ver:  fe.ver,
+			vals: fe.vals,
+		})
+	}
+}
+
+// DurableSync flushes any userspace-buffered WAL records to the operating
+// system (and the disk, with Config.SyncFence), making everything fenced so
+// far survive a process kill. CommitFence and EndBatch call it implicitly;
+// it exists as an explicit call for acknowledgement paths that do not fence
+// — the link-and-persist policy's return when another thread's fence
+// already covered the link. No-op without a file backend: one nil check.
+func (t *Thread) DurableSync() {
+	if d := t.dur; d != nil {
+		d.flush()
+	}
+}
+
+// appendRecord serializes one fence's captured lines as a single framed
+// record into the shared log buffer. Dropped silently before RecoverFiles
+// (construction) and after Close.
+func (d *durableMem) appendRecord(entries []walEntry) {
+	d.mu.Lock()
+	if !d.live || d.bw == nil {
+		d.mu.Unlock()
+		return
+	}
+	d.scratch = appendRecordBytes(d.scratch[:0], d.boot, entries)
+	d.bw.Write(d.scratch)
+	d.wstats.Records++
+	d.wstats.Lines += uint64(len(entries))
+	d.wstats.Bytes += uint64(len(d.scratch))
+	d.dirty.Store(true)
+	d.mu.Unlock()
+}
+
+// flush drains the userspace buffer to the OS; with SyncFence it also
+// fdatasyncs. The buffer only ever holds fenced records, so flushing at any
+// point is safe; the commit points just make it mandatory.
+func (d *durableMem) flush() {
+	if !d.dirty.Load() {
+		return
+	}
+	d.mu.Lock()
+	if d.bw != nil {
+		d.bw.Flush()
+		if d.sync && d.f != nil {
+			d.f.Sync()
+		}
+	}
+	d.dirty.Store(false)
+	d.mu.Unlock()
+}
+
+// Close flushes and closes the file backend (no-op without one, idempotent).
+// Appends after Close are dropped; the store layer closes on shutdown after
+// quiescing its sessions.
+func (m *Memory) Close() error {
+	d := m.durable
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return nil
+	}
+	var err error
+	if d.bw != nil {
+		err = d.bw.Flush()
+	}
+	if e := d.f.Sync(); err == nil {
+		err = e
+	}
+	if e := d.f.Close(); err == nil {
+		err = e
+	}
+	d.f, d.bw, d.live = nil, nil, false
+	return err
+}

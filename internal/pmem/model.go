@@ -136,6 +136,17 @@ func (st *modelStripe) line(key uintptr) *lineState {
 	return ls
 }
 
+// markPersisted declares the line's current volatile content persisted.
+// Caller holds the line's stripe lock.
+func (ls *lineState) markPersisted() {
+	ls.persistedVer = ls.curVer
+	for slot, c := range ls.cells {
+		if ls.mask&(1<<slot) != 0 {
+			ls.persisted[slot] = c.v.Load()
+		}
+	}
+}
+
 // touch baselines c within its line state: the first write of a cell
 // records its pre-write value as the persisted baseline. Caller holds the
 // line's stripe lock.
@@ -240,31 +251,59 @@ func (m *Memory) FinishCrash(evictProb float64, seed int64) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	mo := m.model
+	d := m.durable
+	var evicted []walEntry
 	mo.lockAll()
 	for i := range mo.stripes {
 		st := &mo.stripes[i]
-		for _, ls := range st.lines {
+		for key, ls := range st.lines {
 			if ls.persistedVer == ls.curVer {
 				continue // fully persistent: volatile == persisted
 			}
 			if evictProb > 0 && rng.Float64() < evictProb {
-				continue // whole line was evicted: volatile values survived
+				// Whole line was evicted: volatile values survived. With a
+				// file backend the eviction must reach the file too — an
+				// evicted line is persistent by definition — so collect a
+				// WAL entry and advance the persisted image.
+				if d != nil {
+					if e, ok := d.entryForLine(key, ls); ok {
+						evicted = append(evicted, e)
+					}
+					ls.markPersisted()
+				}
+				continue
 			}
 			for slot, c := range ls.cells {
 				if ls.mask&(1<<slot) != 0 {
 					c.v.Store(ls.persisted[slot])
 				}
 			}
+			if d != nil {
+				// Volatile now equals the persisted image; align the
+				// version rather than dropping the lineState — durable
+				// mode must keep per-line versions monotone across the
+				// whole boot, or replay could prefer a pre-crash record
+				// over a post-recovery one.
+				ls.curVer = ls.persistedVer
+			}
 		}
-		st.lines = make(map[uintptr]*lineState)
+		if d == nil {
+			st.lines = make(map[uintptr]*lineState)
+		}
 	}
 	mo.unlockAll()
+	if d != nil && len(evicted) > 0 {
+		d.appendRecord(evicted)
+	}
 	for _, t := range m.Threads() {
 		t.resetFlushState()
 		t.batchDepth = 0
 		t.pendingCommit = false
 	}
 	m.fenceTrap.Store(0)
+	if d != nil {
+		d.flush()
+	}
 }
 
 // Restart lowers the crash flag so recovery code (and new workers) can run.
@@ -308,11 +347,34 @@ func (m *Memory) PersistAll() {
 	if m.model == nil {
 		return
 	}
+	d := m.durable
+	var pend []walEntry
 	m.model.lockAll()
 	for i := range m.model.stripes {
-		m.model.stripes[i].lines = make(map[uintptr]*lineState)
+		st := &m.model.stripes[i]
+		if d == nil {
+			st.lines = make(map[uintptr]*lineState)
+			continue
+		}
+		// Durable mode keeps the lineStates (per-line versions must stay
+		// monotone for the boot) and makes the declaration true on disk:
+		// every still-dirty registered line is logged at its volatile
+		// content before being marked persisted.
+		for key, ls := range st.lines {
+			if ls.persistedVer == ls.curVer {
+				continue
+			}
+			if e, ok := d.entryForLine(key, ls); ok {
+				pend = append(pend, e)
+			}
+			ls.markPersisted()
+		}
 	}
 	m.model.unlockAll()
+	if d != nil && len(pend) > 0 {
+		d.appendRecord(pend)
+		d.flush()
+	}
 	for _, t := range m.Threads() {
 		t.resetFlushState()
 	}

@@ -86,6 +86,19 @@ type Config struct {
 	// coalescing statistics. Tracked mode keys lines exactly and ignores
 	// this.
 	LineTableBits int
+
+	// Dir, when non-empty, gives the memory a durable file backend in that
+	// directory: fenced line snapshots of registered regions (see Space)
+	// are appended to a write-ahead log, and RecoverFiles replays them at
+	// the next open. The simulated cost model and the line/fence counters
+	// are unaffected. See durable.go.
+	Dir string
+
+	// SyncFence makes the durable backend fsync at every commit point
+	// (CommitFence, EndBatch, DurableSync) instead of only flushing to the
+	// OS — durability against power loss rather than process death, at a
+	// large throughput cost. Only meaningful with Dir.
+	SyncFence bool
 }
 
 // DefaultMaxThreads is used when Config.MaxThreads is zero.
@@ -124,6 +137,12 @@ type Memory struct {
 
 	// fenceTrap implements the CrashAtFence deterministic crash schedule.
 	fenceTrap atomic.Int64
+
+	// durable is the file backend (nil without Config.Dir); spaceSeq
+	// numbers NewSpace calls in construction order, which is what keeps
+	// on-disk region tags stable across restarts.
+	durable  *durableMem
+	spaceSeq atomic.Uint32
 }
 
 type paddedVer struct {
@@ -150,6 +169,12 @@ func New(cfg Config) *Memory {
 		m.model = newModel()
 	} else {
 		m.lineVer = make([]paddedVer, 1<<cfg.LineTableBits)
+	}
+	if cfg.Dir != "" {
+		// No file IO here: the backend stays inert (appends dropped) until
+		// RecoverFiles opens the directory, after structures have
+		// registered their regions.
+		m.durable = newDurableMem(cfg.Dir, cfg.SyncFence)
 	}
 	return m
 }
@@ -194,6 +219,7 @@ func (m *Memory) NewThread() *Thread {
 		lineShift: uint8(64 - m.cfg.LineTableBits),
 		flushCost: int32(m.cfg.Profile.FlushCost),
 		fenceCost: int32(m.cfg.Profile.FenceCost),
+		dur:       m.durable,
 	}
 	m.threads = append(m.threads, t)
 	snap := append([]*Thread(nil), m.threads...)

@@ -95,6 +95,7 @@ type Thread struct {
 	lineShift uint8       // 64 - LineTableBits (fast mode)
 	flushCost int32       // mem.cfg.Profile.FlushCost
 	fenceCost int32       // mem.cfg.Profile.FenceCost
+	dur       *durableMem // mem.durable (nil without a file backend)
 
 	// unfenced counts flushes issued since the last fence. Policies that
 	// model link-and-persist use it to elide fences when nothing is
@@ -119,6 +120,11 @@ type Thread struct {
 	// snapshot is a fixed-size array and tracked-mode Flush is
 	// allocation-free at steady state).
 	flushSet []flushEntry
+
+	// walPend (durable mode only) holds the WAL entries captured since the
+	// last fence — the fence appends them as one record. Fast mode fills it
+	// at Flush (captureFast); tracked mode converts flushSet at Fence.
+	walPend []walEntry
 
 	// Scratch slices for data-structure operations (node lists returned by
 	// traversals, flush batches). Owned by the single operation currently
@@ -297,6 +303,18 @@ func (t *Thread) Flush(c *Cell) {
 			t.st.FlushesElided++
 			return
 		}
+	} else if d := t.dur; d != nil {
+		// Durable fast mode keys the pending set by the exact line (two
+		// distinct lines colliding in the hashed version table must not
+		// elide each other's capture) while versions still come from the
+		// hashed slot: collisions merge versions monotonically, which the
+		// replay guard tolerates, whereas a missed capture would lose data.
+		cur := t.lineVer[t.fastSlot(c)].v.Load()
+		if !t.lines.put(lineOf(c), cur) {
+			t.st.FlushesElided++
+			return
+		}
+		t.captureFast(d, c, cur)
 	} else {
 		slot := t.fastSlot(c)
 		cur := t.lineVer[slot].v.Load()
@@ -350,7 +368,16 @@ func (t *Thread) Fence() {
 		t.mem.checkCrash()
 		t.mem.checkFenceTrap()
 		m.fence(t.flushSet)
+		if t.dur != nil {
+			t.walFromFlushSet(t.dur)
+		}
 		t.flushSet = t.flushSet[:0]
+	}
+	if d := t.dur; d != nil && len(t.walPend) > 0 {
+		// The fence is the commit unit: the whole between-fences line set
+		// becomes one framed WAL record (buffered; commit points flush it).
+		d.appendRecord(t.walPend)
+		t.walPend = t.walPend[:0]
 	}
 	t.st.Fences++
 	t.unfenced = 0
@@ -362,6 +389,7 @@ func (t *Thread) Fence() {
 // PersistAll). Callers must ensure the thread is quiescent.
 func (t *Thread) resetFlushState() {
 	t.flushSet = t.flushSet[:0]
+	t.walPend = t.walPend[:0] // unfenced captures die with the cache
 	t.lines.reset()
 	t.unfenced = 0
 }
@@ -391,6 +419,11 @@ func (t *Thread) CommitFence() {
 		return
 	}
 	t.Fence()
+	if d := t.dur; d != nil {
+		// Commit point: the operation may be acknowledged after this
+		// returns, so its record must be in the file before then.
+		d.flush()
+	}
 }
 
 // BeginBatch opens a fence batch on this thread. Batches nest; only the
@@ -408,6 +441,14 @@ func (t *Thread) EndBatch() {
 	if t.batchDepth == 0 && (t.pendingCommit || t.unfenced > 0) {
 		t.pendingCommit = false
 		t.Fence()
+	}
+	if t.batchDepth == 0 {
+		if d := t.dur; d != nil {
+			// Commit point for the whole batch — even when the closing
+			// fence elided (earlier in-batch fences may have appended
+			// records that are still only in the userspace buffer).
+			d.flush()
+		}
 	}
 }
 

@@ -1,0 +1,525 @@
+package pmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// On-disk layout of a durable Memory's directory:
+//
+//	CURRENT            "v1 <gen> <boot>\n" — names the live generation and
+//	                   the boot counter; replaced atomically (tmp + rename)
+//	wal-<gen>.log      walMagic, then framed records appended at fences
+//	ckpt-<gen>.snap    ckptMagic + full region dump, written at Checkpoint
+//
+// A WAL record frame is
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// and the payload is
+//
+//	u64 boot | u32 entryCount | entryCount × 88-byte entries
+//	entry: u64 tag | u32 lineIdx | u32 mask | u64 ver | 8 × u64 cell values
+//
+// all little-endian. The length/checksum framing is the torn-write defense:
+// a crash mid-append leaves a frame that is short or fails its checksum, and
+// replay stops cleanly at the first such frame, truncating it away — every
+// acknowledged record necessarily lies before it (acknowledgement waits for
+// the flush of its record).
+//
+// A checkpoint is
+//
+//	ckptMagic | u32 regionCount | regionCount × (u64 tag | u64 size | raw
+//	bytes) | u32 crc32(everything after the magic)
+//
+// written to a temp file, fsynced and renamed, then a fresh empty WAL for
+// the next generation is created before CURRENT flips — so a crash anywhere
+// in the sequence leaves either the old generation fully live or the new
+// one, never a mix.
+
+const (
+	walMagic  = "NVTWAL1\n"
+	ckptMagic = "NVTCKP1\n"
+
+	walEntryBytes  = 88
+	walFrameHeader = 8
+	// maxFrameLen bounds a frame's declared payload length during replay, so
+	// a corrupt length field cannot provoke a giant allocation. One record
+	// holds one thread's between-fences line set; 1<<24 is ~190k lines.
+	maxFrameLen = 1 << 24
+)
+
+// appendRecordBytes serializes one record (frame header + payload) into buf.
+func appendRecordBytes(buf []byte, boot uint64, entries []walEntry) []byte {
+	payloadLen := 12 + len(entries)*walEntryBytes
+	need := walFrameHeader + payloadLen
+	start := len(buf)
+	if cap(buf)-start < need {
+		nb := make([]byte, start, start+need)
+		copy(nb, buf)
+		buf = nb
+	}
+	buf = buf[:start+need]
+	payload := buf[start+walFrameHeader:]
+	binary.LittleEndian.PutUint64(payload[0:], boot)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(entries)))
+	off := 12
+	for i := range entries {
+		e := &entries[i]
+		binary.LittleEndian.PutUint64(payload[off:], e.tag)
+		binary.LittleEndian.PutUint32(payload[off+8:], e.idx)
+		binary.LittleEndian.PutUint32(payload[off+12:], uint32(e.mask))
+		binary.LittleEndian.PutUint64(payload[off+16:], e.ver)
+		for s := 0; s < CellsPerLine; s++ {
+			binary.LittleEndian.PutUint64(payload[off+24+8*s:], e.vals[s])
+		}
+		off += walEntryBytes
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func currentPath(dir string) string { return filepath.Join(dir, "CURRENT") }
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+}
+func ckptPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%d.snap", gen))
+}
+
+// readCurrent parses CURRENT; ok=false when the file does not exist (fresh
+// directory).
+func readCurrent(dir string) (gen, boot uint64, ok bool, err error) {
+	b, err := os.ReadFile(currentPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, false, nil
+	}
+	if err != nil {
+		return 0, 0, false, err
+	}
+	var v int
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(b)), "v%d %d %d", &v, &gen, &boot); err != nil || v != 1 {
+		return 0, 0, false, fmt.Errorf("pmem: malformed CURRENT %q", string(b))
+	}
+	return gen, boot, true, nil
+}
+
+// writeCurrent atomically replaces CURRENT (tmp + rename + dir sync).
+func writeCurrent(dir string, gen, boot uint64) error {
+	tmp := currentPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("v1 %d %d\n", gen, boot)), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, currentPath(dir)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = df.Sync()
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// lineGuard keys the replay version guard: one entry per replayed line.
+type lineGuard struct {
+	tag uint64
+	idx uint32
+}
+
+// storeLine writes one replayed line image into its registered region
+// (masked slots only), via atomic stores so tracked-mode construction state
+// and concurrent readers (there are none during recovery, but the cells are
+// atomics) stay well-defined.
+func (d *durableMem) storeLine(r *region, idx uint32, mask uint8, vals *[CellsPerLine]uint64) bool {
+	off := uintptr(idx) << lineShift
+	if off+LineSize > r.size {
+		return false
+	}
+	p := unsafe.Add(r.ptr, off)
+	for s := 0; s < CellsPerLine; s++ {
+		if mask&(1<<s) != 0 {
+			(*atomic.Uint64)(unsafe.Add(p, s*8)).Store(vals[s])
+		}
+	}
+	return true
+}
+
+// loadCheckpoint reads and applies ckpt-<gen>.snap; missing file is fine
+// (no checkpoint taken yet in this generation).
+func (d *durableMem) loadCheckpoint(gen uint64, seen map[uint64]bool, st *ReplayStats) error {
+	b, err := os.ReadFile(ckptPath(d.dir, gen))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(b) < len(ckptMagic)+8 || string(b[:len(ckptMagic)]) != ckptMagic {
+		return fmt.Errorf("pmem: checkpoint %s: bad magic", ckptPath(d.dir, gen))
+	}
+	body, sum := b[len(ckptMagic):len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return fmt.Errorf("pmem: checkpoint %s: checksum mismatch", ckptPath(d.dir, gen))
+	}
+	n := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	var full [CellsPerLine]uint64
+	for i := uint32(0); i < n; i++ {
+		if len(body) < 16 {
+			return fmt.Errorf("pmem: checkpoint %s: short region header", ckptPath(d.dir, gen))
+		}
+		tag := binary.LittleEndian.Uint64(body)
+		size := binary.LittleEndian.Uint64(body[8:])
+		body = body[16:]
+		if size%LineSize != 0 || uint64(len(body)) < size {
+			return fmt.Errorf("pmem: checkpoint %s: bad region size %d", ckptPath(d.dir, gen), size)
+		}
+		raw := body[:size]
+		body = body[size:]
+		d.provided(tag, seen)
+		d.regMu.Lock()
+		r := d.byTag[tag]
+		d.regMu.Unlock()
+		if r == nil {
+			return fmt.Errorf("pmem: checkpoint region (space %d, sub %d) has no registration — structure layout mismatch",
+				uint32(tag>>32), uint32(tag))
+		}
+		if uintptr(size) != r.size {
+			return fmt.Errorf("pmem: checkpoint region (space %d, sub %d) size %d != registered %d",
+				uint32(tag>>32), uint32(tag), size, r.size)
+		}
+		for line := uintptr(0); line < r.size/LineSize; line++ {
+			for s := 0; s < CellsPerLine; s++ {
+				full[s] = binary.LittleEndian.Uint64(raw[line*LineSize+uintptr(s)*8:])
+			}
+			d.storeLine(r, uint32(line), 0xff, &full)
+		}
+	}
+	st.CheckpointBytes += uint64(len(b))
+	return nil
+}
+
+// replayWAL streams wal-<gen>.log, applying each intact record under the
+// boot-scoped monotonic-version guard, and returns the offset just past the
+// last good frame. A torn or corrupt tail stops replay cleanly and is
+// reported via st.Truncated for the caller to truncate away.
+func (d *durableMem) replayWAL(gen uint64, guard map[lineGuard][2]uint64, seen map[uint64]bool, st *ReplayStats) (lastGood int64, err error) {
+	f, err := os.Open(walPath(d.dir, gen))
+	if errors.Is(err, os.ErrNotExist) {
+		return -1, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != walMagic {
+		// Even the magic is torn (crash during the very first write to a
+		// fresh log): recover to an empty log.
+		st.Truncated = true
+		return 0, nil
+	}
+	lastGood = int64(len(walMagic))
+	var hdr [walFrameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err != io.EOF {
+				st.Truncated = true
+			}
+			return lastGood, nil
+		}
+		plen := binary.LittleEndian.Uint32(hdr[:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if plen < 12 || plen > maxFrameLen || (plen-12)%walEntryBytes != 0 {
+			st.Truncated = true
+			return lastGood, nil
+		}
+		if uint32(cap(payload)) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			st.Truncated = true
+			return lastGood, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			st.Truncated = true
+			return lastGood, nil
+		}
+		boot := binary.LittleEndian.Uint64(payload)
+		count := binary.LittleEndian.Uint32(payload[8:])
+		if uint64(len(payload)) != 12+uint64(count)*walEntryBytes {
+			st.Truncated = true
+			return lastGood, nil
+		}
+		off := 12
+		var vals [CellsPerLine]uint64
+		for i := uint32(0); i < count; i++ {
+			tag := binary.LittleEndian.Uint64(payload[off:])
+			idx := binary.LittleEndian.Uint32(payload[off+8:])
+			mask := uint8(binary.LittleEndian.Uint32(payload[off+12:]))
+			ver := binary.LittleEndian.Uint64(payload[off+16:])
+			for s := 0; s < CellsPerLine; s++ {
+				vals[s] = binary.LittleEndian.Uint64(payload[off+24+8*s:])
+			}
+			off += walEntryBytes
+			d.provided(tag, seen)
+			key := lineGuard{tag: tag, idx: idx}
+			if g, ok := guard[key]; ok && (g[0] > boot || (g[0] == boot && g[1] >= ver)) {
+				continue // an already-applied image is at least as new
+			}
+			d.regMu.Lock()
+			r := d.byTag[tag]
+			d.regMu.Unlock()
+			if r == nil {
+				continue // region gone from this build's layout: skip
+			}
+			if d.storeLine(r, idx, mask, &vals) {
+				guard[key] = [2]uint64{boot, ver}
+				st.Lines++
+			}
+		}
+		st.Records++
+		lastGood += int64(walFrameHeader) + int64(plen)
+		st.Bytes += uint64(walFrameHeader) + uint64(plen)
+	}
+}
+
+// RecoverFiles brings the file backend online: it loads the current
+// generation's checkpoint, replays its WAL under the boot-scoped
+// monotonic-version guard (truncating a torn tail at the first bad frame),
+// bumps the boot counter, and opens the log for appending. Until this runs,
+// WAL appends are dropped — structure construction is deterministic and is
+// re-executed before every recovery, so its writes need no log records and
+// must not shadow recovered state. Call it exactly once, after constructing
+// the memory's structures and registering their regions, while the memory
+// is quiescent; repeat calls return the first call's stats.
+//
+// On a tracked memory, the recovered content is declared persisted
+// (PersistAll) so the crash simulation and the file agree on the baseline.
+func (m *Memory) RecoverFiles() (ReplayStats, error) {
+	d := m.durable
+	if d == nil {
+		return ReplayStats{}, errors.New("pmem: RecoverFiles without Config.Dir")
+	}
+	d.mu.Lock()
+	if d.live {
+		st := d.replay
+		d.mu.Unlock()
+		return st, nil
+	}
+	start := time.Now()
+	var st ReplayStats
+	err := func() error {
+		if err := os.MkdirAll(d.dir, 0o755); err != nil {
+			return err
+		}
+		gen, boot, ok, err := readCurrent(d.dir)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			gen, boot = 1, 0
+		}
+		seen := make(map[uint64]bool)
+		if err := d.loadCheckpoint(gen, seen, &st); err != nil {
+			return err
+		}
+		guard := make(map[lineGuard][2]uint64)
+		lastGood, err := d.replayWAL(gen, guard, seen, &st)
+		if err != nil {
+			return err
+		}
+		d.boot = boot + 1
+		d.gen = gen
+		if err := writeCurrent(d.dir, gen, d.boot); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(walPath(d.dir, gen), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		end := lastGood
+		if end < 0 { // log did not exist: fresh generation
+			end = 0
+		}
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Seek(end, io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+		d.f = f
+		d.bw = bufio.NewWriterSize(f, 1<<16)
+		if end == 0 {
+			d.bw.WriteString(walMagic)
+			d.dirty.Store(true)
+		}
+		d.removeStaleGenerations()
+		return nil
+	}()
+	if err != nil {
+		d.mu.Unlock()
+		return ReplayStats{}, err
+	}
+	st.Elapsed = time.Since(start)
+	d.replay = st
+	d.live = true
+	d.mu.Unlock()
+	d.flush()
+	if m.model != nil {
+		m.PersistAll()
+	}
+	return st, nil
+}
+
+// removeStaleGenerations best-effort deletes wal/ckpt files of generations
+// other than the live one (orphans of an interrupted Checkpoint). Caller
+// holds d.mu.
+func (d *durableMem) removeStaleGenerations() {
+	names, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range names {
+		var g uint64
+		n := de.Name()
+		if _, err := fmt.Sscanf(n, "wal-%d.log", &g); err == nil && g != d.gen {
+			os.Remove(filepath.Join(d.dir, n))
+			continue
+		}
+		if _, err := fmt.Sscanf(n, "ckpt-%d.snap", &g); err == nil && g != d.gen {
+			os.Remove(filepath.Join(d.dir, n))
+		}
+	}
+}
+
+// Checkpoint dumps every registered region to a new-generation snapshot,
+// switches the WAL to a fresh (empty) log, and retires the old generation —
+// bounding replay work at the next open. It must run at a quiescent point:
+// no thread mid-operation, everything acknowledged already fenced (the
+// store layer checkpoints at clean shutdown and between sessions). No-op
+// without a file backend.
+func (m *Memory) Checkpoint() error {
+	d := m.durable
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.live || d.f == nil {
+		return errors.New("pmem: Checkpoint before RecoverFiles")
+	}
+	if err := d.bw.Flush(); err != nil {
+		return err
+	}
+	d.dirty.Store(false)
+	newGen := d.gen + 1
+
+	// 1. Snapshot all regions into ckpt-<newGen> (tmp + fsync + rename).
+	var regs []*region
+	if p := d.regions.Load(); p != nil {
+		regs = *p
+	}
+	tmp := ckptPath(d.dir, newGen) + ".tmp"
+	cf, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(cf, crc), 1<<16)
+	// The magic is outside the checksum; split the writer accordingly.
+	if _, err := cf.WriteString(ckptMagic); err != nil {
+		cf.Close()
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(regs)))
+	bw.Write(hdr[:4])
+	var word [8]byte
+	for _, r := range regs {
+		binary.LittleEndian.PutUint64(hdr[:8], r.tag)
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(r.size))
+		bw.Write(hdr[:])
+		for off := uintptr(0); off < r.size; off += 8 {
+			binary.LittleEndian.PutUint64(word[:], (*atomic.Uint64)(unsafe.Add(r.ptr, off)).Load())
+			bw.Write(word[:])
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		cf.Close()
+		return err
+	}
+	binary.LittleEndian.PutUint32(word[:4], crc.Sum32())
+	if _, err := cf.Write(word[:4]); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Sync(); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, ckptPath(d.dir, newGen)); err != nil {
+		return err
+	}
+
+	// 2. Fresh WAL for the new generation.
+	nf, err := os.Create(walPath(d.dir, newGen))
+	if err != nil {
+		return err
+	}
+	if _, err := nf.WriteString(walMagic); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := syncDir(d.dir); err != nil {
+		nf.Close()
+		return err
+	}
+
+	// 3. Flip CURRENT — the commit point — then swap writers and retire the
+	// old generation.
+	if err := writeCurrent(d.dir, newGen, d.boot); err != nil {
+		nf.Close()
+		return err
+	}
+	d.f.Sync()
+	d.f.Close()
+	d.f = nf
+	d.bw = bufio.NewWriterSize(nf, 1<<16)
+	oldGen := d.gen
+	d.gen = newGen
+	os.Remove(walPath(d.dir, oldGen))
+	os.Remove(ckptPath(d.dir, oldGen))
+	return nil
+}

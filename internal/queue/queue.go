@@ -37,9 +37,11 @@ type Queue struct {
 	ar  *arena.Arena[Node]
 	pol persist.Policy
 
-	anchor pmem.Cell // persistent: ref to the current dummy node
-	_      [pmem.LineSize - 8]byte
-	tail   pmem.Cell // auxiliary: hint to a node near the end
+	// Root cells live on dedicated registered lines (not embedded in the Go
+	// struct) so the durable backend can address them on disk; they get one
+	// line each, as the previous embedded layout's padding arranged.
+	anchor *pmem.Cell // persistent: ref to the current dummy node
+	tail   *pmem.Cell // auxiliary: hint to a node near the end
 }
 
 // New creates an empty queue (a single persisted dummy node).
@@ -51,16 +53,20 @@ func New(mem *pmem.Memory, pol persist.Policy) *Queue {
 		ar:  arena.New[Node](dom, mem.MaxThreads()),
 		pol: pol,
 	}
+	roots := mem.NewSpace()
+	lines := roots.Lines(0, 2)
+	q.anchor, q.tail = &lines[0][0], &lines[1][0]
+	q.ar.Persist(mem.NewSpace())
 	t := mem.NewThread()
 	d := q.ar.Alloc(t.ID)
 	n := q.ar.Get(d)
 	t.Store(&n.Value, 0)
 	t.Store(&n.Next, pmem.NilRef)
-	t.Store(&q.anchor, pmem.MakeRef(d))
-	t.Store(&q.tail, pmem.MakeRef(d))
+	t.Store(q.anchor, pmem.MakeRef(d))
+	t.Store(q.tail, pmem.MakeRef(d))
 	t.Flush(&n.Value)
 	t.Flush(&n.Next)
-	t.Flush(&q.anchor)
+	t.Flush(q.anchor)
 	t.Fence()
 	return q
 }
@@ -82,7 +88,7 @@ func (q *Queue) Enqueue(t *pmem.Thread, value uint64) {
 		// findEntry: the tail hint (auxiliary, may lag). The hint is only
 		// ever written after the link reaching its target was fenced, so
 		// the hint's target is persistently reachable.
-		last := pmem.RefIndex(t.Load(&q.tail))
+		last := pmem.RefIndex(t.Load(q.tail))
 		// traverse: walk to the actual last node, remembering the link the
 		// walk followed into it.
 		lastN := q.node(last)
@@ -120,7 +126,7 @@ func (q *Queue) Enqueue(t *pmem.Thread, value uint64) {
 		pol.Wrote(t, &lastN.Next)
 		pol.BeforeReturn(t)
 		if ok {
-			t.CAS(&q.tail, pmem.Dirty(pmem.MakeRef(last)), pmem.MakeRef(idx))
+			t.CAS(q.tail, pmem.Dirty(pmem.MakeRef(last)), pmem.MakeRef(idx))
 			t.CountOp()
 			return
 		}
@@ -133,13 +139,13 @@ func (q *Queue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 	defer q.dom.Exit(t.ID)
 	pol := q.pol
 	for {
-		av := t.Load(&q.anchor)
-		pol.TraverseRead(t, &q.anchor)
+		av := t.Load(q.anchor)
+		pol.TraverseRead(t, q.anchor)
 		dummy := pmem.RefIndex(av)
 		dN := q.node(dummy)
 		next := t.Load(&dN.Next)
 		pol.TraverseRead(t, &dN.Next)
-		cells := [...]*pmem.Cell{&q.anchor, &dN.Next}
+		cells := [...]*pmem.Cell{q.anchor, &dN.Next}
 		pol.PostTraverse(t, cells[:])
 		if pmem.IsNil(next) {
 			pol.BeforeReturn(t)
@@ -154,21 +160,21 @@ func (q *Queue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 		// hint, and the next enqueue would traverse reclaimed memory.
 		// Advancing the hint here changes its value, so every such
 		// delayed CAS fails its expectation.
-		if tv := t.Load(&q.tail); pmem.RefIndex(tv) == dummy {
-			t.CAS(&q.tail, tv, pmem.ClearTags(next))
+		if tv := t.Load(q.tail); pmem.RefIndex(tv) == dummy {
+			t.CAS(q.tail, tv, pmem.ClearTags(next))
 		}
 		v := t.Load(&q.node(pmem.RefIndex(next)).Value) // immutable: no flush
 		pol.BeforeCAS(t)
-		swung := t.CAS(&q.anchor, av, pmem.ClearTags(next))
-		pol.Wrote(t, &q.anchor)
+		swung := t.CAS(q.anchor, av, pmem.ClearTags(next))
+		pol.Wrote(t, q.anchor)
 		pol.BeforeReturn(t)
 		if swung {
 			// Point the (volatile) tail hint away from the old dummy
 			// before retiring it: a thread entering a *later* epoch
 			// section must never read a hint to a reusable node.
-			tv := t.Load(&q.tail)
+			tv := t.Load(q.tail)
 			if pmem.RefIndex(tv) == dummy {
-				t.CAS(&q.tail, tv, pmem.ClearTags(next))
+				t.CAS(q.tail, tv, pmem.ClearTags(next))
 			}
 			// The disconnection of the old dummy is persistent.
 			q.ar.Retire(t.ID, dummy)
@@ -183,7 +189,7 @@ func (q *Queue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 func (q *Queue) Recover(t *pmem.Thread) {
 	q.dom.Enter(t.ID)
 	defer q.dom.Exit(t.ID)
-	last := pmem.RefIndex(t.Load(&q.anchor))
+	last := pmem.RefIndex(t.Load(q.anchor))
 	for {
 		next := t.Load(&q.node(last).Next)
 		if pmem.IsNil(next) {
@@ -191,13 +197,13 @@ func (q *Queue) Recover(t *pmem.Thread) {
 		}
 		last = pmem.RefIndex(next)
 	}
-	t.Store(&q.tail, pmem.MakeRef(last))
+	t.Store(q.tail, pmem.MakeRef(last))
 }
 
 // Contents returns the queued values front to back (quiescent use only).
 func (q *Queue) Contents(t *pmem.Thread) []uint64 {
 	var out []uint64
-	cur := pmem.RefIndex(t.Load(&q.node(pmem.RefIndex(t.Load(&q.anchor))).Next))
+	cur := pmem.RefIndex(t.Load(&q.node(pmem.RefIndex(t.Load(q.anchor))).Next))
 	for cur != 0 {
 		out = append(out, t.Load(&q.node(cur).Value))
 		cur = pmem.RefIndex(t.Load(&q.node(cur).Next))

@@ -173,7 +173,7 @@ func TestRecoverRebuildsTail(t *testing.T) {
 		q.Enqueue(th, v)
 	}
 	// Wreck the volatile tail hint the way a crash would.
-	th.Store(&q.tail, th.Load(&q.anchor))
+	th.Store(q.tail, th.Load(q.anchor))
 	q.Recover(th)
 	q.Enqueue(th, 11)
 	want := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}

@@ -46,8 +46,42 @@ func runQueueTorture(t *testing.T, name string, factory func(mem *pmem.Memory) c
 	}
 }
 
+// runQueueTortureFile repeats the rounds against the WAL-backed file
+// directory: the crash abandons the memory (SIGKILL semantics — unflushed
+// userspace buffers die), and the checker runs on a structure reopened
+// from the files.
+func runQueueTortureFile(t *testing.T, name string, factory func(mem *pmem.Memory) crashtest.QueueTarget) {
+	t.Helper()
+	for r := 0; r < tortureRounds(t); r++ {
+		res := crashtest.RunQueue(crashtest.OrderOptions{
+			Workers:        4,
+			OpsBeforeCrash: 300,
+			AddRatio:       60,
+			Prefill:        16,
+			Seed:           int64(r) + 1,
+			Dir:            t.TempDir(),
+		}, factory)
+		if len(res.Violations) > 0 {
+			for _, v := range res.Violations {
+				t.Errorf("%s round %d: %s", name, r, v)
+			}
+			t.Fatalf("%s round %d: %d violations (completed=%d inflight=%d survivors=%d)",
+				name, r, len(res.Violations), res.Completed, res.InFlight, res.Survivors)
+		}
+		if res.Completed < 300 {
+			t.Fatalf("%s round %d: only %d ops completed", name, r, res.Completed)
+		}
+	}
+}
+
 func TestCrashTortureTraversalQueue(t *testing.T) {
 	runQueueTorture(t, "nvtraverse", func(mem *pmem.Memory) crashtest.QueueTarget {
+		return queue.New(mem, persist.NVTraverse{})
+	})
+}
+
+func TestCrashTortureTraversalQueueFile(t *testing.T) {
+	runQueueTortureFile(t, "nvtraverse-file", func(mem *pmem.Memory) crashtest.QueueTarget {
 		return queue.New(mem, persist.NVTraverse{})
 	})
 }

@@ -329,6 +329,23 @@ func drain(cl *Client, n int) error {
 // panels. The wire stack (sockets, parsing, batching) is the measured
 // object; the zero profile keeps simulated memory latency out of it.
 func Bench(dur time.Duration) (bench.Result, error) {
+	return benchStore(dur, "")
+}
+
+// BenchFile is Bench against the durable file backend: the same wire
+// workload, but every commit fence journals into a WAL on disk (a
+// throwaway directory, no fsync). The delta against Bench's row is the
+// serving-path cost of real durability.
+func BenchFile(dur time.Duration) (bench.Result, error) {
+	dataDir, err := os.MkdirTemp("", "nvserver-bench-data")
+	if err != nil {
+		return bench.Result{}, err
+	}
+	defer os.RemoveAll(dataDir)
+	return benchStore(dur, dataDir)
+}
+
+func benchStore(dur time.Duration, dataDir string) (bench.Result, error) {
 	const conns, shards = 4, 4
 	var keyRange uint64 = 1 << 15
 	cfg := bench.Config{
@@ -338,10 +355,12 @@ func Bench(dur time.Duration) (bench.Result, error) {
 	st, err := store.Open(store.Config{
 		Kind: cfg.Kind, Policy: persist.NVTraverse{}, Profile: cfg.Profile,
 		Shards: shards, SizeHint: int(keyRange), MaxSessions: conns + 8,
+		Dir: dataDir,
 	})
 	if err != nil {
 		return bench.Result{}, err
 	}
+	defer st.Close()
 	dir, err := os.MkdirTemp("", "nvserver-bench")
 	if err != nil {
 		return bench.Result{}, err

@@ -318,10 +318,10 @@ func (s *inversionSession) Put(key, value uint64) {
 	defer s.mu.Unlock()
 	s.m[key] = value
 }
-func (s *inversionSession) Insert(uint64, uint64) bool                   { return false }
-func (s *inversionSession) Delete(uint64) bool                           { return false }
+func (s *inversionSession) Insert(uint64, uint64) bool                        { return false }
+func (s *inversionSession) Delete(uint64) bool                                { return false }
 func (s *inversionSession) Update(uint64, func(uint64) uint64) (uint64, bool) { return 0, false }
-func (s *inversionSession) GetOrInsert(uint64, uint64) (uint64, bool)    { return 0, false }
+func (s *inversionSession) GetOrInsert(uint64, uint64) (uint64, bool)         { return 0, false }
 func (s *inversionSession) Scan(uint64, uint64, func(uint64, uint64) bool) error {
 	return nil
 }

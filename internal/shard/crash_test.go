@@ -71,6 +71,41 @@ func TestTortureMidBatch(t *testing.T) {
 	}
 }
 
+// TestTortureFileBackend runs the engine torture against the durable file
+// backend: the crash abandons the whole engine (SIGKILL semantics — every
+// shard's unflushed WAL buffer dies) and a fresh engine reopens the
+// per-shard files for the check, exercising parallel per-shard replay
+// under concurrent batched traffic.
+func TestTortureFileBackend(t *testing.T) {
+	rounds := 3
+	if testing.Short() {
+		rounds = 1
+	}
+	for _, kind := range []core.Kind{core.KindHash, core.KindSkiplist} {
+		for r := 0; r < rounds; r++ {
+			res := Torture(TortureOptions{
+				Shards:         4,
+				Kind:           kind,
+				Policy:         persist.NVTraverse{},
+				Workers:        4,
+				Keys:           256,
+				PrefillEvery:   2,
+				OpsBeforeCrash: 300,
+				BatchSize:      8,
+				Seed:           int64(4200 + r),
+				Dir:            t.TempDir(),
+			})
+			if len(res.Violations) > 0 {
+				t.Fatalf("%s round %d: %d violations, first: %s",
+					kind, r, len(res.Violations), res.Violations[0])
+			}
+			if res.Completed < 300 {
+				t.Fatalf("%s round %d: only %d ops completed", kind, r, res.Completed)
+			}
+		}
+	}
+}
+
 // TestTortureCatchesNonDurablePolicy proves the engine-level checker has
 // teeth: with the persistence-free policy and no eviction luck, completed
 // operations are rolled back wholesale and the checker must notice.

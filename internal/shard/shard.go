@@ -25,6 +25,7 @@ package shard
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/core"
@@ -51,6 +52,13 @@ type Config struct {
 	// engine-wide expected key-range size; it is divided by the shard count
 	// before reaching each structure.
 	Params core.Params
+	// Dir, when non-empty, backs every shard with the durable file backend:
+	// shard i journals into Dir/shard-i (WAL + checkpoint, see
+	// internal/pmem). Call RecoverFiles after New and Close on shutdown.
+	Dir string
+	// SyncFence makes every commit fence fsync its shard's WAL (durability
+	// against power loss, not just process death). Only meaningful with Dir.
+	SyncFence bool
 }
 
 type engineShard struct {
@@ -97,12 +105,18 @@ func New(cfg Config) (*Engine, error) {
 		mode = pmem.ModeTracked
 	}
 	for i := range e.shards {
+		dir := ""
+		if cfg.Dir != "" {
+			dir = filepath.Join(cfg.Dir, fmt.Sprintf("shard-%d", i))
+		}
 		mem := pmem.New(pmem.Config{
 			Mode:    mode,
 			Profile: cfg.Profile,
 			// +2: the structure constructor registers a thread of its own,
 			// and leave one spare for ad-hoc inspection.
 			MaxThreads: cfg.MaxSessions + 2,
+			Dir:        dir,
+			SyncFence:  cfg.SyncFence,
 		})
 		set, err := core.NewSet(cfg.Kind, mem, cfg.Policy, params)
 		if err != nil {
@@ -111,6 +125,87 @@ func New(cfg Config) (*Engine, error) {
 		e.shards[i] = engineShard{mem: mem, set: set}
 	}
 	return e, nil
+}
+
+// Durable reports whether the engine is file-backed (Config.Dir was set).
+func (e *Engine) Durable() bool { return e.cfg.Dir != "" }
+
+// RecoverFiles loads every shard's checkpoint and replays its WAL, in
+// parallel (the per-shard files are independent). It must run after New
+// and before any session touches a file-backed engine; on a non-durable
+// engine it is a no-op. The returned stats aggregate all shards
+// (ReplayStats.Elapsed keeps the slowest shard — replay is parallel, so
+// the wall-clock cost is the maximum, not the sum).
+func (e *Engine) RecoverFiles() (pmem.ReplayStats, error) {
+	if !e.Durable() {
+		return pmem.ReplayStats{}, nil
+	}
+	stats := make([]pmem.ReplayStats, len(e.shards))
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i := range e.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = e.shards[i].mem.RecoverFiles()
+		}(i)
+	}
+	wg.Wait()
+	var total pmem.ReplayStats
+	for i := range e.shards {
+		if errs[i] != nil {
+			return total, fmt.Errorf("shard %d: %w", i, errs[i])
+		}
+		total.Add(stats[i])
+	}
+	return total, nil
+}
+
+// ReplayStats re-reports the aggregate of the last RecoverFiles.
+func (e *Engine) ReplayStats() pmem.ReplayStats {
+	var total pmem.ReplayStats
+	for i := range e.shards {
+		total.Add(e.shards[i].mem.ReplayStats())
+	}
+	return total
+}
+
+// Checkpoint snapshots every shard and truncates its WAL (see
+// pmem.Memory.Checkpoint). Shards checkpoint in parallel; the first error
+// wins, but every shard is attempted — a failed checkpoint leaves that
+// shard on its old generation, still recoverable.
+func (e *Engine) Checkpoint() error {
+	if !e.Durable() {
+		return nil
+	}
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i := range e.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = e.shards[i].mem.Checkpoint()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every shard's files. The engine must be
+// quiescent. Safe on non-durable engines and safe to call twice.
+func (e *Engine) Close() error {
+	var first error
+	for i := range e.shards {
+		if err := e.shards[i].mem.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return first
 }
 
 // NumShards reports the shard count.

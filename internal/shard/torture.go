@@ -25,6 +25,11 @@ type TortureOptions struct {
 	EvictProb      float64        // unpersisted-line survival probability
 	Seed           int64
 	UpdateRatio    int // percent updates, split insert/delete (default 60)
+	// Dir runs the round against the durable file backend with SIGKILL
+	// semantics: the crashed engine is abandoned outright (unflushed WAL
+	// buffers die with it) and a fresh engine reopens the per-shard files
+	// for the check. EvictProb is ignored.
+	Dir string
 }
 
 // Torture runs one whole-engine crash round: concurrent sessions issue
@@ -48,15 +53,20 @@ func Torture(o TortureOptions) crashtest.Result {
 	if o.Shards <= 0 {
 		o.Shards = 4
 	}
-	eng, err := New(Config{
+	cfg := Config{
 		Shards:      o.Shards,
 		Kind:        o.Kind,
 		Policy:      o.Policy,
 		Tracked:     true,
 		MaxSessions: o.Workers + 2,
 		Params:      core.Params{SizeHint: int(o.Keys)},
-	})
+		Dir:         o.Dir,
+	}
+	eng, err := New(cfg)
 	if err != nil {
+		return crashtest.Result{Violations: []crashtest.Violation{{Detail: err.Error()}}}
+	}
+	if _, err := eng.RecoverFiles(); err != nil {
 		return crashtest.Result{Violations: []crashtest.Violation{{Detail: err.Error()}}}
 	}
 
@@ -126,8 +136,22 @@ func Torture(o TortureOptions) crashtest.Result {
 	}
 	eng.Crash()
 	wg.Wait()
-	eng.FinishCrash(o.EvictProb, o.Seed)
-	eng.Restart()
+	if o.Dir == "" {
+		eng.FinishCrash(o.EvictProb, o.Seed)
+		eng.Restart()
+	} else {
+		// SIGKILL semantics: abandon the crashed engine (no FinishCrash —
+		// its unflushed userspace buffers are gone) and reopen the
+		// per-shard files with a fresh engine.
+		eng2, err := New(cfg)
+		if err != nil {
+			return crashtest.Result{Violations: []crashtest.Violation{{Detail: err.Error()}}}
+		}
+		if _, err := eng2.RecoverFiles(); err != nil {
+			return crashtest.Result{Violations: []crashtest.Violation{{Detail: err.Error()}}}
+		}
+		eng = eng2
+	}
 
 	rec := eng.NewSession()
 	eng.Recover(rec)

@@ -87,6 +87,9 @@ func New(mem *pmem.Memory, pol persist.Policy) *List {
 		pol: pol,
 		trs: make([]paddedTraversal, mem.MaxThreads()),
 	}
+	// The head sentinel tower is an arena node at a deterministic handle,
+	// so registering the arena covers all persistent state.
+	l.ar.Persist(mem.NewSpace())
 	t := mem.NewThread()
 	h := l.ar.Alloc(t.ID)
 	n := l.ar.Get(h)

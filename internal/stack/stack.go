@@ -33,7 +33,9 @@ type Stack struct {
 	dom *epoch.Domain
 	ar  *arena.Arena[Node]
 	pol persist.Policy
-	top pmem.Cell // persistent root: ref of the top node (0 when empty)
+	// top lives on a dedicated registered line so the durable backend can
+	// address it on disk.
+	top *pmem.Cell // persistent root: ref of the top node (0 when empty)
 }
 
 // New creates an empty stack.
@@ -45,9 +47,11 @@ func New(mem *pmem.Memory, pol persist.Policy) *Stack {
 		ar:  arena.New[Node](dom, mem.MaxThreads()),
 		pol: pol,
 	}
+	s.top = &mem.NewSpace().Lines(0, 1)[0][0]
+	s.ar.Persist(mem.NewSpace())
 	t := mem.NewThread()
-	t.Store(&s.top, pmem.NilRef)
-	t.Flush(&s.top)
+	t.Store(s.top, pmem.NilRef)
+	t.Flush(s.top)
 	t.Fence()
 	return s
 }
@@ -64,15 +68,15 @@ func (s *Stack) Push(t *pmem.Thread, value uint64) {
 	t.Store(&n.Value, value)
 	pol.InitWrite(t, &n.Value)
 	for {
-		tv := t.Load(&s.top)
-		pol.TraverseRead(t, &s.top)
-		cells := [...]*pmem.Cell{&s.top}
+		tv := t.Load(s.top)
+		pol.TraverseRead(t, s.top)
+		cells := [...]*pmem.Cell{s.top}
 		pol.PostTraverse(t, cells[:])
 		t.Store(&n.Next, pmem.ClearTags(tv))
 		pol.InitWrite(t, &n.Next)
 		pol.BeforeCAS(t)
-		ok := t.CAS(&s.top, tv, pmem.MakeRef(idx))
-		pol.Wrote(t, &s.top)
+		ok := t.CAS(s.top, tv, pmem.MakeRef(idx))
+		pol.Wrote(t, s.top)
 		pol.BeforeReturn(t)
 		if ok {
 			t.CountOp()
@@ -87,10 +91,10 @@ func (s *Stack) Pop(t *pmem.Thread) (value uint64, ok bool) {
 	defer s.dom.Exit(t.ID)
 	pol := s.pol
 	for {
-		tv := t.Load(&s.top)
-		pol.TraverseRead(t, &s.top)
+		tv := t.Load(s.top)
+		pol.TraverseRead(t, s.top)
 		if pmem.IsNil(tv) {
-			cells := [...]*pmem.Cell{&s.top}
+			cells := [...]*pmem.Cell{s.top}
 			pol.PostTraverse(t, cells[:])
 			pol.BeforeReturn(t)
 			t.CountOp()
@@ -99,12 +103,12 @@ func (s *Stack) Pop(t *pmem.Thread) (value uint64, ok bool) {
 		topN := s.node(pmem.RefIndex(tv))
 		next := t.Load(&topN.Next)
 		pol.TraverseRead(t, &topN.Next)
-		cells := [...]*pmem.Cell{&s.top, &topN.Next}
+		cells := [...]*pmem.Cell{s.top, &topN.Next}
 		pol.PostTraverse(t, cells[:])
 		v := t.Load(&topN.Value) // immutable after publication
 		pol.BeforeCAS(t)
-		swung := t.CAS(&s.top, tv, pmem.ClearTags(next))
-		pol.Wrote(t, &s.top)
+		swung := t.CAS(s.top, tv, pmem.ClearTags(next))
+		pol.Wrote(t, s.top)
 		pol.BeforeReturn(t)
 		if swung {
 			s.ar.Retire(t.ID, pmem.RefIndex(tv))
@@ -121,7 +125,7 @@ func (s *Stack) Recover(t *pmem.Thread) {}
 // Contents returns the values top to bottom (quiescent use only).
 func (s *Stack) Contents(t *pmem.Thread) []uint64 {
 	var out []uint64
-	cur := pmem.RefIndex(t.Load(&s.top))
+	cur := pmem.RefIndex(t.Load(s.top))
 	for cur != 0 {
 		out = append(out, t.Load(&s.node(cur).Value))
 		cur = pmem.RefIndex(t.Load(&s.node(cur).Next))

@@ -47,8 +47,41 @@ func runStackTorture(t *testing.T, name string, pol persist.Policy) {
 	}
 }
 
+// runStackTortureFile repeats the rounds against the WAL-backed file
+// directory: the crash abandons the memory (SIGKILL semantics), and the
+// checker runs on a stack reopened from the files.
+func runStackTortureFile(t *testing.T, name string, pol persist.Policy) {
+	t.Helper()
+	for r := 0; r < tortureRounds(t); r++ {
+		res := crashtest.RunStack(crashtest.OrderOptions{
+			Workers:        4,
+			OpsBeforeCrash: 300,
+			AddRatio:       60,
+			Prefill:        16,
+			Seed:           int64(r) + 1,
+			Dir:            t.TempDir(),
+		}, func(mem *pmem.Memory) crashtest.StackTarget {
+			return stack.New(mem, pol)
+		})
+		if len(res.Violations) > 0 {
+			for _, v := range res.Violations {
+				t.Errorf("%s round %d: %s", name, r, v)
+			}
+			t.Fatalf("%s round %d: %d violations (completed=%d inflight=%d survivors=%d)",
+				name, r, len(res.Violations), res.Completed, res.InFlight, res.Survivors)
+		}
+		if res.Completed < 300 {
+			t.Fatalf("%s round %d: only %d ops completed", name, r, res.Completed)
+		}
+	}
+}
+
 func TestCrashTortureStack(t *testing.T) {
 	runStackTorture(t, "nvtraverse", persist.NVTraverse{})
+}
+
+func TestCrashTortureStackFile(t *testing.T) {
+	runStackTortureFile(t, "nvtraverse-file", persist.NVTraverse{})
 }
 
 func TestCrashTortureStackIzraelevitz(t *testing.T) {

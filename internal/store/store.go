@@ -14,7 +14,10 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/persist"
@@ -90,6 +93,17 @@ type Store interface {
 	// ResetStats clears the counters. Call it only while no session is
 	// mid-operation (between measurement runs).
 	ResetStats()
+	// Durable reports whether the store is file-backed (Config.Dir).
+	Durable() bool
+	// ReplayStats reports the cost of the file recovery Open performed
+	// (zero on non-durable stores).
+	ReplayStats() pmem.ReplayStats
+	// Checkpoint snapshots the store's memories and truncates their WALs
+	// (no-op on non-durable stores; quiescent use).
+	Checkpoint() error
+	// Close flushes and closes the backing files (no-op on non-durable
+	// stores; safe to call twice; quiescent use).
+	Close() error
 }
 
 // Config parameterizes Open. The zero value opens a bare NVTraverse hash
@@ -111,6 +125,73 @@ type Config struct {
 	Shards int
 	// MaxSessions bounds NewSession calls (default 64).
 	MaxSessions int
+	// Dir, when non-empty, backs the store with the durable file backend
+	// (WAL + checkpoint per memory; shard i journals under Dir/shard-i).
+	// Open writes a MANIFEST.json recording the layout-determining
+	// parameters on first use and refuses to open a directory whose
+	// manifest disagrees — replay writes into deterministically
+	// reconstructed regions, so kind/shards/buckets must match exactly.
+	// Open recovers the files before returning; the store is immediately
+	// consistent with every previously acknowledged operation.
+	Dir string
+	// SyncFence makes every commit fence fsync the WAL (durability against
+	// power loss, not just process death). Only meaningful with Dir.
+	SyncFence bool
+}
+
+// manifest is the on-disk record of the layout-determining Config fields.
+type manifest struct {
+	Version  int    `json:"version"`
+	Kind     string `json:"kind"`
+	Policy   string `json:"policy"`
+	Shards   int    `json:"shards"`
+	SizeHint int    `json:"size_hint"`
+	Buckets  int    `json:"buckets"`
+}
+
+const manifestName = "MANIFEST.json"
+
+// checkManifest writes cfg's manifest into dir on first open, and on later
+// opens verifies the directory was built with the same layout parameters.
+func checkManifest(dir string, cfg Config) error {
+	want := manifest{
+		Version:  1,
+		Kind:     string(cfg.Kind),
+		Policy:   cfg.Policy.Name(),
+		Shards:   cfg.Shards,
+		SizeHint: cfg.SizeHint,
+		Buckets:  cfg.Buckets,
+	}
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		buf, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return fmt.Errorf("store: manifest: %w", err)
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("store: manifest: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("store: manifest: %w", err)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	var got manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		return fmt.Errorf("store: manifest %s: %w", path, err)
+	}
+	if got != want {
+		return fmt.Errorf("store: %s was built with %+v; refusing to open as %+v", dir, got, want)
+	}
+	return nil
 }
 
 // Open builds a Store for cfg: a bare structure when cfg.Shards == 0, the
@@ -125,6 +206,11 @@ func Open(cfg Config) (Store, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 64
 	}
+	if cfg.Dir != "" {
+		if err := checkManifest(cfg.Dir, cfg); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Shards > 0 {
 		eng, err := shard.New(shard.Config{
 			Shards:      cfg.Shards,
@@ -134,11 +220,24 @@ func Open(cfg Config) (Store, error) {
 			Tracked:     cfg.Tracked,
 			MaxSessions: cfg.MaxSessions,
 			Params:      core.Params{SizeHint: cfg.SizeHint, Buckets: cfg.Buckets},
+			Dir:         cfg.Dir,
+			SyncFence:   cfg.SyncFence,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &EngineStore{eng: eng, admin: eng.NewSession()}, nil
+		replay, err := eng.RecoverFiles()
+		if err != nil {
+			return nil, fmt.Errorf("store: recover %s: %w", cfg.Dir, err)
+		}
+		st := &EngineStore{eng: eng, admin: eng.NewSession(), replay: replay}
+		if eng.Durable() {
+			// The paper's recovery phase runs on every durable open: on a
+			// fresh directory it is a no-op scan, after a crash it rebuilds
+			// the auxiliary state the replayed image needs.
+			st.Recover()
+		}
+		return st, nil
 	}
 	mode := pmem.ModeFast
 	if cfg.Tracked {
@@ -150,6 +249,8 @@ func Open(cfg Config) (Store, error) {
 		// +2: the structure constructor registers a thread, plus the
 		// store's admin thread.
 		MaxThreads: cfg.MaxSessions + 2,
+		Dir:        cfg.Dir,
+		SyncFence:  cfg.SyncFence,
 	})
 	set, err := core.NewSet(cfg.Kind, mem, cfg.Policy, core.Params{
 		SizeHint: cfg.SizeHint, Buckets: cfg.Buckets,
@@ -157,15 +258,27 @@ func Open(cfg Config) (Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Single{mem: mem, set: set, kind: cfg.Kind, admin: mem.NewThread()}, nil
+	var replay pmem.ReplayStats
+	if mem.Durable() {
+		replay, err = mem.RecoverFiles()
+		if err != nil {
+			return nil, fmt.Errorf("store: recover %s: %w", cfg.Dir, err)
+		}
+	}
+	st := &Single{mem: mem, set: set, kind: cfg.Kind, admin: mem.NewThread(), replay: replay}
+	if mem.Durable() {
+		st.Recover()
+	}
+	return st, nil
 }
 
 // Single is the bare-structure backend: one memory, one structure.
 type Single struct {
-	mem   *pmem.Memory
-	set   core.Set
-	kind  core.Kind
-	admin *pmem.Thread
+	mem    *pmem.Memory
+	set    core.Set
+	kind   core.Kind
+	admin  *pmem.Thread
+	replay pmem.ReplayStats
 }
 
 // NewSingle wraps an existing structure and memory as a Store (migration
@@ -184,13 +297,22 @@ func (s *Single) NewSession() Session {
 	return &singleSession{set: s.set, th: s.mem.NewThread()}
 }
 
-func (s *Single) Kind() core.Kind    { return s.kind }
-func (s *Single) Shards() int        { return 0 }
-func (s *Single) Ordered() bool      { return core.Ordered(s.kind) }
-func (s *Single) Recover()           { s.set.Recover(s.admin) }
-func (s *Single) Contents() []uint64 { return s.set.Contents(s.admin) }
-func (s *Single) Stats() pmem.Stats  { return s.mem.Stats() }
-func (s *Single) ResetStats()        { s.mem.ResetStats() }
+func (s *Single) Kind() core.Kind               { return s.kind }
+func (s *Single) Shards() int                   { return 0 }
+func (s *Single) Ordered() bool                 { return core.Ordered(s.kind) }
+func (s *Single) Recover()                      { s.set.Recover(s.admin) }
+func (s *Single) Contents() []uint64            { return s.set.Contents(s.admin) }
+func (s *Single) Stats() pmem.Stats             { return s.mem.Stats() }
+func (s *Single) ResetStats()                   { s.mem.ResetStats() }
+func (s *Single) Durable() bool                 { return s.mem.Durable() }
+func (s *Single) ReplayStats() pmem.ReplayStats { return s.replay }
+func (s *Single) Checkpoint() error {
+	if !s.mem.Durable() {
+		return nil
+	}
+	return s.mem.Checkpoint()
+}
+func (s *Single) Close() error { return s.mem.Close() }
 
 // singleSession binds one thread to a bare structure.
 type singleSession struct {
@@ -309,8 +431,9 @@ func (s *singleSession) MultiGet(keys []uint64, dst []OpResult) []OpResult {
 
 // EngineStore is the sharded backend.
 type EngineStore struct {
-	eng   *shard.Engine
-	admin *shard.Session
+	eng    *shard.Engine
+	admin  *shard.Session
+	replay pmem.ReplayStats
 }
 
 // NewEngineStore wraps an existing engine as a Store (migration path for
@@ -322,14 +445,18 @@ func NewEngineStore(eng *shard.Engine) *EngineStore {
 // Engine exposes the backing engine (crash testing, per-shard inspection).
 func (s *EngineStore) Engine() *shard.Engine { return s.eng }
 
-func (s *EngineStore) NewSession() Session { return s.eng.NewSession() }
-func (s *EngineStore) Kind() core.Kind     { return s.eng.Kind() }
-func (s *EngineStore) Shards() int         { return s.eng.NumShards() }
-func (s *EngineStore) Ordered() bool       { return core.Ordered(s.eng.Kind()) }
-func (s *EngineStore) Recover()            { s.eng.Recover(s.admin) }
-func (s *EngineStore) Contents() []uint64  { return s.eng.Contents(s.admin) }
-func (s *EngineStore) Stats() pmem.Stats   { return s.eng.Stats().Total }
-func (s *EngineStore) ResetStats()         { s.eng.ResetStats() }
+func (s *EngineStore) NewSession() Session           { return s.eng.NewSession() }
+func (s *EngineStore) Kind() core.Kind               { return s.eng.Kind() }
+func (s *EngineStore) Shards() int                   { return s.eng.NumShards() }
+func (s *EngineStore) Ordered() bool                 { return core.Ordered(s.eng.Kind()) }
+func (s *EngineStore) Recover()                      { s.eng.Recover(s.admin) }
+func (s *EngineStore) Contents() []uint64            { return s.eng.Contents(s.admin) }
+func (s *EngineStore) Stats() pmem.Stats             { return s.eng.Stats().Total }
+func (s *EngineStore) ResetStats()                   { s.eng.ResetStats() }
+func (s *EngineStore) Durable() bool                 { return s.eng.Durable() }
+func (s *EngineStore) ReplayStats() pmem.ReplayStats { return s.replay }
+func (s *EngineStore) Checkpoint() error             { return s.eng.Checkpoint() }
+func (s *EngineStore) Close() error                  { return s.eng.Close() }
 
 // Interface conformance: the engine's session is a store Session as-is,
 // and both backends' sessions carry the async completion surface.

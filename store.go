@@ -65,6 +65,22 @@ func WithMaxSessions(n int) Option {
 	return func(c *store.Config) { c.MaxSessions = n }
 }
 
+// WithDir backs the store with the durable file backend: every commit
+// fence journals its line set into a WAL under dir (one subdirectory per
+// shard), Open replays the files before returning, and Close/Checkpoint
+// manage the log. A store reopened on the same directory sees every
+// previously acknowledged operation, even after SIGKILL.
+func WithDir(dir string) Option {
+	return func(c *store.Config) { c.Dir = dir }
+}
+
+// WithSyncFence makes every commit fence fsync the WAL — durability
+// against power loss rather than just process death. Only meaningful
+// together with WithDir.
+func WithSyncFence() Option {
+	return func(c *store.Config) { c.SyncFence = true }
+}
+
 // Open builds a durable store of the given structure kind.
 //
 //	st, _ := nvtraverse.Open(nvtraverse.Skiplist,
