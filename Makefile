@@ -43,23 +43,31 @@ apicheck:
 	$(GO) test -run TestV1FacadeSymbols .
 
 # Serve-and-load smoke over a Unix socket: the whole wire stack (listener,
-# protocol, pipelining, group-commit batcher) runs a few thousand ops and
-# must finish with zero errors and a clean shutdown.
+# protocol sniffing, pipelining, shard-affine group commit) runs a few
+# thousand ops and must finish with zero errors and a clean shutdown. One
+# round per protocol (text, binary) plus an open-loop rate-paced round.
 server-smoke:
 	$(GO) run ./cmd/nvserver -selftest -conns 4 -pipeline 8 -ops 5000 -range 4096 -shards 4
+	$(GO) run ./cmd/nvserver -selftest -bin -conns 4 -pipeline 8 -ops 5000 -range 4096 -shards 4
+	$(GO) run ./cmd/nvserver -selftest -bin -rate 20000 -poisson -dur 250ms -conns 2 -range 4096 -shards 4
 	$(GO) run ./cmd/nvserver -selftest -kind skiplist -shards 2 -workload E -prefill -conns 2 -pipeline 4 -ops 2000 -range 2048
 
 # SIGKILL-restart recovery smoke: spawn a file-backed nvserver child, kill
 # -9 it mid-load, restart it on the same data directory, and fail unless
 # the durable-linearizability checker passes with every acknowledged write
 # present. A second round SIGTERMs the restarted server (checkpoint path)
-# and re-verifies. CRASH_SMOKE_DATA pins the data dir (CI points it at a
-# workspace path so the WAL/checkpoint files can be uploaded on failure).
+# and re-verifies. The third invocation sets a checkpoint threshold and
+# enough traffic that the child must checkpoint on its own before the kill:
+# the orchestrator fails unless the restart loaded automatic-checkpoint
+# bytes AND replayed only a threshold-bounded WAL tail. CRASH_SMOKE_DATA
+# pins the data dir (CI points it at a workspace path so the WAL/checkpoint
+# files can be uploaded on failure).
 CRASH_SMOKE_DATA ?=
 crash-smoke:
 	$(GO) run ./cmd/nvserver -crashsmoke $(if $(CRASH_SMOKE_DATA),-data $(CRASH_SMOKE_DATA)) \
 		-shards 4 -conns 4 -smoke-acks 4000
 	$(GO) run ./cmd/nvserver -crashsmoke -kind skiplist -shards 2 -conns 2 -smoke-acks 2000
+	$(GO) run ./cmd/nvserver -crashsmoke -shards 4 -conns 4 -smoke-acks 12000 -ckpt-bytes 16384
 
 # Exercise both CLIs end to end with tiny workloads so they cannot rot.
 # server-smoke rides along so the serving layer cannot rot locally either.
@@ -86,21 +94,22 @@ bench-ci:
 
 # Regression gate: capture the baseline suite (with latency percentiles,
 # the server rows and the recovery-replay row) and compare against the
-# committed BENCH_5.json, failing on a >35% throughput drop on any
+# committed BENCH_6.json, failing on a >35% throughput drop on any
 # zero-profile panel. CI uploads the capture as the next BENCH_N artifact.
-BENCH_GATE_OUT ?= BENCH_6-capture.json
+BENCH_GATE_OUT ?= BENCH_7-capture.json
 BENCH_GATE_DUR ?= 1s
 bench-gate:
 	$(GO) run ./cmd/nvbench -dur $(BENCH_GATE_DUR) -json $(BENCH_GATE_OUT) \
-		-cmp BENCH_5.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
+		-cmp BENCH_6.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_GATE_OUT)
 
 # Run the JSON baseline suite (fast-mode panels, the tracked-mode torture
-# throughput proxy, the server rows and the recovery-replay row) and write
-# BENCH_6.json. Compare against a prior capture with:
-# make bench-json BENCH_CMP=path/to/old.json. The committed BENCH_6.json
-# was produced at PR 6 with -dur 2s.
-BENCH_JSON ?= BENCH_6.json
+# throughput proxy, the server rows — text, file-backed and binary, with
+# open-loop percentiles — and the recovery-replay row) and write
+# BENCH_7.json. Compare against a prior capture with:
+# make bench-json BENCH_CMP=path/to/old.json. The committed BENCH_7.json
+# was produced at PR 7 with -dur 2s.
+BENCH_JSON ?= BENCH_7.json
 BENCH_DUR  ?= 500ms
 bench-json:
 	$(GO) run ./cmd/nvbench -dur $(BENCH_DUR) -json $(BENCH_JSON) \

@@ -110,14 +110,18 @@ func run(args []string, out io.Writer) error {
 			// The wire-protocol rows: serve-and-load over a Unix socket, so
 			// the capture carries network-path throughput and latency
 			// percentiles next to the in-process panels. The -file variant
-			// runs the same workload on the durable file backend; the delta
-			// is the serving-path cost of real durability.
+			// runs the same workload on the durable file backend (the delta
+			// is the serving-path cost of real durability); the -bin variant
+			// drives the binary frame protocol (the delta is what text
+			// parsing costs). Throughput comes from a closed-loop capacity
+			// pass, the percentiles from an open-loop pass at 70% of it.
 			for _, sb := range []struct {
 				panel string
 				run   func(time.Duration) (bench.Result, error)
 			}{
 				{"srv-unix4", server.Bench},
 				{"srv-unix4-file", server.BenchFile},
+				{"srv-unix4-bin", server.BenchBin},
 			} {
 				res, err := sb.run(*dur)
 				if err != nil {
@@ -125,8 +129,8 @@ func run(args []string, out io.Writer) error {
 				}
 				row := bench.RowFromResult(sb.panel, res)
 				rows = append(rows, row)
-				fmt.Fprintf(out, "%-12s %10.0f ops/s  flush/op %.2f  elide/op %.2f  fence/op %.2f  p50 %.1fµs  p99 %.1fµs\n",
-					row.Panel, row.OpsPerSec, row.FlushPerOp, row.ElidePerOp, row.FencePerOp, row.P50us, row.P99us)
+				fmt.Fprintf(out, "%-12s %10.0f ops/s  flush/op %.2f  elide/op %.2f  fence/op %.2f  open-loop @%.0f/s p50 %.1fµs  p99 %.1fµs\n",
+					row.Panel, row.OpsPerSec, row.FlushPerOp, row.ElidePerOp, row.FencePerOp, row.OfferedOpsPerSec, row.P50us, row.P99us)
 			}
 		}
 		doc := bench.NewBenchDoc(*jsonLabel, rows)

@@ -19,6 +19,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -38,6 +39,10 @@ type smokeConfig struct {
 	sync   bool
 	conns  int
 	acks   uint64 // acknowledged inserts before the kill
+	// ckptBytes > 0 passes -ckpt-bytes to the child and asserts, after the
+	// SIGKILL restart, that an automatic checkpoint ran mid-traffic and the
+	// replayed WAL tail stayed bounded by the threshold.
+	ckptBytes int64
 }
 
 // smokeRecord is one insert attempt of the load phase.
@@ -70,6 +75,9 @@ func startSmokeServer(cfg smokeConfig, sock string) (*smokeServer, error) {
 	}
 	if cfg.sync {
 		args = append(args, "-sync")
+	}
+	if cfg.ckptBytes > 0 {
+		args = append(args, "-ckpt-bytes", strconv.FormatInt(cfg.ckptBytes, 10))
 	}
 	s := &smokeServer{cmd: exec.Command(exe, args...), out: &bytes.Buffer{}}
 	s.cmd.Stdout = s.out
@@ -179,6 +187,36 @@ func crashSmokeRounds(out io.Writer, cfg smokeConfig, sock string) error {
 	}
 	fmt.Fprintf(out, "crashsmoke: SIGKILL recovery checked (%d keys)\n", acked)
 
+	// With a checkpoint threshold set, the SIGKILLed server must have been
+	// checkpointing on its own: the kill skipped the clean-shutdown
+	// checkpoint, so any checkpoint bytes the restart loaded were taken
+	// automatically under live traffic, and the WAL tail it replayed must
+	// be bounded by the threshold (plus per-shard in-flight slack) rather
+	// than growing with the whole run.
+	if cfg.ckptBytes > 0 {
+		walBytes, ckptBytes, ok := parseReplayLine(srv2.out.String())
+		if !ok {
+			srv2.cmd.Process.Kill()
+			srv2.cmd.Wait()
+			return fmt.Errorf("no replay accounting in restarted server output:\n%s", srv2.out.String())
+		}
+		if ckptBytes == 0 {
+			srv2.cmd.Process.Kill()
+			srv2.cmd.Wait()
+			return fmt.Errorf("no automatic checkpoint ran before SIGKILL (threshold %d bytes, %d acked inserts): recovery replayed the full %d-byte WAL",
+				cfg.ckptBytes, acked, walBytes)
+		}
+		const slack = 32 << 10 // checkpoint-in-progress overshoot per shard
+		if limit := uint64(cfg.shards) * uint64(cfg.ckptBytes+slack); walBytes > limit {
+			srv2.cmd.Process.Kill()
+			srv2.cmd.Wait()
+			return fmt.Errorf("replayed WAL tail %d bytes exceeds the checkpoint bound %d (%d shards × (%d threshold + %d slack))",
+				walBytes, limit, cfg.shards, cfg.ckptBytes, slack)
+		}
+		fmt.Fprintf(out, "crashsmoke: live checkpointing verified (replayed %d-byte WAL tail + %d checkpoint bytes, threshold %d)\n",
+			walBytes, ckptBytes, cfg.ckptBytes)
+	}
+
 	// Round 3: clean shutdown (SIGTERM checkpoints and closes), restart,
 	// re-verify — the checkpoint must carry the same state as the log.
 	if err := srv2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -200,6 +238,20 @@ func crashSmokeRounds(out io.Writer, cfg smokeConfig, sock string) error {
 		return fmt.Errorf("after checkpoint restart: %w", verifyErr)
 	}
 	return nil
+}
+
+// parseReplayLine extracts the WAL and checkpoint byte counts from a
+// restarted child's replay line ("replayed N records / N lines / N WAL
+// bytes (+N checkpoint bytes) in ...").
+func parseReplayLine(out string) (walBytes, ckptBytes uint64, ok bool) {
+	i := strings.Index(out, "replayed ")
+	if i < 0 {
+		return 0, 0, false
+	}
+	var records, lines uint64
+	n, err := fmt.Sscanf(out[i:], "replayed %d records / %d lines / %d WAL bytes (+%d checkpoint bytes)",
+		&records, &lines, &walBytes, &ckptBytes)
+	return walBytes, ckptBytes, err == nil && n == 4
 }
 
 // smokeLoad drives pipelined inserts from cfg.conns connections (disjoint

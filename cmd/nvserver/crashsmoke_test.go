@@ -36,6 +36,11 @@ func TestCrashSmokeSIGKILL(t *testing.T) {
 		{"hash-4shard", smokeConfig{kind: "hash", shards: 4, size: 1 << 14, conns: 4, acks: 2000}},
 		{"skiplist-2shard", smokeConfig{kind: "skiplist", shards: 2, size: 1 << 14, conns: 2, acks: 1000}},
 		{"hash-bare", smokeConfig{kind: "hash", shards: 0, size: 1 << 14, conns: 2, acks: 1000}},
+		// The live-checkpoint round: enough acked traffic that the child's
+		// automatic checkpointing must have run before the SIGKILL, and the
+		// replayed WAL tail must be bounded by the threshold (asserted by
+		// the orchestrator when ckptBytes is set).
+		{"hash-4shard-ckpt", smokeConfig{kind: "hash", shards: 4, size: 1 << 14, conns: 4, acks: 12000, ckptBytes: 16 << 10}},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,17 +1,21 @@
-// Command nvserver serves the durable key-value store over a pipelined
-// RESP-lite protocol (TCP or Unix sockets), with the group-commit batcher
-// amortizing one commit fence per shard group across all connections. It
-// doubles as the load generator for that protocol.
+// Command nvserver serves the durable key-value store over two wire
+// protocols on the same listener — pipelined RESP-lite text and a
+// length-prefixed binary frame protocol (negotiated by the connection's
+// first byte) — with shard-affine workers group-committing one fence per
+// shard group. It doubles as the load generator for those protocols.
 //
 // Serve:
 //
 //	nvserver -listen unix:/tmp/nv.sock -shards 8
 //	nvserver -listen tcp:127.0.0.1:7420 -kind skiplist -profile nvram
+//	nvserver -listen unix:/tmp/nv.sock -data /var/lib/nv -ckpt-bytes 4194304
 //
-// Load (against a running server):
+// Load (against a running server; -bin drives the binary protocol, -rate
+// switches to open-loop arrivals with coordinated-omission-free latency):
 //
 //	nvserver -load -connect unix:/tmp/nv.sock -conns 8 -pipeline 32 -dur 5s
 //	nvserver -load -connect tcp:127.0.0.1:7420 -workload C -ops 100000
+//	nvserver -load -connect unix:/tmp/nv.sock -bin -rate 200000 -poisson
 //
 // Self-test (serve + load in one process over a temp Unix socket; exits
 // nonzero on any protocol error — the CI server-smoke gate):
@@ -67,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		maxConns = fs.Int("max-conns", 64, "maximum concurrent connections")
 		dataDir  = fs.String("data", "", "durable data directory (WAL + checkpoints; empty = in-memory only)")
 		syncWAL  = fs.Bool("sync", false, "fsync the WAL at every commit fence (needs -data)")
+		ckptB    = fs.Int64("ckpt-bytes", 0, "take an automatic checkpoint when a shard's WAL reaches this many bytes (0 = only on clean shutdown; needs -data)")
 
 		crashsmoke = fs.Bool("crashsmoke", false, "SIGKILL-restart smoke: spawn a -data server, kill it mid-load, restart, check every acked write")
 		smokeAcks  = fs.Uint64("smoke-acks", 4000, "crashsmoke: acknowledged writes before the kill")
@@ -82,6 +87,9 @@ func run(args []string, out io.Writer) error {
 		keys     = fs.Uint64("range", 1<<14, "load: key range")
 		theta    = fs.Float64("theta", 0, "load: Zipf skew override (0 = workload default)")
 		prefill  = fs.Bool("prefill", false, "load: insert every other key before measuring")
+		rate     = fs.Float64("rate", 0, "load: open-loop offered rate in ops/sec across all connections (0 = closed loop)")
+		poisson  = fs.Bool("poisson", false, "load: Poisson interarrival times (with -rate)")
+		binProto = fs.Bool("bin", false, "load: drive the binary frame protocol instead of text")
 		jsonOut  = fs.String("json", "", "load: write the result as a BenchDoc JSON row to this path")
 		label    = fs.String("label", "", "load: label recorded in the -json document")
 	)
@@ -96,10 +104,14 @@ func run(args []string, out io.Writer) error {
 		Conns: *conns, Pipeline: *pipeline, Ops: *ops,
 		Duration: bench.EffectiveDuration(*dur), Workload: *workload,
 		Range: *keys, Theta: *theta, Prefill: *prefill,
+		Rate: *rate, Poisson: *poisson, Binary: *binProto,
 	}
 
 	if *syncWAL && *dataDir == "" && !*crashsmoke {
 		return fmt.Errorf("-sync needs -data")
+	}
+	if *ckptB > 0 && *dataDir == "" && !*crashsmoke {
+		return fmt.Errorf("-ckpt-bytes needs -data")
 	}
 
 	switch {
@@ -109,6 +121,7 @@ func run(args []string, out io.Writer) error {
 		return runCrashSmoke(out, smokeConfig{
 			dir: *dataDir, kind: *kind, policy: *policy, shards: *shards,
 			size: *size, sync: *syncWAL, conns: *conns, acks: *smokeAcks,
+			ckptBytes: *ckptB,
 		})
 	case *selftest:
 		return runSelfTest(out, *kind, *policy, *profile, *shards, *size, *maxConns,
@@ -126,14 +139,16 @@ func run(args []string, out io.Writer) error {
 		return writeLoadDoc(*jsonOut, *label, loadCfg, res, out)
 	default:
 		return runServe(out, *listen, *serveFor, *kind, *policy, *profile, *shards, *size,
-			*maxConns, *dataDir, *syncWAL, batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
+			*maxConns, *dataDir, *syncWAL, *ckptB, batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
 	}
 }
 
 // openStore builds the store behind the server. With a data directory the
 // open replays any existing WAL/checkpoint, so a restarted server resumes
-// exactly the acknowledged state of its predecessor.
-func openStore(kind, policy, profile string, shards, size, maxConns int, dataDir string, syncWAL bool) (store.Store, error) {
+// exactly the acknowledged state of its predecessor. The session budget
+// covers the connections plus the shard-affine pool workers (one per
+// shard) and the admin session.
+func openStore(kind, policy, profile string, shards, size, maxConns int, dataDir string, syncWAL bool, ckptBytes int64) (store.Store, error) {
 	pol, ok := persist.ByName(policy)
 	if !ok {
 		return nil, fmt.Errorf("unknown policy %q", policy)
@@ -145,22 +160,27 @@ func openStore(kind, policy, profile string, shards, size, maxConns int, dataDir
 	if err != nil {
 		return nil, err
 	}
+	workers := shards
+	if workers < 1 {
+		workers = 1
+	}
 	return store.Open(store.Config{
 		Kind:        core.Kind(kind),
 		Policy:      pol,
 		Profile:     prof,
 		Shards:      shards,
 		SizeHint:    size,
-		MaxSessions: maxConns + 4,
+		MaxSessions: maxConns + workers + 4,
 		Dir:         dataDir,
 		SyncFence:   syncWAL,
+		CkptBytes:   ckptBytes,
 	})
 }
 
 func runServe(out io.Writer, listen string, serveFor time.Duration,
 	kind, policy, profile string, shards, size, maxConns int,
-	dataDir string, syncWAL bool, bcfg batcher.Config) error {
-	st, err := openStore(kind, policy, profile, shards, size, maxConns, dataDir, syncWAL)
+	dataDir string, syncWAL bool, ckptBytes int64, bcfg batcher.Config) error {
+	st, err := openStore(kind, policy, profile, shards, size, maxConns, dataDir, syncWAL, ckptBytes)
 	if err != nil {
 		return err
 	}
@@ -197,6 +217,12 @@ func runServe(out io.Writer, listen string, serveFor time.Duration,
 	if err := <-done; err != nil {
 		return err
 	}
+	// A failed automatic checkpoint never lost data — the old generation
+	// stayed live — but it means the WAL stopped being bounded, which only
+	// the operator can judge; surface it as the run's error.
+	if err := srv.CheckpointErr(); err != nil {
+		return fmt.Errorf("automatic checkpoint: %w", err)
+	}
 	// Clean shutdown of a durable store: checkpoint (so the next open
 	// replays a snapshot, not the whole log) and close the files.
 	if st.Durable() {
@@ -216,7 +242,7 @@ func runServe(out io.Writer, listen string, serveFor time.Duration,
 // stack. Any protocol error fails the run.
 func runSelfTest(out io.Writer, kind, policy, profile string, shards, size, maxConns int,
 	bcfg batcher.Config, loadCfg server.LoadConfig, jsonOut, label string) error {
-	st, err := openStore(kind, policy, profile, shards, size, maxConns, "", false)
+	st, err := openStore(kind, policy, profile, shards, size, maxConns, "", false, 0)
 	if err != nil {
 		return err
 	}
@@ -272,6 +298,7 @@ func writeLoadDoc(path, label string, cfg server.LoadConfig, res server.LoadResu
 		Mops:    res.OpsPerSec / 1e6,
 		Elapsed: res.Elapsed,
 		Lat:     res.Lat,
+		Offered: res.Offered,
 	})
 	doc := bench.NewBenchDoc(label, []bench.JSONRow{row})
 	if err := doc.WriteFile(path); err != nil {

@@ -18,6 +18,15 @@
 // lose requests that were never acknowledged. One worker goroutine owns the
 // session and applies batches in submission order, so requests on one key
 // are applied in the order they were submitted.
+//
+// Two generations live here. Batcher is the original central stage: one
+// worker, one session, one pending list every connection contends on. Pool
+// is the shard-affine generation the server uses: one worker per shard
+// group, each with its own session and bounded submission ring, so decoded
+// operations route by key straight to the session that owns their shard —
+// no central queue, no cross-worker coordination, and an allocation-free
+// submit path (see Completer). Batcher remains for single-session callers
+// and as the simpler reference implementation of the same commit rule.
 package batcher
 
 import (

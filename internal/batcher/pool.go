@@ -1,0 +1,398 @@
+package batcher
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pmem"
+	"repro/internal/store"
+)
+
+// Pool is the shard-affine generation of the group-commit stage: instead of
+// one central batcher funnelling every connection's writes through a single
+// session, the pool runs one worker per shard group, each owning its own
+// store session and running its own group-commit loop. Connections hand
+// decoded operations to a worker through a bounded ring (a buffered channel
+// of by-value requests — no allocation per submission), routed by the key's
+// shard, so an operation reaches the session that owns its shard without
+// crossing a central queue or a shared pending list. The group-commit rule
+// per worker is backlog-driven: a worker flushes whatever its ring holds
+// (capped at MaxBatch), so batches form naturally from what queued during
+// the previous flush; only a lonely request — one with an empty ring behind
+// it — waits up to MaxDelay for a companion before paying a fence alone.
+//
+// Correctness is unchanged — reply-after-fence per fence group — and
+// read-your-writes across workers is the caller's (the server connection's)
+// WaitGroup over all its outstanding submissions, which is worker-agnostic:
+// a completion from any worker counts it down. After every flush a worker
+// probes the store's automatic checkpoint threshold (MaybeCheckpoint), so
+// on durable stores the WAL stays bounded under live traffic with no
+// background ticker.
+
+// Completer receives a submitted operation's completion exactly once: after
+// the commit fence covering the operation landed, or with ErrClosed /
+// ErrCrashed when it never will. Implementations must be quick and must not
+// call back into the pool; Complete normally runs on a worker goroutine but
+// runs on the submitter's goroutine when the pool is already closed or
+// crashed at Submit time. The interface (rather than a callback func) is
+// what keeps the submit path allocation-free: callers hand in a reusable
+// object, not a fresh closure.
+type Completer interface {
+	Complete(res store.OpResult, err error)
+}
+
+// PoolConfig tunes the worker pool.
+type PoolConfig struct {
+	// Workers is the number of shard-affine workers (default: the store's
+	// shard count, at least 1). Each owns one session; keys route to
+	// workers by shard, so more workers than shards gains nothing.
+	Workers int
+	// Ring is each worker's bounded ring capacity (default 1024). A full
+	// ring applies backpressure: Submit blocks until the worker drains.
+	Ring int
+	// MaxBatch caps one flush (default 64); MaxDelay is how long a lonely
+	// request waits for a companion before flushing alone (default 50µs).
+	// Batches otherwise form from ring backlog with no delay.
+	MaxBatch int
+	MaxDelay time.Duration
+}
+
+// poolReq is one submitted operation in a worker's ring, held by value.
+type poolReq struct {
+	op store.Op
+	c  Completer
+}
+
+// poolWorker owns one store session and one ring.
+type poolWorker struct {
+	p     *Pool
+	sess  store.Session
+	async store.AsyncSession
+	ring  chan poolReq
+
+	// Flush scratch, reused across batches; committedFn and flushFn are
+	// built once so a flush allocates nothing.
+	reqs        []poolReq
+	ops         []store.Op
+	dst         []store.OpResult
+	committedFn func(idxs []int)
+	flushFn     func()
+	crashed     bool
+}
+
+// Pool is the shard-affine group-commit stage. Submit from any goroutine.
+type Pool struct {
+	st  store.Store // nil when built over explicit sessions
+	cfg PoolConfig
+
+	// shardFor routes keys to workers (modulo the worker count); nil routes
+	// everything to worker 0.
+	shardFor func(key uint64) int
+
+	workers []*poolWorker
+	wg      sync.WaitGroup
+
+	// mu guards closed against the rings closing: Submit sends while
+	// holding the read side, Close flips closed under the write side before
+	// closing any ring, so a send on a closed ring is impossible.
+	mu      sync.RWMutex
+	closed  bool
+	crashed atomic.Bool
+
+	ops     atomic.Uint64
+	flushes atomic.Uint64
+	groups  atomic.Uint64
+	ckptErr atomic.Pointer[error]
+}
+
+// NewPool starts a pool over st with one new session per worker.
+func NewPool(st store.Store, cfg PoolConfig) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = st.Shards()
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	sessions := make([]store.Session, cfg.Workers)
+	for i := range sessions {
+		sessions[i] = st.NewSession()
+	}
+	return newPool(st, sessions, cfg)
+}
+
+// NewSessionPool starts a single-worker pool that owns sess — the
+// session-injection constructor tests use to pair the pool with a stub
+// session. The caller must not use sess afterwards.
+func NewSessionPool(sess store.Session, cfg PoolConfig) *Pool {
+	cfg.Workers = 1
+	return newPool(nil, []store.Session{sess}, cfg)
+}
+
+// NewSessionsPool starts one worker per provided session, routing key k to
+// worker shardFor(k) % len(sessions) (nil shardFor routes everything to
+// worker 0). Test seam for multi-worker ordering scenarios over stub
+// sessions; NewPool is the production constructor.
+func NewSessionsPool(sessions []store.Session, shardFor func(key uint64) int, cfg PoolConfig) *Pool {
+	cfg.Workers = len(sessions)
+	p := newPool(nil, sessions, cfg)
+	p.shardFor = shardFor
+	return p
+}
+
+func newPool(st store.Store, sessions []store.Session, cfg PoolConfig) *Pool {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 1024
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50 * time.Microsecond
+	}
+	p := &Pool{st: st, cfg: cfg}
+	if st != nil {
+		p.shardFor = st.ShardFor
+	}
+	for _, sess := range sessions {
+		w := &poolWorker{
+			p:    p,
+			sess: sess,
+			ring: make(chan poolReq, cfg.Ring),
+		}
+		w.async, _ = sess.(store.AsyncSession)
+		p.workers = append(p.workers, w)
+		p.wg.Add(1)
+		go w.run()
+	}
+	return p
+}
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Submit enqueues one operation onto its key's shard-affine worker ring,
+// blocking when the ring is full (bounded-queue backpressure). c.Complete
+// runs exactly once; see Completer for where.
+func (p *Pool) Submit(op store.Op, c Completer) {
+	p.mu.RLock()
+	if p.closed || p.crashed.Load() {
+		closed := p.closed
+		p.mu.RUnlock()
+		if closed {
+			c.Complete(store.OpResult{}, ErrClosed)
+		} else {
+			c.Complete(store.OpResult{}, ErrCrashed)
+		}
+		return
+	}
+	w := p.workers[0]
+	if len(p.workers) > 1 && p.shardFor != nil {
+		w = p.workers[p.shardFor(op.Key)%len(p.workers)]
+	}
+	// The send happens under the read lock: Close cannot close the ring
+	// before every in-flight Submit has released it. A blocked send drains
+	// eventually — the worker consumes its ring until the ring closes, even
+	// after a crash.
+	w.ring <- poolReq{op: op, c: c}
+	p.mu.RUnlock()
+}
+
+// Do submits op and blocks for its result (synchronous convenience).
+func (p *Pool) Do(op store.Op) (store.OpResult, error) {
+	d := &doCompleter{ch: make(chan struct{})}
+	p.Submit(op, d)
+	<-d.ch
+	return d.res, d.err
+}
+
+type doCompleter struct {
+	ch  chan struct{}
+	res store.OpResult
+	err error
+}
+
+func (d *doCompleter) Complete(res store.OpResult, err error) {
+	d.res, d.err = res, err
+	close(d.ch)
+}
+
+// Close flushes every worker's pending requests, stops the workers, and
+// fails later submissions with ErrClosed. It returns once every worker has
+// exited.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, w := range p.workers {
+		close(w.ring)
+	}
+	p.wg.Wait()
+}
+
+// Stats snapshots the activity counters, summed across workers.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Ops:     p.ops.Load(),
+		Flushes: p.flushes.Load(),
+		Groups:  p.groups.Load(),
+	}
+}
+
+// CheckpointErr reports the first error an automatic post-flush checkpoint
+// returned (nil normally). The store remains consistent after a failed
+// checkpoint — the old generation stays live — but the WAL is no longer
+// being bounded, which the server surfaces at shutdown.
+func (p *Pool) CheckpointErr() error {
+	if e := p.ckptErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// run is one worker's loop: take the first request (blocking), drain the
+// ring without blocking, flush, probe the checkpoint threshold. Batches are
+// sized by backlog, not by timer: whatever queued in the ring while the
+// previous flush ran becomes the next batch, so a saturated worker batches
+// naturally and an idle worker never stalls a request behind a delay it
+// cannot fill. The one exception is a lonely request — a drain that finds
+// the ring empty — which waits up to MaxDelay for a companion before
+// flushing alone: that wait is the classic group-commit amortization for
+// trickle traffic (several slow clients landing within the window share
+// one fence), and it costs nothing under load because a busy ring never
+// drains to one. After a crash the worker stays on the ring failing
+// everything with ErrCrashed until Close, so submitters blocked on a full
+// ring always make progress.
+func (w *poolWorker) run() {
+	defer w.p.wg.Done()
+	maxBatch := w.p.cfg.MaxBatch
+	var timer *time.Timer
+	for {
+		r, ok := <-w.ring
+		if !ok {
+			return
+		}
+		if w.crashed {
+			r.c.Complete(store.OpResult{}, ErrCrashed)
+			continue
+		}
+		w.reqs = append(w.reqs[:0], r)
+		open := w.drain(maxBatch)
+		if len(w.reqs) == 1 && open {
+			// Lonely request: wait for company. The timer is reused across
+			// batches (no allocation per flush).
+			if timer == nil {
+				timer = time.NewTimer(w.p.cfg.MaxDelay)
+			} else {
+				timer.Reset(w.p.cfg.MaxDelay)
+			}
+			select {
+			case r, ok := <-w.ring:
+				if ok {
+					w.reqs = append(w.reqs, r)
+					w.drain(maxBatch)
+				}
+			case <-timer.C:
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		if !w.flush() {
+			w.crashed = true
+			w.p.crashed.Store(true)
+			continue
+		}
+		if st := w.p.st; st != nil {
+			if _, err := st.MaybeCheckpoint(); err != nil {
+				// Copy before taking the address: &err directly would make
+				// the variable escape and cost one allocation per flush even
+				// on the nil path.
+				e := err
+				w.p.ckptErr.CompareAndSwap(nil, &e)
+			}
+		}
+	}
+}
+
+// drain moves queued requests from the ring into the batch without
+// blocking, up to maxBatch; it reports whether the ring is still open.
+func (w *poolWorker) drain(maxBatch int) bool {
+	for len(w.reqs) < maxBatch {
+		select {
+		case r, ok := <-w.ring:
+			if !ok {
+				return false
+			}
+			w.reqs = append(w.reqs, r)
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+// flush applies the worker's gathered batch through its own session and
+// completes requests per fence group (reply-after-fence). Returns false
+// when the memory crashed mid-batch: already-completed requests were
+// acknowledged by fences that landed, the rest complete with ErrCrashed.
+func (w *poolWorker) flush() bool {
+	p := w.p
+	ops := w.ops[:0]
+	for i := range w.reqs {
+		ops = append(ops, w.reqs[i].op)
+	}
+	w.ops = ops
+	// Pre-size dst so ApplyCommitted cannot reallocate it out from under
+	// the committed callback.
+	if cap(w.dst) < len(ops) {
+		w.dst = make([]store.OpResult, len(ops))
+	}
+	w.dst = w.dst[:len(ops)]
+	if w.flushFn == nil {
+		w.committedFn = func(idxs []int) {
+			w.p.groups.Add(1)
+			for _, i := range idxs {
+				if c := w.reqs[i].c; c != nil {
+					w.reqs[i].c = nil
+					c.Complete(w.dst[i], nil)
+				}
+			}
+		}
+		w.flushFn = func() {
+			if w.async != nil {
+				w.async.ApplyCommitted(w.ops, w.dst, w.committedFn)
+				return
+			}
+			w.sess.Apply(w.ops, w.dst)
+			w.p.groups.Add(1)
+			for i := range w.reqs {
+				if c := w.reqs[i].c; c != nil {
+					w.reqs[i].c = nil
+					c.Complete(w.dst[i], nil)
+				}
+			}
+		}
+	}
+	crashed := pmem.RunOp(w.flushFn)
+	p.flushes.Add(1)
+	p.ops.Add(uint64(len(w.reqs)))
+	if crashed {
+		for i := range w.reqs {
+			if c := w.reqs[i].c; c != nil {
+				w.reqs[i].c = nil
+				c.Complete(store.OpResult{}, ErrCrashed)
+			}
+		}
+		return false
+	}
+	return true
+}

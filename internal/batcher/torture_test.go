@@ -47,11 +47,31 @@ func TestBatcherCrashTorture(t *testing.T) {
 	}
 	for round := 0; round < rounds; round++ {
 		evict := []float64{0, 0.5, 1}[round%3]
-		tortureRound(t, round, evict)
+		tortureRound(t, round, evict, false)
 	}
 }
 
-func tortureRound(t *testing.T, seed int, evictProb float64) {
+// TestPoolCrashTorture runs the same torture through the shard-affine
+// worker pool: the reply-after-fence rule must hold per worker, and a crash
+// must fail every unacknowledged request across all workers' rings.
+func TestPoolCrashTorture(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		evict := []float64{0, 0.5, 1}[round%3]
+		tortureRound(t, round, evict, true)
+	}
+}
+
+// cbCompleter adapts a callback to the pool's Completer surface (tests
+// only; the server uses reusable slot objects).
+type cbCompleter struct{ fn func(store.OpResult, error) }
+
+func (c cbCompleter) Complete(res store.OpResult, err error) { c.fn(res, err) }
+
+func tortureRound(t *testing.T, seed int, evictProb float64, usePool bool) {
 	const (
 		workers        = 4
 		window         = 4
@@ -79,7 +99,17 @@ func tortureRound(t *testing.T, seed int, evictProb float64) {
 	}
 	eng.PersistAll()
 
-	b := NewSession(st.NewSession(), Config{MaxBatch: 8, MaxDelay: 100 * time.Microsecond})
+	var submit func(op store.Op, cb func(store.OpResult, error))
+	var closeStage func()
+	if usePool {
+		p := NewPool(st, PoolConfig{Workers: 2, MaxBatch: 8, MaxDelay: 100 * time.Microsecond})
+		submit = func(op store.Op, cb func(store.OpResult, error)) { p.Submit(op, cbCompleter{fn: cb}) }
+		closeStage = p.Close
+	} else {
+		b := NewSession(st.NewSession(), Config{MaxBatch: 8, MaxDelay: 100 * time.Microsecond})
+		submit = b.Submit
+		closeStage = b.Close
+	}
 	var completed atomic.Uint64
 	histories := make([]*crashtest.History, workers)
 	var wg sync.WaitGroup
@@ -121,7 +151,7 @@ func tortureRound(t *testing.T, seed int, evictProb float64) {
 						done: make(chan struct{}),
 					}
 					slots[i] = sl
-					b.Submit(sl.op, func(res store.OpResult, err error) {
+					submit(sl.op, func(res store.OpResult, err error) {
 						sl.res, sl.err = res, err
 						close(sl.done)
 					})
@@ -160,7 +190,7 @@ func tortureRound(t *testing.T, seed int, evictProb float64) {
 	}
 	eng.Crash()
 	wg.Wait()
-	b.Close()
+	closeStage()
 	eng.FinishCrash(evictProb, int64(seed))
 	eng.Restart()
 

@@ -45,6 +45,12 @@ type JSONRow struct {
 	// such rows Ops counts replayed records and OpsPerSec is records/s.
 	ReplayRecords uint64 `json:"replay_records,omitempty"`
 	ReplayBytes   uint64 `json:"replay_bytes,omitempty"`
+	// OfferedOpsPerSec (schema 4) is set on server rows whose latency
+	// percentiles come from an open-loop run: the rate the load generator
+	// actually offered, independent of how fast the server answered. On
+	// such rows the percentiles are free of coordinated omission; the
+	// throughput fields still come from the closed-loop capacity run.
+	OfferedOpsPerSec float64 `json:"offered_ops_per_sec,omitempty"`
 }
 
 // SpeedupRow compares one panel row against the same row of a baseline doc.
@@ -111,6 +117,7 @@ func RowFromResult(panel string, r Result) JSONRow {
 		row.P99us = float64(r.Lat.Quantile(0.99)) / 1e3
 		row.P999us = float64(r.Lat.Quantile(0.999)) / 1e3
 	}
+	row.OfferedOpsPerSec = r.Offered
 	return row
 }
 
@@ -194,8 +201,11 @@ func RunBaseline(dur time.Duration, progress func(string)) ([]JSONRow, error) {
 
 // CurrentSchema is the BenchDoc schema this harness writes. Schema 2 added
 // the latency percentile fields; schema 3 added the recovery-replay fields
-// (ReplayRecords/ReplayBytes). Older documents still load and compare.
-const CurrentSchema = 3
+// (ReplayRecords/ReplayBytes); schema 4 added OfferedOpsPerSec and makes
+// server-row percentiles open-loop (intended-send-time) measurements —
+// percentiles on server rows are not comparable across that boundary.
+// Older documents still load and compare (throughput gating is unaffected).
+const CurrentSchema = 4
 
 // NewBenchDoc assembles a document from captured rows.
 func NewBenchDoc(label string, rows []JSONRow) *BenchDoc {

@@ -75,6 +75,9 @@ type WALStats struct {
 	Records uint64
 	Lines   uint64
 	Bytes   uint64
+	// Checkpoints counts Checkpoint calls that committed (WALSize resets to
+	// the magic header at each).
+	Checkpoints uint64
 }
 
 // ReplayStats summarizes one RecoverFiles pass (and is the source of the
@@ -134,6 +137,14 @@ type durableMem struct {
 	// dirty is true while the userspace buffer may hold unflushed records;
 	// checked lock-free so DurableSync costs one atomic load when clean.
 	dirty atomic.Bool
+
+	// walLen is the current generation's log length in bytes (including
+	// buffered records), maintained lock-free so size-threshold checkpoint
+	// triggers cost one atomic load per check. ckptBusy makes concurrent
+	// CheckpointIfOver callers skip instead of queueing on d.mu behind a
+	// running dump.
+	walLen   atomic.Int64
+	ckptBusy atomic.Bool
 }
 
 func newDurableMem(dir string, syncFence bool) *durableMem {
@@ -165,6 +176,39 @@ func (m *Memory) WALStats() WALStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.wstats
+}
+
+// WALSize reports the current generation's log length in bytes, buffered
+// records included (0 without a file backend). One atomic load: callable
+// from hot paths as a checkpoint-threshold probe.
+func (m *Memory) WALSize() int64 {
+	if m.durable == nil {
+		return 0
+	}
+	return m.durable.walLen.Load()
+}
+
+// CheckpointIfOver takes a checkpoint when the current WAL has grown to at
+// least threshold bytes, bounding replay work after a kill. It returns
+// whether a checkpoint ran. Concurrent callers do not pile up: whoever
+// loses the busy flag skips — the winner is already resetting the log.
+// Safe under live traffic (see Checkpoint).
+func (m *Memory) CheckpointIfOver(threshold int64) (bool, error) {
+	d := m.durable
+	if d == nil || threshold <= 0 || d.walLen.Load() < threshold {
+		return false, nil
+	}
+	if !d.ckptBusy.CompareAndSwap(false, true) {
+		return false, nil
+	}
+	defer d.ckptBusy.Store(false)
+	if d.walLen.Load() < threshold {
+		return false, nil
+	}
+	if err := m.Checkpoint(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // ReplayStats reports the outcome of the RecoverFiles pass (zero before it
@@ -405,6 +449,7 @@ func (d *durableMem) appendRecord(entries []walEntry) {
 	d.wstats.Records++
 	d.wstats.Lines += uint64(len(entries))
 	d.wstats.Bytes += uint64(len(d.scratch))
+	d.walLen.Add(int64(len(d.scratch)))
 	d.dirty.Store(true)
 	d.mu.Unlock()
 }

@@ -37,19 +37,27 @@ import (
 // acknowledged record necessarily lies before it (acknowledgement waits for
 // the flush of its record).
 //
-// A checkpoint is
+// A checkpoint (current format, v2) is
 //
-//	ckptMagic | u32 regionCount | regionCount × (u64 tag | u64 size | raw
-//	bytes) | u32 crc32(everything after the magic)
+//	ckptMagic2 | u32 regionCount | u64 boot | regionCount × (u64 tag |
+//	u64 size | (size/64) × (u64 ver | 64 content bytes)) |
+//	u32 crc32(everything after the magic)
 //
 // written to a temp file, fsynced and renamed, then a fresh empty WAL for
 // the next generation is created before CURRENT flips — so a crash anywhere
 // in the sequence leaves either the old generation fully live or the new
-// one, never a mix.
+// one, never a mix. The per-line versions (read before the line content,
+// the same ordering captureFast relies on) let recovery seed the replay
+// guard: a WAL record that captured a line at a version the checkpoint
+// already covers is skipped, which is what makes checkpointing safe under
+// live traffic — a thread that captured a line before the checkpoint but
+// fenced after it cannot roll the line back (see Checkpoint). The v1
+// format (no versions, quiesced-only) is still read for old directories.
 
 const (
-	walMagic  = "NVTWAL1\n"
-	ckptMagic = "NVTCKP1\n"
+	walMagic   = "NVTWAL1\n"
+	ckptMagic  = "NVTCKP1\n"
+	ckptMagic2 = "NVTCKP2\n"
 
 	walEntryBytes  = 88
 	walFrameHeader = 8
@@ -164,8 +172,12 @@ func (d *durableMem) storeLine(r *region, idx uint32, mask uint8, vals *[CellsPe
 }
 
 // loadCheckpoint reads and applies ckpt-<gen>.snap; missing file is fine
-// (no checkpoint taken yet in this generation).
-func (d *durableMem) loadCheckpoint(gen uint64, seen map[uint64]bool, st *ReplayStats) error {
+// (no checkpoint taken yet in this generation). A v2 checkpoint seeds the
+// replay guard with its per-line versions, so WAL records that captured a
+// line the checkpoint already covers are skipped — the other half of the
+// live-checkpoint safety argument (see Checkpoint). A v1 checkpoint (taken
+// quiesced, its WAL necessarily empty at the flip) seeds nothing.
+func (d *durableMem) loadCheckpoint(gen uint64, guard map[lineGuard][2]uint64, seen map[uint64]bool, st *ReplayStats) error {
 	b, err := os.ReadFile(ckptPath(d.dir, gen))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -173,15 +185,30 @@ func (d *durableMem) loadCheckpoint(gen uint64, seen map[uint64]bool, st *Replay
 	if err != nil {
 		return err
 	}
-	if len(b) < len(ckptMagic)+8 || string(b[:len(ckptMagic)]) != ckptMagic {
+	if len(b) < len(ckptMagic)+8 {
+		return fmt.Errorf("pmem: checkpoint %s: bad magic", ckptPath(d.dir, gen))
+	}
+	v2 := string(b[:len(ckptMagic2)]) == ckptMagic2
+	if !v2 && string(b[:len(ckptMagic)]) != ckptMagic {
 		return fmt.Errorf("pmem: checkpoint %s: bad magic", ckptPath(d.dir, gen))
 	}
 	body, sum := b[len(ckptMagic):len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
 		return fmt.Errorf("pmem: checkpoint %s: checksum mismatch", ckptPath(d.dir, gen))
 	}
+	if len(body) < 4 {
+		return fmt.Errorf("pmem: checkpoint %s: short header", ckptPath(d.dir, gen))
+	}
 	n := binary.LittleEndian.Uint32(body)
 	body = body[4:]
+	var ckptBoot uint64
+	if v2 {
+		if len(body) < 8 {
+			return fmt.Errorf("pmem: checkpoint %s: short header", ckptPath(d.dir, gen))
+		}
+		ckptBoot = binary.LittleEndian.Uint64(body)
+		body = body[8:]
+	}
 	var full [CellsPerLine]uint64
 	for i := uint32(0); i < n; i++ {
 		if len(body) < 16 {
@@ -190,11 +217,15 @@ func (d *durableMem) loadCheckpoint(gen uint64, seen map[uint64]bool, st *Replay
 		tag := binary.LittleEndian.Uint64(body)
 		size := binary.LittleEndian.Uint64(body[8:])
 		body = body[16:]
-		if size%LineSize != 0 || uint64(len(body)) < size {
+		stride := uint64(LineSize)
+		if v2 {
+			stride += 8 // u64 version prefix per line
+		}
+		if size%LineSize != 0 || uint64(len(body)) < size/LineSize*stride {
 			return fmt.Errorf("pmem: checkpoint %s: bad region size %d", ckptPath(d.dir, gen), size)
 		}
-		raw := body[:size]
-		body = body[size:]
+		raw := body[:size/LineSize*stride]
+		body = body[size/LineSize*stride:]
 		d.provided(tag, seen)
 		d.regMu.Lock()
 		r := d.byTag[tag]
@@ -208,8 +239,18 @@ func (d *durableMem) loadCheckpoint(gen uint64, seen map[uint64]bool, st *Replay
 				uint32(tag>>32), uint32(tag), size, r.size)
 		}
 		for line := uintptr(0); line < r.size/LineSize; line++ {
+			off := line * uintptr(stride)
+			if v2 {
+				ver := binary.LittleEndian.Uint64(raw[off:])
+				// Seed every line, version 0 included: the checkpoint content
+				// was read after the version, so a record at a version the
+				// seed covers carries nothing the content lacks — while
+				// applying it could roll the line back below the snapshot.
+				guard[lineGuard{tag: tag, idx: uint32(line)}] = [2]uint64{ckptBoot, ver}
+				off += 8
+			}
 			for s := 0; s < CellsPerLine; s++ {
-				full[s] = binary.LittleEndian.Uint64(raw[line*LineSize+uintptr(s)*8:])
+				full[s] = binary.LittleEndian.Uint64(raw[off+uintptr(s)*8:])
 			}
 			d.storeLine(r, uint32(line), 0xff, &full)
 		}
@@ -343,10 +384,10 @@ func (m *Memory) RecoverFiles() (ReplayStats, error) {
 			gen, boot = 1, 0
 		}
 		seen := make(map[uint64]bool)
-		if err := d.loadCheckpoint(gen, seen, &st); err != nil {
+		guard := make(map[lineGuard][2]uint64)
+		if err := d.loadCheckpoint(gen, guard, seen, &st); err != nil {
 			return err
 		}
-		guard := make(map[lineGuard][2]uint64)
 		lastGood, err := d.replayWAL(gen, guard, seen, &st)
 		if err != nil {
 			return err
@@ -377,7 +418,9 @@ func (m *Memory) RecoverFiles() (ReplayStats, error) {
 		if end == 0 {
 			d.bw.WriteString(walMagic)
 			d.dirty.Store(true)
+			end = int64(len(walMagic))
 		}
+		d.walLen.Store(end)
 		d.removeStaleGenerations()
 		return nil
 	}()
@@ -419,10 +462,18 @@ func (d *durableMem) removeStaleGenerations() {
 
 // Checkpoint dumps every registered region to a new-generation snapshot,
 // switches the WAL to a fresh (empty) log, and retires the old generation —
-// bounding replay work at the next open. It must run at a quiescent point:
-// no thread mid-operation, everything acknowledged already fenced (the
-// store layer checkpoints at clean shutdown and between sessions). No-op
-// without a file backend.
+// bounding replay work at the next open. It is safe under live traffic:
+// holding d.mu for the duration excludes WAL appends (so every record of
+// the retired log was appended by a fence that synchronized-before this
+// checkpoint, and its content is therefore visible to the region scan),
+// and the snapshot records each line's write version — read before the
+// line content, exactly like captureFast — so recovery seeds the replay
+// guard and skips any record a thread captured before the scan but fenced
+// into the NEW log after it. A write the seed masks is either already in
+// the snapshot content (its version bump preceded the scan's version read)
+// or re-captured at a newer version by its own thread's later fence. The
+// threads pay one stalled fence while the dump runs; nothing needs to
+// quiesce. No-op without a file backend.
 func (m *Memory) Checkpoint() error {
 	d := m.durable
 	if d == nil {
@@ -440,6 +491,9 @@ func (m *Memory) Checkpoint() error {
 	newGen := d.gen + 1
 
 	// 1. Snapshot all regions into ckpt-<newGen> (tmp + fsync + rename).
+	// The regions snapshot is loaded after d.mu: a region referenced by any
+	// record in the retired log was registered before the fence that wrote
+	// the record, which took d.mu before we did.
 	var regs []*region
 	if p := d.regions.Load(); p != nil {
 		regs = *p
@@ -452,7 +506,7 @@ func (m *Memory) Checkpoint() error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(cf, crc), 1<<16)
 	// The magic is outside the checksum; split the writer accordingly.
-	if _, err := cf.WriteString(ckptMagic); err != nil {
+	if _, err := cf.WriteString(ckptMagic2); err != nil {
 		cf.Close()
 		return err
 	}
@@ -460,13 +514,21 @@ func (m *Memory) Checkpoint() error {
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(regs)))
 	bw.Write(hdr[:4])
 	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], d.boot)
+	bw.Write(word[:])
 	for _, r := range regs {
 		binary.LittleEndian.PutUint64(hdr[:8], r.tag)
 		binary.LittleEndian.PutUint64(hdr[8:], uint64(r.size))
 		bw.Write(hdr[:])
-		for off := uintptr(0); off < r.size; off += 8 {
-			binary.LittleEndian.PutUint64(word[:], (*atomic.Uint64)(unsafe.Add(r.ptr, off)).Load())
+		for off := uintptr(0); off < r.size; off += LineSize {
+			// Per line: version first, then content — the capture ordering
+			// the replay-guard seeding depends on.
+			binary.LittleEndian.PutUint64(word[:], m.lineVersion((r.base+off)>>lineShift))
 			bw.Write(word[:])
+			for s := uintptr(0); s < LineSize; s += 8 {
+				binary.LittleEndian.PutUint64(word[:], (*atomic.Uint64)(unsafe.Add(r.ptr, off+s)).Load())
+				bw.Write(word[:])
+			}
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -517,9 +579,31 @@ func (m *Memory) Checkpoint() error {
 	d.f.Close()
 	d.f = nf
 	d.bw = bufio.NewWriterSize(nf, 1<<16)
+	d.walLen.Store(int64(len(walMagic)))
+	d.wstats.Checkpoints++
 	oldGen := d.gen
 	d.gen = newGen
 	os.Remove(walPath(d.dir, oldGen))
 	os.Remove(ckptPath(d.dir, oldGen))
 	return nil
+}
+
+// lineVersion reads a line's current write version the same way the flush
+// path does: the exact tracked counter under its stripe lock, or the
+// hashed fast-mode slot (collisions only inflate the version, which at
+// worst makes a replay-guard seed skip a record whose content the
+// checkpoint covers anyway — the slot counter is shared and monotone).
+func (m *Memory) lineVersion(key uintptr) uint64 {
+	if mo := m.model; mo != nil {
+		st := mo.stripeOf(key)
+		st.mu.Lock()
+		var ver uint64
+		if ls := st.lines[key]; ls != nil {
+			ver = ls.curVer
+		}
+		st.mu.Unlock()
+		return ver
+	}
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	return m.lineVer[h>>(64-uint(m.cfg.LineTableBits))].v.Load()
 }

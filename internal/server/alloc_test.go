@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/batcher"
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/store"
+)
+
+// The shard package pins Session.Get at zero allocations; these tests
+// extend that guarantee up through the serving path: binary frame decode,
+// shard-affine ring submission, group commit, and reply rendering into the
+// connection's reusable slot. AllocsPerRun counts mallocs process-wide, so
+// the pool worker goroutines are covered too — a closure or slice born per
+// flush anywhere in the path fails the test.
+
+// allocHarness builds a server and a binary connState wired straight to the
+// dispatch layer (no socket: the network write is the kernel's job, the
+// allocation story ends at the rendered slot buffer).
+func allocHarness(t *testing.T) (*connState, func()) {
+	t.Helper()
+	st, err := store.Open(store.Config{
+		Kind: core.KindHash, Policy: persist.NVTraverse{}, Profile: pmem.ProfileZero,
+		Shards: 4, SizeHint: 1 << 12, MaxSessions: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny MaxDelay so single-op batches flush immediately: each measured
+	// iteration spans a complete submit → fence → complete round trip.
+	srv := New(st, Config{
+		MaxConns: 2,
+		Batch:    batcher.Config{MaxBatch: 4, MaxDelay: time.Microsecond},
+	})
+	sess := st.NewSession()
+	cs := newConnState(srv, sess, 8, true)
+	for k := uint64(1); k <= 512; k++ {
+		sess.Insert(k, k)
+	}
+	return cs, func() { srv.Close() }
+}
+
+// roundTrip pushes one decoded binary request through dispatch and drains
+// its reply slot, asserting the reply tag.
+func roundTrip(t *testing.T, cs *connState, op byte, payload []byte, wantTag byte) {
+	cs.dispatchBin(op, payload)
+	sl := <-cs.order
+	<-sl.ready
+	if len(sl.buf) < 5 || sl.buf[4] != wantTag {
+		t.Fatalf("reply % x, want tag %d", sl.buf, wantTag)
+	}
+	cs.free <- sl
+}
+
+// TestBinaryWritePathAllocs: PUT to an existing key — decode, submit to the
+// key's worker ring, group commit, OK frame — at zero allocations per op.
+func TestBinaryWritePathAllocs(t *testing.T) {
+	cs, stop := allocHarness(t)
+	defer stop()
+	payload := make([]byte, 16)
+	put := func(k uint64) {
+		binary.LittleEndian.PutUint64(payload, k)
+		binary.LittleEndian.PutUint64(payload[8:], k*7)
+		roundTrip(t, cs, binOpPut, payload, binTagOK)
+	}
+	for i := uint64(1); i <= 128; i++ { // warm worker scratch and slot buffers
+		put(i%512 + 1)
+	}
+	if avg := testing.AllocsPerRun(200, func() { put(137) }); avg != 0 {
+		t.Errorf("binary PUT path: %v allocs per op, want 0", avg)
+	}
+}
+
+// TestBinaryReadPathAllocs: GET — await outstanding writes, decode, engine
+// lookup, VALUE/NIL frame — at zero allocations per op, hit and miss.
+func TestBinaryReadPathAllocs(t *testing.T) {
+	cs, stop := allocHarness(t)
+	defer stop()
+	payload := make([]byte, 8)
+	get := func(k uint64, wantTag byte) {
+		binary.LittleEndian.PutUint64(payload, k)
+		roundTrip(t, cs, binOpGet, payload, wantTag)
+	}
+	for i := uint64(1); i <= 64; i++ { // warm up
+		get(i, binTagValue)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		get(321, binTagValue)
+		get(100021, binTagNil) // miss path must be clean too
+	}); avg != 0 {
+		t.Errorf("binary GET path: %v allocs per 2 gets, want 0", avg)
+	}
+}

@@ -2,8 +2,10 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -12,11 +14,18 @@ import (
 // Client is a pipelining protocol client: Send* methods queue commands in
 // the write buffer, Flush pushes them to the wire, and the Read* methods
 // consume replies in send order. The synchronous helpers (Put, Get, ...)
-// wrap a send+flush+read pair. A Client is not safe for concurrent use.
+// wrap a send+flush+read pair. A Client is not safe for concurrent use
+// (but its read and write sides may be driven by one goroutine each —
+// the open-loop load generator does).
+//
+// A Client speaks either the text protocol (Dial/NewClient) or the binary
+// frame protocol (DialBin/NewClientBin); both expose the same surface and
+// parse into the same Reply struct.
 type Client struct {
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
+	c   net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	bin bool
 }
 
 // Dial connects to a server address ("unix:/path", "tcp:host:port", or
@@ -30,6 +39,16 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(c), nil
 }
 
+// DialBin connects like Dial and negotiates the binary frame protocol.
+func DialBin(addr string) (*Client, error) {
+	network, address := SplitAddr(addr)
+	c, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	return NewClientBin(c), nil
+}
+
 // NewClient wraps an established connection.
 func NewClient(c net.Conn) *Client {
 	return &Client{
@@ -37,6 +56,15 @@ func NewClient(c net.Conn) *Client {
 		br: bufio.NewReaderSize(c, 64<<10),
 		bw: bufio.NewWriterSize(c, 64<<10),
 	}
+}
+
+// NewClientBin wraps an established connection and queues the binary magic
+// (it reaches the server with the first Flush).
+func NewClientBin(c net.Conn) *Client {
+	cl := NewClient(c)
+	cl.bin = true
+	cl.bw.Write([]byte{binMagic, binVersion})
+	return cl
 }
 
 // Close closes the connection.
@@ -55,19 +83,51 @@ func (cl *Client) Send(line string) error {
 }
 
 // SendGet, SendPut, SendInsert, SendDel, SendUpdate queue point commands
-// without allocating the command string.
-func (cl *Client) SendGet(k uint64) error    { return cl.send1("GET", k) }
-func (cl *Client) SendDel(k uint64) error    { return cl.send1("DEL", k) }
-func (cl *Client) SendPut(k, v uint64) error { return cl.send2("PUT", k, v) }
+// without allocating the command string, in whichever protocol the client
+// negotiated.
+func (cl *Client) SendGet(k uint64) error {
+	if cl.bin {
+		return cl.sendBin1(binOpGet, k)
+	}
+	return cl.send1("GET", k)
+}
+func (cl *Client) SendDel(k uint64) error {
+	if cl.bin {
+		return cl.sendBin1(binOpDel, k)
+	}
+	return cl.send1("DEL", k)
+}
+func (cl *Client) SendPut(k, v uint64) error {
+	if cl.bin {
+		return cl.sendBin2(binOpPut, k, v)
+	}
+	return cl.send2("PUT", k, v)
+}
 func (cl *Client) SendInsert(k, v uint64) error {
+	if cl.bin {
+		return cl.sendBin2(binOpInsert, k, v)
+	}
 	return cl.send2("INSERT", k, v)
 }
 func (cl *Client) SendUpdate(k, v uint64) error {
+	if cl.bin {
+		return cl.sendBin2(binOpUpdate, k, v)
+	}
 	return cl.send2("UPDATE", k, v)
 }
 
 // SendScan queues a SCAN with a result cap.
 func (cl *Client) SendScan(lo, hi uint64, max int) error {
+	if cl.bin {
+		var b [25]byte
+		binary.LittleEndian.PutUint32(b[:4], 21)
+		b[4] = binOpScan
+		binary.LittleEndian.PutUint64(b[5:], lo)
+		binary.LittleEndian.PutUint64(b[13:], hi)
+		binary.LittleEndian.PutUint32(b[21:], uint32(max))
+		_, err := cl.bw.Write(b[:])
+		return err
+	}
 	var buf [96]byte
 	b := append(buf[:0], "SCAN "...)
 	b = strconv.AppendUint(b, lo, 10)
@@ -77,6 +137,64 @@ func (cl *Client) SendScan(lo, hi uint64, max int) error {
 	b = strconv.AppendInt(b, int64(max), 10)
 	b = append(b, '\r', '\n')
 	_, err := cl.bw.Write(b)
+	return err
+}
+
+// SendMGet queues an MGET for a set of keys.
+func (cl *Client) SendMGet(keys []uint64) error {
+	if cl.bin {
+		var hdr [9]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(5+8*len(keys)))
+		hdr[4] = binOpMGet
+		binary.LittleEndian.PutUint32(hdr[5:], uint32(len(keys)))
+		if _, err := cl.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		var kb [8]byte
+		for _, k := range keys {
+			binary.LittleEndian.PutUint64(kb[:], k)
+			if _, err := cl.bw.Write(kb[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var buf [96]byte
+	b := append(buf[:0], "MGET"...)
+	for _, k := range keys {
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, k, 10)
+	}
+	b = append(b, '\r', '\n')
+	_, err := cl.bw.Write(b)
+	return err
+}
+
+// sendBin0, sendBin1, sendBin2 queue fixed-shape binary request frames.
+func (cl *Client) sendBin0(op byte) error {
+	var b [5]byte
+	binary.LittleEndian.PutUint32(b[:4], 1)
+	b[4] = op
+	_, err := cl.bw.Write(b[:])
+	return err
+}
+
+func (cl *Client) sendBin1(op byte, k uint64) error {
+	var b [13]byte
+	binary.LittleEndian.PutUint32(b[:4], 9)
+	b[4] = op
+	binary.LittleEndian.PutUint64(b[5:], k)
+	_, err := cl.bw.Write(b[:])
+	return err
+}
+
+func (cl *Client) sendBin2(op byte, k, v uint64) error {
+	var b [21]byte
+	binary.LittleEndian.PutUint32(b[:4], 17)
+	b[4] = op
+	binary.LittleEndian.PutUint64(b[5:], k)
+	binary.LittleEndian.PutUint64(b[13:], v)
+	_, err := cl.bw.Write(b[:])
 	return err
 }
 
@@ -124,6 +242,9 @@ func (r Reply) IsErr() bool { return r.Err != "" }
 // ReadReply consumes one reply (flushing queued commands first is the
 // caller's job; the sync helpers do it).
 func (cl *Client) ReadReply() (Reply, error) {
+	if cl.bin {
+		return cl.readBinReply()
+	}
 	line, err := cl.readLine()
 	if err != nil {
 		return Reply{}, err
@@ -167,6 +288,74 @@ func (cl *Client) ReadReply() (Reply, error) {
 	return Reply{}, fmt.Errorf("server: unknown reply %q", line)
 }
 
+// readBinReply parses one binary reply frame into the shared Reply shape:
+// PAIRS entries render as "k v" lines and MULTI entries as "$v"/"$-1", so
+// Scan and array handling work identically across protocols.
+func (cl *Client) readBinReply() (Reply, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(cl.br, hdr[:]); err != nil {
+		return Reply{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxBinFrame {
+		return Reply{}, fmt.Errorf("server: bad binary frame length %d", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(cl.br, payload); err != nil {
+		return Reply{}, err
+	}
+	switch hdr[4] {
+	case binTagOK:
+		return Reply{Status: "OK"}, nil
+	case binTagValue:
+		if len(payload) != 8 {
+			return Reply{}, errors.New("server: malformed VALUE frame")
+		}
+		return Reply{Value: binary.LittleEndian.Uint64(payload), Found: true}, nil
+	case binTagNil:
+		return Reply{}, nil
+	case binTagTrue:
+		return Reply{Int: 1}, nil
+	case binTagFalse:
+		return Reply{Int: 0}, nil
+	case binTagPairs:
+		if len(payload) < 4 {
+			return Reply{}, errors.New("server: malformed PAIRS frame")
+		}
+		cnt := int(binary.LittleEndian.Uint32(payload))
+		if len(payload) != 4+16*cnt {
+			return Reply{}, errors.New("server: malformed PAIRS frame")
+		}
+		arr := make([]string, cnt)
+		for i := 0; i < cnt; i++ {
+			k := binary.LittleEndian.Uint64(payload[4+16*i:])
+			v := binary.LittleEndian.Uint64(payload[12+16*i:])
+			arr[i] = strconv.FormatUint(k, 10) + " " + strconv.FormatUint(v, 10)
+		}
+		return Reply{Array: arr}, nil
+	case binTagMulti:
+		if len(payload) < 4 {
+			return Reply{}, errors.New("server: malformed MULTI frame")
+		}
+		cnt := int(binary.LittleEndian.Uint32(payload))
+		if len(payload) != 4+9*cnt {
+			return Reply{}, errors.New("server: malformed MULTI frame")
+		}
+		arr := make([]string, cnt)
+		for i := 0; i < cnt; i++ {
+			if payload[4+9*i] == 0 {
+				arr[i] = "$-1"
+			} else {
+				arr[i] = "$" + strconv.FormatUint(binary.LittleEndian.Uint64(payload[5+9*i:]), 10)
+			}
+		}
+		return Reply{Array: arr}, nil
+	case binTagErr:
+		return Reply{Err: string(payload)}, nil
+	}
+	return Reply{}, fmt.Errorf("server: unknown binary reply tag %d", hdr[4])
+}
+
 func (cl *Client) readLine() (string, error) {
 	line, err := cl.br.ReadString('\n')
 	if err != nil {
@@ -192,10 +381,16 @@ func (cl *Client) roundTrip() (Reply, error) {
 
 // Ping round-trips a PING.
 func (cl *Client) Ping() error {
-	if err := cl.Send("PING"); err != nil {
+	var err error
+	if cl.bin {
+		err = cl.sendBin0(binOpPing)
+	} else {
+		err = cl.Send("PING")
+	}
+	if err != nil {
 		return err
 	}
-	_, err := cl.roundTrip()
+	_, err = cl.roundTrip()
 	return err
 }
 
@@ -269,9 +464,16 @@ func (cl *Client) Scan(lo, hi uint64, max int) (keys, vals []uint64, err error) 
 	return keys, vals, nil
 }
 
-// Stats fetches the server's counters.
+// Stats fetches the server's counters (text protocol only: a binary
+// connection surfaces the server's ERR frame as an error).
 func (cl *Client) Stats() (map[string]uint64, error) {
-	if err := cl.Send("STATS"); err != nil {
+	var err error
+	if cl.bin {
+		err = cl.sendBin0(binOpStats)
+	} else {
+		err = cl.Send("STATS")
+	}
+	if err != nil {
 		return nil, err
 	}
 	r, err := cl.roundTrip()
@@ -295,7 +497,13 @@ func (cl *Client) Stats() (map[string]uint64, error) {
 
 // Quit sends QUIT and closes.
 func (cl *Client) Quit() error {
-	if err := cl.Send("QUIT"); err != nil {
+	var err error
+	if cl.bin {
+		err = cl.sendBin0(binOpQuit)
+	} else {
+		err = cl.Send("QUIT")
+	}
+	if err != nil {
 		return err
 	}
 	if _, err := cl.roundTrip(); err != nil {

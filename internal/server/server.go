@@ -1,15 +1,22 @@
 // Package server is the network front end of the durable store: a
-// pipelined, RESP-lite text protocol over TCP or Unix sockets on top of
-// store.Store, with the group-commit batcher (internal/batcher) at its
-// core. Every write a connection submits rides a shared batch, so the
-// commit fence durable linearizability demands before an acknowledgement
-// is paid once per shard group per flush across all connections — the
-// network-level analogue of shard.Session.Apply's per-batch amortization.
+// pipelined wire protocol over TCP or Unix sockets on top of store.Store,
+// with the shard-affine group-commit pool (internal/batcher.Pool) at its
+// core. Each pool worker owns one shard group's session and runs its own
+// group-commit loop; a connection hands decoded writes to the owning
+// worker through a bounded ring, so the commit fence durable
+// linearizability demands before an acknowledgement is paid once per shard
+// group per flush across all connections — the network-level analogue of
+// shard.Session.Apply's per-batch amortization, without a central queue.
 //
-// # Protocol
+// # Protocols
 //
-// Requests are single lines of space-separated decimal fields, terminated
-// by LF (CRLF accepted). Keys and values are uint64:
+// Two protocols share every listener, negotiated per connection by the
+// first byte: a text protocol (RESP-lite) and a length-prefixed binary
+// frame protocol. A first byte of 0x80 — never the start of a text
+// command — selects binary; anything else is text.
+//
+// Text requests are single lines of space-separated decimal fields,
+// terminated by LF (CRLF accepted). Keys and values are uint64:
 //
 //	PING                      -> +PONG
 //	GET k                     -> $value | $-1
@@ -22,17 +29,22 @@
 //	STATS                     -> *n, then n lines "name value"
 //	QUIT                      -> +OK, connection closes
 //
-// Errors are "-ERR message". Clients may pipeline: the server replies in
-// request order, and a reply to a write is sent only after the commit
-// fence covering it has landed (reply-after-fence; see DESIGN.md). Within
-// one connection, a read observes every write the same connection issued
-// before it.
+// Errors are "-ERR message". The binary protocol carries the same
+// operation vocabulary in fixed-layout frames with no parsing or
+// formatting of decimals — see binary.go for the exact layout.
+//
+// Clients of either protocol may pipeline: the server replies in request
+// order, and a reply to a write is sent only after the commit fence
+// covering it has landed (reply-after-fence; see DESIGN.md). Within one
+// connection, a read observes every write the same connection issued
+// before it, even when those writes landed on different pool workers.
 package server
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strconv"
@@ -56,8 +68,14 @@ type Config struct {
 	// most this many requests outstanding before the server stops reading
 	// its socket (default 128).
 	Pipeline int
-	// Batch is the group-commit policy for writes.
+	// Batch is the per-worker group-commit policy for writes.
 	Batch batcher.Config
+	// Workers is the shard-affine worker count (default: the store's shard
+	// count; see batcher.PoolConfig.Workers).
+	Workers int
+	// Ring is each worker's bounded submission ring (default 1024; see
+	// batcher.PoolConfig.Ring).
+	Ring int
 	// MaxScan caps SCAN reply sizes (default 4096 entries); the explicit
 	// limit argument may lower it but not raise it.
 	MaxScan int
@@ -65,9 +83,9 @@ type Config struct {
 
 // Server serves the store protocol. One Server may serve many listeners.
 type Server struct {
-	st  store.Store
-	b   *batcher.Batcher
-	cfg Config
+	st   store.Store
+	pool *batcher.Pool
+	cfg  Config
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -79,9 +97,9 @@ type Server struct {
 	handlers sync.WaitGroup
 }
 
-// New builds a server over st. The server owns one batcher session; read
-// sessions are drawn from a pool of at most cfg.MaxConns. Callers must
-// ensure the store was opened with MaxSessions ≥ MaxConns+2.
+// New builds a server over st. The server owns one pool session per worker;
+// read sessions are drawn from a pool of at most cfg.MaxConns. Callers must
+// ensure the store was opened with MaxSessions ≥ MaxConns + Workers + 1.
 func New(st store.Store, cfg Config) *Server {
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = 64
@@ -93,8 +111,13 @@ func New(st store.Store, cfg Config) *Server {
 		cfg.MaxScan = 4096
 	}
 	return &Server{
-		st:        st,
-		b:         batcher.New(st, cfg.Batch),
+		st: st,
+		pool: batcher.NewPool(st, batcher.PoolConfig{
+			Workers:  cfg.Workers,
+			Ring:     cfg.Ring,
+			MaxBatch: cfg.Batch.MaxBatch,
+			MaxDelay: cfg.Batch.MaxDelay,
+		}),
 		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
@@ -102,8 +125,12 @@ func New(st store.Store, cfg Config) *Server {
 	}
 }
 
-// Batcher exposes the group-commit stage (stats, tests).
-func (s *Server) Batcher() *batcher.Batcher { return s.b }
+// Pool exposes the group-commit stage (stats, tests).
+func (s *Server) Pool() *batcher.Pool { return s.pool }
+
+// CheckpointErr reports the first error an automatic size-threshold
+// checkpoint returned (nil normally); callers surface it at shutdown.
+func (s *Server) CheckpointErr() error { return s.pool.CheckpointErr() }
 
 // Listen resolves an address of the form "unix:/path/to.sock",
 // "tcp:host:port", or a bare "host:port" (TCP). A Unix socket file left
@@ -209,7 +236,7 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Close stops accepting, closes every live connection, waits for the
-// handlers to drain, and flushes and stops the batcher.
+// handlers to drain, and flushes and stops the worker pool.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -225,7 +252,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.handlers.Wait()
-	s.b.Close()
+	s.pool.Close()
 }
 
 // getSession draws a read session from the pool, creating one if the pool
@@ -250,64 +277,120 @@ func (s *Server) getSession() (store.Session, bool) {
 
 func (s *Server) putSession(sess store.Session) { s.sessions <- sess }
 
-// slot is one in-order reply: the writer goroutine sends buf once ready is
-// closed. Write replies are completed by the batcher callback; read replies
-// are completed synchronously by the reader.
+// replyMode selects how a completed write renders into its reply buffer —
+// an enum rather than a per-request closure, so a slot is reusable without
+// allocating on the submit path.
+type replyMode uint8
+
+const (
+	modeRaw   replyMode = iota // buf already rendered (reads, errors)
+	modeOK                     // PUT: +OK / binTagOK
+	modeBool                   // INSERT, DEL: :1 / :0 / binTagTrue / binTagFalse
+	modeValue                  // UPDATE: $v / $-1 / binTagValue / binTagNil
+)
+
+// slot is one in-order reply. A connection owns Pipeline slots, recycled
+// through the free channel; the writer goroutine sends buf once the ready
+// token arrives. Write slots are completed by the pool (slot implements
+// batcher.Completer); read replies send their own token synchronously.
 type slot struct {
-	ready chan struct{}
+	cs    *connState
+	ready chan struct{} // capacity 1: one token per completion
 	buf   []byte
+	mode  replyMode
+	bin   bool
+}
+
+// Complete renders the committed write's result into the slot's reused
+// buffer and releases the writer (reply-after-fence: the pool calls this
+// only after the covering commit fence landed, or with an error when it
+// never will).
+func (sl *slot) Complete(res store.OpResult, err error) {
+	buf := sl.buf[:0]
+	switch {
+	case err != nil:
+		buf = appendErrReply(buf, sl.bin, err.Error())
+	case sl.mode == modeOK:
+		buf = appendOKReply(buf, sl.bin)
+	case sl.mode == modeBool:
+		buf = appendBoolReply(buf, sl.bin, res.OK)
+	default: // modeValue
+		buf = appendValueReply(buf, sl.bin, res.Value, res.OK)
+	}
+	sl.buf = buf
+	sl.ready <- struct{}{}
+	sl.cs.writes.Done()
 }
 
 // handle runs one connection: a reader goroutine (this one) parses and
-// dispatches commands, a writer goroutine sends completed replies in
-// request order. The bounded slot channel is the pipelining window and the
+// dispatches requests, a writer goroutine sends completed replies in
+// request order. The fixed slot set is the pipelining window and the
 // backpressure: when a client floods requests faster than commits, the
-// reader blocks enqueueing and the socket fills.
+// reader blocks acquiring a free slot and the socket fills.
 func (s *Server) handle(c net.Conn) {
 	defer c.Close()
 	sess, ok := s.getSession()
 	if !ok {
+		// The refusal happens before protocol negotiation, so it is always
+		// textual; a binary client sees the connection close on a bad frame.
 		fmt.Fprintf(c, "-ERR max connections (%d) reached\r\n", s.cfg.MaxConns)
 		return
 	}
 	defer s.putSession(sess)
 
-	slots := make(chan *slot, s.cfg.Pipeline)
+	br := bufio.NewReaderSize(c, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	bin := first[0] == binMagic
+	if bin {
+		var magic [2]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil || magic[1] != binVersion {
+			fmt.Fprintf(c, "-ERR unsupported binary protocol version\r\n")
+			return
+		}
+	}
+
+	cs := newConnState(s, sess, s.cfg.Pipeline, bin)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
 		bw := bufio.NewWriterSize(c, 64<<10)
-		for sl := range slots {
+		for sl := range cs.order {
 			<-sl.ready
 			bw.Write(sl.buf)
 			// Flush only when no further reply is queued: pipelined replies
 			// coalesce into few syscalls.
-			if len(slots) == 0 {
+			if len(cs.order) == 0 {
 				bw.Flush()
 			}
+			cs.free <- sl
 		}
 		bw.Flush()
 	}()
-	// On exit: stop the reply stream, let the writer drain every completed
-	// reply (a QUIT's +OK must reach the wire), then the deferred c.Close
-	// runs.
+	// On exit: stop the reply stream, let the writer drain every reply —
+	// including writes still waiting on their fence (a QUIT's +OK must reach
+	// the wire) — then the deferred c.Close runs.
 	defer func() {
-		close(slots)
+		close(cs.order)
 		writerWG.Wait()
 	}()
 
-	br := bufio.NewReaderSize(c, 64<<10)
-	conn := &connState{srv: s, sess: sess, slots: slots}
+	if bin {
+		s.handleBin(br, cs)
+		return
+	}
 	for {
 		line, err := br.ReadSlice('\n')
 		if err != nil {
 			if errors.Is(err, bufio.ErrBufferFull) {
-				conn.reply([]byte("-ERR request line too long\r\n"))
+				cs.reply("-ERR request line too long\r\n")
 			}
 			return
 		}
-		if !conn.dispatch(line) {
+		if !cs.dispatch(line) {
 			return
 		}
 	}
@@ -315,68 +398,90 @@ func (s *Server) handle(c net.Conn) {
 
 // connState is the per-connection request dispatcher.
 type connState struct {
-	srv   *Server
-	sess  store.Session
-	slots chan<- *slot
+	srv  *Server
+	sess store.Session
+	bin  bool
+	// free recycles the connection's reply slots; order carries them to the
+	// writer in request order. Together they bound the pipeline window.
+	free  chan *slot
+	order chan *slot
 	// writes counts the connection's outstanding (submitted, not yet
-	// committed) writes. Reads wait for it to drain: within one batcher
-	// flush, shard groups are acknowledged in shard-index order, not
-	// submission order, so waiting on only the most recent write would let
-	// a read run while an earlier write to a later-committing shard is
-	// still unexecuted. Add and Wait both happen on the reader goroutine
-	// only (Done comes from the batcher callback), which satisfies the
-	// WaitGroup reuse rule.
+	// committed) writes. Reads wait for it to drain: the pool acknowledges
+	// writes per worker flush and per shard group, not in submission order,
+	// so waiting on only the most recent write would let a read run while an
+	// earlier write on another worker is still unexecuted. Add and Wait both
+	// happen on the reader goroutine only (Done comes from slot.Complete on
+	// a worker), which satisfies the WaitGroup reuse rule.
 	writes sync.WaitGroup
 	// scratch buffers reused across requests.
 	fields  []string
 	keys    []uint64
 	res     []store.OpResult
 	scanBuf []scanKV
+	binBuf  []byte
+}
+
+func newConnState(s *Server, sess store.Session, pipeline int, bin bool) *connState {
+	cs := &connState{
+		srv:   s,
+		sess:  sess,
+		bin:   bin,
+		free:  make(chan *slot, pipeline),
+		order: make(chan *slot, pipeline),
+	}
+	for i := 0; i < pipeline; i++ {
+		cs.free <- &slot{cs: cs, ready: make(chan struct{}, 1)}
+	}
+	return cs
 }
 
 // scanKV is one collected SCAN entry.
 type scanKV struct{ k, v uint64 }
 
-// closedReady is the shared pre-closed channel of every already-complete
-// reply: only write slots, whose completion is asynchronous, need a
-// private channel.
-var closedReady = func() chan struct{} {
-	c := make(chan struct{})
-	close(c)
-	return c
-}()
-
-// reply enqueues an already-complete reply.
-func (cs *connState) reply(buf []byte) {
-	cs.slots <- &slot{ready: closedReady, buf: buf}
+// take acquires the next reply slot, blocking when the client already has
+// a full pipeline window outstanding.
+func (cs *connState) take() *slot {
+	sl := <-cs.free
+	sl.mode = modeRaw
+	sl.bin = cs.bin
+	return sl
 }
 
-// submitWrite enqueues a reply slot for op and submits it to the batcher;
-// format renders the result once the covering fence lands.
-func (cs *connState) submitWrite(op store.Op, format func(store.OpResult) []byte) {
-	sl := &slot{ready: make(chan struct{})}
-	cs.slots <- sl
+// finish enqueues an already-rendered reply (its token is sent here).
+func (cs *connState) finish(sl *slot) {
+	sl.ready <- struct{}{}
+	cs.order <- sl
+}
+
+// reply enqueues a fixed already-complete reply.
+func (cs *connState) reply(msg string) {
+	sl := cs.take()
+	sl.buf = append(sl.buf[:0], msg...)
+	cs.finish(sl)
+}
+
+// submitWrite enqueues a reply slot for op in request order and submits it
+// to the pool; the slot renders the result per mode once the covering
+// fence lands. The slot enters the order queue before Submit so replies
+// cannot reorder, whatever worker the key routes to.
+func (cs *connState) submitWrite(op store.Op, mode replyMode) {
+	sl := cs.take()
+	sl.mode = mode
+	cs.order <- sl
 	cs.writes.Add(1)
-	cs.srv.b.Submit(op, func(res store.OpResult, err error) {
-		if err != nil {
-			sl.buf = []byte("-ERR " + err.Error() + "\r\n")
-		} else {
-			sl.buf = format(res)
-		}
-		close(sl.ready)
-		cs.writes.Done()
-	})
+	cs.srv.pool.Submit(op, sl)
 }
 
 // awaitWrites blocks until every write this connection has submitted has
 // committed or failed (read-your-writes ordering). Waiting on all
-// outstanding writes — not just the most recent — matters because the
-// batcher acknowledges one flush's shard groups in shard-index order.
+// outstanding writes — not just the most recent — matters because the pool
+// acknowledges writes per worker and per shard group, not in submission
+// order.
 func (cs *connState) awaitWrites() {
 	cs.writes.Wait()
 }
 
-// dispatch parses and executes one request line; false closes the
+// dispatch parses and executes one text request line; false closes the
 // connection.
 func (cs *connState) dispatch(line []byte) bool {
 	fields := splitFields(line, cs.fields[:0])
@@ -394,73 +499,95 @@ func (cs *connState) dispatch(line []byte) bool {
 		}
 		cs.awaitWrites()
 		v, found := cs.sess.Get(k)
-		cs.reply(appendValue(nil, v, found))
+		sl := cs.take()
+		sl.buf = appendValue(sl.buf[:0], v, found)
+		cs.finish(sl)
 	case strings.EqualFold(cmd, "PUT"):
 		k, v, ok := parse2(cs, args, "PUT key value")
 		if !ok {
 			return true
 		}
-		cs.submitWrite(store.Op{Kind: shard.OpPut, Key: k, Value: v},
-			func(store.OpResult) []byte { return []byte("+OK\r\n") })
+		cs.submitWrite(store.Op{Kind: shard.OpPut, Key: k, Value: v}, modeOK)
 	case strings.EqualFold(cmd, "INSERT"):
 		k, v, ok := parse2(cs, args, "INSERT key value")
 		if !ok {
 			return true
 		}
-		cs.submitWrite(store.Op{Kind: shard.OpInsert, Key: k, Value: v}, appendBoolInt)
+		cs.submitWrite(store.Op{Kind: shard.OpInsert, Key: k, Value: v}, modeBool)
 	case strings.EqualFold(cmd, "DEL"):
 		k, ok := parse1(cs, args, "DEL key")
 		if !ok {
 			return true
 		}
-		cs.submitWrite(store.Op{Kind: shard.OpDelete, Key: k}, appendBoolInt)
+		cs.submitWrite(store.Op{Kind: shard.OpDelete, Key: k}, modeBool)
 	case strings.EqualFold(cmd, "UPDATE"):
 		k, v, ok := parse2(cs, args, "UPDATE key value")
 		if !ok {
 			return true
 		}
-		cs.submitWrite(store.Op{Kind: shard.OpUpdate, Key: k, Value: v},
-			func(res store.OpResult) []byte { return appendValue(nil, res.Value, res.OK) })
+		cs.submitWrite(store.Op{Kind: shard.OpUpdate, Key: k, Value: v}, modeValue)
 	case strings.EqualFold(cmd, "SCAN"):
 		cs.execScan(args)
 	case strings.EqualFold(cmd, "MGET"):
 		cs.execMGet(args)
 	case strings.EqualFold(cmd, "STATS"):
 		cs.awaitWrites()
-		cs.reply(cs.statsReply())
+		sl := cs.take()
+		sl.buf = cs.appendStats(sl.buf[:0])
+		cs.finish(sl)
 	case strings.EqualFold(cmd, "PING"):
-		cs.reply([]byte("+PONG\r\n"))
+		cs.reply("+PONG\r\n")
 	case strings.EqualFold(cmd, "QUIT"):
-		cs.reply([]byte("+OK\r\n"))
+		cs.reply("+OK\r\n")
 		return false
 	default:
-		cs.reply([]byte("-ERR unknown command '" + cmd + "'\r\n"))
+		cs.reply("-ERR unknown command '" + cmd + "'\r\n")
 	}
 	return true
 }
 
 func (cs *connState) execScan(args []string) {
 	if len(args) < 2 || len(args) > 3 {
-		cs.reply([]byte("-ERR usage: SCAN lo hi [max]\r\n"))
+		cs.reply("-ERR usage: SCAN lo hi [max]\r\n")
 		return
 	}
 	lo, err1 := strconv.ParseUint(args[0], 10, 64)
 	hi, err2 := strconv.ParseUint(args[1], 10, 64)
 	if err1 != nil || err2 != nil {
-		cs.reply([]byte("-ERR SCAN bounds must be uint64\r\n"))
+		cs.reply("-ERR SCAN bounds must be uint64\r\n")
 		return
 	}
 	max := cs.srv.cfg.MaxScan
 	if len(args) == 3 {
 		m, err := strconv.Atoi(args[2])
 		if err != nil || m < 0 {
-			cs.reply([]byte("-ERR SCAN max must be a non-negative int\r\n"))
+			cs.reply("-ERR SCAN max must be a non-negative int\r\n")
 			return
 		}
 		if m < max {
 			max = m
 		}
 	}
+	items, err := cs.collectScan(lo, hi, max)
+	if err != nil {
+		cs.reply("-ERR " + err.Error() + "\r\n")
+		return
+	}
+	sl := cs.take()
+	buf := appendArrayHeader(sl.buf[:0], len(items))
+	for _, it := range items {
+		buf = strconv.AppendUint(buf, it.k, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, it.v, 10)
+		buf = append(buf, '\r', '\n')
+	}
+	sl.buf = buf
+	cs.finish(sl)
+}
+
+// collectScan waits for read-your-writes and gathers up to max entries of
+// [lo, hi] into the reused scan scratch (shared by both protocols).
+func (cs *connState) collectScan(lo, hi uint64, max int) ([]scanKV, error) {
 	cs.awaitWrites()
 	items := cs.scanBuf[:0]
 	if max > 0 {
@@ -470,31 +597,23 @@ func (cs *connState) execScan(args []string) {
 		})
 		if err != nil {
 			cs.scanBuf = items
-			cs.reply([]byte("-ERR " + err.Error() + "\r\n"))
-			return
+			return nil, err
 		}
 	}
 	cs.scanBuf = items
-	buf := appendArrayHeader(nil, len(items))
-	for _, it := range items {
-		buf = strconv.AppendUint(buf, it.k, 10)
-		buf = append(buf, ' ')
-		buf = strconv.AppendUint(buf, it.v, 10)
-		buf = append(buf, '\r', '\n')
-	}
-	cs.reply(buf)
+	return items, nil
 }
 
 func (cs *connState) execMGet(args []string) {
 	if len(args) == 0 {
-		cs.reply([]byte("-ERR usage: MGET key...\r\n"))
+		cs.reply("-ERR usage: MGET key...\r\n")
 		return
 	}
 	keys := cs.keys[:0]
 	for _, a := range args {
 		k, err := strconv.ParseUint(a, 10, 64)
 		if err != nil {
-			cs.reply([]byte("-ERR MGET keys must be uint64\r\n"))
+			cs.reply("-ERR MGET keys must be uint64\r\n")
 			return
 		}
 		keys = append(keys, k)
@@ -502,16 +621,18 @@ func (cs *connState) execMGet(args []string) {
 	cs.keys = keys
 	cs.awaitWrites()
 	cs.res = cs.sess.MultiGet(keys, cs.res)
-	buf := appendArrayHeader(nil, len(keys))
+	sl := cs.take()
+	buf := appendArrayHeader(sl.buf[:0], len(keys))
 	for _, r := range cs.res {
 		buf = appendValue(buf, r.Value, r.OK)
 	}
-	cs.reply(buf)
+	sl.buf = buf
+	cs.finish(sl)
 }
 
-func (cs *connState) statsReply() []byte {
+func (cs *connState) appendStats(buf []byte) []byte {
 	st := cs.srv.st.Stats()
-	bs := cs.srv.b.Stats()
+	bs := cs.srv.pool.Stats()
 	stats := []struct {
 		name string
 		v    uint64
@@ -525,8 +646,9 @@ func (cs *connState) statsReply() []byte {
 		{"batch_ops", bs.Ops},
 		{"batch_flushes", bs.Flushes},
 		{"batch_groups", bs.Groups},
+		{"pool_workers", uint64(cs.srv.pool.Workers())},
 	}
-	buf := appendArrayHeader(nil, len(stats))
+	buf = appendArrayHeader(buf, len(stats))
 	for _, s := range stats {
 		buf = append(buf, s.name...)
 		buf = append(buf, ' ')
@@ -540,12 +662,12 @@ func (cs *connState) statsReply() []byte {
 // usage error on mismatch.
 func parse1(cs *connState, args []string, usage string) (uint64, bool) {
 	if len(args) != 1 {
-		cs.reply([]byte("-ERR usage: " + usage + "\r\n"))
+		cs.reply("-ERR usage: " + usage + "\r\n")
 		return 0, false
 	}
 	k, err := strconv.ParseUint(args[0], 10, 64)
 	if err != nil {
-		cs.reply([]byte("-ERR arguments must be uint64\r\n"))
+		cs.reply("-ERR arguments must be uint64\r\n")
 		return 0, false
 	}
 	return k, true
@@ -553,13 +675,13 @@ func parse1(cs *connState, args []string, usage string) (uint64, bool) {
 
 func parse2(cs *connState, args []string, usage string) (uint64, uint64, bool) {
 	if len(args) != 2 {
-		cs.reply([]byte("-ERR usage: " + usage + "\r\n"))
+		cs.reply("-ERR usage: " + usage + "\r\n")
 		return 0, 0, false
 	}
 	k, err1 := strconv.ParseUint(args[0], 10, 64)
 	v, err2 := strconv.ParseUint(args[1], 10, 64)
 	if err1 != nil || err2 != nil {
-		cs.reply([]byte("-ERR arguments must be uint64\r\n"))
+		cs.reply("-ERR arguments must be uint64\r\n")
 		return 0, 0, false
 	}
 	return k, v, true
@@ -596,16 +718,47 @@ func appendValue(buf []byte, v uint64, ok bool) []byte {
 	return append(buf, '\r', '\n')
 }
 
-func appendBoolInt(res store.OpResult) []byte {
-	if res.OK {
-		return []byte(":1\r\n")
-	}
-	return []byte(":0\r\n")
-}
-
 func appendArrayHeader(buf []byte, n int) []byte {
 	buf = append(buf, '*')
 	buf = strconv.AppendInt(buf, int64(n), 10)
+	return append(buf, '\r', '\n')
+}
+
+// appendOKReply, appendBoolReply, appendValueReply, and appendErrReply
+// render a completed write's reply for either protocol (slot.Complete).
+func appendOKReply(buf []byte, bin bool) []byte {
+	if bin {
+		return appendBinHeader(buf, binTagOK, 0)
+	}
+	return append(buf, "+OK\r\n"...)
+}
+
+func appendBoolReply(buf []byte, bin, ok bool) []byte {
+	if bin {
+		if ok {
+			return appendBinHeader(buf, binTagTrue, 0)
+		}
+		return appendBinHeader(buf, binTagFalse, 0)
+	}
+	if ok {
+		return append(buf, ":1\r\n"...)
+	}
+	return append(buf, ":0\r\n"...)
+}
+
+func appendValueReply(buf []byte, bin bool, v uint64, ok bool) []byte {
+	if bin {
+		return appendBinValue(buf, v, ok)
+	}
+	return appendValue(buf, v, ok)
+}
+
+func appendErrReply(buf []byte, bin bool, msg string) []byte {
+	if bin {
+		return appendBinErr(buf, msg)
+	}
+	buf = append(buf, "-ERR "...)
+	buf = append(buf, msg...)
 	return append(buf, '\r', '\n')
 }
 

@@ -172,9 +172,9 @@ func TestPipelining(t *testing.T) {
 			t.Fatalf("put %d: %+v", i, put)
 		}
 	}
-	bs := srv.Batcher().Stats()
+	bs := srv.Pool().Stats()
 	if bs.Ops != n {
-		t.Fatalf("batcher saw %d ops, want %d", bs.Ops, n)
+		t.Fatalf("pool saw %d ops, want %d", bs.Ops, n)
 	}
 	if bs.Flushes >= n/2 {
 		t.Fatalf("pipelined writes barely batched: %d flushes for %d writes", bs.Flushes, n)
@@ -349,32 +349,94 @@ func (s *inversionSession) ApplyCommitted(ops []store.Op, dst []store.OpResult, 
 	return dst
 }
 
+// drainReplies collects the next n rendered replies from a connState's
+// order queue (component-level tests with no writer goroutine).
+func drainReplies(cs *connState, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		sl := <-cs.order
+		<-sl.ready
+		out[i] = string(sl.buf)
+		cs.free <- sl
+	}
+	return out
+}
+
 // TestAwaitWritesWaitsForAllOutstanding regression-tests the read-your-
 // writes bug deterministically: a connection pipelines PUT a, PUT b, GET a,
 // and the store acknowledges b's write long before a's is even applied
-// (inversionSession). A read that waited only on the connection's most
-// recent write would run between the two acknowledgements and miss a; the
-// server must hold the GET until every outstanding write has committed.
+// (inversionSession's reverse-order acks). A read that waited only on the
+// connection's most recent write would run between the two
+// acknowledgements and miss a; the server must hold the GET until every
+// outstanding write has committed.
 func TestAwaitWritesWaitsForAllOutstanding(t *testing.T) {
 	sess := &inversionSession{m: make(map[uint64]uint64), pause: 100 * time.Millisecond}
 	// MaxBatch 2 flushes exactly when both PUTs are pending; the long
 	// MaxDelay keeps the first PUT from flushing alone.
-	b := batcher.NewSession(sess, batcher.Config{MaxBatch: 2, MaxDelay: time.Second})
-	defer b.Close()
-	srv := &Server{b: b, cfg: Config{MaxScan: 16}}
-	slots := make(chan *slot, 16)
-	cs := &connState{srv: srv, sess: sess, slots: slots}
+	p := batcher.NewSessionPool(sess, batcher.PoolConfig{MaxBatch: 2, MaxDelay: time.Hour})
+	defer p.Close()
+	srv := &Server{pool: p, cfg: Config{MaxScan: 16}}
+	cs := newConnState(srv, sess, 16, false)
 
 	cs.dispatch([]byte("PUT 7 21\n"))
 	cs.dispatch([]byte("PUT 8 24\n"))
 	cs.dispatch([]byte("GET 7\n")) // blocks until read-your-writes holds
 
 	want := []string{"+OK\r\n", "+OK\r\n", "$21\r\n"}
-	for i, w := range want {
-		sl := <-slots
-		<-sl.ready
-		if got := string(sl.buf); got != w {
-			t.Fatalf("reply %d = %q, want %q (stale read: GET ran before the earlier write was applied)", i, got, w)
+	for i, got := range drainReplies(cs, len(want)) {
+		if got != want[i] {
+			t.Fatalf("reply %d = %q, want %q (stale read: GET ran before the earlier write was applied)", i, got, want[i])
+		}
+	}
+}
+
+// slowSession delays every batch before applying it — a deterministic
+// stand-in for a pool worker whose shard group commits late.
+type slowSession struct {
+	inversionSession
+	delay time.Duration
+}
+
+func (s *slowSession) Apply(ops []store.Op, dst []store.OpResult) []store.OpResult {
+	return s.ApplyCommitted(ops, dst, nil)
+}
+
+func (s *slowSession) ApplyCommitted(ops []store.Op, dst []store.OpResult, committed func(idxs []int)) []store.OpResult {
+	time.Sleep(s.delay)
+	return s.inversionSession.ApplyCommitted(ops, dst, committed)
+}
+
+// TestAwaitWritesAcrossWorkers is the shard-affine version of the same
+// ordering hazard: two writes route to two different pool workers, the
+// second worker acknowledges long before the first has applied anything,
+// and a pipelined read of the first key must still observe it. The
+// connection's WaitGroup over all outstanding writes is worker-agnostic —
+// this pins exactly that (run under -race as part of the race target).
+func TestAwaitWritesAcrossWorkers(t *testing.T) {
+	slow := &slowSession{
+		inversionSession: inversionSession{m: make(map[uint64]uint64)},
+		delay:            100 * time.Millisecond,
+	}
+	fast := &inversionSession{m: make(map[uint64]uint64)}
+	p := batcher.NewSessionsPool(
+		[]store.Session{slow, fast},
+		func(key uint64) int { return int(key % 2) },
+		batcher.PoolConfig{MaxBatch: 1, MaxDelay: time.Microsecond},
+	)
+	defer p.Close()
+	srv := &Server{pool: p, cfg: Config{MaxScan: 16}}
+	// The read session is the slow worker's: a stale read of key 2 would
+	// observe the map before the delayed apply.
+	cs := newConnState(srv, slow, 16, false)
+
+	cs.dispatch([]byte("PUT 2 42\n")) // worker 0 (slow)
+	cs.dispatch([]byte("PUT 3 9\n"))  // worker 1 (fast, acks first)
+	cs.dispatch([]byte("GET 2\n"))    // must wait for worker 0 too
+
+	want := []string{"+OK\r\n", "+OK\r\n", "$42\r\n"}
+	for i, got := range drainReplies(cs, len(want)) {
+		if got != want[i] {
+			t.Fatalf("reply %d = %q, want %q (read ran before the slow worker's write committed)", i, got, want[i])
 		}
 	}
 }
@@ -549,8 +611,8 @@ func TestConcurrentConnections(t *testing.T) {
 			t.Fatalf("key %d: %d %v", k, v, ok)
 		}
 	}
-	if bs := srv.Batcher().Stats(); bs.Ops != conns*per {
-		t.Fatalf("batcher ops %d, want %d", bs.Ops, conns*per)
+	if bs := srv.Pool().Stats(); bs.Ops != conns*per {
+		t.Fatalf("pool ops %d, want %d", bs.Ops, conns*per)
 	}
 }
 
@@ -578,8 +640,51 @@ func TestLoadGenerator(t *testing.T) {
 	}
 }
 
+// TestLoadGeneratorOpenLoop: open-loop runs (fixed-rate and Poisson, text
+// and binary) issue on their schedule, complete every issued request, and
+// report the achieved offered rate.
+func TestLoadGeneratorOpenLoop(t *testing.T) {
+	addr, _, _ := startServer(t, core.KindHash, 4, Config{MaxConns: 8})
+	for _, tc := range []struct {
+		name    string
+		poisson bool
+		binary  bool
+	}{
+		{"fixed-text", false, false},
+		{"poisson-text", true, false},
+		{"poisson-binary", true, true},
+	} {
+		res, err := RunLoad(LoadConfig{
+			Addr: addr, Conns: 2, Pipeline: 8,
+			Duration: 150 * time.Millisecond, Rate: 20000,
+			Poisson: tc.poisson, Binary: tc.binary,
+			Workload: "A", Range: 1 << 10,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Errors > 0 {
+			t.Fatalf("%s: %d protocol errors", tc.name, res.Errors)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s: no ops completed", tc.name)
+		}
+		// Every scheduled request was answered: completed rate ≈ offered
+		// rate (both counted over the same elapsed window).
+		if res.Offered <= 0 {
+			t.Fatalf("%s: no offered rate reported: %+v", tc.name, res)
+		}
+		if res.OpsPerSec < res.Offered*0.99 {
+			t.Fatalf("%s: completed %.0f/s of %.0f/s offered — replies lost", tc.name, res.OpsPerSec, res.Offered)
+		}
+		if res.Lat.Count() == 0 || res.Lat.Quantile(0.5) <= 0 {
+			t.Fatalf("%s: no latency samples: %s", tc.name, res.Lat.Summary())
+		}
+	}
+}
+
 // TestBenchRow: the self-contained server bench produces a well-formed
-// bench.Result row with populated percentiles.
+// bench.Result row with open-loop percentiles.
 func TestBenchRow(t *testing.T) {
 	res, err := Bench(50 * time.Millisecond)
 	if err != nil {
@@ -593,6 +698,9 @@ func TestBenchRow(t *testing.T) {
 	}
 	if res.FencePerOp <= 0 {
 		t.Fatalf("bench result has no fence accounting: %+v", res)
+	}
+	if res.Offered <= 0 {
+		t.Fatalf("bench result percentiles are not from an open-loop pass: %+v", res)
 	}
 }
 

@@ -98,9 +98,20 @@ type Store interface {
 	// ReplayStats reports the cost of the file recovery Open performed
 	// (zero on non-durable stores).
 	ReplayStats() pmem.ReplayStats
-	// Checkpoint snapshots the store's memories and truncates their WALs
-	// (no-op on non-durable stores; quiescent use).
+	// ShardFor reports which shard a key routes to (always 0 on a bare
+	// structure). Shard-affine callers — the batcher's worker pool — use it
+	// to keep a key's operations on the worker that owns its shard group.
+	ShardFor(key uint64) int
+	// Checkpoint snapshots the store's memories and truncates their WALs.
+	// Safe under live traffic (fences stall for the duration of a shard's
+	// dump; see pmem.Memory.Checkpoint); no-op on non-durable stores.
 	Checkpoint() error
+	// MaybeCheckpoint checkpoints every memory whose WAL has reached
+	// Config.CkptBytes, returning how many checkpoints ran. No-op (0, nil)
+	// when CkptBytes is unset or the store is not durable; cheap enough to
+	// call after every group commit (one atomic load per shard when under
+	// the threshold).
+	MaybeCheckpoint() (int, error)
 	// Close flushes and closes the backing files (no-op on non-durable
 	// stores; safe to call twice; quiescent use).
 	Close() error
@@ -137,6 +148,12 @@ type Config struct {
 	// SyncFence makes every commit fence fsync the WAL (durability against
 	// power loss, not just process death). Only meaningful with Dir.
 	SyncFence bool
+	// CkptBytes, when > 0, is the per-memory WAL size at which
+	// MaybeCheckpoint takes an automatic checkpoint, bounding replay work
+	// after a kill. Not layout-determining (absent from the manifest): a
+	// directory may be reopened with a different threshold. Only meaningful
+	// with Dir.
+	CkptBytes int64
 }
 
 // manifest is the on-disk record of the layout-determining Config fields.
@@ -230,7 +247,7 @@ func Open(cfg Config) (Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: recover %s: %w", cfg.Dir, err)
 		}
-		st := &EngineStore{eng: eng, admin: eng.NewSession(), replay: replay}
+		st := &EngineStore{eng: eng, admin: eng.NewSession(), replay: replay, ckptBytes: cfg.CkptBytes}
 		if eng.Durable() {
 			// The paper's recovery phase runs on every durable open: on a
 			// fresh directory it is a no-op scan, after a crash it rebuilds
@@ -265,7 +282,7 @@ func Open(cfg Config) (Store, error) {
 			return nil, fmt.Errorf("store: recover %s: %w", cfg.Dir, err)
 		}
 	}
-	st := &Single{mem: mem, set: set, kind: cfg.Kind, admin: mem.NewThread(), replay: replay}
+	st := &Single{mem: mem, set: set, kind: cfg.Kind, admin: mem.NewThread(), replay: replay, ckptBytes: cfg.CkptBytes}
 	if mem.Durable() {
 		st.Recover()
 	}
@@ -274,11 +291,12 @@ func Open(cfg Config) (Store, error) {
 
 // Single is the bare-structure backend: one memory, one structure.
 type Single struct {
-	mem    *pmem.Memory
-	set    core.Set
-	kind   core.Kind
-	admin  *pmem.Thread
-	replay pmem.ReplayStats
+	mem       *pmem.Memory
+	set       core.Set
+	kind      core.Kind
+	admin     *pmem.Thread
+	replay    pmem.ReplayStats
+	ckptBytes int64
 }
 
 // NewSingle wraps an existing structure and memory as a Store (migration
@@ -306,11 +324,22 @@ func (s *Single) Stats() pmem.Stats             { return s.mem.Stats() }
 func (s *Single) ResetStats()                   { s.mem.ResetStats() }
 func (s *Single) Durable() bool                 { return s.mem.Durable() }
 func (s *Single) ReplayStats() pmem.ReplayStats { return s.replay }
+func (s *Single) ShardFor(uint64) int           { return 0 }
 func (s *Single) Checkpoint() error {
 	if !s.mem.Durable() {
 		return nil
 	}
 	return s.mem.Checkpoint()
+}
+func (s *Single) MaybeCheckpoint() (int, error) {
+	if s.ckptBytes <= 0 || !s.mem.Durable() {
+		return 0, nil
+	}
+	ran, err := s.mem.CheckpointIfOver(s.ckptBytes)
+	if ran {
+		return 1, err
+	}
+	return 0, err
 }
 func (s *Single) Close() error { return s.mem.Close() }
 
@@ -431,9 +460,10 @@ func (s *singleSession) MultiGet(keys []uint64, dst []OpResult) []OpResult {
 
 // EngineStore is the sharded backend.
 type EngineStore struct {
-	eng    *shard.Engine
-	admin  *shard.Session
-	replay pmem.ReplayStats
+	eng       *shard.Engine
+	admin     *shard.Session
+	replay    pmem.ReplayStats
+	ckptBytes int64
 }
 
 // NewEngineStore wraps an existing engine as a Store (migration path for
@@ -455,8 +485,25 @@ func (s *EngineStore) Stats() pmem.Stats             { return s.eng.Stats().Tota
 func (s *EngineStore) ResetStats()                   { s.eng.ResetStats() }
 func (s *EngineStore) Durable() bool                 { return s.eng.Durable() }
 func (s *EngineStore) ReplayStats() pmem.ReplayStats { return s.replay }
+func (s *EngineStore) ShardFor(key uint64) int       { return s.eng.ShardFor(key) }
 func (s *EngineStore) Checkpoint() error             { return s.eng.Checkpoint() }
-func (s *EngineStore) Close() error                  { return s.eng.Close() }
+func (s *EngineStore) MaybeCheckpoint() (int, error) {
+	if s.ckptBytes <= 0 || !s.eng.Durable() {
+		return 0, nil
+	}
+	ran := 0
+	for i := 0; i < s.eng.NumShards(); i++ {
+		ok, err := s.eng.ShardMemory(i).CheckpointIfOver(s.ckptBytes)
+		if ok {
+			ran++
+		}
+		if err != nil {
+			return ran, err
+		}
+	}
+	return ran, nil
+}
+func (s *EngineStore) Close() error { return s.eng.Close() }
 
 // Interface conformance: the engine's session is a store Session as-is,
 // and both backends' sessions carry the async completion surface.
