@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race fmt vet staticcheck apicheck server-smoke crash-smoke bench-smoke bench-ci bench-gate bench-json ci
+.PHONY: build test short race fmt vet staticcheck nvlint lint apicheck server-smoke crash-smoke bench-smoke bench-ci bench-gate bench-json ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,17 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# Protocol linter: the four nvcheck rules (traversepure, fencereturn,
+# writehook, linelayout) enforce the NVTraverse persistence discipline over
+# every package. Self-contained (stdlib only), so it runs anywhere the go
+# toolchain does. Violations are suppressed inline only with a justified
+# `//nvcheck:ignore <rule> -- <reason>` directive.
+nvlint:
+	$(GO) run ./cmd/nvlint ./...
+
+# Umbrella for every static check.
+lint: fmt vet staticcheck nvlint
 
 # API-compatibility gate: apicompat_test.go pins the v1 facade symbols and
 # signatures at compile time — a missing or re-signed symbol fails the
@@ -94,26 +105,26 @@ bench-ci:
 
 # Regression gate: capture the baseline suite (with latency percentiles,
 # the server rows and the recovery-replay row) and compare against the
-# committed BENCH_6.json, failing on a >35% throughput drop on any
+# committed BENCH_7.json, failing on a >35% throughput drop on any
 # zero-profile panel. CI uploads the capture as the next BENCH_N artifact.
-BENCH_GATE_OUT ?= BENCH_7-capture.json
+BENCH_GATE_OUT ?= BENCH_8-capture.json
 BENCH_GATE_DUR ?= 1s
 bench-gate:
 	$(GO) run ./cmd/nvbench -dur $(BENCH_GATE_DUR) -json $(BENCH_GATE_OUT) \
-		-cmp BENCH_6.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
+		-cmp BENCH_7.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_GATE_OUT)
 
 # Run the JSON baseline suite (fast-mode panels, the tracked-mode torture
 # throughput proxy, the server rows — text, file-backed and binary, with
 # open-loop percentiles — and the recovery-replay row) and write
-# BENCH_7.json. Compare against a prior capture with:
-# make bench-json BENCH_CMP=path/to/old.json. The committed BENCH_7.json
-# was produced at PR 7 with -dur 2s.
-BENCH_JSON ?= BENCH_7.json
+# BENCH_8.json. Compare against a prior capture with:
+# make bench-json BENCH_CMP=path/to/old.json. The committed BENCH_8.json
+# was produced at PR 8 with -dur 2s.
+BENCH_JSON ?= BENCH_8.json
 BENCH_DUR  ?= 500ms
 bench-json:
 	$(GO) run ./cmd/nvbench -dur $(BENCH_DUR) -json $(BENCH_JSON) \
 		$(if $(BENCH_CMP),-cmp $(BENCH_CMP)) $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_JSON)
 
-ci: fmt vet build short race apicheck bench-smoke crash-smoke bench-ci bench-gate
+ci: fmt vet build nvlint short race apicheck bench-smoke crash-smoke bench-ci bench-gate

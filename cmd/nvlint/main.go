@@ -1,0 +1,84 @@
+// Command nvlint statically checks the repository against the NVTraverse
+// persistence discipline: the four nvcheck rules (traversepure,
+// fencereturn, writehook, linelayout — see internal/analysis/nvcheck) run
+// over every package of the module and any violation fails the build. The
+// protocol that used to live in comments and be policed after the fact by
+// crash-torture runs is enforced at the call site, the moment it is
+// written.
+//
+// Usage:
+//
+//	nvlint [-rules rule1,rule2] [-v] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Deliberate
+// violations are suppressed inline with a justified directive:
+//
+//	//nvcheck:ignore <rule> -- <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/nvcheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("nvlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "all", "comma-separated rule names to run (traversepure,fencereturn,writehook,linelayout)")
+	verbose := fs.Bool("v", false, "print per-package progress and the suppression count")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := nvcheck.ByName(strings.Split(*rules, ",")...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "nvlint:", err)
+		return 2
+	}
+	root, err := nvcheck.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "nvlint:", err)
+		return 2
+	}
+
+	res, err := nvcheck.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "nvlint:", err)
+		return 2
+	}
+	if *verbose {
+		fmt.Fprintf(stdout, "nvlint: %d packages, %d rules\n", len(res.Packages), len(analyzers))
+	}
+
+	out := nvcheck.Run(res.Packages, analyzers)
+	if *verbose && out.Suppressed > 0 {
+		fmt.Fprintf(stdout, "nvlint: %d finding(s) suppressed by nvcheck:ignore directives\n", out.Suppressed)
+	}
+	if len(out.Diagnostics) > 0 {
+		fmt.Fprint(stdout, nvcheck.Format(out.Diagnostics))
+		fmt.Fprintf(stderr, "nvlint: %d violation(s)\n", len(out.Diagnostics))
+		return 1
+	}
+	if *verbose {
+		fmt.Fprintf(stdout, "nvlint: clean\n")
+	}
+	return 0
+}

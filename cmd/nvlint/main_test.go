@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestCleanRepo runs the real linter over the module it lives in: the tree
+// must stay protocol-clean, and the exit code contract (0 = clean) holds.
+func TestCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	null := devNull(t)
+	if code := run([]string{"./..."}, null, null); code != 0 {
+		t.Fatalf("nvlint over the repository exited %d, want 0", code)
+	}
+}
+
+func TestBadRuleName(t *testing.T) {
+	null := devNull(t)
+	if code := run([]string{"-rules", "nosuchrule", "./..."}, null, null); code != 2 {
+		t.Fatalf("nvlint -rules nosuchrule exited %d, want 2 (usage error)", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	null := devNull(t)
+	if code := run([]string{"-nosuchflag"}, null, null); code != 2 {
+		t.Fatalf("nvlint -nosuchflag exited %d, want 2 (usage error)", code)
+	}
+}

@@ -1,0 +1,153 @@
+// Package analysistest runs nvcheck analyzers over fixture packages and
+// checks their diagnostics against expectations written in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest (which this
+// module deliberately does not depend on — see internal/analysis/nvcheck).
+//
+// A fixture lives in testdata/src/<name>/ relative to the test's package
+// directory and is an ordinary Go package that imports the module's real
+// persistence packages. Expected diagnostics are trailing comments:
+//
+//	t.Flush(&n.Next) // want "persistence effect inside the traversal phase"
+//
+// Each quoted string is a regular expression that must match the message of
+// a diagnostic reported on that line; several strings expect several
+// diagnostics. The test fails on any unmatched expectation and on any
+// diagnostic with no expectation.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis/nvcheck"
+)
+
+// The export set (compiler-produced type information for the module's
+// persistence packages and their dependencies) is built once per test
+// binary: every fixture type-checks against the same snapshot.
+var (
+	loadOnce sync.Once
+	loaded   *nvcheck.LoadResult
+	loadErr  error
+)
+
+func load(t *testing.T) *nvcheck.LoadResult {
+	t.Helper()
+	loadOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		root, err := nvcheck.ModuleRoot(wd)
+		if err != nil {
+			loadErr = err
+			return
+		}
+		loaded, loadErr = nvcheck.Load(root,
+			"./internal/pmem", "./internal/persist", "./internal/arena")
+	})
+	if loadErr != nil {
+		t.Fatalf("analysistest: loading export set: %v", loadErr)
+	}
+	return loaded
+}
+
+// want is one expectation: a pattern that must match a diagnostic reported
+// at file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run type-checks testdata/src/<fixture> (relative to the caller's package
+// directory), applies the analyzers through the same nvcheck.Run pipeline
+// nvlint uses — ignore directives in fixtures are honored, and malformed
+// ones reported — and verifies the diagnostics against the fixture's
+// `// want "regex"` comments.
+func Run(t *testing.T, fixture string, analyzers ...*nvcheck.Analyzer) {
+	t.Helper()
+	res := load(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := res.LoadDir(fixture, dir)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture %s: %v", fixture, err)
+	}
+
+	out := nvcheck.Run([]*nvcheck.Package{pkg}, analyzers)
+	wants := collectWants(t, pkg)
+
+	matched := map[*want]bool{}
+	for _, d := range out.Diagnostics {
+		w := matchWant(wants, matched, d)
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Rule, d.Message)
+			continue
+		}
+		matched[w] = true
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// matchWant finds an unmatched expectation on the diagnostic's line whose
+// pattern matches its message.
+func matchWant(wants []*want, matched map[*want]bool, d nvcheck.Diagnostic) *want {
+	for _, w := range wants {
+		if matched[w] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// wantMarker locates the expectation list inside a comment. Matching "//"
+// again lets a want ride at the end of another directive's comment (used to
+// test the ignore grammar itself).
+var wantMarker = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantPattern matches one Go-quoted expectation string.
+var wantPattern = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func collectWants(t *testing.T, pkg *nvcheck.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantPattern.FindAllString(m[1], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern", pos)
+				}
+				for _, q := range quoted {
+					expr, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

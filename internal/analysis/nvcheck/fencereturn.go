@@ -1,0 +1,335 @@
+package nvcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FenceReturn enforces "fence before every return statement" (Protocol 2)
+// on the exported operations of every protocol package: a function is a
+// target when it is exported, its same-package call tree invokes
+// persistence hooks (it is protocol code, not a quiescent helper or
+// recovery routine), and that tree either mutates shared memory
+// (Thread.Store/CAS) or persists a traversal (Policy.PostTraverse — even a
+// lookup's answer may depend on an unpersisted write, so protocol reads
+// fence too). Every return path of a target must pass through
+// Policy.BeforeReturn, Thread.CommitFence, Thread.EndBatch or Thread.Fence
+// — directly, via a dominating deferred fence, or by delegating to a
+// same-package function whose own return paths all fence (computed as a
+// fixpoint, so Insert → insertGet delegation chains check out). A return
+// reached before the function touches shared memory at all (argument
+// validation, empty key ranges) is exempt: an operation that performed no
+// shared access has nothing to persist.
+//
+// Dominance is approximated by preceding sibling statements: in the
+// goto-free bodies this repository writes, a statement earlier in the same
+// or an enclosing block always executes before a return that follows it.
+// The approximation is direction-safe — it can flag a fenced path (fixed
+// with a refactor or a justified ignore), never bless an unfenced one,
+// except for fences placed behind conditionals that the checker treats as
+// non-dominating.
+var FenceReturn = &Analyzer{
+	Name: "fencereturn",
+	Doc:  "every return path of an exported mutating op must fence (Protocol 2)",
+	Run:  runFenceReturn,
+}
+
+func runFenceReturn(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Path == pmemPath || pkg.Path == persistPath {
+		return
+	}
+	facts := packageFacts(pkg)
+
+	// Fixpoint: which functions fence on every return path? Seed with
+	// "fences nowhere" and re-evaluate until stable; alwaysFences of a
+	// delegated call consults the current set.
+	fencing := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for fn, ff := range facts {
+			if fencing[fn] {
+				continue
+			}
+			if fencesEveryReturn(pkg, ff.decl, facts, fencing) {
+				fencing[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	anyHook := func(k callKind) bool {
+		switch k {
+		case hookTraverseRead, hookPostTraverse, hookRead, hookReadData,
+			hookInitWrite, hookWrote, hookWroteData, hookBeforeCAS,
+			hookBeforeReturn:
+			return true
+		}
+		return false
+	}
+	protocol := func(k callKind) bool {
+		return k == threadStore || k == threadCAS || k == hookPostTraverse
+	}
+
+	for fn, ff := range facts {
+		if !fn.Exported() || fencing[fn] {
+			continue
+		}
+		if !reaches(facts, fn, anyHook) || !reaches(facts, fn, protocol) {
+			continue
+		}
+		reportUnfencedReturns(pass, pkg, fn, ff.decl, facts, fencing)
+	}
+}
+
+// fencesEveryReturn reports whether calling fd guarantees a fence: every
+// termination path — explicit returns and falling off the end — passes
+// through one, given the current set of known-fencing delegates. This is
+// the delegation fixpoint's predicate, and it is strict: the
+// untouched-return exemption that reporting applies does NOT count here,
+// or a trivial accessor (all of whose returns are exempt because it never
+// touches shared memory) would be classified as fencing and a call to it
+// would bless every statement after it in its callers.
+func fencesEveryReturn(pkg *Package, fd *ast.FuncDecl, facts map[*types.Func]*funcFacts, fencing map[*types.Func]bool) bool {
+	ok := true
+	walkReturns(pkg, fd, facts, fencing, true, func(ret ast.Node) { ok = false })
+	return ok
+}
+
+// reportUnfencedReturns emits a diagnostic per unfenced return path of fd.
+func reportUnfencedReturns(pass *Pass, pkg *Package, fn *types.Func, fd *ast.FuncDecl, facts map[*types.Func]*funcFacts, fencing map[*types.Func]bool) {
+	walkReturns(pkg, fd, facts, fencing, false, func(ret ast.Node) {
+		what := "return"
+		if _, implicit := ret.(*ast.BlockStmt); implicit {
+			what = "falling off the end"
+		}
+		pass.Reportf(ret.Pos(),
+			"%s of exported mutating op %s without a fence on this path: need Policy.BeforeReturn / Thread.CommitFence / Thread.EndBatch before returning (Protocol 2)",
+			what, fn.Name())
+	})
+}
+
+// walkReturns visits fd's body tracking the fenced-so-far and
+// touched-shared-memory-so-far states, and calls report for every return
+// (or implicit fall-off) that lacks a dominating fence. In report mode
+// (strict=false) returns before the first shared access are exempt — an
+// operation that performed no access has nothing to persist — and a
+// fall-off end only counts after a shared access. In strict mode (the
+// delegation fixpoint) every unfenced termination path is reported, so
+// that fencing[fn] means "calling fn performs a fence", not merely "fn has
+// no violations of its own".
+func walkReturns(pkg *Package, fd *ast.FuncDecl, facts map[*types.Func]*funcFacts, fencing map[*types.Func]bool, strict bool, report func(ast.Node)) {
+	// hasEffect reports whether the subtree touches the persistence layer
+	// (any Thread method or policy hook, directly or via a same-package
+	// callee that transitively does).
+	hasEffect := func(root ast.Node) bool {
+		found := false
+		ast.Inspect(root, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if classifyCall(pkg.Info, call) != callOther {
+				found = true
+				return false
+			}
+			if callee := localCallee(pkg, call); callee != nil {
+				if reaches(facts, callee, func(callKind) bool { return true }) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	type state struct{ fenced, touched bool }
+	var visitStmts func(stmts []ast.Stmt, st state) state
+	var visitStmt func(s ast.Stmt, st state)
+
+	// alwaysFences reports whether executing s to normal completion
+	// guarantees a fence happened (or, for defer, will happen at return).
+	var alwaysFences func(s ast.Stmt) bool
+	exprFences := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isFence(classifyCall(pkg.Info, call)) {
+				found = true
+				return false
+			}
+			if callee := localCallee(pkg, call); callee != nil && fencing[callee] {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	alwaysFences = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			return exprFences(st.X)
+		case *ast.AssignStmt:
+			for _, r := range st.Rhs {
+				if exprFences(r) {
+					return true
+				}
+			}
+		case *ast.DeferStmt:
+			// A dominating deferred fence fences every later return.
+			return exprFences(st.Call)
+		case *ast.BlockStmt:
+			for _, c := range st.List {
+				if alwaysFences(c) {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			if st.Else == nil {
+				return false
+			}
+			return alwaysFences(st.Body) && alwaysFences(st.Else)
+		}
+		return false
+	}
+
+	visitStmts = func(stmts []ast.Stmt, st state) state {
+		for _, s := range stmts {
+			visitStmt(s, st)
+			if alwaysFences(s) {
+				st.fenced = true
+			}
+			if !st.touched && hasEffect(s) {
+				st.touched = true
+			}
+		}
+		return st
+	}
+	visitStmt = func(s ast.Stmt, st state) {
+		switch t := s.(type) {
+		case *ast.ReturnStmt:
+			if st.fenced {
+				return
+			}
+			for _, r := range t.Results {
+				if exprFences(r) {
+					return
+				}
+			}
+			if !strict && !st.touched {
+				// Nothing shared was touched before this return; if the
+				// result expressions are effect-free too, there is nothing
+				// to persist (argument validation, empty ranges).
+				eff := false
+				for _, r := range t.Results {
+					if hasEffect(r) {
+						eff = true
+						break
+					}
+				}
+				if !eff {
+					return
+				}
+			}
+			report(t)
+		case *ast.BlockStmt:
+			visitStmts(t.List, st)
+		case *ast.IfStmt:
+			if t.Init != nil && hasEffect(t.Init) || hasEffect(t.Cond) {
+				st.touched = true
+			}
+			visitStmt(t.Body, st)
+			if t.Else != nil {
+				visitStmt(t.Else, st)
+			}
+		case *ast.ForStmt:
+			// Effects anywhere in a loop may precede a return on a later
+			// iteration, so the whole loop is treated as touching first.
+			if hasEffect(t) {
+				st.touched = true
+			}
+			visitStmt(t.Body, st)
+		case *ast.RangeStmt:
+			if hasEffect(t) {
+				st.touched = true
+			}
+			visitStmt(t.Body, st)
+		case *ast.SwitchStmt:
+			if t.Init != nil && hasEffect(t.Init) || t.Tag != nil && hasEffect(t.Tag) {
+				st.touched = true
+			}
+			for _, c := range t.Body.List {
+				visitStmts(c.(*ast.CaseClause).Body, st)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range t.Body.List {
+				visitStmts(c.(*ast.CaseClause).Body, st)
+			}
+		case *ast.SelectStmt:
+			for _, c := range t.Body.List {
+				visitStmts(c.(*ast.CommClause).Body, st)
+			}
+		case *ast.LabeledStmt:
+			visitStmt(t.Stmt, st)
+		}
+	}
+
+	end := visitStmts(fd.Body.List, state{})
+
+	// Implicit return at the end of a void function that can fall off.
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		if (strict || end.touched) && !end.fenced && fallsOffEnd(fd.Body.List) {
+			report(fd.Body)
+		}
+	}
+}
+
+// fallsOffEnd reports whether control can reach the end of the statement
+// list: false when the list ends in a return, a panic, or an infinite for.
+func fallsOffEnd(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return true
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ForStmt:
+		// `for { ... }` without condition only exits via return (the
+		// protocol retry loop); a break inside would make this wrong, so
+		// check for one.
+		if last.Cond == nil && !hasLoopBreak(last.Body) {
+			return false
+		}
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hasLoopBreak reports whether body contains a break binding to this loop.
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BranchStmt:
+			if n.(*ast.BranchStmt).Tok.String() == "break" {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false // breaks inside bind to the inner statement
+		}
+		return !found
+	}
+	ast.Inspect(body, walk)
+	return found
+}

@@ -1,0 +1,164 @@
+package nvcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lineSize mirrors pmem.LineSize: the persistence model's 64-byte
+// cache-line granularity.
+const lineSize = 64
+
+// LineLayout enforces the node-layout invariant the crash model depends
+// on: every struct type handed to arena.New[T] (or naming an
+// arena.Arena[T]) must occupy a positive whole multiple of 64 bytes —
+// arena chunks are carved line-aligned, so a padded node never shares a
+// line, and two nodes sharing a line would share a crash fate (a flush of
+// one would, unrealistically, persist the other) — and no pmem.Cell field
+// of the node may straddle a line boundary (a straddling cell would need
+// two flushes and break whole-line crash atomicity).
+//
+// Sizes are computed with the gc compiler's 64-bit layout (8-byte words,
+// 8-byte max alignment), the layout every supported platform of this
+// module uses. The check replaces the hand-maintained size table that
+// arena/line_test.go used to carry: a new node type is covered the moment
+// an arena of it is instantiated anywhere in the package.
+var LineLayout = &Analyzer{
+	Name: "linelayout",
+	Doc:  "arena node structs must fill whole 64-byte lines; no cell may straddle a line",
+	Run:  runLineLayout,
+}
+
+const arenaPath = "repro/internal/arena"
+
+// gcSizes is the gc amd64/arm64 layout.
+var gcSizes = &types.StdSizes{WordSize: 8, MaxAlign: 8}
+
+func runLineLayout(pass *Pass) {
+	pkg := pass.Pkg
+	// One report per node type, at its first instantiation site.
+	seen := map[types.Type]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			inst, ok := pkg.Info.Instances[id]
+			if !ok || inst.TypeArgs.Len() != 1 {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != arenaPath {
+				return true
+			}
+			if obj.Name() != "New" && obj.Name() != "Arena" {
+				return true
+			}
+			nodeT := inst.TypeArgs.At(0)
+			if seen[nodeT] {
+				return true
+			}
+			seen[nodeT] = true
+			checkNodeLayout(pass, id.Pos(), nodeT)
+			return true
+		})
+	}
+}
+
+func checkNodeLayout(pass *Pass, pos token.Pos, nodeT types.Type) {
+	st, ok := nodeT.Underlying().(*types.Struct)
+	if !ok {
+		return // arena of a non-struct: nothing to lay out
+	}
+	if hasGCPointers(nodeT) {
+		// The arena falls back to typed allocation for pointer-bearing
+		// nodes and reports !LineAligned(); the layout contract does not
+		// apply. No durable structure uses such nodes.
+		return
+	}
+	name := nodeT.String()
+	size := gcSizes.Sizeof(st)
+	if size <= 0 || size%lineSize != 0 {
+		pass.Reportf(pos,
+			"arena node %s is %d bytes; durable nodes must fill a positive whole number of %d-byte lines (pad the struct) so no two nodes share a crash fate",
+			name, size, lineSize)
+		return
+	}
+	var walkCells func(prefix string, base int64, st *types.Struct)
+	walkCells = func(prefix string, base int64, st *types.Struct) {
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := gcSizes.Offsetsof(fields)
+		for i, fld := range fields {
+			off := base + offsets[i]
+			t := fld.Type()
+			switch {
+			case isPmemCell(t):
+				checkCellSpan(pass, pos, name, prefix+fld.Name(), off, gcSizes.Sizeof(t))
+			case isCellArray(t):
+				arr := t.Underlying().(*types.Array)
+				elem := gcSizes.Sizeof(arr.Elem())
+				for j := int64(0); j < arr.Len(); j++ {
+					checkCellSpan(pass, pos, name,
+						fmt.Sprintf("%s%s[%d]", prefix, fld.Name(), j), off+j*elem, elem)
+				}
+			default:
+				if inner, ok := t.Underlying().(*types.Struct); ok {
+					walkCells(prefix+fld.Name()+".", off, inner)
+				}
+			}
+		}
+	}
+	walkCells("", 0, st)
+}
+
+// checkCellSpan reports a cell whose bytes cross a line boundary.
+func checkCellSpan(pass *Pass, pos token.Pos, node, field string, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	if off/lineSize != (off+size-1)/lineSize {
+		pass.Reportf(pos,
+			"field %s of arena node %s spans bytes %d..%d, straddling a %d-byte line boundary: a flushed word must live in exactly one line",
+			field, node, off, off+size-1, lineSize)
+	}
+}
+
+func isPmemCell(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Cell" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == pmemPath
+}
+
+func isCellArray(t types.Type) bool {
+	arr, ok := t.Underlying().(*types.Array)
+	return ok && isPmemCell(arr.Elem())
+}
+
+// hasGCPointers reports whether the type contains Go pointers (which force
+// the arena's typed-allocation fallback).
+func hasGCPointers(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.String || u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasGCPointers(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasGCPointers(u.Elem())
+	}
+	return false
+}

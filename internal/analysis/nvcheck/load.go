@@ -1,0 +1,208 @@
+package nvcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks packages without golang.org/x/tools: `go list
+// -export -deps -json` makes the toolchain compile every dependency into
+// build-cache export data, and go/importer's gc importer reads that export
+// data through a lookup function. Only the packages under analysis are
+// parsed from source; everything they import — stdlib included — comes from
+// the compiler's own export files, so the loader works offline, agrees with
+// the build about types, and needs no third-party module.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -export -deps -json` for patterns in dir and returns
+// the decoded packages.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := []string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,Module",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// An ExportSet maps import paths to compiler export data files, and turns
+// into a types.Importer for source type-checking.
+type ExportSet map[string]string
+
+// Importer returns a gc-export-data importer over the set.
+func (e ExportSet) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := e[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// LoadResult is what Load hands to the runner: the target packages plus the
+// export set they were checked against (fixture loading reuses it).
+type LoadResult struct {
+	Packages []*Package
+	Exports  ExportSet
+	Fset     *token.FileSet
+}
+
+// Load type-checks the packages matched by patterns (relative to dir, which
+// must lie inside the module). Only packages of the main module become
+// targets; dependencies contribute export data. Test files are not
+// analyzed: the protocol code the rules police is production code, and test
+// helpers drive persistence hooks in deliberately odd orders.
+func Load(dir string, patterns ...string) (*LoadResult, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, p := range listed {
+		if !p.Standard && p.Module != nil {
+			modPath = p.Module.Path
+			break
+		}
+	}
+	exports := ExportSet{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exports.Importer(fset)
+	res := &LoadResult{Exports: exports, Fset: fset}
+	for _, p := range listed {
+		if p.Module == nil || p.Module.Path != modPath || len(p.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, gf := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, gf))
+		}
+		pkg, err := checkFiles(fset, imp, p.ImportPath, paths)
+		if err != nil {
+			return nil, err
+		}
+		res.Packages = append(res.Packages, pkg)
+	}
+	sort.Slice(res.Packages, func(i, j int) bool {
+		return res.Packages[i].Path < res.Packages[j].Path
+	})
+	return res, nil
+}
+
+// LoadDir type-checks a single directory of Go files (an analysistest
+// fixture) against the export set, under the given import path.
+func (r *LoadResult) LoadDir(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("nvcheck: no Go files in %s", dir)
+	}
+	sort.Strings(paths)
+	return checkFiles(r.Fset, r.Exports.Importer(r.Fset), importPath, paths)
+}
+
+// checkFiles parses and type-checks one package from explicit file paths.
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("nvcheck: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,68 @@
+package nvcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nvcheck"
+)
+
+// Each rule runs over a fixture package that imports the module's real
+// persistence layer; the expected findings are `// want` comments in the
+// fixture source. Every fixture contains at least one violation, so a rule
+// that silently stopped reporting fails its test.
+
+func TestTraversePure(t *testing.T) {
+	analysistest.Run(t, "traversepure", nvcheck.TraversePure)
+}
+
+func TestFenceReturn(t *testing.T) {
+	analysistest.Run(t, "fencereturn", nvcheck.FenceReturn)
+}
+
+func TestWriteHook(t *testing.T) {
+	analysistest.Run(t, "writehook", nvcheck.WriteHook)
+}
+
+func TestLineLayout(t *testing.T) {
+	analysistest.Run(t, "linelayout", nvcheck.LineLayout)
+}
+
+func TestByName(t *testing.T) {
+	all, err := nvcheck.ByName("all")
+	if err != nil || len(all) != len(nvcheck.All()) {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want %d, nil", len(all), err, len(nvcheck.All()))
+	}
+	one, err := nvcheck.ByName("writehook")
+	if err != nil || len(one) != 1 || one[0] != nvcheck.WriteHook {
+		t.Fatalf("ByName(writehook) = %v, %v; want the writehook analyzer", one, err)
+	}
+	if _, err := nvcheck.ByName("nosuchrule"); err == nil || !strings.Contains(err.Error(), "nosuchrule") {
+		t.Fatalf("ByName(nosuchrule) err = %v; want an error naming the rule", err)
+	}
+}
+
+// TestRepoIsClean is the in-tree twin of `make nvlint`: the whole module
+// must pass every rule (modulo its justified ignores).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := nvcheck.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nvcheck.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nvcheck.Run(res.Packages, nvcheck.All())
+	if len(out.Diagnostics) > 0 {
+		t.Errorf("nvcheck found %d violation(s) in the repository:\n%s",
+			len(out.Diagnostics), nvcheck.Format(out.Diagnostics))
+	}
+	if out.Suppressed == 0 {
+		t.Error("expected the repository's justified ignores to suppress at least one finding")
+	}
+}

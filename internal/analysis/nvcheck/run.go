@@ -1,0 +1,159 @@
+package nvcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is the comment grammar for justified rule suppressions:
+//
+//	//nvcheck:ignore <rule> -- <reason>
+//
+// The directive suppresses diagnostics of <rule> reported on its own line
+// (trailing comment) or on the next source line (comment on its own line).
+// The reason after "--" is mandatory: an ignore without one is reported as
+// a violation itself, so every suppression in the tree carries its
+// justification.
+const ignorePrefix = "nvcheck:ignore"
+
+// traverseDirective marks a function declaration as a traversal method for
+// rule traversepure even if it never calls Policy.TraverseRead directly:
+//
+//	//nvcheck:traverse
+const traverseDirective = "nvcheck:traverse"
+
+type ignore struct {
+	rule string
+	line int // line the directive covers
+	pos  token.Position
+	ok   bool // has a justification
+}
+
+// fileIgnores extracts the ignore directives of one file, resolving each to
+// the line it covers.
+func fileIgnores(fset *token.FileSet, f *ast.File) []ignore {
+	var out []ignore
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			rule, reason, found := strings.Cut(rest, "--")
+			ig := ignore{
+				rule: strings.TrimSpace(rule),
+				pos:  fset.Position(c.Pos()),
+				ok:   found && strings.TrimSpace(reason) != "",
+			}
+			// A trailing comment covers its own line; a standalone comment
+			// covers the next line. Column 1..N heuristic: if anything
+			// other than whitespace precedes the comment on its line, it is
+			// trailing. We approximate via the comment's column: column 1
+			// or a comment that is the only thing on the line is treated as
+			// standalone and covers line+1, but we register both lines —
+			// over-covering one adjacent line is harmless for a directive
+			// that already names its rule and carries a justification.
+			ig.line = ig.pos.Line
+			out = append(out, ig)
+		}
+	}
+	return out
+}
+
+// hasTraverseDirective reports whether fd carries //nvcheck:traverse.
+func hasTraverseDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), traverseDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunResult is the outcome of running analyzers over packages.
+type RunResult struct {
+	// Diagnostics are the surviving findings, sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed counts diagnostics removed by ignore directives.
+	Suppressed int
+}
+
+// Run applies the analyzers to every package and filters the diagnostics
+// through the packages' ignore directives. Malformed directives (missing
+// justification) are reported as findings of rule "ignore".
+func Run(pkgs []*Package, analyzers []*Analyzer) RunResult {
+	var res RunResult
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+
+		var igs []ignore
+		for _, f := range pkg.Files {
+			for _, ig := range fileIgnores(pkg.Fset, f) {
+				if !ig.ok {
+					res.Diagnostics = append(res.Diagnostics, Diagnostic{
+						Rule:    "ignore",
+						Pos:     ig.pos,
+						Message: "nvcheck:ignore needs a justification: //nvcheck:ignore <rule> -- <reason>",
+					})
+					continue
+				}
+				igs = append(igs, ig)
+			}
+		}
+		for _, d := range raw {
+			if suppressed(igs, d) {
+				res.Suppressed++
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return res
+}
+
+// suppressed reports whether a directive covers d: same file, matching
+// rule, and the diagnostic lands on the directive's line or the next one.
+func suppressed(igs []ignore, d Diagnostic) bool {
+	for _, ig := range igs {
+		if ig.rule != d.Rule && ig.rule != "all" {
+			continue
+		}
+		if ig.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line == ig.line || d.Pos.Line == ig.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders diagnostics the way compilers do, one per line.
+func Format(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	return b.String()
+}

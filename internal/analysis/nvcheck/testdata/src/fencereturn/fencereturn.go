@@ -1,0 +1,105 @@
+// Package fencereturn is an analysistest fixture for the fencereturn rule:
+// every return path of an exported mutating operation must fence (Protocol
+// 2's "fence before every return statement").
+package fencereturn
+
+import (
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// InsertLeaky fences its failure path but returns straight out of the CAS
+// success branch.
+func InsertLeaky(t *pmem.Thread, pol persist.Policy, c *pmem.Cell, v uint64) bool {
+	old := t.Load(c)
+	pol.Read(t, c)
+	pol.BeforeCAS(t)
+	if t.CAS(c, old, v) {
+		pol.Wrote(t, c)
+		return true // want "without a fence on this path"
+	}
+	pol.Wrote(t, c)
+	pol.BeforeReturn(t)
+	return false
+}
+
+// InsertFenced is the same operation with both paths fenced.
+func InsertFenced(t *pmem.Thread, pol persist.Policy, c *pmem.Cell, v uint64) bool {
+	old := t.Load(c)
+	pol.Read(t, c)
+	pol.BeforeCAS(t)
+	if t.CAS(c, old, v) {
+		pol.Wrote(t, c)
+		pol.BeforeReturn(t)
+		return true
+	}
+	pol.Wrote(t, c)
+	pol.BeforeReturn(t)
+	return false
+}
+
+// Scan returns early on an empty range before touching anything shared:
+// that path is exempt, and the real path fences.
+func Scan(t *pmem.Thread, pol persist.Policy, c *pmem.Cell, from, to uint64) uint64 {
+	if from > to {
+		return 0
+	}
+	v := t.Load(c)
+	pol.TraverseRead(t, c)
+	cells := [...]*pmem.Cell{c}
+	pol.PostTraverse(t, cells[:])
+	pol.BeforeReturn(t)
+	return v
+}
+
+// Remove delegates to remove, whose every return path fences; the
+// delegation fixpoint accepts the chain.
+func Remove(t *pmem.Thread, pol persist.Policy, c *pmem.Cell) bool {
+	return remove(t, pol, c)
+}
+
+func remove(t *pmem.Thread, pol persist.Policy, c *pmem.Cell) bool {
+	old := t.Load(c)
+	pol.BeforeCAS(t)
+	ok := t.CAS(c, old, 0)
+	pol.Wrote(t, c)
+	pol.BeforeReturn(t)
+	return ok
+}
+
+// Reset fences every return through a dominating deferred fence.
+func Reset(t *pmem.Thread, pol persist.Policy, c *pmem.Cell) {
+	defer pol.BeforeReturn(t)
+	old := t.Load(c)
+	pol.BeforeCAS(t)
+	if !t.CAS(c, old, 0) {
+		return
+	}
+	pol.Wrote(t, c)
+}
+
+// half is a trivial accessor: it has no unfenced returns only because it
+// never touches shared memory, so calling it must NOT count as a fence in
+// the delegation fixpoint.
+func half(v uint64) uint64 { return v / 2 }
+
+// InsertViaHelper calls a trivial local helper between the CAS and the
+// unfenced success return; the helper must not bless the path.
+func InsertViaHelper(t *pmem.Thread, pol persist.Policy, c *pmem.Cell, v uint64) bool {
+	pol.BeforeCAS(t)
+	ok := t.CAS(c, 0, v)
+	pol.Wrote(t, c)
+	_ = half(v)
+	if ok {
+		return true // want "without a fence on this path"
+	}
+	pol.BeforeReturn(t)
+	return false
+}
+
+// Clear mutates and then falls off the end of the function unfenced.
+func Clear(t *pmem.Thread, pol persist.Policy, c *pmem.Cell) { // want "falling off the end"
+	pol.BeforeCAS(t)
+	t.Store(c, 0)
+	pol.Wrote(t, c)
+}

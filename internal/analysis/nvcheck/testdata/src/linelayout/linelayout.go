@@ -1,0 +1,40 @@
+// Package linelayout is an analysistest fixture for the linelayout rule:
+// structs handed to the arena must occupy a positive whole number of
+// 64-byte lines so that no two nodes share a crash fate.
+package linelayout
+
+import (
+	"repro/internal/arena"
+	"repro/internal/epoch"
+	"repro/internal/pmem"
+)
+
+// oddNode is 9 cells = 72 bytes: one word past a line.
+type oddNode struct {
+	Key   pmem.Cell
+	Value pmem.Cell
+	Next  [7]pmem.Cell
+}
+
+// fullNode is 8 cells = exactly one 64-byte line.
+type fullNode struct {
+	Key   pmem.Cell
+	Value pmem.Cell
+	Next  [6]pmem.Cell
+}
+
+// ptrNode carries a Go pointer: the arena falls back to typed allocation
+// and the line-layout contract does not apply.
+type ptrNode struct {
+	Key  pmem.Cell
+	Meta *uint64
+}
+
+// The fixture only needs the instantiations to type-check; nothing runs.
+var dom *epoch.Domain
+
+var (
+	bad  = arena.New[oddNode](dom, 1) // want "is 72 bytes"
+	good = arena.New[fullNode](dom, 1)
+	ptrs = arena.New[ptrNode](dom, 1)
+)

@@ -1,43 +1,22 @@
 package arena_test
 
-// Line-layout tests: the persistence model is 64-byte-line granular, so
-// every node type in the repository must fill whole lines (no two nodes
-// may share a crash fate) and arena chunks must be carved line-aligned.
-// These tests pin both properties for every structure at once; a new node
-// field that breaks the padding fails here with the exact size.
+// Runtime line-layout tests: the persistence model is 64-byte-line
+// granular, so arena chunks must be carved line-aligned and padded nodes
+// must never share a line at their actual addresses. The static half of
+// the contract — every node type handed to an arena fills whole lines —
+// is enforced per instantiation site by nvcheck's linelayout rule (`make
+// nvlint`), which replaced the hand-maintained size table that used to
+// live here.
 
 import (
 	"testing"
 	"unsafe"
 
 	"repro/internal/arena"
-	"repro/internal/ellenbst"
 	"repro/internal/epoch"
 	"repro/internal/list"
-	"repro/internal/nmbst"
 	"repro/internal/pmem"
-	"repro/internal/queue"
-	"repro/internal/skiplist"
-	"repro/internal/stack"
 )
-
-func TestNodeTypesFillWholeLines(t *testing.T) {
-	sizes := map[string]uintptr{
-		"list.Node":     unsafe.Sizeof(list.Node{}),
-		"queue.Node":    unsafe.Sizeof(queue.Node{}),
-		"queue.DNode":   unsafe.Sizeof(queue.DNode{}),
-		"stack.Node":    unsafe.Sizeof(stack.Node{}),
-		"ellenbst.Node": unsafe.Sizeof(ellenbst.Node{}),
-		"ellenbst.Info": unsafe.Sizeof(ellenbst.Info{}),
-		"nmbst.Node":    unsafe.Sizeof(nmbst.Node{}),
-		"skiplist.Node": unsafe.Sizeof(skiplist.Node{}),
-	}
-	for name, sz := range sizes {
-		if sz == 0 || sz%pmem.LineSize != 0 {
-			t.Errorf("%s is %d bytes; must be a positive multiple of %d", name, sz, pmem.LineSize)
-		}
-	}
-}
 
 func TestArenaNodesNeverShareALine(t *testing.T) {
 	a := arena.New[list.Node](epoch.New(1), 1)

@@ -49,16 +49,29 @@ func RecoveryRow(panel string) (JSONRow, error) {
 		return JSONRow{}, err
 	}
 
-	st2, err := store.Open(cfg)
-	if err != nil {
-		return JSONRow{}, err
-	}
-	rs := st2.ReplayStats()
-	if err := st2.Close(); err != nil {
-		return JSONRow{}, err
-	}
-	if rs.Records == 0 || rs.Elapsed <= 0 {
-		return JSONRow{}, fmt.Errorf("recovery row replayed nothing (stats %+v)", rs)
+	// Reopen (replay is idempotent: the store is closed again without
+	// writes, so the WAL is intact) and keep the fastest of three replays.
+	// Elapsed is the slowest shard's wall clock across four goroutines; on
+	// a small machine one GC cycle or a leftover background goroutine from
+	// an earlier suite row can inflate a single measurement several-fold,
+	// and the regression gate needs the row to reflect replay cost, not
+	// scheduler luck.
+	var rs pmem.ReplayStats
+	for i := 0; i < 3; i++ {
+		st2, err := store.Open(cfg)
+		if err != nil {
+			return JSONRow{}, err
+		}
+		cur := st2.ReplayStats()
+		if err := st2.Close(); err != nil {
+			return JSONRow{}, err
+		}
+		if cur.Records == 0 || cur.Elapsed <= 0 {
+			return JSONRow{}, fmt.Errorf("recovery row replayed nothing (stats %+v)", cur)
+		}
+		if i == 0 || cur.Elapsed < rs.Elapsed {
+			rs = cur
+		}
 	}
 	return JSONRow{
 		Panel:         panel,

@@ -12,6 +12,8 @@ import (
 // (Supplement 1's disconnect). A persisted flag implies a persisted Info
 // record — records are flushed and fenced before the flag CAS — so the
 // descriptor is always intact. Single-threaded; every repair is persisted.
+//
+//nvcheck:ignore fencereturn -- single-threaded recovery: each repair fences where it happens (recoverNode), and repair-free paths have nothing to persist, so no trailing fence is wanted
 func (tr *Tree) Recover(t *pmem.Thread) {
 	tr.dom.Enter(t.ID)
 	defer tr.dom.Exit(t.ID)

@@ -11,6 +11,8 @@ import (
 // recovery completes all of them (Supplement 1's disconnect), persisting
 // each repair, then clears any tag left over from an interrupted cleanup.
 // Single-threaded.
+//
+//nvcheck:ignore fencereturn -- single-threaded recovery: each completed deletion and cleared tag fences where it happens, and repair-free paths have nothing to persist, so no trailing fence is wanted
 func (tr *Tree) Recover(t *pmem.Thread) {
 	tr.dom.Enter(t.ID)
 	defer tr.dom.Exit(t.ID)

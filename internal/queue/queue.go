@@ -126,6 +126,7 @@ func (q *Queue) Enqueue(t *pmem.Thread, value uint64) {
 		pol.Wrote(t, &lastN.Next)
 		pol.BeforeReturn(t)
 		if ok {
+			//nvcheck:ignore writehook -- q.tail is the volatile tail hint (Property 2): never flushed by design, Recover recomputes it from the durable chain
 			t.CAS(q.tail, pmem.Dirty(pmem.MakeRef(last)), pmem.MakeRef(idx))
 			t.CountOp()
 			return
@@ -161,6 +162,7 @@ func (q *Queue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 		// Advancing the hint here changes its value, so every such
 		// delayed CAS fails its expectation.
 		if tv := t.Load(q.tail); pmem.RefIndex(tv) == dummy {
+			//nvcheck:ignore writehook -- q.tail is the volatile tail hint (Property 2): never flushed by design, Recover recomputes it from the durable chain
 			t.CAS(q.tail, tv, pmem.ClearTags(next))
 		}
 		v := t.Load(&q.node(pmem.RefIndex(next)).Value) // immutable: no flush
@@ -174,6 +176,7 @@ func (q *Queue) Dequeue(t *pmem.Thread) (value uint64, ok bool) {
 			// section must never read a hint to a reusable node.
 			tv := t.Load(q.tail)
 			if pmem.RefIndex(tv) == dummy {
+				//nvcheck:ignore writehook -- q.tail is the volatile tail hint (Property 2): never flushed by design, Recover recomputes it from the durable chain
 				t.CAS(q.tail, tv, pmem.ClearTags(next))
 			}
 			// The disconnection of the old dummy is persistent.

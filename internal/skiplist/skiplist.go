@@ -346,6 +346,7 @@ func (l *List) insertGet(t *pmem.Thread, key, value uint64, wantValue bool) (uin
 		t.Store(&n.Level, lvl)
 		t.Store(&n.Next[0], pmem.Dirty(pmem.MakeRef(tr.right)))
 		for i := uint64(1); i < lvl; i++ {
+			//nvcheck:ignore writehook -- upper tower levels are volatile index state: recovery rebuilds them from the durable Level field, so no hook or flush is wanted
 			t.Store(&n.Next[i], pmem.NilRef)
 		}
 		// Core-tree fields participate in the protocol; Level is persisted
@@ -454,6 +455,7 @@ func (l *List) Delete(t *pmem.Thread, key uint64) bool {
 				if pmem.Marked(nx) {
 					break
 				}
+				//nvcheck:ignore writehook -- upper tower levels are volatile index state: recovery rebuilds them from the durable Level field, so no hook or flush is wanted
 				if t.CAS(&rightN.Next[i], nx, pmem.WithMark(nx)) {
 					break
 				}
