@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race fmt vet staticcheck nvlint lint apicheck server-smoke crash-smoke bench-smoke bench-ci bench-gate bench-json ci
+.PHONY: build test short race fmt vet staticcheck nvlint lint apicheck server-smoke crash-smoke fault-smoke bench-smoke bench-ci bench-gate bench-json ci
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,17 @@ crash-smoke:
 	$(GO) run ./cmd/nvserver -crashsmoke -kind skiplist -shards 2 -conns 2 -smoke-acks 2000
 	$(GO) run ./cmd/nvserver -crashsmoke -shards 4 -conns 4 -smoke-acks 12000 -ckpt-bytes 16384
 
+# The deterministic disk-fault matrix: every errfs schedule the fault
+# tests script — fsync EIO, ENOSPC, short writes, checkpoint faults at
+# each pre-commit-point step, mid-log corruption — plus the degraded-mode
+# serving paths (batcher refusals, wire-level ERR DEGRADED, STATS) and the
+# fault-schedule crash tortures. Seeded schedules, no timing dependence.
+fault-smoke:
+	$(GO) test -count=1 -run 'TestFault' ./internal/pmem/ ./internal/crashtest/
+	$(GO) test -count=1 ./internal/pmem/vfs/
+	$(GO) test -count=1 -run 'DegradedOnFsync' ./internal/batcher/
+	$(GO) test -count=1 -run 'TestServerDegraded|TestServerIdleTimeout|TestClientTimeout' ./internal/server/
+
 # Exercise both CLIs end to end with tiny workloads so they cannot rot.
 # server-smoke rides along so the serving layer cannot rot locally either.
 bench-smoke: server-smoke
@@ -127,4 +138,4 @@ bench-json:
 		$(if $(BENCH_CMP),-cmp $(BENCH_CMP)) $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_JSON)
 
-ci: fmt vet build nvlint short race apicheck bench-smoke crash-smoke bench-ci bench-gate
+ci: fmt vet build nvlint short race apicheck bench-smoke crash-smoke fault-smoke bench-ci bench-gate

@@ -78,6 +78,7 @@ func run(args []string, out io.Writer) error {
 
 		maxBatch = fs.Int("maxbatch", 64, "group-commit: flush at this many pending writes")
 		maxDelay = fs.Duration("maxdelay", 50*time.Microsecond, "group-commit: flush after the oldest write waited this long")
+		idleTO   = fs.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
 
 		conns    = fs.Int("conns", 4, "load: concurrent connections")
 		pipeline = fs.Int("pipeline", 16, "load: requests in flight per connection")
@@ -139,7 +140,8 @@ func run(args []string, out io.Writer) error {
 		return writeLoadDoc(*jsonOut, *label, loadCfg, res, out)
 	default:
 		return runServe(out, *listen, *serveFor, *kind, *policy, *profile, *shards, *size,
-			*maxConns, *dataDir, *syncWAL, *ckptB, batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
+			*maxConns, *dataDir, *syncWAL, *ckptB, *idleTO,
+			batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
 	}
 }
 
@@ -179,12 +181,12 @@ func openStore(kind, policy, profile string, shards, size, maxConns int, dataDir
 
 func runServe(out io.Writer, listen string, serveFor time.Duration,
 	kind, policy, profile string, shards, size, maxConns int,
-	dataDir string, syncWAL bool, ckptBytes int64, bcfg batcher.Config) error {
+	dataDir string, syncWAL bool, ckptBytes int64, idleTO time.Duration, bcfg batcher.Config) error {
 	st, err := openStore(kind, policy, profile, shards, size, maxConns, dataDir, syncWAL, ckptBytes)
 	if err != nil {
 		return err
 	}
-	srv := server.New(st, server.Config{MaxConns: maxConns, Batch: bcfg})
+	srv := server.New(st, server.Config{MaxConns: maxConns, Batch: bcfg, IdleTimeout: idleTO})
 	ln, err := server.Listen(listen)
 	if err != nil {
 		return err
@@ -216,6 +218,13 @@ func runServe(out io.Writer, listen string, serveFor time.Duration,
 	srv.Close()
 	if err := <-done; err != nil {
 		return err
+	}
+	// A run that degraded must exit nonzero even though the process kept
+	// serving reads: every write since the latch was refused, and only a
+	// restart + recovery (replaying the pre-damage log) clears the state.
+	if err := srv.DegradedErr(); err != nil {
+		st.Close()
+		return fmt.Errorf("degraded: %w", err)
 	}
 	// A failed automatic checkpoint never lost data — the old generation
 	// stayed live — but it means the WAL stopped being bounded, which only

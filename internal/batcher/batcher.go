@@ -31,11 +31,13 @@ package batcher
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/pmem"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -47,7 +49,22 @@ var (
 	// because the memory crashed: the request was not acknowledged and may
 	// or may not have taken effect (in-flight under durable linearizability).
 	ErrCrashed = errors.New("batcher: store crashed before commit")
+	// ErrDegraded completes writes whose commit fence could not be made
+	// durable: the store's disk backend latched a sticky write/fsync
+	// failure (see store.Store.DurableErr). The write was not acknowledged
+	// and must be treated as lost — it may be in process memory but is not
+	// on disk, and only what recovery replays after a restart survives.
+	// The condition is permanent for the process: every later write fails
+	// the same way, while reads keep completing normally.
+	ErrDegraded = errors.New("batcher: store degraded, write not durable")
 )
+
+// isReadOp reports whether op needs no durability to acknowledge. Reads
+// keep serving on a degraded store; everything else is a write whose
+// acknowledgement would promise durability the disk can no longer provide.
+func isReadOp(op store.Op) bool {
+	return op.Kind == shard.OpGet || op.Kind == shard.OpScan
+}
 
 // Config tunes the group-commit policy.
 type Config struct {
@@ -96,6 +113,11 @@ type Batcher struct {
 	ops     atomic.Uint64
 	flushes atomic.Uint64
 	groups  atomic.Uint64
+
+	// degraded latches the first non-durable group commit (wrapped in
+	// ErrDegraded) and never clears: once the disk has refused a write or
+	// an fsync, no later write may be acknowledged (see ErrDegraded).
+	degraded atomic.Pointer[error]
 }
 
 // New starts a batcher over one new session of st.
@@ -133,6 +155,13 @@ func NewSession(sess store.Session, cfg Config) *Batcher {
 // worker-goroutine context (e.g. it may run under any locks the caller
 // holds across Submit).
 func (b *Batcher) Submit(op store.Op, cb func(store.OpResult, error)) {
+	if err := b.DegradedErr(); err != nil && !isReadOp(op) {
+		// Fail-fast for writes on a degraded store: the outcome is already
+		// known, so don't spend a flush discovering it again. Reads still
+		// ride the worker — a degraded store keeps serving them.
+		cb(store.OpResult{}, err)
+		return
+	}
 	r := &request{op: op, cb: cb}
 	b.mu.Lock()
 	if b.closed || b.crashed {
@@ -195,6 +224,27 @@ func (b *Batcher) Stats() Stats {
 		Flushes: b.flushes.Load(),
 		Groups:  b.groups.Load(),
 	}
+}
+
+// DegradedErr reports the sticky degraded state: nil while every group
+// commit has been durable, and the first ErrDegraded-wrapped failure
+// forever after.
+func (b *Batcher) DegradedErr() error {
+	if e := b.degraded.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// degrade latches err as the batcher's permanent degraded state and
+// returns the canonical wrapped error (first caller wins; later callers
+// get the original latch, so every completion carries the root cause).
+func (b *Batcher) degrade(err error) error {
+	werr := fmt.Errorf("%w: %v", ErrDegraded, err)
+	if b.degraded.CompareAndSwap(nil, &werr) {
+		return werr
+	}
+	return *b.degraded.Load()
 }
 
 // worker is the single goroutine that owns the session: it waits for
@@ -264,13 +314,26 @@ func (b *Batcher) flush(reqs []*request, opsp *[]store.Op, dstp *[]store.OpResul
 	}
 	dst = dst[:len(ops)]
 	*dstp = dst
-	committed := func(idxs []int) {
+	committed := func(idxs []int, err error) {
 		b.groups.Add(1)
+		var gerr error
+		if err != nil {
+			gerr = b.degrade(err)
+		}
 		for _, i := range idxs {
-			if r := reqs[i]; r != nil {
-				reqs[i] = nil
-				r.cb(dst[i], nil)
+			r := reqs[i]
+			if r == nil {
+				continue
 			}
+			reqs[i] = nil
+			if gerr != nil && !isReadOp(r.op) {
+				// The group's fence did not reach the disk: withhold the
+				// acknowledgement. Reads in the group are still good — they
+				// never needed the fence.
+				r.cb(store.OpResult{}, gerr)
+				continue
+			}
+			r.cb(dst[i], nil)
 		}
 	}
 	crashed := pmem.RunOp(func() {
@@ -278,13 +341,14 @@ func (b *Batcher) flush(reqs []*request, opsp *[]store.Op, dstp *[]store.OpResul
 			b.async.ApplyCommitted(ops, dst, committed)
 		} else {
 			// Fallback for sessions without the async surface: the whole
-			// batch acknowledges together when Apply returns.
+			// batch acknowledges together when Apply returns. Plain sessions
+			// carry no durability verdict, so the fallback reports none.
 			b.sess.Apply(ops, dst)
 			idxs := make([]int, len(reqs))
 			for i := range idxs {
 				idxs[i] = i
 			}
-			committed(idxs)
+			committed(idxs, nil)
 		}
 	})
 	b.flushes.Add(1)

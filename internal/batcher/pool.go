@@ -1,6 +1,7 @@
 package batcher
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,7 +77,7 @@ type poolWorker struct {
 	reqs        []poolReq
 	ops         []store.Op
 	dst         []store.OpResult
-	committedFn func(idxs []int)
+	committedFn func(idxs []int, err error)
 	flushFn     func()
 	crashed     bool
 }
@@ -104,6 +105,11 @@ type Pool struct {
 	flushes atomic.Uint64
 	groups  atomic.Uint64
 	ckptErr atomic.Pointer[error]
+
+	// degraded latches the first non-durable group commit (wrapped in
+	// ErrDegraded) and never clears: writes fail fast from then on while
+	// reads keep flowing (see ErrDegraded).
+	degraded atomic.Pointer[error]
 }
 
 // NewPool starts a pool over st with one new session per worker.
@@ -175,6 +181,12 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // blocking when the ring is full (bounded-queue backpressure). c.Complete
 // runs exactly once; see Completer for where.
 func (p *Pool) Submit(op store.Op, c Completer) {
+	if err := p.DegradedErr(); err != nil && !isReadOp(op) {
+		// Fail-fast for writes on a degraded store; reads still ride the
+		// workers — a degraded store keeps serving them.
+		c.Complete(store.OpResult{}, err)
+		return
+	}
 	p.mu.RLock()
 	if p.closed || p.crashed.Load() {
 		closed := p.closed
@@ -253,6 +265,27 @@ func (p *Pool) CheckpointErr() error {
 		return *e
 	}
 	return nil
+}
+
+// DegradedErr reports the sticky degraded state: nil while every group
+// commit has been durable, and the first ErrDegraded-wrapped failure
+// forever after.
+func (p *Pool) DegradedErr() error {
+	if e := p.degraded.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// degrade latches err as the pool's permanent degraded state and returns
+// the canonical wrapped error (first caller wins, so every completion
+// carries the root cause).
+func (p *Pool) degrade(err error) error {
+	werr := fmt.Errorf("%w: %v", ErrDegraded, err)
+	if p.degraded.CompareAndSwap(nil, &werr) {
+		return werr
+	}
+	return *p.degraded.Load()
 }
 
 // run is one worker's loop: take the first request (blocking), drain the
@@ -358,13 +391,25 @@ func (w *poolWorker) flush() bool {
 	}
 	w.dst = w.dst[:len(ops)]
 	if w.flushFn == nil {
-		w.committedFn = func(idxs []int) {
+		w.committedFn = func(idxs []int, err error) {
 			w.p.groups.Add(1)
+			var gerr error
+			if err != nil {
+				gerr = w.p.degrade(err)
+			}
 			for _, i := range idxs {
-				if c := w.reqs[i].c; c != nil {
-					w.reqs[i].c = nil
-					c.Complete(w.dst[i], nil)
+				c := w.reqs[i].c
+				if c == nil {
+					continue
 				}
+				w.reqs[i].c = nil
+				if gerr != nil && !isReadOp(w.reqs[i].op) {
+					// The group's fence did not reach the disk: withhold
+					// the acknowledgement. Reads never needed it.
+					c.Complete(store.OpResult{}, gerr)
+					continue
+				}
+				c.Complete(w.dst[i], nil)
 			}
 		}
 		w.flushFn = func() {
@@ -372,14 +417,19 @@ func (w *poolWorker) flush() bool {
 				w.async.ApplyCommitted(w.ops, w.dst, w.committedFn)
 				return
 			}
+			// Fallback for sessions without the async surface: ask the
+			// store for the durability verdict when one is available (stub
+			// sessions without a store carry none).
 			w.sess.Apply(w.ops, w.dst)
-			w.p.groups.Add(1)
-			for i := range w.reqs {
-				if c := w.reqs[i].c; c != nil {
-					w.reqs[i].c = nil
-					c.Complete(w.dst[i], nil)
-				}
+			var derr error
+			if w.p.st != nil {
+				derr = w.p.st.DurableErr()
 			}
+			idxs := make([]int, len(w.reqs))
+			for i := range idxs {
+				idxs[i] = i
+			}
+			w.committedFn(idxs, derr)
 		}
 	}
 	crashed := pmem.RunOp(w.flushFn)

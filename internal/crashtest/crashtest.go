@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/pmem"
+	"repro/internal/pmem/vfs"
 )
 
 // Set is the data-structure surface the harness exercises.
@@ -133,6 +134,11 @@ type Result struct {
 	InFlight   int    // operations interrupted mid-flight
 	Violations []Violation
 	Survivors  int // keys present after recovery
+
+	// DurableErr is the pre-crash memory's sticky disk damage at the
+	// moment of the crash (nil when the disk behaved). Fault-schedule
+	// rounds assert it is non-nil to prove the injection actually fired.
+	DurableErr error
 }
 
 // Options configures one crash round driven by Run.
@@ -153,6 +159,22 @@ type Options struct {
 	// fresh memory + structure reopen the directory, replay the log, and
 	// recover. EvictProb is ignored (the file is the only survivor).
 	Dir string
+
+	// FS overrides the durable backend's file operations (nil = the real
+	// filesystem): fault-torture rounds pass a vfs.ErrFS so the disk
+	// misbehaves under load. A worker whose backend latches damage records
+	// its current operation as in flight — never acknowledged — and stops,
+	// so the checker holds the harness to exactly the replied ⇒ durable
+	// rule under disk faults. The post-crash reopen reuses the same FS:
+	// one-shot (Nth-call) triggers have fired by then, while byte-count
+	// and probability triggers keep applying — a schedule can deliberately
+	// torment recovery too. Only meaningful with Dir.
+	FS vfs.FS
+
+	// SyncFence makes every commit fence fsync the WAL (pmem.Config's
+	// knob of the same name), so sync-failure schedules fire mid-load
+	// rather than only at close and checkpoint. Only meaningful with Dir.
+	SyncFence bool
 }
 
 type worker struct {
@@ -177,7 +199,7 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 		opts.UpdateRatio = 60
 	}
 	cfg := pmem.Config{Mode: pmem.ModeTracked, Profile: pmem.ProfileZero,
-		MaxThreads: opts.Workers + 8, Dir: opts.Dir}
+		MaxThreads: opts.Workers + 8, Dir: opts.Dir, FS: opts.FS, SyncFence: opts.SyncFence}
 	mem := pmem.New(cfg)
 	ds := factory(mem)
 	mustRecoverFiles(mem)
@@ -196,6 +218,7 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 	mem.PersistAll()
 
 	var completed atomic.Uint64
+	var stopped atomic.Int64
 	workers := make([]*worker, opts.Workers)
 	var wg sync.WaitGroup
 	for i := range workers {
@@ -216,8 +239,9 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 		wg.Add(1)
 		go func(w *worker, lo, hi uint64) {
 			defer wg.Done()
+			defer stopped.Add(1)
 			rng := w.th
-			for !mem.Crashed() {
+			for !mem.Crashed() && w.th.DurableErr() == nil {
 				k := lo + rng.Rand()%(hi-lo+1)
 				r := int(rng.Rand() % 100)
 				var kind OpKind
@@ -247,6 +271,12 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 					// pending stays valid: in flight at the crash.
 					return
 				}
+				if kind != OpFind && w.th.DurableErr() != nil {
+					// The write executed in memory but its commit fence
+					// never reached the disk: it was never acknowledged,
+					// so it is in flight — recovery may keep or drop it.
+					return
+				}
 				w.hist.Completed(kind, k, v, ok)
 				w.valid = false
 				completed.Add(1)
@@ -255,12 +285,15 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 	}
 
 	// Crash once enough operations completed (yield while spinning: on a
-	// single-core host the workers need the CPU).
-	for completed.Load() < opts.OpsBeforeCrash {
+	// single-core host the workers need the CPU). Workers also stop on
+	// their own when the backend latches disk damage, so a fault schedule
+	// that fires before the target count still ends the round.
+	for completed.Load() < opts.OpsBeforeCrash && stopped.Load() < int64(len(workers)) {
 		runtime.Gosched()
 	}
 	mem.Crash()
 	wg.Wait()
+	durErr := mem.DurableErr()
 	var rec *pmem.Thread
 	if opts.Dir == "" {
 		mem.FinishCrash(opts.EvictProb, opts.Seed)
@@ -278,7 +311,7 @@ func Run(opts Options, factory func(mem *pmem.Memory) Set) Result {
 	}
 	ds.Recover(rec)
 
-	res := Result{Completed: completed.Load()}
+	res := Result{Completed: completed.Load(), DurableErr: durErr}
 	hs := make([]*History, 0, len(workers))
 	for _, w := range workers {
 		if w.valid {

@@ -3,12 +3,13 @@ package pmem
 import (
 	"bufio"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"repro/internal/pmem/vfs"
 )
 
 // The durable file backend gives a Memory real on-disk state: every fenced
@@ -112,6 +113,7 @@ func (s *ReplayStats) Add(o ReplayStats) {
 type durableMem struct {
 	dir  string
 	sync bool
+	fs   vfs.FS
 
 	// Region registry. regions is the sorted-by-base lookup snapshot the
 	// flush path binary-searches lock-free; regMu guards mutation.
@@ -126,13 +128,22 @@ type durableMem struct {
 	// fresh sentinel record shadow recovered state.
 	mu      sync.Mutex
 	live    bool
-	f       *os.File
+	f       vfs.File
 	bw      *bufio.Writer
 	gen     uint64
 	boot    uint64
 	scratch []byte
 	wstats  WALStats
 	replay  ReplayStats
+
+	// damaged is the sticky fail-stop latch: the first WAL append, flush,
+	// fsync or close error is stored here permanently and every later
+	// commit point returns it. Never cleared — a failed fsync may already
+	// have dropped the dirty pages (the fsyncgate lesson), so retrying and
+	// trusting the next success would un-durably acknowledge writes. The
+	// only way out is a process restart and recovery from what the files
+	// actually hold.
+	damaged atomic.Pointer[error]
 
 	// dirty is true while the userspace buffer may hold unflushed records;
 	// checked lock-free so DurableSync costs one atomic load when clean.
@@ -147,13 +158,52 @@ type durableMem struct {
 	ckptBusy atomic.Bool
 }
 
-func newDurableMem(dir string, syncFence bool) *durableMem {
+func newDurableMem(dir string, syncFence bool, fs vfs.FS) *durableMem {
+	if fs == nil {
+		fs = vfs.OS
+	}
 	return &durableMem{
 		dir:       dir,
 		sync:      syncFence,
+		fs:        fs,
 		byTag:     make(map[uint64]*region),
 		providers: make(map[uint32]func(sub uint32)),
 	}
+}
+
+// latch records err as permanent damage (first error wins) and returns
+// the latched error. nil passes through untouched.
+func (d *durableMem) latch(err error) error {
+	if err == nil {
+		return nil
+	}
+	werr := fmt.Errorf("pmem: durable backend damaged: %w", err)
+	if !d.damaged.CompareAndSwap(nil, &werr) {
+		return *d.damaged.Load()
+	}
+	return werr
+}
+
+// damageErr returns the latched damage error, or nil while healthy. One
+// atomic pointer load: cheap enough for every commit point.
+func (d *durableMem) damageErr() error {
+	if p := d.damaged.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// DurableErr reports the file backend's sticky damage state: nil while
+// every commit-point flush (and fsync, under SyncFence) has succeeded,
+// and the first I/O error permanently afterwards. Commit paths check it
+// after their closing fence; a non-nil result means records appended
+// since the last successful flush may never have reached the file, so
+// the affected operations must NOT be acknowledged.
+func (m *Memory) DurableErr() error {
+	if m.durable == nil {
+		return nil
+	}
+	return m.durable.damageErr()
 }
 
 // Durable reports whether the memory has a file backend configured.
@@ -435,17 +485,38 @@ func (t *Thread) DurableSync() {
 	}
 }
 
+// DurableErr is the thread-side view of Memory.DurableErr: nil while the
+// file backend is healthy (or absent), the sticky damage error afterwards.
+// Commit paths (the shard session's per-group EndBatch, the single-store
+// batch path) consult it right after their closing fence — a non-nil
+// result there means the fence's records may not be in the file and the
+// group must not be acknowledged. One nil check + one atomic load.
+func (t *Thread) DurableErr() error {
+	if d := t.dur; d != nil {
+		return d.damageErr()
+	}
+	return nil
+}
+
 // appendRecord serializes one fence's captured lines as a single framed
 // record into the shared log buffer. Dropped silently before RecoverFiles
-// (construction) and after Close.
+// (construction) and after Close; dropped with the latch set once the
+// backend is damaged (the record could never be acknowledged anyway). A
+// write error here latches immediately — bufio also remembers it and
+// would resurface it at the next Flush, but latching at the append keeps
+// the damage point exact.
 func (d *durableMem) appendRecord(entries []walEntry) {
 	d.mu.Lock()
-	if !d.live || d.bw == nil {
+	if !d.live || d.bw == nil || d.damageErr() != nil {
 		d.mu.Unlock()
 		return
 	}
 	d.scratch = appendRecordBytes(d.scratch[:0], d.boot, entries)
-	d.bw.Write(d.scratch)
+	if _, err := d.bw.Write(d.scratch); err != nil {
+		d.latch(err)
+		d.mu.Unlock()
+		return
+	}
 	d.wstats.Records++
 	d.wstats.Lines += uint64(len(entries))
 	d.wstats.Bytes += uint64(len(d.scratch))
@@ -455,26 +526,40 @@ func (d *durableMem) appendRecord(entries []walEntry) {
 }
 
 // flush drains the userspace buffer to the OS; with SyncFence it also
-// fdatasyncs. The buffer only ever holds fenced records, so flushing at any
-// point is safe; the commit points just make it mandatory.
-func (d *durableMem) flush() {
+// fdatasyncs. The buffer only ever holds fenced records, so flushing at
+// any point is safe; the commit points just make it mandatory. The return
+// value is the commit verdict: nil means everything appended so far is in
+// the file (and on disk, under SyncFence); non-nil means some record may
+// be lost and the backend is latched damaged — the caller must withhold
+// the acknowledgements this flush was covering.
+func (d *durableMem) flush() error {
 	if !d.dirty.Load() {
-		return
+		return d.damageErr()
 	}
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.damageErr(); err != nil {
+		return err
+	}
 	if d.bw != nil {
-		d.bw.Flush()
+		if err := d.bw.Flush(); err != nil {
+			return d.latch(err)
+		}
 		if d.sync && d.f != nil {
-			d.f.Sync()
+			if err := d.f.Sync(); err != nil {
+				return d.latch(err)
+			}
 		}
 	}
 	d.dirty.Store(false)
-	d.mu.Unlock()
+	return nil
 }
 
 // Close flushes and closes the file backend (no-op without one, idempotent).
 // Appends after Close are dropped; the store layer closes on shutdown after
-// quiescing its sessions.
+// quiescing its sessions. A flush/sync/close failure here is latched and
+// returned — shutdown paths propagate it into a nonzero exit, because a
+// clean-looking exit over a failed final flush would hide lost records.
 func (m *Memory) Close() error {
 	d := m.durable
 	if d == nil {
@@ -483,10 +568,10 @@ func (m *Memory) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.f == nil {
-		return nil
+		return d.damageErr()
 	}
-	var err error
-	if d.bw != nil {
+	err := d.damageErr()
+	if d.bw != nil && err == nil {
 		err = d.bw.Flush()
 	}
 	if e := d.f.Sync(); err == nil {
@@ -496,5 +581,5 @@ func (m *Memory) Close() error {
 		err = e
 	}
 	d.f, d.bw, d.live = nil, nil, false
-	return err
+	return d.latch(err)
 }

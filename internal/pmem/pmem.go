@@ -44,6 +44,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/pmem/vfs"
 )
 
 // Mode selects how the simulated memory behaves.
@@ -99,6 +101,12 @@ type Config struct {
 	// OS — durability against power loss rather than process death, at a
 	// large throughput cost. Only meaningful with Dir.
 	SyncFence bool
+
+	// FS overrides the file operations of the durable backend (nil means
+	// the real filesystem, vfs.OS). Fault-injection tests pass a vfs.ErrFS
+	// here; the backend itself cannot tell the difference. Only meaningful
+	// with Dir.
+	FS vfs.FS
 }
 
 // DefaultMaxThreads is used when Config.MaxThreads is zero.
@@ -174,7 +182,7 @@ func New(cfg Config) *Memory {
 		// No file IO here: the backend stays inert (appends dropped) until
 		// RecoverFiles opens the directory, after structures have
 		// registered their regions.
-		m.durable = newDurableMem(cfg.Dir, cfg.SyncFence)
+		m.durable = newDurableMem(cfg.Dir, cfg.SyncFence, cfg.FS)
 	}
 	return m
 }

@@ -1,0 +1,406 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// ErrFS wraps an FS with scripted and probabilistic failpoints, driven by
+// a schedule string so CI matrices and command lines can describe faults
+// without code. The grammar is comma-separated rules of the form
+//
+//	op[~pathsub]@trigger=effect
+//
+//	op       which call to target: write, sync, close, rename, create,
+//	         open, read, truncate, remove, mkdir, dirsync, readfile,
+//	         writefile
+//	~pathsub optional: only calls whose path contains the substring
+//	trigger  N   fire on the Nth matching call (1-based), once
+//	         bK  fire on every matching call once K cumulative bytes have
+//	             been written through the FS (a full disk stays full)
+//	         pF  fire each matching call with probability F in [0,1],
+//	             from the seeded deterministic generator
+//	effect   eio    error wrapping syscall.EIO
+//	         enospc error wrapping syscall.ENOSPC
+//	         short  (write) write half the buffer, io.ErrShortWrite
+//	         flip   (read/readfile) flip one bit in the data read
+//	         torn   (rename) remove the source, create nothing, EIO
+//
+// Examples: "sync@3=eio" fails the third fsync anywhere; "write~wal@b8192=
+// enospc" makes WAL appends hit a full disk after 8 KiB; "rename~CURRENT@
+// 1=eio" fails the first CURRENT flip; "read@p0.01=flip" flips a bit in
+// 1% of reads. Counters are process-lifetime for the ErrFS instance, so a
+// reopen through the same instance continues the same schedule.
+type ErrFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*rule
+	rng     uint64
+	written uint64 // cumulative bytes written through Write/WriteFile
+	log     []string
+}
+
+type trigKind int
+
+const (
+	trigNth trigKind = iota
+	trigBytes
+	trigProb
+)
+
+type effect int
+
+const (
+	effEIO effect = iota
+	effENOSPC
+	effShort
+	effFlip
+	effTorn
+)
+
+var effNames = map[string]effect{
+	"eio": effEIO, "enospc": effENOSPC, "short": effShort,
+	"flip": effFlip, "torn": effTorn,
+}
+
+type rule struct {
+	op      string
+	pathSub string
+	trig    trigKind
+	n       uint64
+	prob    float64
+	eff     effect
+	calls   uint64
+	fired   uint64
+}
+
+var validOps = map[string]bool{
+	"write": true, "sync": true, "close": true, "rename": true,
+	"create": true, "open": true, "read": true, "truncate": true,
+	"remove": true, "mkdir": true, "dirsync": true,
+	"readfile": true, "writefile": true,
+}
+
+// NewErrFS parses schedule and wraps inner. An empty schedule is valid
+// (pure passthrough). seed drives the probabilistic triggers.
+func NewErrFS(inner FS, schedule string, seed int64) (*ErrFS, error) {
+	e := &ErrFS{inner: inner, rng: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+	for _, spec := range strings.Split(schedule, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		r, err := parseRule(spec)
+		if err != nil {
+			return nil, err
+		}
+		e.rules = append(e.rules, r)
+	}
+	return e, nil
+}
+
+func parseRule(spec string) (*rule, error) {
+	opPart, rest, ok := strings.Cut(spec, "@")
+	if !ok {
+		return nil, fmt.Errorf("errfs: rule %q: missing @trigger", spec)
+	}
+	trigPart, effPart, ok := strings.Cut(rest, "=")
+	if !ok {
+		return nil, fmt.Errorf("errfs: rule %q: missing =effect", spec)
+	}
+	r := &rule{}
+	r.op, r.pathSub, _ = strings.Cut(opPart, "~")
+	if !validOps[r.op] {
+		return nil, fmt.Errorf("errfs: rule %q: unknown op %q", spec, r.op)
+	}
+	eff, ok := effNames[effPart]
+	if !ok {
+		return nil, fmt.Errorf("errfs: rule %q: unknown effect %q", spec, effPart)
+	}
+	r.eff = eff
+	switch {
+	case strings.HasPrefix(trigPart, "b"):
+		n, err := strconv.ParseUint(trigPart[1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("errfs: rule %q: bad byte trigger: %v", spec, err)
+		}
+		r.trig, r.n = trigBytes, n
+	case strings.HasPrefix(trigPart, "p"):
+		p, err := strconv.ParseFloat(trigPart[1:], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("errfs: rule %q: bad probability trigger", spec)
+		}
+		r.trig, r.prob = trigProb, p
+	default:
+		n, err := strconv.ParseUint(trigPart, 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("errfs: rule %q: bad call trigger (1-based)", spec)
+		}
+		r.trig, r.n = trigNth, n
+	}
+	return r, nil
+}
+
+// Injected returns a copy of the fault log: one "op path effect" line per
+// injected fault, in injection order.
+func (e *ErrFS) Injected() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.log...)
+}
+
+// InjectedCount reports how many faults have fired.
+func (e *ErrFS) InjectedCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.log)
+}
+
+func (e *ErrFS) rand() uint64 {
+	e.rng += 0x9e3779b97f4a7c15
+	z := e.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// check consults the schedule for one call. It returns the rule that
+// fires, or nil. Only one rule fires per call (first match in schedule
+// order).
+func (e *ErrFS) check(op, path string) *rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.rules {
+		if r.op != op || (r.pathSub != "" && !strings.Contains(path, r.pathSub)) {
+			continue
+		}
+		r.calls++
+		fire := false
+		switch r.trig {
+		case trigNth:
+			fire = r.calls == r.n
+		case trigBytes:
+			fire = e.written >= r.n
+		case trigProb:
+			fire = float64(e.rand()>>11)/(1<<53) < r.prob
+		}
+		if !fire {
+			continue
+		}
+		r.fired++
+		e.log = append(e.log, fmt.Sprintf("%s %s %s", op, path, effString(r.eff)))
+		return r
+	}
+	return nil
+}
+
+func effString(eff effect) string {
+	for s, v := range effNames {
+		if v == eff {
+			return s
+		}
+	}
+	return "?"
+}
+
+func (e *ErrFS) addWritten(n int) {
+	e.mu.Lock()
+	e.written += uint64(n)
+	e.mu.Unlock()
+}
+
+// inject builds the error for a fired rule.
+func inject(op, path string, eff effect) error {
+	switch eff {
+	case effENOSPC:
+		return fmt.Errorf("errfs: injected %s on %s %q: %w", effString(eff), op, path, syscall.ENOSPC)
+	case effShort:
+		return fmt.Errorf("errfs: injected short write on %s %q: %w", op, path, io.ErrShortWrite)
+	default:
+		return fmt.Errorf("errfs: injected %s on %s %q: %w", effString(eff), op, path, syscall.EIO)
+	}
+}
+
+// flipBit XORs one bit in the middle of b (no-op on empty data).
+func flipBit(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	b[len(b)/2] ^= 0x40
+}
+
+func (e *ErrFS) Create(name string) (File, error) {
+	if r := e.check("create", name); r != nil {
+		return nil, inject("create", name, r.eff)
+	}
+	f, err := e.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &errFile{fs: e, f: f, name: name}, nil
+}
+
+func (e *ErrFS) Open(name string) (File, error) {
+	if r := e.check("open", name); r != nil {
+		return nil, inject("open", name, r.eff)
+	}
+	f, err := e.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &errFile{fs: e, f: f, name: name}, nil
+}
+
+func (e *ErrFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if r := e.check("open", name); r != nil {
+		return nil, inject("open", name, r.eff)
+	}
+	f, err := e.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &errFile{fs: e, f: f, name: name}, nil
+}
+
+func (e *ErrFS) ReadFile(name string) ([]byte, error) {
+	r := e.check("readfile", name)
+	if r != nil && r.eff != effFlip {
+		return nil, inject("readfile", name, r.eff)
+	}
+	b, err := e.inner.ReadFile(name)
+	if err == nil && r != nil {
+		flipBit(b)
+	}
+	return b, err
+}
+
+func (e *ErrFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if r := e.check("writefile", name); r != nil {
+		return inject("writefile", name, r.eff)
+	}
+	err := e.inner.WriteFile(name, data, perm)
+	if err == nil {
+		e.addWritten(len(data))
+	}
+	return err
+}
+
+func (e *ErrFS) Rename(oldpath, newpath string) error {
+	if r := e.check("rename", oldpath+"->"+newpath); r != nil {
+		if r.eff == effTorn {
+			// A torn rename: the source is gone and the destination never
+			// appeared — the worst crash-adjacent outcome a journaling
+			// filesystem could leave behind.
+			e.inner.Remove(oldpath)
+		}
+		return inject("rename", oldpath, r.eff)
+	}
+	return e.inner.Rename(oldpath, newpath)
+}
+
+func (e *ErrFS) Remove(name string) error {
+	if r := e.check("remove", name); r != nil {
+		return inject("remove", name, r.eff)
+	}
+	return e.inner.Remove(name)
+}
+
+func (e *ErrFS) MkdirAll(path string, perm os.FileMode) error {
+	if r := e.check("mkdir", path); r != nil {
+		return inject("mkdir", path, r.eff)
+	}
+	return e.inner.MkdirAll(path, perm)
+}
+
+func (e *ErrFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return e.inner.ReadDir(name)
+}
+
+func (e *ErrFS) SyncDir(dir string) error {
+	if r := e.check("dirsync", dir); r != nil {
+		return inject("dirsync", dir, r.eff)
+	}
+	return e.inner.SyncDir(dir)
+}
+
+// errFile routes per-file operations back through the schedule.
+type errFile struct {
+	fs   *ErrFS
+	f    File
+	name string
+}
+
+func (f *errFile) Read(p []byte) (int, error) {
+	r := f.fs.check("read", f.name)
+	if r != nil && r.eff != effFlip {
+		return 0, inject("read", f.name, r.eff)
+	}
+	n, err := f.f.Read(p)
+	if r != nil && n > 0 {
+		flipBit(p[:n])
+	}
+	return n, err
+}
+
+func (f *errFile) ReadAt(p []byte, off int64) (int, error) {
+	r := f.fs.check("read", f.name)
+	if r != nil && r.eff != effFlip {
+		return 0, inject("read", f.name, r.eff)
+	}
+	n, err := f.f.ReadAt(p, off)
+	if r != nil && n > 0 {
+		flipBit(p[:n])
+	}
+	return n, err
+}
+
+func (f *errFile) Write(p []byte) (int, error) {
+	if r := f.fs.check("write", f.name); r != nil {
+		if r.eff == effShort && len(p) > 1 {
+			n, err := f.f.Write(p[: len(p)/2 : len(p)/2])
+			if err == nil {
+				f.fs.addWritten(n)
+				err = inject("write", f.name, effShort)
+			}
+			return n, err
+		}
+		return 0, inject("write", f.name, r.eff)
+	}
+	n, err := f.f.Write(p)
+	f.fs.addWritten(n)
+	return n, err
+}
+
+func (f *errFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+func (f *errFile) Truncate(size int64) error {
+	if r := f.fs.check("truncate", f.name); r != nil {
+		return inject("truncate", f.name, r.eff)
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *errFile) Sync() error {
+	if r := f.fs.check("sync", f.name); r != nil {
+		return inject("sync", f.name, r.eff)
+	}
+	return f.f.Sync()
+}
+
+func (f *errFile) Close() error {
+	if r := f.fs.check("close", f.name); r != nil {
+		f.f.Close()
+		return inject("close", f.name, r.eff)
+	}
+	return f.f.Close()
+}
+
+func (f *errFile) Name() string { return f.name }

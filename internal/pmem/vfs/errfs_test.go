@@ -1,0 +1,192 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func newFS(t *testing.T, schedule string) *ErrFS {
+	t.Helper()
+	fs, err := NewErrFS(OS, schedule, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestScheduleParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"sync=eio",         // no trigger
+		"sync@1",           // no effect
+		"bogus@1=eio",      // unknown op
+		"sync@1=explode",   // unknown effect
+		"sync@0=eio",       // triggers are 1-based
+		"sync@bx=eio",      // bad byte count
+		"sync@p1.5=eio",    // probability out of range
+		"write@1=eio,@2=x", // second rule malformed
+	} {
+		if _, err := NewErrFS(OS, bad, 0); err == nil {
+			t.Errorf("schedule %q: expected parse error", bad)
+		}
+	}
+	// Empty and whitespace schedules are passthrough.
+	if fs, err := NewErrFS(OS, " , ", 0); err != nil || len(fs.rules) != 0 {
+		t.Fatalf("empty schedule: %v", err)
+	}
+}
+
+func TestNthSyncFails(t *testing.T) {
+	fs := newFS(t, "sync@2=eio")
+	f, err := fs.Create(filepath.Join(t.TempDir(), "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	err = f.Sync()
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second sync: want EIO, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync (Nth fires once): %v", err)
+	}
+	if n := fs.InjectedCount(); n != 1 {
+		t.Fatalf("injected %d faults, want 1: %v", n, fs.Injected())
+	}
+}
+
+func TestByteTriggerENOSPC(t *testing.T) {
+	fs := newFS(t, "write@b10=enospc")
+	f, err := fs.Create(filepath.Join(t.TempDir(), "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 10)); err != nil {
+		t.Fatalf("below threshold: %v", err)
+	}
+	// The disk is now full and stays full.
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("y")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d past threshold: want ENOSPC, got %v", i, err)
+		}
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x")
+	fs := newFS(t, "write@1=short")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "01234" {
+		t.Fatalf("file holds %q, want the short prefix", b)
+	}
+}
+
+func TestTornRename(t *testing.T) {
+	dir := t.TempDir()
+	src, dst := filepath.Join(dir, "src"), filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := newFS(t, "rename@1=torn")
+	if err := fs.Rename(src, dst); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn rename: want EIO, got %v", err)
+	}
+	if _, err := os.Stat(src); !os.IsNotExist(err) {
+		t.Fatal("torn rename left the source behind")
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatal("torn rename created the destination")
+	}
+}
+
+func TestBitFlipOnRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x")
+	if err := os.WriteFile(path, []byte{0, 0, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := newFS(t, "readfile@1=flip")
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for _, c := range b {
+		if c != 0 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("want exactly one flipped byte, got %d (%v)", flipped, b)
+	}
+	// Second read is clean.
+	if b, _ := fs.ReadFile(path); b[len(b)/2] != 0 {
+		t.Fatal("flip fired twice")
+	}
+}
+
+func TestPathFilterAndPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := newFS(t, "sync~wal@1=eio")
+	other, err := fs.Create(filepath.Join(dir, "ckpt.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Sync(); err != nil {
+		t.Fatalf("non-matching path must pass: %v", err)
+	}
+	wal, err := fs.Create(filepath.Join(dir, "wal-1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching path must fail: %v", err)
+	}
+	// os sentinel errors pass through for non-injected calls.
+	if _, err := fs.Open(filepath.Join(dir, "missing")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("ErrNotExist not preserved: %v", err)
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func(seed int64) int {
+		fs, err := NewErrFS(OS, "sync@p0.5=eio", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Create(filepath.Join(t.TempDir(), "x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		fails := 0
+		for i := 0; i < 64; i++ {
+			if f.Sync() != nil {
+				fails++
+			}
+		}
+		return fails
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed, different outcomes: %d vs %d", a, b)
+	}
+	if a == 0 || a == 64 {
+		t.Fatalf("p=0.5 fired %d/64 times", a)
+	}
+}

@@ -1,0 +1,82 @@
+// Package vfs is the file-operations seam between the durable pmem
+// backend and the operating system. Everything wal.go and durable.go do
+// to a directory — create, append, fsync, rename, truncate, read back,
+// directory sync — goes through the FS interface, so a test can swap in
+// a fault-injecting implementation (see ErrFS) and exercise the exact
+// failure the kernel would hand back: the Nth fsync fails, the disk
+// fills mid-append, a rename tears, a read returns flipped bits.
+//
+// The default implementation, OS, is a zero-cost veneer over package os.
+// Injected errors wrap syscall.EIO / syscall.ENOSPC so callers can
+// classify them with errors.Is, and real os errors pass through
+// untouched — in particular errors.Is(err, os.ErrNotExist) keeps working,
+// which recovery depends on to distinguish a fresh directory from a
+// damaged one.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the durable backend uses. Writes may be
+// wrapped in a bufio.Writer by the caller; Sync must reach the disk (or
+// the injected failure standing in for it).
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the file-operations surface of a durable directory. All paths are
+// passed through verbatim; implementations must preserve os error
+// sentinels (os.ErrNotExist in particular) for errors they do not inject.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir opens the directory and fsyncs it — the metadata barrier
+	// after a rename or file creation.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS backed by package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) SyncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = df.Sync()
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

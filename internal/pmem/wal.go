@@ -13,7 +13,15 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"repro/internal/pmem/vfs"
 )
+
+// ErrWALCorrupt reports a bad WAL frame with intact frames after it:
+// in-place corruption of committed history, as opposed to a torn tail
+// (nothing valid after the tear), which is truncated silently. Recovery
+// refuses to open rather than drop acknowledged records.
+var ErrWALCorrupt = errors.New("pmem: WAL corrupted mid-log")
 
 // On-disk layout of a durable Memory's directory:
 //
@@ -108,8 +116,8 @@ func ckptPath(dir string, gen uint64) string {
 
 // readCurrent parses CURRENT; ok=false when the file does not exist (fresh
 // directory).
-func readCurrent(dir string) (gen, boot uint64, ok bool, err error) {
-	b, err := os.ReadFile(currentPath(dir))
+func readCurrent(fs vfs.FS, dir string) (gen, boot uint64, ok bool, err error) {
+	b, err := fs.ReadFile(currentPath(dir))
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, false, nil
 	}
@@ -124,27 +132,15 @@ func readCurrent(dir string) (gen, boot uint64, ok bool, err error) {
 }
 
 // writeCurrent atomically replaces CURRENT (tmp + rename + dir sync).
-func writeCurrent(dir string, gen, boot uint64) error {
+func writeCurrent(fs vfs.FS, dir string, gen, boot uint64) error {
 	tmp := currentPath(dir) + ".tmp"
-	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("v1 %d %d\n", gen, boot)), 0o644); err != nil {
+	if err := fs.WriteFile(tmp, []byte(fmt.Sprintf("v1 %d %d\n", gen, boot)), 0o644); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, currentPath(dir)); err != nil {
+	if err := fs.Rename(tmp, currentPath(dir)); err != nil {
 		return err
 	}
-	return syncDir(dir)
-}
-
-func syncDir(dir string) error {
-	df, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = df.Sync()
-	if cerr := df.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return fs.SyncDir(dir)
 }
 
 // lineGuard keys the replay version guard: one entry per replayed line.
@@ -178,7 +174,7 @@ func (d *durableMem) storeLine(r *region, idx uint32, mask uint8, vals *[CellsPe
 // live-checkpoint safety argument (see Checkpoint). A v1 checkpoint (taken
 // quiesced, its WAL necessarily empty at the flip) seeds nothing.
 func (d *durableMem) loadCheckpoint(gen uint64, guard map[lineGuard][2]uint64, seen map[uint64]bool, st *ReplayStats) error {
-	b, err := os.ReadFile(ckptPath(d.dir, gen))
+	b, err := d.fs.ReadFile(ckptPath(d.dir, gen))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -261,10 +257,15 @@ func (d *durableMem) loadCheckpoint(gen uint64, guard map[lineGuard][2]uint64, s
 
 // replayWAL streams wal-<gen>.log, applying each intact record under the
 // boot-scoped monotonic-version guard, and returns the offset just past the
-// last good frame. A torn or corrupt tail stops replay cleanly and is
-// reported via st.Truncated for the caller to truncate away.
+// last good frame. A torn TAIL — a bad frame with nothing valid after it,
+// the signature of a crash mid-append — stops replay cleanly and is
+// reported via st.Truncated for the caller to truncate away. A bad frame
+// with intact frames AFTER it is in-place corruption of committed history:
+// replay refuses with ErrWALCorrupt instead of silently truncating
+// acknowledged records (truncate is the caller's copy of the log, not the
+// operator's decision to take).
 func (d *durableMem) replayWAL(gen uint64, guard map[lineGuard][2]uint64, seen map[uint64]bool, st *ReplayStats) (lastGood int64, err error) {
-	f, err := os.Open(walPath(d.dir, gen))
+	f, err := d.fs.Open(walPath(d.dir, gen))
 	if errors.Is(err, os.ErrNotExist) {
 		return -1, nil
 	}
@@ -272,47 +273,61 @@ func (d *durableMem) replayWAL(gen uint64, guard map[lineGuard][2]uint64, seen m
 		return 0, err
 	}
 	defer f.Close()
+	// torn marks a bad frame at lastGood: torn tail if nothing intact
+	// follows, ErrWALCorrupt otherwise.
+	torn := func(lastGood int64) (int64, error) {
+		if err := d.scanPastBadFrame(f, lastGood); err != nil {
+			return 0, err
+		}
+		st.Truncated = true
+		return lastGood, nil
+	}
 	br := bufio.NewReaderSize(f, 1<<16)
 	magic := make([]byte, len(walMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != walMagic {
-		// Even the magic is torn (crash during the very first write to a
-		// fresh log): recover to an empty log.
-		st.Truncated = true
-		return 0, nil
+		// Even the magic is bad (crash during the very first write to a
+		// fresh log): recover to an empty log — unless intact frames follow
+		// the damaged header, which no crash mid-append can produce.
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return 0, err // real read failure, not a short file
+		}
+		return torn(0)
 	}
 	lastGood = int64(len(walMagic))
 	var hdr [walFrameHeader]byte
 	var payload []byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err != io.EOF {
-				st.Truncated = true
+			if err == io.EOF {
+				return lastGood, nil // clean end on a frame boundary
 			}
-			return lastGood, nil
+			if err != io.ErrUnexpectedEOF {
+				return 0, err
+			}
+			return torn(lastGood)
 		}
 		plen := binary.LittleEndian.Uint32(hdr[:])
 		sum := binary.LittleEndian.Uint32(hdr[4:])
 		if plen < 12 || plen > maxFrameLen || (plen-12)%walEntryBytes != 0 {
-			st.Truncated = true
-			return lastGood, nil
+			return torn(lastGood)
 		}
 		if uint32(cap(payload)) < plen {
 			payload = make([]byte, plen)
 		}
 		payload = payload[:plen]
 		if _, err := io.ReadFull(br, payload); err != nil {
-			st.Truncated = true
-			return lastGood, nil
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				return 0, err
+			}
+			return torn(lastGood)
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			st.Truncated = true
-			return lastGood, nil
+			return torn(lastGood)
 		}
 		boot := binary.LittleEndian.Uint64(payload)
 		count := binary.LittleEndian.Uint32(payload[8:])
 		if uint64(len(payload)) != 12+uint64(count)*walEntryBytes {
-			st.Truncated = true
-			return lastGood, nil
+			return torn(lastGood)
 		}
 		off := 12
 		var vals [CellsPerLine]uint64
@@ -347,6 +362,48 @@ func (d *durableMem) replayWAL(gen uint64, guard map[lineGuard][2]uint64, seen m
 	}
 }
 
+// scanPastBadFrame distinguishes a torn tail from mid-log corruption: the
+// frame at offset bad failed its structure or checksum; if any well-formed
+// frame (sane length fields AND a matching checksum) exists at a LATER
+// offset, the log was not torn there — appends are strictly sequential, so
+// bytes after a crash point cannot exist. That is in-place damage to
+// committed history, and the scan returns ErrWALCorrupt. The re-read goes
+// through ReadAt on the same file handle; a transient read fault that
+// corrupted the streaming pass therefore also lands here rather than
+// silently truncating a healthy log.
+func (d *durableMem) scanPastBadFrame(f vfs.File, bad int64) error {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil || end <= bad+walFrameHeader {
+		return nil
+	}
+	n := end - bad
+	const scanCap = 64 << 20 // bound the diagnostic scan
+	if n > scanCap {
+		n = scanCap
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, bad, n), buf); err != nil {
+		return nil // cannot re-read: treat as torn, the conservative default
+	}
+	// Offset 0 is the known-bad frame itself; every later byte offset is a
+	// candidate start (a torn length field misaligns all that follows).
+	for off := 1; off+walFrameHeader <= len(buf); off++ {
+		plen := binary.LittleEndian.Uint32(buf[off:])
+		if plen < 12 || plen > maxFrameLen || (plen-12)%walEntryBytes != 0 {
+			continue
+		}
+		fend := off + walFrameHeader + int(plen)
+		if fend > len(buf) {
+			continue
+		}
+		if crc32.ChecksumIEEE(buf[off+walFrameHeader:fend]) == binary.LittleEndian.Uint32(buf[off+4:]) {
+			return fmt.Errorf("%w: bad frame at offset %d, intact frame at offset %d in %s — refusing to truncate committed history",
+				ErrWALCorrupt, bad, bad+int64(off), f.Name())
+		}
+	}
+	return nil
+}
+
 // RecoverFiles brings the file backend online: it loads the current
 // generation's checkpoint, replays its WAL under the boot-scoped
 // monotonic-version guard (truncating a torn tail at the first bad frame),
@@ -373,10 +430,10 @@ func (m *Memory) RecoverFiles() (ReplayStats, error) {
 	start := time.Now()
 	var st ReplayStats
 	err := func() error {
-		if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		if err := d.fs.MkdirAll(d.dir, 0o755); err != nil {
 			return err
 		}
-		gen, boot, ok, err := readCurrent(d.dir)
+		gen, boot, ok, err := readCurrent(d.fs, d.dir)
 		if err != nil {
 			return err
 		}
@@ -394,10 +451,10 @@ func (m *Memory) RecoverFiles() (ReplayStats, error) {
 		}
 		d.boot = boot + 1
 		d.gen = gen
-		if err := writeCurrent(d.dir, gen, d.boot); err != nil {
+		if err := writeCurrent(d.fs, d.dir, gen, d.boot); err != nil {
 			return err
 		}
-		f, err := os.OpenFile(walPath(d.dir, gen), os.O_CREATE|os.O_RDWR, 0o644)
+		f, err := d.fs.OpenFile(walPath(d.dir, gen), os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
 			return err
 		}
@@ -432,7 +489,9 @@ func (m *Memory) RecoverFiles() (ReplayStats, error) {
 	d.replay = st
 	d.live = true
 	d.mu.Unlock()
-	d.flush()
+	if err := d.flush(); err != nil {
+		return ReplayStats{}, err
+	}
 	if m.model != nil {
 		m.PersistAll()
 	}
@@ -443,7 +502,7 @@ func (m *Memory) RecoverFiles() (ReplayStats, error) {
 // other than the live one (orphans of an interrupted Checkpoint). Caller
 // holds d.mu.
 func (d *durableMem) removeStaleGenerations() {
-	names, err := os.ReadDir(d.dir)
+	names, err := d.fs.ReadDir(d.dir)
 	if err != nil {
 		return
 	}
@@ -451,11 +510,11 @@ func (d *durableMem) removeStaleGenerations() {
 		var g uint64
 		n := de.Name()
 		if _, err := fmt.Sscanf(n, "wal-%d.log", &g); err == nil && g != d.gen {
-			os.Remove(filepath.Join(d.dir, n))
+			d.fs.Remove(filepath.Join(d.dir, n))
 			continue
 		}
 		if _, err := fmt.Sscanf(n, "ckpt-%d.snap", &g); err == nil && g != d.gen {
-			os.Remove(filepath.Join(d.dir, n))
+			d.fs.Remove(filepath.Join(d.dir, n))
 		}
 	}
 }
@@ -484,8 +543,14 @@ func (m *Memory) Checkpoint() error {
 	if !d.live || d.f == nil {
 		return errors.New("pmem: Checkpoint before RecoverFiles")
 	}
-	if err := d.bw.Flush(); err != nil {
+	// A damaged backend cannot checkpoint: the region scan would snapshot
+	// in-memory state that includes writes whose acknowledgements were
+	// withheld, promoting them to durable behind the caller's back.
+	if err := d.damageErr(); err != nil {
 		return err
+	}
+	if err := d.bw.Flush(); err != nil {
+		return d.latch(err) // live-WAL flush failure: fail-stop
 	}
 	d.dirty.Store(false)
 	newGen := d.gen + 1
@@ -499,14 +564,14 @@ func (m *Memory) Checkpoint() error {
 		regs = *p
 	}
 	tmp := ckptPath(d.dir, newGen) + ".tmp"
-	cf, err := os.Create(tmp)
+	cf, err := d.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(cf, crc), 1<<16)
 	// The magic is outside the checksum; split the writer accordingly.
-	if _, err := cf.WriteString(ckptMagic2); err != nil {
+	if _, err := io.WriteString(cf, ckptMagic2); err != nil {
 		cf.Close()
 		return err
 	}
@@ -547,16 +612,16 @@ func (m *Memory) Checkpoint() error {
 	if err := cf.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, ckptPath(d.dir, newGen)); err != nil {
+	if err := d.fs.Rename(tmp, ckptPath(d.dir, newGen)); err != nil {
 		return err
 	}
 
 	// 2. Fresh WAL for the new generation.
-	nf, err := os.Create(walPath(d.dir, newGen))
+	nf, err := d.fs.Create(walPath(d.dir, newGen))
 	if err != nil {
 		return err
 	}
-	if _, err := nf.WriteString(walMagic); err != nil {
+	if _, err := io.WriteString(nf, walMagic); err != nil {
 		nf.Close()
 		return err
 	}
@@ -564,27 +629,37 @@ func (m *Memory) Checkpoint() error {
 		nf.Close()
 		return err
 	}
-	if err := syncDir(d.dir); err != nil {
+	if err := d.fs.SyncDir(d.dir); err != nil {
 		nf.Close()
 		return err
 	}
 
 	// 3. Flip CURRENT — the commit point — then swap writers and retire the
-	// old generation.
-	if err := writeCurrent(d.dir, newGen, d.boot); err != nil {
+	// old generation. Failures BEFORE the flip (everything above) leave the
+	// old generation fully live and do NOT latch: serving continues, only
+	// the checkpoint attempt failed. Failures on the retired log below no
+	// longer threaten any acknowledged data — the new checkpoint covers it
+	// — but a WAL file refusing to sync or close is a sick disk, and
+	// fail-stop beats finding out on the next commit.
+	if err := writeCurrent(d.fs, d.dir, newGen, d.boot); err != nil {
 		nf.Close()
 		return err
 	}
-	d.f.Sync()
-	d.f.Close()
+	retireErr := d.f.Sync()
+	if cerr := d.f.Close(); retireErr == nil {
+		retireErr = cerr
+	}
 	d.f = nf
 	d.bw = bufio.NewWriterSize(nf, 1<<16)
 	d.walLen.Store(int64(len(walMagic)))
 	d.wstats.Checkpoints++
 	oldGen := d.gen
 	d.gen = newGen
-	os.Remove(walPath(d.dir, oldGen))
-	os.Remove(ckptPath(d.dir, oldGen))
+	d.fs.Remove(walPath(d.dir, oldGen))
+	d.fs.Remove(ckptPath(d.dir, oldGen))
+	if retireErr != nil {
+		return d.latch(retireErr)
+	}
 	return nil
 }
 

@@ -91,6 +91,7 @@ const (
 func (s *Server) handleBin(br *bufio.Reader, cs *connState) {
 	var hdr [5]byte
 	for {
+		cs.armIdle()
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}

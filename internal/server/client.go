@@ -7,9 +7,36 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 )
+
+// Errors the client classifies out of failed round trips (errors.Is).
+var (
+	// ErrDegraded reports a write the server refused because its durable
+	// backend latched a disk failure (the "-ERR DEGRADED ..." reply): the
+	// store is read-only until restarted and recovered, and the write was
+	// NOT made durable.
+	ErrDegraded = errors.New("server: store degraded")
+	// ErrTimeout reports a dial, flush, or reply read that exceeded the
+	// client's timeout (DialTimeout / SetTimeout).
+	ErrTimeout = errors.New("server: timeout")
+)
+
+// mapErr folds transport deadline expiry into ErrTimeout; other errors
+// pass through untouched.
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
+}
 
 // Client is a pipelining protocol client: Send* methods queue commands in
 // the write buffer, Flush pushes them to the wire, and the Read* methods
@@ -22,10 +49,11 @@ import (
 // frame protocol (DialBin/NewClientBin); both expose the same surface and
 // parse into the same Reply struct.
 type Client struct {
-	c   net.Conn
-	br  *bufio.Reader
-	bw  *bufio.Writer
-	bin bool
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	bin     bool
+	timeout time.Duration
 }
 
 // Dial connects to a server address ("unix:/path", "tcp:host:port", or
@@ -47,6 +75,50 @@ func DialBin(addr string) (*Client, error) {
 		return nil, err
 	}
 	return NewClientBin(c), nil
+}
+
+// DialTimeout connects like Dial but bounds the dial itself and arms the
+// client with the same per-round-trip timeout (see SetTimeout). A dial
+// that exceeds d fails with an error matching ErrTimeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	network, address := SplitAddr(addr)
+	c, err := net.DialTimeout(network, address, d)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	cl := NewClient(c)
+	cl.SetTimeout(d)
+	return cl, nil
+}
+
+// DialBinTimeout is DialTimeout negotiating the binary frame protocol.
+func DialBinTimeout(addr string, d time.Duration) (*Client, error) {
+	network, address := SplitAddr(addr)
+	c, err := net.DialTimeout(network, address, d)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	cl := NewClientBin(c)
+	cl.SetTimeout(d)
+	return cl, nil
+}
+
+// SetTimeout bounds every subsequent Flush and reply read: an operation
+// that stalls longer than d fails with an error matching ErrTimeout and
+// the connection should be abandoned (the stream position is unknown).
+// Zero restores no limit.
+func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
+
+func (cl *Client) armRead() {
+	if cl.timeout > 0 {
+		cl.c.SetReadDeadline(time.Now().Add(cl.timeout))
+	}
+}
+
+func (cl *Client) armWrite() {
+	if cl.timeout > 0 {
+		cl.c.SetWriteDeadline(time.Now().Add(cl.timeout))
+	}
 }
 
 // NewClient wraps an established connection.
@@ -71,7 +143,10 @@ func NewClientBin(c net.Conn) *Client {
 func (cl *Client) Close() error { return cl.c.Close() }
 
 // Flush pushes queued commands to the wire.
-func (cl *Client) Flush() error { return cl.bw.Flush() }
+func (cl *Client) Flush() error {
+	cl.armWrite()
+	return mapErr(cl.bw.Flush())
+}
 
 // Send queues one raw command line (no terminator).
 func (cl *Client) Send(line string) error {
@@ -240,8 +315,15 @@ type Reply struct {
 func (r Reply) IsErr() bool { return r.Err != "" }
 
 // ReadReply consumes one reply (flushing queued commands first is the
-// caller's job; the sync helpers do it).
+// caller's job; the sync helpers do it). With a timeout set, the whole
+// reply — including every array line — must arrive within it.
 func (cl *Client) ReadReply() (Reply, error) {
+	cl.armRead()
+	r, err := cl.readReply()
+	return r, mapErr(err)
+}
+
+func (cl *Client) readReply() (Reply, error) {
 	if cl.bin {
 		return cl.readBinReply()
 	}
@@ -374,6 +456,9 @@ func (cl *Client) roundTrip() (Reply, error) {
 		return Reply{}, err
 	}
 	if r.IsErr() {
+		if msg, ok := strings.CutPrefix(r.Err, "DEGRADED"); ok {
+			return r, fmt.Errorf("%w:%s", ErrDegraded, msg)
+		}
 		return r, errors.New("server: " + r.Err)
 	}
 	return r, nil

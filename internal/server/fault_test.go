@@ -1,0 +1,198 @@
+package server
+
+// End-to-end degraded-mode serving: a disk fault under the store must
+// surface to network clients as a typed ERR DEGRADED refusal — never a
+// silent OK — while reads, STATS, and existing connections keep working.
+// Plus the connection-hygiene satellites: server idle/write deadlines and
+// client-side timeouts.
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/pmem/vfs"
+	"repro/internal/store"
+)
+
+// startFaultServer is startServer over a durable store whose filesystem
+// runs the given errfs schedule.
+func startFaultServer(t *testing.T, schedule string, scfg Config) (string, *Server) {
+	t.Helper()
+	if scfg.MaxConns == 0 {
+		scfg.MaxConns = 8
+	}
+	efs, err := vfs.NewErrFS(vfs.OS, schedule, 1)
+	if err != nil {
+		t.Fatalf("NewErrFS(%q): %v", schedule, err)
+	}
+	st, err := store.Open(store.Config{
+		Kind: core.KindSkiplist, Profile: pmem.ProfileZero,
+		SizeHint: 1 << 12, MaxSessions: scfg.MaxConns + 8,
+		Dir: t.TempDir(), SyncFence: true, FS: efs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := "unix:" + filepath.Join(t.TempDir(), "nv.sock")
+	srv := New(st, scfg)
+	ln, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		st.Close()
+	})
+	return addr, srv
+}
+
+func dialVariant(t *testing.T, addr string, bin bool) *Client {
+	t.Helper()
+	var cl *Client
+	var err error
+	if bin {
+		cl, err = DialBin(addr)
+	} else {
+		cl, err = Dial(addr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestServerDegradedOnDiskFault drives writes over the wire until the
+// injected fsync failure bites, on both protocols.
+func TestServerDegradedOnDiskFault(t *testing.T) {
+	for _, bin := range []bool{false, true} {
+		name := "text"
+		if bin {
+			name = "binary"
+		}
+		t.Run(name, func(t *testing.T) {
+			addr, srv := startFaultServer(t, "sync~wal@8=eio", Config{})
+			cl := dialVariant(t, addr, bin)
+
+			var acked uint64
+			var derr error
+			for k := uint64(1); k <= 500; k++ {
+				if err := cl.Put(k, k*10); err != nil {
+					derr = err
+					break
+				}
+				acked = k
+			}
+			if derr == nil {
+				t.Fatal("disk fault never surfaced: 500 puts all acked")
+			}
+			if !errors.Is(derr, ErrDegraded) {
+				t.Fatalf("refusal is %v, want ErrDegraded", derr)
+			}
+			if acked == 0 {
+				t.Fatal("no put acked before the fault")
+			}
+			if srv.DegradedErr() == nil {
+				t.Fatal("server does not report degradation")
+			}
+
+			// Same connection keeps serving reads...
+			if v, ok, err := cl.Get(1); err != nil || !ok || v != 10 {
+				t.Fatalf("read on degraded server: %d %v %v", v, ok, err)
+			}
+			// ...refuses further writes with the same typed error...
+			if err := cl.Put(9999, 1); !errors.Is(err, ErrDegraded) {
+				t.Fatalf("write after degradation: %v, want ErrDegraded", err)
+			}
+			// ...and exposes the state in STATS (text protocol only).
+			if !bin {
+				stats, err := cl.Stats()
+				if err != nil {
+					t.Fatalf("stats: %v", err)
+				}
+				if stats["degraded"] != 1 {
+					t.Fatalf("stats degraded = %d, want 1", stats["degraded"])
+				}
+			}
+			// A fresh connection is refused writes too: degradation is a
+			// store condition, not per-connection state.
+			cl2 := dialVariant(t, addr, bin)
+			if err := cl2.Put(4242, 1); !errors.Is(err, ErrDegraded) {
+				t.Fatalf("write on fresh conn: %v, want ErrDegraded", err)
+			}
+		})
+	}
+}
+
+// TestServerIdleTimeout: a connection that stops sending requests is
+// closed once the idle clock runs out, and an active one is not.
+func TestServerIdleTimeout(t *testing.T) {
+	addr, _, _ := startServer(t, core.KindSkiplist, 0, Config{IdleTimeout: 100 * time.Millisecond})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Activity re-arms the clock: several pings spaced under the limit.
+	for i := 0; i < 3; i++ {
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	// Go idle past the limit: the server hangs up.
+	time.Sleep(300 * time.Millisecond)
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping succeeded on a connection the server should have closed")
+	}
+}
+
+// TestClientTimeout: a stalled server (accepts, reads, never replies)
+// must not hang the client — SetTimeout bounds the read and surfaces the
+// typed ErrTimeout.
+func TestClientTimeout(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "stall.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	cl, err := DialTimeout("unix:"+sock, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	err = cl.Ping()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ping against stalled server: %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}

@@ -79,6 +79,15 @@ type Config struct {
 	// MaxScan caps SCAN reply sizes (default 4096 entries); the explicit
 	// limit argument may lower it but not raise it.
 	MaxScan int
+	// IdleTimeout closes a connection that has started no new request for
+	// this long (0 = no limit). The clock re-arms at each request frame, so
+	// a slow pipeline of replies never trips it — only a client that has
+	// gone quiet while holding a session slot.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write to the socket (0 = no limit): a
+	// client that stops reading cannot pin a handler forever once its
+	// kernel buffer fills.
+	WriteTimeout time.Duration
 }
 
 // Server serves the store protocol. One Server may serve many listeners.
@@ -309,7 +318,7 @@ func (sl *slot) Complete(res store.OpResult, err error) {
 	buf := sl.buf[:0]
 	switch {
 	case err != nil:
-		buf = appendErrReply(buf, sl.bin, err.Error())
+		buf = appendErrReply(buf, sl.bin, wireErrMsg(err))
 	case sl.mode == modeOK:
 		buf = appendOKReply(buf, sl.bin)
 	case sl.mode == modeBool:
@@ -320,6 +329,16 @@ func (sl *slot) Complete(res store.OpResult, err error) {
 	sl.buf = buf
 	sl.ready <- struct{}{}
 	sl.cs.writes.Done()
+}
+
+// wireErrMsg renders a completion error for the wire. Degraded-store
+// refusals get a stable leading "DEGRADED" token so clients of either
+// protocol can classify them without parsing the cause chain.
+func wireErrMsg(err error) string {
+	if errors.Is(err, batcher.ErrDegraded) {
+		return "DEGRADED " + err.Error()
+	}
+	return err.Error()
 }
 
 // handle runs one connection: a reader goroutine (this one) parses and
@@ -353,13 +372,18 @@ func (s *Server) handle(c net.Conn) {
 	}
 
 	cs := newConnState(s, sess, s.cfg.Pipeline, bin)
+	cs.conn = c
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
 		bw := bufio.NewWriterSize(c, 64<<10)
+		wt := s.cfg.WriteTimeout
 		for sl := range cs.order {
 			<-sl.ready
+			if wt > 0 {
+				c.SetWriteDeadline(time.Now().Add(wt))
+			}
 			bw.Write(sl.buf)
 			// Flush only when no further reply is queued: pipelined replies
 			// coalesce into few syscalls.
@@ -383,6 +407,7 @@ func (s *Server) handle(c net.Conn) {
 		return
 	}
 	for {
+		cs.armIdle()
 		line, err := br.ReadSlice('\n')
 		if err != nil {
 			if errors.Is(err, bufio.ErrBufferFull) {
@@ -400,6 +425,7 @@ func (s *Server) handle(c net.Conn) {
 type connState struct {
 	srv  *Server
 	sess store.Session
+	conn net.Conn // deadline arming only; all IO goes through the buffers
 	bin  bool
 	// free recycles the connection's reply slots; order carries them to the
 	// writer in request order. Together they bound the pipeline window.
@@ -437,6 +463,14 @@ func newConnState(s *Server, sess store.Session, pipeline int, bin bool) *connSt
 
 // scanKV is one collected SCAN entry.
 type scanKV struct{ k, v uint64 }
+
+// armIdle re-arms the connection's idle deadline before waiting for the
+// next request (no-op when Config.IdleTimeout is unset).
+func (cs *connState) armIdle() {
+	if d := cs.srv.cfg.IdleTimeout; d > 0 && cs.conn != nil {
+		cs.conn.SetReadDeadline(time.Now().Add(d))
+	}
+}
 
 // take acquires the next reply slot, blocking when the client already has
 // a full pipeline window outstanding.
@@ -647,6 +681,7 @@ func (cs *connState) appendStats(buf []byte) []byte {
 		{"batch_flushes", bs.Flushes},
 		{"batch_groups", bs.Groups},
 		{"pool_workers", uint64(cs.srv.pool.Workers())},
+		{"degraded", degraded01(cs.srv)},
 	}
 	buf = appendArrayHeader(buf, len(stats))
 	for _, s := range stats {
@@ -656,6 +691,29 @@ func (cs *connState) appendStats(buf []byte) []byte {
 		buf = append(buf, '\r', '\n')
 	}
 	return buf
+}
+
+// degraded01 renders the degraded state as a stats value: 1 once the
+// store's durable backend (or the pool watching it) has latched a disk
+// failure, 0 while healthy.
+func degraded01(s *Server) uint64 {
+	if s.DegradedErr() != nil {
+		return 1
+	}
+	return 0
+}
+
+// DegradedErr reports the store's sticky durable damage as seen through
+// this server (nil while healthy); nvserver checks it at shutdown to exit
+// nonzero after a degraded run.
+func (s *Server) DegradedErr() error {
+	if err := s.pool.DegradedErr(); err != nil {
+		return err
+	}
+	if s.st == nil { // component tests build a Server around a bare pool
+		return nil
+	}
+	return s.st.DurableErr()
 }
 
 // parse1 and parse2 parse fixed uint64 argument lists, replying with a

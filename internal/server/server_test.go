@@ -331,7 +331,7 @@ func (s *inversionSession) Apply(ops []store.Op, dst []store.OpResult) []store.O
 func (s *inversionSession) MultiGet([]uint64, []store.OpResult) []store.OpResult { return nil }
 func (s *inversionSession) Rand() uint64                                         { return 0 }
 
-func (s *inversionSession) ApplyCommitted(ops []store.Op, dst []store.OpResult, committed func(idxs []int)) []store.OpResult {
+func (s *inversionSession) ApplyCommitted(ops []store.Op, dst []store.OpResult, committed func(idxs []int, err error)) []store.OpResult {
 	if cap(dst) < len(ops) {
 		dst = make([]store.OpResult, len(ops))
 	}
@@ -340,7 +340,7 @@ func (s *inversionSession) ApplyCommitted(ops []store.Op, dst []store.OpResult, 
 		s.Put(ops[i].Key, ops[i].Value)
 		dst[i] = store.OpResult{Value: ops[i].Value, OK: true}
 		if committed != nil {
-			committed([]int{i})
+			committed([]int{i}, nil)
 		}
 		if i > 0 {
 			time.Sleep(s.pause)
@@ -401,7 +401,7 @@ func (s *slowSession) Apply(ops []store.Op, dst []store.OpResult) []store.OpResu
 	return s.ApplyCommitted(ops, dst, nil)
 }
 
-func (s *slowSession) ApplyCommitted(ops []store.Op, dst []store.OpResult, committed func(idxs []int)) []store.OpResult {
+func (s *slowSession) ApplyCommitted(ops []store.Op, dst []store.OpResult, committed func(idxs []int, err error)) []store.OpResult {
 	time.Sleep(s.delay)
 	return s.inversionSession.ApplyCommitted(ops, dst, committed)
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/persist"
 	"repro/internal/pmem"
+	"repro/internal/pmem/vfs"
 )
 
 // Config configures an Engine.
@@ -59,6 +60,10 @@ type Config struct {
 	// SyncFence makes every commit fence fsync its shard's WAL (durability
 	// against power loss, not just process death). Only meaningful with Dir.
 	SyncFence bool
+	// FS overrides the durable backend's file operations (nil = the real
+	// filesystem). Shared by every shard: fault-injection schedules see one
+	// stream of calls. Only meaningful with Dir.
+	FS vfs.FS
 }
 
 type engineShard struct {
@@ -117,6 +122,7 @@ func New(cfg Config) (*Engine, error) {
 			MaxThreads: cfg.MaxSessions + 2,
 			Dir:        dir,
 			SyncFence:  cfg.SyncFence,
+			FS:         cfg.FS,
 		})
 		set, err := core.NewSet(cfg.Kind, mem, cfg.Policy, params)
 		if err != nil {
@@ -129,6 +135,19 @@ func New(cfg Config) (*Engine, error) {
 
 // Durable reports whether the engine is file-backed (Config.Dir was set).
 func (e *Engine) Durable() bool { return e.cfg.Dir != "" }
+
+// DurableErr reports the first shard's sticky durable-backend damage, or
+// nil if every shard is healthy. A non-nil result is permanent for the
+// life of the process: the engine must stop acknowledging writes (see
+// pmem.Memory.DurableErr).
+func (e *Engine) DurableErr() error {
+	for i := range e.shards {
+		if err := e.shards[i].mem.DurableErr(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // RecoverFiles loads every shard's checkpoint and replays its WAL, in
 // parallel (the per-shard files are independent). It must run after New
@@ -524,16 +543,19 @@ func (s *Session) Apply(ops []Op, dst []OpResult) []OpResult {
 }
 
 // ApplyCommitted executes a batch like Apply, additionally invoking
-// committed(idxs) the moment the results at those batch indexes become safe
-// to acknowledge: once per shard group, immediately after the group's
+// committed(idxs, err) the moment the results at those batch indexes become
+// safe to acknowledge: once per shard group, immediately after the group's
 // commit fence lands, and once for the batch's scans (reads need no fence).
 // This is the asynchronous submission surface the group-commit batcher
 // builds on — a caller multiplexing requests from many clients can release
 // each request as its shard group commits instead of holding every reply
-// until the whole batch returns. idxs aliases internal scratch: it is valid
-// only during the callback. A nil committed makes ApplyCommitted exactly
-// Apply.
-func (s *Session) ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int)) []OpResult {
+// until the whole batch returns. A non-nil err reports that the group's
+// commit fence could not be made durable (the shard's backend latched a
+// sticky write/fsync failure, see Engine.DurableErr): the results at idxs
+// MUST NOT be acknowledged as durable. Scans always pass a nil err. idxs
+// aliases internal scratch: it is valid only during the callback. A nil
+// committed makes ApplyCommitted exactly Apply.
+func (s *Session) ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int, err error)) []OpResult {
 	if cap(dst) < len(ops) {
 		dst = make([]OpResult, len(ops))
 	}
@@ -557,7 +579,7 @@ func (s *Session) ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs [
 		s.groups[sh] = append(s.groups[sh], i)
 	}
 	if committed != nil && len(s.scanIdxs) > 0 {
-		committed(s.scanIdxs)
+		committed(s.scanIdxs, nil)
 	}
 	for sh := range s.groups {
 		g := s.groups[sh]
@@ -576,7 +598,10 @@ func (s *Session) ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs [
 		// boundaries).
 		th.PublishStats()
 		if committed != nil {
-			committed(g)
+			// The fence has landed in process memory either way; whether it
+			// also landed on disk is the backend's damage latch — checked
+			// here, after EndBatch, so the verdict covers this group's flush.
+			committed(g, th.DurableErr())
 		}
 	}
 	return dst

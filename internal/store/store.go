@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/persist"
 	"repro/internal/pmem"
+	"repro/internal/pmem/vfs"
 	"repro/internal/shard"
 )
 
@@ -62,15 +63,18 @@ type Session interface {
 
 // AsyncSession is the completion-callback extension of Session that the
 // group-commit batcher (internal/batcher) builds on: ApplyCommitted
-// executes a batch like Apply but invokes committed(idxs) the moment the
-// results at those batch indexes are safe to acknowledge — once per fence
-// group, right after that group's commit fence lands, and once for scans
-// (reads need no fence). idxs aliases internal scratch and is valid only
-// during the callback. Both backends implement AsyncSession; it is a
-// separate interface only so Session stays implementable by test doubles.
+// executes a batch like Apply but invokes committed(idxs, err) the moment
+// the results at those batch indexes are safe to acknowledge — once per
+// fence group, right after that group's commit fence lands, and once for
+// scans (reads need no fence). A non-nil err means the group's commit
+// could not be made durable (the backend latched a sticky disk failure,
+// see Store.DurableErr) and the results at idxs must not be acknowledged.
+// idxs aliases internal scratch and is valid only during the callback.
+// Both backends implement AsyncSession; it is a separate interface only so
+// Session stays implementable by test doubles.
 type AsyncSession interface {
 	Session
-	ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int)) []OpResult
+	ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int, err error)) []OpResult
 }
 
 // Store is one durable key-value store, bare or sharded.
@@ -95,6 +99,12 @@ type Store interface {
 	ResetStats()
 	// Durable reports whether the store is file-backed (Config.Dir).
 	Durable() bool
+	// DurableErr reports the sticky damage state of the durable backend:
+	// nil while healthy (or on a non-durable store), and the first
+	// write/fsync failure forever after. A damaged store keeps serving
+	// reads but must not acknowledge writes; only a restart plus recovery
+	// clears the condition (see pmem.Memory.DurableErr).
+	DurableErr() error
 	// ReplayStats reports the cost of the file recovery Open performed
 	// (zero on non-durable stores).
 	ReplayStats() pmem.ReplayStats
@@ -154,6 +164,11 @@ type Config struct {
 	// directory may be reopened with a different threshold. Only meaningful
 	// with Dir.
 	CkptBytes int64
+	// FS overrides the durable backend's file operations (nil = the real
+	// filesystem). Fault-injection tests pass a vfs.ErrFS here. Not
+	// layout-determining (absent from the manifest). Only meaningful with
+	// Dir.
+	FS vfs.FS
 }
 
 // manifest is the on-disk record of the layout-determining Config fields.
@@ -239,6 +254,7 @@ func Open(cfg Config) (Store, error) {
 			Params:      core.Params{SizeHint: cfg.SizeHint, Buckets: cfg.Buckets},
 			Dir:         cfg.Dir,
 			SyncFence:   cfg.SyncFence,
+			FS:          cfg.FS,
 		})
 		if err != nil {
 			return nil, err
@@ -268,6 +284,7 @@ func Open(cfg Config) (Store, error) {
 		MaxThreads: cfg.MaxSessions + 2,
 		Dir:        cfg.Dir,
 		SyncFence:  cfg.SyncFence,
+		FS:         cfg.FS,
 	})
 	set, err := core.NewSet(cfg.Kind, mem, cfg.Policy, core.Params{
 		SizeHint: cfg.SizeHint, Buckets: cfg.Buckets,
@@ -323,6 +340,7 @@ func (s *Single) Contents() []uint64            { return s.set.Contents(s.admin)
 func (s *Single) Stats() pmem.Stats             { return s.mem.Stats() }
 func (s *Single) ResetStats()                   { s.mem.ResetStats() }
 func (s *Single) Durable() bool                 { return s.mem.Durable() }
+func (s *Single) DurableErr() error             { return s.mem.DurableErr() }
 func (s *Single) ReplayStats() pmem.ReplayStats { return s.replay }
 func (s *Single) ShardFor(uint64) int           { return 0 }
 func (s *Single) Checkpoint() error {
@@ -385,7 +403,7 @@ func (s *singleSession) Apply(ops []Op, dst []OpResult) []OpResult {
 // keyed batch is one fence group, so committed fires once for the scans
 // (before the group, mirroring the engine) and once for everything else
 // after the group's commit fence.
-func (s *singleSession) ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int)) []OpResult {
+func (s *singleSession) ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int, err error)) []OpResult {
 	if cap(dst) < len(ops) {
 		dst = make([]OpResult, len(ops))
 	}
@@ -401,7 +419,7 @@ func (s *singleSession) ApplyCommitted(ops []Op, dst []OpResult, committed func(
 		}
 	}
 	if committed != nil && len(s.scanIdxs) > 0 {
-		committed(s.scanIdxs)
+		committed(s.scanIdxs, nil)
 	}
 	s.th.BeginBatch()
 	for _, i := range s.keyedIdxs {
@@ -412,7 +430,7 @@ func (s *singleSession) ApplyCommitted(ops []Op, dst []OpResult, committed func(
 	// point include it (see shard.Session.ApplyCommitted).
 	s.th.PublishStats()
 	if committed != nil && len(s.keyedIdxs) > 0 {
-		committed(s.keyedIdxs)
+		committed(s.keyedIdxs, s.th.DurableErr())
 	}
 	return dst
 }
@@ -484,6 +502,7 @@ func (s *EngineStore) Contents() []uint64            { return s.eng.Contents(s.a
 func (s *EngineStore) Stats() pmem.Stats             { return s.eng.Stats().Total }
 func (s *EngineStore) ResetStats()                   { s.eng.ResetStats() }
 func (s *EngineStore) Durable() bool                 { return s.eng.Durable() }
+func (s *EngineStore) DurableErr() error             { return s.eng.DurableErr() }
 func (s *EngineStore) ReplayStats() pmem.ReplayStats { return s.replay }
 func (s *EngineStore) ShardFor(key uint64) int       { return s.eng.ShardFor(key) }
 func (s *EngineStore) Checkpoint() error             { return s.eng.Checkpoint() }
