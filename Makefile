@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race fmt vet staticcheck nvlint lint apicheck server-smoke crash-smoke fault-smoke bench-smoke bench-ci bench-gate bench-json ci
+.PHONY: build test short race fmt vet staticcheck nvlint lint apicheck server-smoke crash-smoke repl-smoke fault-smoke bench-smoke bench-ci bench-gate bench-json ci
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ short:
 # in the list for the striped-model stress tests; epoch for the
 # registration high-water mark.
 race:
-	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/pmem ./internal/epoch ./internal/core ./internal/store ./internal/list ./internal/skiplist ./internal/queue ./internal/stack ./internal/shard ./internal/crashtest ./internal/batcher ./internal/server
+	NVBENCH_DUR=10ms $(GO) test -race -short ./internal/pmem ./internal/epoch ./internal/core ./internal/store ./internal/list ./internal/skiplist ./internal/queue ./internal/stack ./internal/shard ./internal/crashtest ./internal/batcher ./internal/server ./internal/repl
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -80,6 +80,18 @@ crash-smoke:
 	$(GO) run ./cmd/nvserver -crashsmoke -kind skiplist -shards 2 -conns 2 -smoke-acks 2000
 	$(GO) run ./cmd/nvserver -crashsmoke -shards 4 -conns 4 -smoke-acks 12000 -ckpt-bytes 16384
 
+# Replication failover smoke: a durable primary with -wait 2 and two
+# -replica-of children on Unix sockets, pipelined WAIT load, SIGKILL the
+# primary mid-stream, PROMOTE one replica over the wire, and fail unless
+# the durable-linearizability checker finds every quorum-acknowledged
+# write on the promoted replica (the second replica must keep serving
+# stale reads and refusing writes). REPL_SMOKE_DATA pins the primary's
+# data dir for CI artifact upload on failure.
+REPL_SMOKE_DATA ?=
+repl-smoke:
+	$(GO) run ./cmd/nvserver -replsmoke $(if $(REPL_SMOKE_DATA),-data $(REPL_SMOKE_DATA)) \
+		-shards 4 -smoke-acks 2000
+
 # The deterministic disk-fault matrix: every errfs schedule the fault
 # tests script — fsync EIO, ENOSPC, short writes, checkpoint faults at
 # each pre-commit-point step, mid-log corruption — plus the degraded-mode
@@ -116,26 +128,27 @@ bench-ci:
 
 # Regression gate: capture the baseline suite (with latency percentiles,
 # the server rows and the recovery-replay row) and compare against the
-# committed BENCH_7.json, failing on a >35% throughput drop on any
+# committed BENCH_8.json, failing on a >35% throughput drop on any
 # zero-profile panel. CI uploads the capture as the next BENCH_N artifact.
-BENCH_GATE_OUT ?= BENCH_8-capture.json
+BENCH_GATE_OUT ?= BENCH_9-capture.json
 BENCH_GATE_DUR ?= 1s
 bench-gate:
 	$(GO) run ./cmd/nvbench -dur $(BENCH_GATE_DUR) -json $(BENCH_GATE_OUT) \
-		-cmp BENCH_7.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
+		-cmp BENCH_8.json -tolerance 0.35 $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_GATE_OUT)
 
 # Run the JSON baseline suite (fast-mode panels, the tracked-mode torture
-# throughput proxy, the server rows — text, file-backed and binary, with
-# open-loop percentiles — and the recovery-replay row) and write
-# BENCH_8.json. Compare against a prior capture with:
-# make bench-json BENCH_CMP=path/to/old.json. The committed BENCH_8.json
-# was produced at PR 8 with -dur 2s.
-BENCH_JSON ?= BENCH_8.json
+# throughput proxy, the server rows — text, file-backed, binary, the
+# replica read-scaling rows srv-repl-r1/r2/r4 and the WAIT-1 write row,
+# with open-loop percentiles — and the recovery-replay row) and write
+# BENCH_9.json. Compare against a prior capture with:
+# make bench-json BENCH_CMP=path/to/old.json. The committed BENCH_9.json
+# was produced at PR 10 with -dur 1s.
+BENCH_JSON ?= BENCH_9.json
 BENCH_DUR  ?= 500ms
 bench-json:
 	$(GO) run ./cmd/nvbench -dur $(BENCH_DUR) -json $(BENCH_JSON) \
 		$(if $(BENCH_CMP),-cmp $(BENCH_CMP)) $(if $(BENCH_LABEL),-label "$(BENCH_LABEL)")
 	$(GO) run ./cmd/nvbench -verifyjson $(BENCH_JSON)
 
-ci: fmt vet build nvlint short race apicheck bench-smoke crash-smoke fault-smoke bench-ci bench-gate
+ci: fmt vet build nvlint short race apicheck bench-smoke crash-smoke repl-smoke fault-smoke bench-ci bench-gate

@@ -9,10 +9,13 @@ package nvtraverse
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/persist"
 	"repro/internal/pmem"
+	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // v1 construction surface.
@@ -62,6 +65,43 @@ var _ interface {
 	Recover(t *Thread)
 	Contents(t *Thread) []uint64
 } = Set(nil)
+
+// v3 surface: replication options on the facade, the replication view on
+// the store, and the single-constructor client Dial.
+var (
+	_ = []Option{WithReplicaOf("unix:/x"), WithWaitReplicas(1)}
+	_ interface {
+		Repl() store.ReplStats
+		Boot() uint64
+	} = Store(nil)
+)
+
+// The redesigned client constructor and its options.
+var (
+	_ func(string, ...server.DialOption) (*server.Client, error) = server.Dial
+	_                                                            = []server.DialOption{
+		server.WithBinaryProto(),
+		server.WithDialTimeout(time.Second),
+		server.WithReadFrom(server.ReadPrimary),
+		server.WithReadFrom(server.ReadReplica),
+		server.WithReadFrom(server.ReadNearest),
+		server.WithReplicaAddrs("unix:/x"),
+	}
+	_ func() error      = (*server.Client)(nil).Promote
+	_ error             = server.ErrWait
+	_ error             = server.ErrReplica
+	_ store.ReplRole    = store.RoleNone
+	_ []store.ReplStats = nil
+)
+
+// The deprecated v2 Dial variants must keep compiling with their original
+// signatures (and plain Dial("addr") calls still compile against the new
+// variadic form): old callers get the new client without a source change.
+var (
+	_ func(string) (*server.Client, error)                = server.DialBin
+	_ func(string, time.Duration) (*server.Client, error) = server.DialTimeout
+	_ func(string, time.Duration) (*server.Client, error) = server.DialBinTimeout
+)
 
 // TestV1FacadeSymbols exists so `go test -run TestV1Facade` has a named
 // anchor; the real checking is the compile of this file.

@@ -122,6 +122,14 @@ func run(args []string, out io.Writer) error {
 				{"srv-unix4", server.Bench},
 				{"srv-unix4-file", server.BenchFile},
 				{"srv-unix4-bin", server.BenchBin},
+				// Read scaling over replicas: one primary, N caught-up
+				// replicas, the same per-replica offered read rate — the
+				// rows' throughput must grow with N. srv-wait1 prices the
+				// WAIT-1 replication round trip into the write path.
+				{"srv-repl-r1", server.BenchRepl(1)},
+				{"srv-repl-r2", server.BenchRepl(2)},
+				{"srv-repl-r4", server.BenchRepl(4)},
+				{"srv-wait1", server.BenchWait1},
 			} {
 				res, err := sb.run(*dur)
 				if err != nil {

@@ -59,12 +59,7 @@ type smokeServer struct {
 }
 
 func startSmokeServer(cfg smokeConfig, sock string) (*smokeServer, error) {
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, err
-	}
 	args := []string{
-		"-listen", "unix:" + sock,
 		"-data", cfg.dir,
 		"-kind", cfg.kind,
 		"-policy", cfg.policy,
@@ -79,6 +74,17 @@ func startSmokeServer(cfg smokeConfig, sock string) (*smokeServer, error) {
 	if cfg.ckptBytes > 0 {
 		args = append(args, "-ckpt-bytes", strconv.FormatInt(cfg.ckptBytes, 10))
 	}
+	return startChildServer(sock, args)
+}
+
+// startChildServer spawns one nvserver child listening on sock with the
+// given extra flags and waits until it answers a ping.
+func startChildServer(sock string, extra []string) (*smokeServer, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"-listen", "unix:" + sock}, extra...)
 	s := &smokeServer{cmd: exec.Command(exe, args...), out: &bytes.Buffer{}}
 	s.cmd.Stdout = s.out
 	s.cmd.Stderr = s.out

@@ -74,7 +74,12 @@ func run(args []string, out io.Writer) error {
 		ckptB    = fs.Int64("ckpt-bytes", 0, "take an automatic checkpoint when a shard's WAL reaches this many bytes (0 = only on clean shutdown; needs -data)")
 
 		crashsmoke = fs.Bool("crashsmoke", false, "SIGKILL-restart smoke: spawn a -data server, kill it mid-load, restart, check every acked write")
-		smokeAcks  = fs.Uint64("smoke-acks", 4000, "crashsmoke: acknowledged writes before the kill")
+		smokeAcks  = fs.Uint64("smoke-acks", 4000, "crashsmoke/replsmoke: acknowledged writes before the kill")
+		replsmoke  = fs.Bool("replsmoke", false, "replication failover smoke: primary + 2 replicas, WAIT load, SIGKILL the primary, promote, check every acked write")
+
+		replicaOf = fs.String("replica-of", "", "serve as a read-only replica of this primary (unix:/path or tcp:host:port)")
+		waitK     = fs.Int("wait", 0, "write quorum: acknowledge a write only after this many replicas confirmed it (0 = never wait)")
+		waitTO    = fs.Duration("wait-timeout", time.Second, "fail WAIT-gated writes after this long without quorum")
 
 		maxBatch = fs.Int("maxbatch", 64, "group-commit: flush at this many pending writes")
 		maxDelay = fs.Duration("maxdelay", 50*time.Microsecond, "group-commit: flush after the oldest write waited this long")
@@ -118,6 +123,13 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case *selftest && *load:
 		return fmt.Errorf("-selftest and -load are mutually exclusive")
+	case *replicaOf != "" && (*waitK > 0 || *load || *selftest || *crashsmoke):
+		return fmt.Errorf("-replica-of serves; it is incompatible with -wait, -load, -selftest and -crashsmoke")
+	case *replsmoke:
+		return runReplSmoke(out, replSmokeConfig{
+			kind: *kind, policy: *policy, shards: *shards, size: *size,
+			dir: *dataDir, acks: *smokeAcks,
+		})
 	case *crashsmoke:
 		return runCrashSmoke(out, smokeConfig{
 			dir: *dataDir, kind: *kind, policy: *policy, shards: *shards,
@@ -141,7 +153,8 @@ func run(args []string, out io.Writer) error {
 	default:
 		return runServe(out, *listen, *serveFor, *kind, *policy, *profile, *shards, *size,
 			*maxConns, *dataDir, *syncWAL, *ckptB, *idleTO,
-			batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
+			batcher.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay},
+			*replicaOf, *waitK, *waitTO)
 	}
 }
 
@@ -181,18 +194,41 @@ func openStore(kind, policy, profile string, shards, size, maxConns int, dataDir
 
 func runServe(out io.Writer, listen string, serveFor time.Duration,
 	kind, policy, profile string, shards, size, maxConns int,
-	dataDir string, syncWAL bool, ckptBytes int64, idleTO time.Duration, bcfg batcher.Config) error {
+	dataDir string, syncWAL bool, ckptBytes int64, idleTO time.Duration, bcfg batcher.Config,
+	replicaOf string, waitK int, waitTO time.Duration) error {
 	st, err := openStore(kind, policy, profile, shards, size, maxConns, dataDir, syncWAL, ckptBytes)
 	if err != nil {
 		return err
 	}
-	srv := server.New(st, server.Config{MaxConns: maxConns, Batch: bcfg, IdleTimeout: idleTO})
+	srv := server.New(st, server.Config{
+		MaxConns: maxConns, Batch: bcfg, IdleTimeout: idleTO,
+		WaitReplicas: waitK, WaitTimeout: waitTO,
+	})
+	if replicaOf != "" {
+		// A durable replica keeps its stream position next to the WAL so a
+		// restart resumes tailing instead of re-copying the snapshot.
+		wm := ""
+		if dataDir != "" {
+			wm = filepath.Join(dataDir, "repl.watermark")
+		}
+		if err := srv.StartReplica(replicaOf, wm); err != nil {
+			st.Close()
+			return fmt.Errorf("replica attach: %w", err)
+		}
+	}
 	ln, err := server.Listen(listen)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "nvserver: serving %s/%d-shard (%s, %s) on %s\n",
-		kind, shards, policy, profile, listen)
+	role := ""
+	switch {
+	case replicaOf != "":
+		role = fmt.Sprintf(", replica of %s", replicaOf)
+	case waitK > 0:
+		role = fmt.Sprintf(", WAIT quorum %d", waitK)
+	}
+	fmt.Fprintf(out, "nvserver: serving %s/%d-shard (%s, %s) on %s%s\n",
+		kind, shards, policy, profile, listen, role)
 	if st.Durable() {
 		rs := st.ReplayStats()
 		fmt.Fprintf(out, "nvserver: data dir %s: replayed %d records / %d lines / %d WAL bytes (+%d checkpoint bytes) in %s%s\n",

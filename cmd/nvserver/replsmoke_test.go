@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReplSmokeFailover is the in-tree version of `make repl-smoke`: a
+// real primary and two real replica processes on Unix sockets, WAIT-2
+// load, a real SIGKILL of the primary, a PROMOTE over the wire, and the
+// durable-linearizability checker against the promoted replica. Children
+// re-enter run() through the NVSERVER_REEXEC hook in TestMain.
+func TestReplSmokeFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes; skipped in -short")
+	}
+	cfg := replSmokeConfig{
+		kind: "hash", shards: 4, size: 1 << 14, acks: 1500, dir: t.TempDir(),
+	}
+	var out strings.Builder
+	if err := runReplSmoke(&out, cfg); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replsmoke: ok") {
+		t.Fatalf("no ok line:\n%s", out.String())
+	}
+}
+
+// TestReplicaFlagValidation pins the flag-combination guards around
+// -replica-of.
+func TestReplicaFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-replica-of", "unix:/x", "-wait", "1"},
+		{"-replica-of", "unix:/x", "-load"},
+		{"-replica-of", "unix:/x", "-selftest"},
+		{"-replica-of", "unix:/x", "-crashsmoke"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -43,6 +43,25 @@ type Completer interface {
 	Complete(res store.OpResult, err error)
 }
 
+// GroupSink observes every durably committed fence group, called on the
+// worker goroutine right after the group's commit fence landed and before
+// any of the group's completions fire — the same instant the WAL covering
+// the group is on disk, which is what makes it the replication stream's
+// commit point. ops, res and idxs alias worker scratch and are valid only
+// during the call; a sink that needs them later must copy. cs holds the
+// group's completers parallel to ops.
+//
+// CommittedGroup returns true to take ownership of the group's WRITE
+// completions (reply-after-replication): the pool then completes only the
+// group's reads, and the sink must eventually call Complete exactly once
+// on every cs[i] whose ops[i] is a write, with res[i] on success or a
+// typed error when replication could not confirm the group. Returning
+// false leaves completion with the pool (reply-after-fence, as without a
+// sink). Groups whose fence failed (degraded path) never reach the sink.
+type GroupSink interface {
+	CommittedGroup(ops []store.Op, res []store.OpResult, idxs []int, cs []Completer) bool
+}
+
 // PoolConfig tunes the worker pool.
 type PoolConfig struct {
 	// Workers is the number of shard-affine workers (default: the store's
@@ -57,6 +76,11 @@ type PoolConfig struct {
 	// Batches otherwise form from ring backlog with no delay.
 	MaxBatch int
 	MaxDelay time.Duration
+	// OnCommit, when non-nil, observes every durable fence group at its
+	// commit point and may defer the group's write acknowledgements until
+	// replication confirms it (see GroupSink). The replication primary
+	// (internal/repl) is the production sink.
+	OnCommit GroupSink
 }
 
 // poolReq is one submitted operation in a worker's ring, held by value.
@@ -77,6 +101,7 @@ type poolWorker struct {
 	reqs        []poolReq
 	ops         []store.Op
 	dst         []store.OpResult
+	cs          []Completer
 	committedFn func(idxs []int, err error)
 	flushFn     func()
 	crashed     bool
@@ -380,10 +405,13 @@ func (w *poolWorker) drain(maxBatch int) bool {
 func (w *poolWorker) flush() bool {
 	p := w.p
 	ops := w.ops[:0]
+	cs := w.cs[:0]
 	for i := range w.reqs {
 		ops = append(ops, w.reqs[i].op)
+		cs = append(cs, w.reqs[i].c)
 	}
 	w.ops = ops
+	w.cs = cs
 	// Pre-size dst so ApplyCommitted cannot reallocate it out from under
 	// the committed callback.
 	if cap(w.dst) < len(ops) {
@@ -397,9 +425,22 @@ func (w *poolWorker) flush() bool {
 			if err != nil {
 				gerr = w.p.degrade(err)
 			}
+			gated := false
+			if sink := w.p.cfg.OnCommit; sink != nil && gerr == nil {
+				// The group's fence is down: hand it to the replication
+				// sink. A true return moves the write acknowledgements to
+				// the sink (reply-after-replication); reads never wait on
+				// replication and complete below either way.
+				gated = sink.CommittedGroup(w.ops, w.dst, idxs, w.cs)
+			}
 			for _, i := range idxs {
 				c := w.reqs[i].c
 				if c == nil {
+					continue
+				}
+				if gated && !isReadOp(w.reqs[i].op) {
+					// The sink owns this completion now.
+					w.reqs[i].c = nil
 					continue
 				}
 				w.reqs[i].c = nil

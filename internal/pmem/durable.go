@@ -228,6 +228,25 @@ func (m *Memory) WALStats() WALStats {
 	return d.wstats
 }
 
+// Watermark reports the durable backend's replication watermark: the boot
+// counter CURRENT records for the live generation (bumped on every
+// successful open, so it uniquely names one process lifetime of this
+// directory) and the current WAL length in bytes. Replication uses the
+// boot as the primary's run identity — a replica that attached under one
+// boot must full-resync after the primary restarts, because in-memory
+// stream positions do not survive the restart — and the byte position as
+// a coarse progress coordinate. Both are (0, 0) without a file backend.
+func (m *Memory) Watermark() (boot uint64, walBytes int64) {
+	if m.durable == nil {
+		return 0, 0
+	}
+	d := m.durable
+	d.mu.Lock()
+	boot = d.boot
+	d.mu.Unlock()
+	return boot, d.walLen.Load()
+}
+
 // WALSize reports the current generation's log length in bytes, buffered
 // records included (0 without a file backend). One atomic load: callable
 // from hot paths as a checkpoint-threshold probe.

@@ -1,0 +1,127 @@
+package repl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+func TestShardLogAppendTrimTail(t *testing.T) {
+	l := newShardLog(4)
+	if l.head() != 0 {
+		t.Fatalf("empty head = %d", l.head())
+	}
+	if !l.canTail(0) {
+		t.Fatal("empty log must be tailable from 0")
+	}
+	for i := 0; i < 10; i++ {
+		seq := l.append([]Effect{{Kind: effectPut, Key: uint64(i), Value: 1}})
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+	}
+	if l.head() != 10 {
+		t.Fatalf("head = %d, want 10", l.head())
+	}
+	// Retention 4: groups 7..10 retained, positions before 6 fell off.
+	if l.canTail(5) {
+		t.Fatal("position 5 fell off the window but canTail said yes")
+	}
+	if !l.canTail(6) {
+		t.Fatal("position 6 is the window edge and must be tailable")
+	}
+	if !l.canTail(10) || !l.canTail(11) {
+		t.Fatal("at-or-past head must be tailable")
+	}
+	got := l.from(8, nil)
+	if len(got) != 2 || got[0].seq != 9 || got[1].seq != 10 {
+		t.Fatalf("from(8) = %+v", got)
+	}
+	if got[0].effects[0].Key != 8 {
+		t.Fatalf("group 9 carries key %d", got[0].effects[0].Key)
+	}
+	if n := len(l.from(10, nil)); n != 0 {
+		t.Fatalf("from(head) returned %d groups", n)
+	}
+}
+
+func TestShardLogLagBytes(t *testing.T) {
+	l := newShardLog(8)
+	l.append([]Effect{{Kind: effectPut, Key: 1, Value: 1}})                            // 17 bytes
+	l.append([]Effect{{Kind: effectPut, Key: 2, Value: 2}, {Kind: effectDel, Key: 1}}) // 34
+	l.append(nil)                                                                      // 0
+	if got := l.bytesBetween(0, 3); got != 51 {
+		t.Fatalf("bytesBetween(0,3) = %d, want 51", got)
+	}
+	if got := l.bytesBetween(1, 3); got != 34 {
+		t.Fatalf("bytesBetween(1,3) = %d, want 34", got)
+	}
+	if got := l.bytesBetween(3, 3); got != 0 {
+		t.Fatalf("bytesBetween(3,3) = %d, want 0", got)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frame := writeFrame(nil, frameBatch, []byte{1, 2}, []byte{3})
+	op, payload, _, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != frameBatch || !bytes.Equal(payload, []byte{1, 2, 3}) {
+		t.Fatalf("round trip: op %d payload %v", op, payload)
+	}
+	// Oversized length must be refused, not allocated.
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 1}
+	if _, _, _, err := readFrame(bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestPSyncPayloadRoundTrip(t *testing.T) {
+	p := PSyncPayload(7, []uint64{3, 0, 9})
+	runID, acked, err := parsePSync(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runID != 7 || len(acked) != 3 || acked[0] != 3 || acked[2] != 9 {
+		t.Fatalf("parsed runID %d acked %v", runID, acked)
+	}
+	if _, _, err := parsePSync(p[:len(p)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestEffectsOf(t *testing.T) {
+	ops := []store.Op{
+		{Kind: shard.OpPut, Key: 1, Value: 10},
+		{Kind: shard.OpInsert, Key: 2, Value: 20},
+		{Kind: shard.OpInsert, Key: 3, Value: 30}, // failed insert
+		{Kind: shard.OpUpdate, Key: 4, Value: 40},
+		{Kind: shard.OpUpdate, Key: 5, Value: 50}, // absent key
+		{Kind: shard.OpDelete, Key: 6},
+		{Kind: shard.OpDelete, Key: 7}, // absent key
+		{Kind: shard.OpGet, Key: 8},
+	}
+	res := []store.OpResult{
+		{}, {OK: true}, {OK: false}, {OK: true, Value: 40}, {OK: false},
+		{OK: true}, {OK: false}, {OK: true, Value: 99},
+	}
+	idxs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	got := effectsOf(nil, ops, res, idxs)
+	want := []Effect{
+		{Kind: effectPut, Key: 1, Value: 10},
+		{Kind: effectPut, Key: 2, Value: 20},
+		{Kind: effectPut, Key: 4, Value: 40},
+		{Kind: effectDel, Key: 6},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("effects %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("effect %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

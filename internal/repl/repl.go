@@ -1,0 +1,245 @@
+// Package repl is primary–replica replication over the serving stack's
+// wire protocol, built on the fence group — the commit unit the whole
+// repository is organized around. The group-commit pool acknowledges a
+// write only after the commit fence covering its shard group has landed
+// (reply ⇒ durable); this package taps that exact point through
+// batcher.GroupSink: when a group's fence is down, the primary appends
+// the group's committed effects to a per-shard replication log and
+// streams them to attached replicas. Replicas apply each batch through
+// the store's ordinary session surface — the same hooked ApplyCommitted
+// path every other writer uses, so the persistence discipline nvlint
+// checks is never bypassed — and acknowledge the group's (shard, seq)
+// back to the primary.
+//
+// # Stream unit and watermark
+//
+// The stream unit is one committed fence group per shard, numbered by a
+// per-shard sequence the primary assigns at the commit point. A replica's
+// position is the vector of acknowledged sequences per primary shard,
+// qualified by the primary's run identity: the durable boot counter the
+// WAL layer maintains (pmem.Memory.Watermark), or a random nonce on a
+// non-durable primary. A replica reconnecting under the same run tails
+// the stream from its recorded vector when the per-shard logs still
+// retain it; otherwise — first attach, primary restart, or a replica so
+// far behind its position fell off the bounded log — the primary ships a
+// full snapshot (a recovery-style scan of the live store) cut at a known
+// log position and the replica resumes tailing from the cut.
+//
+// # Replicated effects
+//
+// The log records a group's effects, not its requests: an upsert or a
+// confirmed insert/update becomes Put(key, resulting value), a confirmed
+// delete becomes Del(key), and operations that did not change state
+// (failed inserts, absent-key deletes, reads) are dropped. Effects are
+// deterministic and idempotent, so a replica may safely re-apply a batch
+// that straddled a snapshot cut or a reconnect.
+//
+// # WAIT quorum
+//
+// With WaitReplicas K > 0 the primary takes ownership of each group's
+// write completions (GroupSink contract) and releases them only once K
+// replicas have acknowledged the group — replied ⇒ replicated. When the
+// quorum cannot confirm within WaitTimeout (replica death, a falling-
+// behind replica, a broken link), the waiting writes fail with the typed
+// ErrQuorum instead of blocking forever: the same degraded-mode shape the
+// disk-fault machinery uses — writes fail typed while the primary itself
+// keeps serving, reads never wait — but deliberately non-sticky, because
+// unlike a lying disk a lagging replica heals: once a replica catches up,
+// WAIT writes succeed again. Every gated write was already durable on the
+// primary when it failed typed; ErrQuorum reports "not yet replicated",
+// never "lost".
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+// OpPSync is the binary-protocol request opcode a replica sends to turn a
+// server connection into a replication channel. It lives in the same
+// opcode space as the regular request opcodes (internal/server/binary.go)
+// but far above them, leaving room for ordinary commands. Payload:
+//
+//	u64 runID | u32 nshards | nshards × u64 ackedSeq
+//
+// runID 0 (and nshards 0) is a first attach with no position. The server
+// replies nothing through its normal reply path: it hands the connection
+// to the primary, which answers with a HELLO frame and owns the
+// connection until it closes.
+const OpPSync = 0x20
+
+// Replication channel frames (both directions after the PSYNC handoff)
+// reuse the binary protocol's shape — u32 length | u8 opcode | payload,
+// little-endian, length counting the opcode byte.
+const (
+	// frameHello (primary → replica): u64 runID | u32 nshards | u8 full.
+	// full=1 announces a full resync: the replica wipes its store and
+	// expects snapshot frames before the stream.
+	frameHello = 1
+	// frameSnapKV (primary → replica): u32 n | n × (u64 key, u64 value).
+	frameSnapKV = 2
+	// frameSnapEnd (primary → replica): u32 nshards | nshards × u64
+	// cutSeq — the per-shard log positions the snapshot includes; the
+	// stream resumes after them.
+	frameSnapEnd = 3
+	// frameBatch (primary → replica): u32 shard | u64 seq | u32 n |
+	// n × (u8 effect, u64 key, u64 value) — one committed fence group.
+	frameBatch = 4
+	// framePing (primary → replica): empty keepalive.
+	framePing = 5
+	// frameAck (replica → primary): u32 shard | u64 seq — every group up
+	// to seq on shard is applied (acks are cumulative per shard).
+	frameAck = 6
+)
+
+// Effect kinds inside a frameBatch.
+const (
+	effectPut = 0
+	effectDel = 1
+)
+
+// maxFrame bounds a replication frame, mirroring the binary protocol's
+// request bound: a desynced stream must not drive huge allocations.
+const maxFrame = 1 << 20
+
+// snapChunk is how many key/value pairs one snapshot frame carries.
+const snapChunk = 512
+
+var (
+	// ErrQuorum fails a WAIT-mode write whose fence group was not
+	// confirmed by WaitReplicas replicas within WaitTimeout. The write IS
+	// durable on the primary — only the replication confirmation is
+	// missing — and the condition is not sticky: writes succeed again
+	// once enough replicas catch up.
+	ErrQuorum = errors.New("repl: write not confirmed by replica quorum")
+	// ErrClosed reports use of a closed primary or replica.
+	ErrClosed = errors.New("repl: closed")
+)
+
+// Effect is one replicated state change (see the package comment): a Put
+// carries the key's resulting value, a Del only the key.
+type Effect struct {
+	Kind  uint8 // effectPut or effectDel
+	Key   uint64
+	Value uint64
+}
+
+// effectsOf extracts the replicable effects of a committed fence group
+// into dst: only operations that changed state, rewritten to their
+// idempotent form.
+func effectsOf(dst []Effect, ops []store.Op, res []store.OpResult, idxs []int) []Effect {
+	for _, i := range idxs {
+		switch ops[i].Kind {
+		case shard.OpPut:
+			dst = append(dst, Effect{Kind: effectPut, Key: ops[i].Key, Value: ops[i].Value})
+		case shard.OpInsert:
+			if res[i].OK {
+				dst = append(dst, Effect{Kind: effectPut, Key: ops[i].Key, Value: ops[i].Value})
+			}
+		case shard.OpUpdate:
+			if res[i].OK {
+				dst = append(dst, Effect{Kind: effectPut, Key: ops[i].Key, Value: res[i].Value})
+			}
+		case shard.OpDelete:
+			if res[i].OK {
+				dst = append(dst, Effect{Kind: effectDel, Key: ops[i].Key})
+			}
+		}
+	}
+	return dst
+}
+
+// isWriteOp reports whether a batch operation needs a replication
+// acknowledgement before a WAIT-mode reply (mirrors the batcher's
+// read/write split).
+func isWriteOp(op store.Op) bool {
+	switch op.Kind {
+	case shard.OpGet, shard.OpScan:
+		return false
+	}
+	return true
+}
+
+// writeFrame appends one channel frame to buf.
+func writeFrame(buf []byte, op byte, payload ...[]byte) []byte {
+	n := 1
+	for _, p := range payload {
+		n += len(p)
+	}
+	var h [5]byte
+	binary.LittleEndian.PutUint32(h[:4], uint32(n))
+	h[4] = op
+	buf = append(buf, h[:]...)
+	for _, p := range payload {
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// readFrame reads one channel frame into buf (reused), returning the
+// opcode and payload.
+func readFrame(r io.Reader, buf []byte) (op byte, payload, nbuf []byte, err error) {
+	var h [5]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(h[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, buf, fmt.Errorf("repl: frame length %d out of range", n)
+	}
+	need := int(n) - 1
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	payload = buf[:need]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, err
+	}
+	return h[4], payload, buf, nil
+}
+
+func putU32(buf []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(buf, b[:]...)
+}
+
+func putU64(buf []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(buf, b[:]...)
+}
+
+// PSyncPayload encodes the attach request a replica sends as the payload
+// of an OpPSync request frame.
+func PSyncPayload(runID uint64, acked []uint64) []byte {
+	buf := make([]byte, 0, 12+8*len(acked))
+	buf = putU64(buf, runID)
+	buf = putU32(buf, uint32(len(acked)))
+	for _, s := range acked {
+		buf = putU64(buf, s)
+	}
+	return buf
+}
+
+// parsePSync decodes an OpPSync payload.
+func parsePSync(p []byte) (runID uint64, acked []uint64, err error) {
+	if len(p) < 12 {
+		return 0, nil, errors.New("repl: short PSYNC payload")
+	}
+	runID = binary.LittleEndian.Uint64(p)
+	n := int(binary.LittleEndian.Uint32(p[8:]))
+	if n < 0 || len(p) != 12+8*n {
+		return 0, nil, errors.New("repl: PSYNC payload length mismatch")
+	}
+	acked = make([]uint64, n)
+	for i := range acked {
+		acked[i] = binary.LittleEndian.Uint64(p[12+8*i:])
+	}
+	return runID, acked, nil
+}

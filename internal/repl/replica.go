@@ -1,0 +1,454 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+// ReplicaConfig tunes a replication replica.
+type ReplicaConfig struct {
+	// Primary is the primary server's address ("unix:/path",
+	// "tcp:host:port", or bare "host:port").
+	Primary string
+	// DialTimeout bounds each (re)connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Reconnect is the pause between attach attempts after a link
+	// failure (default 250ms). The replica keeps serving reads from its
+	// last applied state while disconnected — that is the staleness
+	// contract.
+	Reconnect time.Duration
+	// WatermarkPath, when non-empty, persists the replica's stream
+	// position (primary run identity + per-shard acknowledged sequences)
+	// so a restarted replica can tail instead of full-resyncing. Written
+	// with ordinary file I/O after applied batches; losing it only costs
+	// a snapshot, never correctness, because batch application is
+	// idempotent.
+	WatermarkPath string
+	// ApplyBatch caps how many snapshot effects apply under one fence
+	// group during bootstrap (default 256).
+	ApplyBatch int
+}
+
+// Replica tails a primary's replication stream into a local store and
+// keeps it applying across link failures until Close. Reads against the
+// store observe every batch whose fence group has been applied — stale by
+// up to the link's current lag, never torn mid-group.
+type Replica struct {
+	st   store.Store
+	sess store.Session
+	cfg  ReplicaConfig
+
+	mu       sync.Mutex
+	conn     net.Conn
+	closed   bool
+	linkUp   bool
+	runID    uint64
+	acked    []uint64
+	groups   uint64
+	opsCount uint64
+	lastErr  error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartReplica opens the replication loop applying cfg.Primary's stream
+// into st. It returns immediately; the first attach (and any snapshot)
+// happens in the background while st serves possibly-empty reads.
+// StartReplica attaches itself as st's replication stats source when the
+// store supports it.
+func StartReplica(st store.Store, cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("repl: replica needs a primary address")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.Reconnect <= 0 {
+		cfg.Reconnect = 250 * time.Millisecond
+	}
+	if cfg.ApplyBatch <= 0 {
+		cfg.ApplyBatch = 256
+	}
+	r := &Replica{
+		st:   st,
+		sess: st.NewSession(),
+		cfg:  cfg,
+		done: make(chan struct{}),
+	}
+	r.loadWatermark()
+	if src, ok := st.(interface{ SetReplSource(func() store.ReplStats) }); ok {
+		src.SetReplSource(r.Stats)
+	}
+	r.wg.Add(1)
+	go r.run()
+	return r, nil
+}
+
+// Close stops the replication loop, persists the watermark, and leaves
+// the store serving whatever it has applied — which is exactly what
+// promotion wants. Idempotent.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+	r.saveWatermark()
+}
+
+// Stats reports the replica's live replication view (store.ReplStats).
+func (r *Replica) Stats() store.ReplStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := store.ReplStats{
+		Role:          store.RoleReplica,
+		AppliedGroups: r.groups,
+		AppliedOps:    r.opsCount,
+	}
+	if r.linkUp {
+		st.Replicas = 1
+	}
+	for _, s := range r.acked {
+		st.LastAckSeq += s
+	}
+	return st
+}
+
+// LinkErr reports the most recent link failure (nil while the link is
+// healthy or before the first attach finished).
+func (r *Replica) LinkErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.linkUp {
+		return nil
+	}
+	return r.lastErr
+}
+
+// run is the attach/apply loop: dial, PSYNC, apply until the link dies,
+// back off, repeat.
+func (r *Replica) run() {
+	defer r.wg.Done()
+	for {
+		err := r.attachOnce()
+		r.mu.Lock()
+		r.linkUp = false
+		r.conn = nil
+		if err != nil && !r.closed {
+			r.lastErr = err
+		}
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case <-r.done:
+			return
+		case <-time.After(r.cfg.Reconnect):
+		}
+	}
+}
+
+// attachOnce runs one connection lifetime: handshake, optional snapshot,
+// stream application.
+func (r *Replica) attachOnce() error {
+	network, address := splitAddr(r.cfg.Primary)
+	c, err := net.DialTimeout(network, address, r.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		c.Close()
+		return ErrClosed
+	}
+	r.conn = c
+	runID := r.runID
+	acked := append([]uint64(nil), r.acked...)
+	r.mu.Unlock()
+	defer c.Close()
+
+	bw := bufio.NewWriterSize(c, 32<<10)
+	br := bufio.NewReaderSize(c, 64<<10)
+	// Binary-protocol preamble plus the PSYNC request frame; after the
+	// server hands the connection to its primary, only replication
+	// channel frames flow.
+	bw.Write([]byte{0x80, 0x01})
+	psync := PSyncPayload(runID, acked)
+	var req [5]byte
+	binary.LittleEndian.PutUint32(req[:4], uint32(1+len(psync)))
+	req[4] = OpPSync
+	bw.Write(req[:])
+	bw.Write(psync)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	var buf []byte
+	op, payload, buf, err := readFrame(br, buf)
+	if err != nil {
+		return err
+	}
+	if op != frameHello || len(payload) != 13 {
+		return errors.New("repl: bad HELLO from primary")
+	}
+	helloRun := binary.LittleEndian.Uint64(payload)
+	shards := int(binary.LittleEndian.Uint32(payload[8:]))
+	full := payload[12] == 1
+	if shards < 1 || shards > 1<<16 {
+		return fmt.Errorf("repl: primary reports %d shards", shards)
+	}
+	if full {
+		if err := r.wipe(); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.runID = helloRun
+		r.acked = make([]uint64, shards)
+		r.groups, r.opsCount = 0, 0
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	r.linkUp = true
+	r.lastErr = nil
+	r.mu.Unlock()
+
+	var ops []store.Op
+	var res []store.OpResult
+	for {
+		op, payload, buf, err = readFrame(br, buf)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case frameSnapKV:
+			if len(payload) < 4 {
+				return errors.New("repl: malformed snapshot frame")
+			}
+			n := int(binary.LittleEndian.Uint32(payload))
+			if len(payload) != 4+16*n {
+				return errors.New("repl: malformed snapshot frame")
+			}
+			ops = ops[:0]
+			for i := 0; i < n; i++ {
+				ops = append(ops, store.Op{
+					Kind:  shard.OpPut,
+					Key:   binary.LittleEndian.Uint64(payload[4+16*i:]),
+					Value: binary.LittleEndian.Uint64(payload[12+16*i:]),
+				})
+			}
+			if err := r.apply(ops, &res); err != nil {
+				return err
+			}
+		case frameSnapEnd:
+			if len(payload) < 4 {
+				return errors.New("repl: malformed snapshot cut")
+			}
+			n := int(binary.LittleEndian.Uint32(payload))
+			if n != shards || len(payload) != 4+8*n {
+				return errors.New("repl: malformed snapshot cut")
+			}
+			r.mu.Lock()
+			for i := 0; i < n; i++ {
+				r.acked[i] = binary.LittleEndian.Uint64(payload[4+8*i:])
+			}
+			r.mu.Unlock()
+			r.saveWatermark()
+			// Confirm the bootstrap position so the primary's lag and
+			// quorum accounting see this replica as caught up to the cut.
+			for sh := 0; sh < shards; sh++ {
+				if err := r.sendAck(bw, sh); err != nil {
+					return err
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case frameBatch:
+			if len(payload) < 16 {
+				return errors.New("repl: malformed batch frame")
+			}
+			sh := int(binary.LittleEndian.Uint32(payload))
+			seq := binary.LittleEndian.Uint64(payload[4:])
+			n := int(binary.LittleEndian.Uint32(payload[12:]))
+			if sh < 0 || sh >= shards || len(payload) != 16+17*n {
+				return errors.New("repl: malformed batch frame")
+			}
+			ops = ops[:0]
+			for i := 0; i < n; i++ {
+				e := payload[16+17*i:]
+				k := store.Op{Key: binary.LittleEndian.Uint64(e[1:]), Value: binary.LittleEndian.Uint64(e[9:])}
+				if e[0] == effectDel {
+					k.Kind = shard.OpDelete
+				} else {
+					k.Kind = shard.OpPut
+				}
+				ops = append(ops, k)
+			}
+			if err := r.apply(ops, &res); err != nil {
+				return err
+			}
+			r.mu.Lock()
+			if seq > r.acked[sh] {
+				r.acked[sh] = seq
+			}
+			r.groups++
+			r.opsCount += uint64(n)
+			persistDue := r.groups%64 == 0
+			r.mu.Unlock()
+			if err := r.sendAck(bw, sh); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if persistDue {
+				r.saveWatermark()
+			}
+		case framePing:
+			// Keepalive only.
+		default:
+			return fmt.Errorf("repl: unexpected frame %d from primary", op)
+		}
+	}
+}
+
+// apply runs one batch through the replica store's ordinary session
+// surface — fences and durability verdicts included, exactly like any
+// local writer — and refuses to continue (and thus to ack) when the
+// replica's own backend went degraded.
+func (r *Replica) apply(ops []store.Op, res *[]store.OpResult) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	*res = r.sess.Apply(ops, *res)
+	if err := r.st.DurableErr(); err != nil {
+		return fmt.Errorf("repl: replica store degraded: %w", err)
+	}
+	return nil
+}
+
+// sendAck queues a cumulative ack for shard's current position.
+func (r *Replica) sendAck(bw *bufio.Writer, sh int) error {
+	r.mu.Lock()
+	seq := r.acked[sh]
+	r.mu.Unlock()
+	var body [12]byte
+	binary.LittleEndian.PutUint32(body[:4], uint32(sh))
+	binary.LittleEndian.PutUint64(body[4:], seq)
+	frame := writeFrame(nil, frameAck, body[:])
+	_, err := bw.Write(frame)
+	return err
+}
+
+// wipe deletes everything the store currently holds (full-resync
+// bootstrap on a non-empty store: stale state from an earlier primary
+// run must not survive under the new image).
+func (r *Replica) wipe() error {
+	keys := r.st.Contents()
+	var res []store.OpResult
+	ops := make([]store.Op, 0, r.cfg.ApplyBatch)
+	for start := 0; start < len(keys); start += r.cfg.ApplyBatch {
+		end := start + r.cfg.ApplyBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		ops = ops[:0]
+		for _, k := range keys[start:end] {
+			ops = append(ops, store.Op{Kind: shard.OpDelete, Key: k})
+		}
+		if err := r.apply(ops, &res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Watermark file: "v1 <runID> <n> <seq0> <seq1> ...\n", written
+// atomically via rename. Losing or corrupting it costs a full resync,
+// nothing more, so plain os file I/O is fine here (and the vfs fault
+// matrix does not need to cover it).
+func (r *Replica) saveWatermark() {
+	path := r.cfg.WatermarkPath
+	if path == "" {
+		return
+	}
+	r.mu.Lock()
+	var sb strings.Builder
+	sb.WriteString("v1 ")
+	sb.WriteString(strconv.FormatUint(r.runID, 10))
+	sb.WriteString(" ")
+	sb.WriteString(strconv.Itoa(len(r.acked)))
+	for _, s := range r.acked {
+		sb.WriteString(" ")
+		sb.WriteString(strconv.FormatUint(s, 10))
+	}
+	sb.WriteString("\n")
+	r.mu.Unlock()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, path)
+}
+
+func (r *Replica) loadWatermark() {
+	path := r.cfg.WatermarkPath
+	if path == "" {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 3 || fields[0] != "v1" {
+		return
+	}
+	runID, err1 := strconv.ParseUint(fields[1], 10, 64)
+	n, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || n < 0 || len(fields) != 3+n {
+		return
+	}
+	acked := make([]uint64, n)
+	for i := range acked {
+		if acked[i], err = strconv.ParseUint(fields[3+i], 10, 64); err != nil {
+			return
+		}
+	}
+	r.runID, r.acked = runID, acked
+}
+
+// splitAddr mirrors server.SplitAddr without importing the server package
+// (the server imports repl).
+func splitAddr(addr string) (network, address string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", addr[len("unix:"):]
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", addr[len("tcp:"):]
+	default:
+		return "tcp", addr
+	}
+}

@@ -19,8 +19,13 @@
 //	opcode 6  UPDATE  u64 key, u64 value    -> VALUE | NIL
 //	opcode 7  SCAN    u64 lo, u64 hi, u32 max -> PAIRS
 //	opcode 8  MGET    u32 n, n × u64 key    -> MULTI
-//	opcode 9  STATS   —                     -> ERR (text protocol only)
+//	opcode 9  STATS   —                     -> STATS
 //	opcode 10 QUIT    —                     -> OK, connection closes
+//	opcode 11 PROMOTE —                     -> OK  (replica → primary)
+//
+// Opcode 0x20 (PSYNC, defined in internal/repl) re-negotiates the
+// connection into a replication channel: the server sends no ordinary
+// reply frame and the replication primary owns the socket from there.
 //
 // Reply frame:
 //
@@ -34,6 +39,7 @@
 //	tag 5 PAIRS   u32 n, n × (u64 key, u64 value)
 //	tag 6 MULTI   u32 n, n × (u8 found, u64 value)
 //	tag 7 ERR     utf-8 message
+//	tag 8 STATS   u32 n, n × (u8 len, len × name byte, u64 value)
 //
 // Replies carry the reply-after-fence guarantee of the text protocol: a
 // write's OK/TRUE/FALSE/VALUE frame is sent only after the commit fence
@@ -45,6 +51,7 @@ import (
 	"encoding/binary"
 	"io"
 
+	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/store"
 )
@@ -60,16 +67,17 @@ const (
 
 // Request opcodes.
 const (
-	binOpPing   = 1
-	binOpGet    = 2
-	binOpPut    = 3
-	binOpInsert = 4
-	binOpDel    = 5
-	binOpUpdate = 6
-	binOpScan   = 7
-	binOpMGet   = 8
-	binOpStats  = 9
-	binOpQuit   = 10
+	binOpPing    = 1
+	binOpGet     = 2
+	binOpPut     = 3
+	binOpInsert  = 4
+	binOpDel     = 5
+	binOpUpdate  = 6
+	binOpScan    = 7
+	binOpMGet    = 8
+	binOpStats   = 9
+	binOpQuit    = 10
+	binOpPromote = 11
 )
 
 // Reply tags.
@@ -82,6 +90,7 @@ const (
 	binTagPairs = 5
 	binTagMulti = 6
 	binTagErr   = 7
+	binTagStats = 8
 )
 
 // handleBin is the binary-protocol read loop: fixed 5-byte header, payload
@@ -182,7 +191,38 @@ func (cs *connState) dispatchBin(op byte, p []byte) bool {
 	case binOpMGet:
 		cs.execMGetBin(p)
 	case binOpStats:
-		cs.replyBinErr("STATS is text-protocol only")
+		cs.awaitWrites()
+		stats := cs.statRows()
+		n := 4
+		for _, s := range stats {
+			n += 1 + len(s.name) + 8
+		}
+		sl := cs.take()
+		buf := appendBinHeader(sl.buf[:0], binTagStats, n)
+		buf = appendBinU32(buf, uint32(len(stats)))
+		for _, s := range stats {
+			buf = append(buf, byte(len(s.name)))
+			buf = append(buf, s.name...)
+			buf = appendBinU64(buf, s.v)
+		}
+		sl.buf = buf
+		cs.finish(sl)
+	case binOpPromote:
+		cs.awaitWrites()
+		cs.srv.Promote()
+		sl := cs.take()
+		sl.buf = appendBinHeader(sl.buf[:0], binTagOK, 0)
+		cs.finish(sl)
+	case repl.OpPSync:
+		if cs.srv.prim == nil || cs.srv.readOnly.Load() {
+			cs.replyBinErr("PSYNC: not a primary")
+			return true
+		}
+		// Copy the payload out of the reused frame buffer and leave the
+		// request loop; handle() drains the reply stream and hands the
+		// connection to the primary.
+		cs.replPSync = append([]byte(nil), p...)
+		return false
 	case binOpQuit:
 		sl := cs.take()
 		sl.buf = appendBinHeader(sl.buf[:0], binTagOK, 0)

@@ -81,9 +81,10 @@ func TestBinaryRoundTrips(t *testing.T) {
 	if del, err := cl.Del(7); err != nil || del {
 		t.Fatalf("double del: %v %v", del, err)
 	}
-	// STATS stays text-only: the binary connection surfaces the ERR frame.
-	if _, err := cl.Stats(); err == nil || !strings.Contains(err.Error(), "text-protocol") {
-		t.Fatalf("binary STATS should fail with the text-protocol error, got %v", err)
+	// STATS speaks binary too (tag 8), parsing into the same map shape as
+	// the text protocol.
+	if st, err := cl.Stats(); err != nil || st["pool_workers"] == 0 {
+		t.Fatalf("binary STATS: %v (stats %v)", err, st)
 	}
 	if err := cl.Quit(); err != nil {
 		t.Fatal(err)

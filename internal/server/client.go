@@ -21,8 +21,17 @@ var (
 	// NOT made durable.
 	ErrDegraded = errors.New("server: store degraded")
 	// ErrTimeout reports a dial, flush, or reply read that exceeded the
-	// client's timeout (DialTimeout / SetTimeout).
+	// client's timeout (WithDialTimeout / SetTimeout).
 	ErrTimeout = errors.New("server: timeout")
+	// ErrWait reports a write the server acknowledged as NOT yet
+	// replicated (the "-ERR WAIT ..." reply): the replica quorum did not
+	// confirm the write's fence group in time. Unlike ErrDegraded the
+	// write IS durable on the primary; retrying after the replicas catch
+	// up succeeds.
+	ErrWait = errors.New("server: replica quorum not reached")
+	// ErrReplica reports a write sent to a read-only replica (the
+	// "-ERR REPLICA ..." reply): writes go to the primary.
+	ErrReplica = errors.New("server: replica is read-only")
 )
 
 // mapErr folds transport deadline expiry into ErrTimeout; other errors
@@ -45,62 +54,186 @@ func mapErr(err error) error {
 // (but its read and write sides may be driven by one goroutine each —
 // the open-loop load generator does).
 //
-// A Client speaks either the text protocol (Dial/NewClient) or the binary
-// frame protocol (DialBin/NewClientBin); both expose the same surface and
-// parse into the same Reply struct.
+// A Client speaks either the text protocol (the default) or the binary
+// frame protocol (WithBinaryProto / NewClientBin); both expose the same
+// surface and parse into the same Reply struct.
 type Client struct {
 	c       net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	bin     bool
 	timeout time.Duration
+	// reads, when non-empty, carries the replica connections the
+	// synchronous read helpers (Get, Scan, Stats-free reads) rotate
+	// through (WithReadFrom); writes always use the primary connection.
+	reads    []*Client
+	nextRead int
+}
+
+// ReadFrom selects where a Client's synchronous read helpers go when
+// replica addresses are configured (WithReadFrom + WithReplicaAddrs).
+type ReadFrom uint8
+
+const (
+	// ReadPrimary sends every operation to the dialed address (the
+	// default): reads observe the client's own writes.
+	ReadPrimary ReadFrom = iota
+	// ReadReplica rotates synchronous reads across the replica
+	// addresses — read scaling with the replication stream's staleness
+	// contract: a read may lag the primary by the replica's current lag,
+	// and read-your-writes holds only per replica connection, not across
+	// the fleet.
+	ReadReplica
+	// ReadNearest routes synchronous reads to the one candidate (the
+	// primary or any replica) with the lowest dial-time ping round trip.
+	ReadNearest
+)
+
+// DialOption configures Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	bin      bool
+	timeout  time.Duration
+	readFrom ReadFrom
+	replicas []string
+}
+
+// WithBinaryProto negotiates the length-prefixed binary frame protocol
+// instead of the text protocol.
+func WithBinaryProto() DialOption {
+	return func(c *dialConfig) { c.bin = true }
+}
+
+// WithDialTimeout bounds the dial itself and arms the client with the
+// same per-round-trip timeout (see SetTimeout). A dial that exceeds d
+// fails with an error matching ErrTimeout.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithReadFrom selects the read routing policy. ReadReplica and
+// ReadNearest need the replica fleet from WithReplicaAddrs; with no
+// replicas configured every policy degenerates to ReadPrimary.
+func WithReadFrom(rf ReadFrom) DialOption {
+	return func(c *dialConfig) { c.readFrom = rf }
+}
+
+// WithReplicaAddrs names the replica fleet for WithReadFrom.
+func WithReplicaAddrs(addrs ...string) DialOption {
+	return func(c *dialConfig) { c.replicas = append(c.replicas, addrs...) }
 }
 
 // Dial connects to a server address ("unix:/path", "tcp:host:port", or
-// bare "host:port").
-func Dial(addr string) (*Client, error) {
-	network, address := SplitAddr(addr)
-	c, err := net.Dial(network, address)
+// bare "host:port"). With no options it is the plain text-protocol
+// connection it always was; options select the binary protocol, a
+// timeout, and read routing across replicas.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cl, err := dialOne(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(c), nil
+	if cfg.readFrom == ReadPrimary || len(cfg.replicas) == 0 {
+		return cl, nil
+	}
+	var reads []*Client
+	for _, raddr := range cfg.replicas {
+		rc, err := dialOne(raddr, cfg)
+		if err != nil {
+			cl.Close()
+			for _, c := range reads {
+				c.Close()
+			}
+			return nil, err
+		}
+		reads = append(reads, rc)
+	}
+	if cfg.readFrom == ReadNearest {
+		// One ping round trip per candidate (the primary included); the
+		// winner takes all synchronous reads.
+		best, bestRTT := -1, time.Duration(0)
+		for i, c := range append([]*Client{cl}, reads...) {
+			start := time.Now()
+			if c.Ping() != nil {
+				continue
+			}
+			if rtt := time.Since(start); best < 0 || rtt < bestRTT {
+				best, bestRTT = i, rtt
+			}
+		}
+		winner := cl
+		if best > 0 {
+			winner = reads[best-1]
+		}
+		for _, c := range reads {
+			if c != winner {
+				c.Close()
+			}
+		}
+		if winner == cl {
+			return cl, nil
+		}
+		reads = []*Client{winner}
+	}
+	cl.reads = reads
+	return cl, nil
+}
+
+func dialOne(addr string, cfg dialConfig) (*Client, error) {
+	network, address := SplitAddr(addr)
+	var c net.Conn
+	var err error
+	if cfg.timeout > 0 {
+		c, err = net.DialTimeout(network, address, cfg.timeout)
+	} else {
+		c, err = net.Dial(network, address)
+	}
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	var cl *Client
+	if cfg.bin {
+		cl = NewClientBin(c)
+	} else {
+		cl = NewClient(c)
+	}
+	cl.SetTimeout(cfg.timeout)
+	return cl, nil
+}
+
+// readClient picks the connection for one synchronous read.
+func (cl *Client) readClient() *Client {
+	if len(cl.reads) == 0 {
+		return cl
+	}
+	rc := cl.reads[cl.nextRead%len(cl.reads)]
+	cl.nextRead++
+	return rc
 }
 
 // DialBin connects like Dial and negotiates the binary frame protocol.
+//
+// Deprecated: use Dial(addr, WithBinaryProto()).
 func DialBin(addr string) (*Client, error) {
-	network, address := SplitAddr(addr)
-	c, err := net.Dial(network, address)
-	if err != nil {
-		return nil, err
-	}
-	return NewClientBin(c), nil
+	return Dial(addr, WithBinaryProto())
 }
 
-// DialTimeout connects like Dial but bounds the dial itself and arms the
-// client with the same per-round-trip timeout (see SetTimeout). A dial
-// that exceeds d fails with an error matching ErrTimeout.
+// DialTimeout connects like Dial with a dial and round-trip timeout.
+//
+// Deprecated: use Dial(addr, WithDialTimeout(d)).
 func DialTimeout(addr string, d time.Duration) (*Client, error) {
-	network, address := SplitAddr(addr)
-	c, err := net.DialTimeout(network, address, d)
-	if err != nil {
-		return nil, mapErr(err)
-	}
-	cl := NewClient(c)
-	cl.SetTimeout(d)
-	return cl, nil
+	return Dial(addr, WithDialTimeout(d))
 }
 
 // DialBinTimeout is DialTimeout negotiating the binary frame protocol.
+//
+// Deprecated: use Dial(addr, WithBinaryProto(), WithDialTimeout(d)).
 func DialBinTimeout(addr string, d time.Duration) (*Client, error) {
-	network, address := SplitAddr(addr)
-	c, err := net.DialTimeout(network, address, d)
-	if err != nil {
-		return nil, mapErr(err)
-	}
-	cl := NewClientBin(c)
-	cl.SetTimeout(d)
-	return cl, nil
+	return Dial(addr, WithBinaryProto(), WithDialTimeout(d))
 }
 
 // SetTimeout bounds every subsequent Flush and reply read: an operation
@@ -139,8 +272,13 @@ func NewClientBin(c net.Conn) *Client {
 	return cl
 }
 
-// Close closes the connection.
-func (cl *Client) Close() error { return cl.c.Close() }
+// Close closes the connection (and any replica read connections).
+func (cl *Client) Close() error {
+	for _, rc := range cl.reads {
+		rc.Close()
+	}
+	return cl.c.Close()
+}
 
 // Flush pushes queued commands to the wire.
 func (cl *Client) Flush() error {
@@ -434,6 +572,28 @@ func (cl *Client) readBinReply() (Reply, error) {
 		return Reply{Array: arr}, nil
 	case binTagErr:
 		return Reply{Err: string(payload)}, nil
+	case binTagStats:
+		// Render as "name value" lines, the text protocol's STATS shape,
+		// so Stats() parses both protocols identically.
+		if len(payload) < 4 {
+			return Reply{}, errors.New("server: malformed STATS frame")
+		}
+		cnt := int(binary.LittleEndian.Uint32(payload))
+		p := payload[4:]
+		arr := make([]string, 0, cnt)
+		for i := 0; i < cnt; i++ {
+			if len(p) < 1 || len(p) < 1+int(p[0])+8 {
+				return Reply{}, errors.New("server: malformed STATS frame")
+			}
+			name := string(p[1 : 1+p[0]])
+			v := binary.LittleEndian.Uint64(p[1+p[0]:])
+			arr = append(arr, name+" "+strconv.FormatUint(v, 10))
+			p = p[1+int(p[0])+8:]
+		}
+		if len(p) != 0 {
+			return Reply{}, errors.New("server: malformed STATS frame")
+		}
+		return Reply{Array: arr}, nil
 	}
 	return Reply{}, fmt.Errorf("server: unknown binary reply tag %d", hdr[4])
 }
@@ -458,6 +618,12 @@ func (cl *Client) roundTrip() (Reply, error) {
 	if r.IsErr() {
 		if msg, ok := strings.CutPrefix(r.Err, "DEGRADED"); ok {
 			return r, fmt.Errorf("%w:%s", ErrDegraded, msg)
+		}
+		if msg, ok := strings.CutPrefix(r.Err, "WAIT"); ok {
+			return r, fmt.Errorf("%w:%s", ErrWait, msg)
+		}
+		if msg, ok := strings.CutPrefix(r.Err, "REPLICA"); ok {
+			return r, fmt.Errorf("%w:%s", ErrReplica, msg)
 		}
 		return r, errors.New("server: " + r.Err)
 	}
@@ -488,12 +654,13 @@ func (cl *Client) Put(k, v uint64) error {
 	return err
 }
 
-// Get looks up a key.
+// Get looks up a key, on a replica connection when read routing says so.
 func (cl *Client) Get(k uint64) (uint64, bool, error) {
-	if err := cl.SendGet(k); err != nil {
+	rc := cl.readClient()
+	if err := rc.SendGet(k); err != nil {
 		return 0, false, err
 	}
-	r, err := cl.roundTrip()
+	r, err := rc.roundTrip()
 	return r.Value, r.Found, err
 }
 
@@ -524,12 +691,14 @@ func (cl *Client) Update(k, v uint64) (uint64, bool, error) {
 	return r.Value, r.Found, err
 }
 
-// Scan returns up to max pairs of [lo, hi] in key order.
+// Scan returns up to max pairs of [lo, hi] in key order, on a replica
+// connection when read routing says so.
 func (cl *Client) Scan(lo, hi uint64, max int) (keys, vals []uint64, err error) {
-	if err := cl.SendScan(lo, hi, max); err != nil {
+	rc := cl.readClient()
+	if err := rc.SendScan(lo, hi, max); err != nil {
 		return nil, nil, err
 	}
-	r, err := cl.roundTrip()
+	r, err := rc.roundTrip()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -549,8 +718,23 @@ func (cl *Client) Scan(lo, hi uint64, max int) (keys, vals []uint64, err error) 
 	return keys, vals, nil
 }
 
-// Stats fetches the server's counters (text protocol only: a binary
-// connection surfaces the server's ERR frame as an error).
+// Promote round-trips a PROMOTE: the server, if a replica, becomes a
+// primary (failover). Idempotent on a server that already is one.
+func (cl *Client) Promote() error {
+	var err error
+	if cl.bin {
+		err = cl.sendBin0(binOpPromote)
+	} else {
+		err = cl.Send("PROMOTE")
+	}
+	if err != nil {
+		return err
+	}
+	_, err = cl.roundTrip()
+	return err
+}
+
+// Stats fetches the server's counters (either protocol).
 func (cl *Client) Stats() (map[string]uint64, error) {
 	var err error
 	if cl.bin {

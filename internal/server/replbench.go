@@ -1,0 +1,299 @@
+package server
+
+// Replication benchmark harnesses for nvbench's JSON baseline: the
+// read-scaling rows (srv-repl-rN) and the WAIT-quorum write-latency row
+// (srv-wait1). Self-contained like Bench/BenchFile/BenchBin — each call
+// builds its own primary, replicas, sockets and load.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+	"repro/internal/store"
+)
+
+// replFleet is one primary plus n replica servers on Unix sockets.
+type replFleet struct {
+	dir      string
+	primary  string   // primary address
+	replicas []string // replica addresses
+	close    []func()
+}
+
+func (f *replFleet) Close() {
+	for i := len(f.close) - 1; i >= 0; i-- {
+		f.close[i]()
+	}
+	os.RemoveAll(f.dir)
+}
+
+// startReplFleet serves a prefilled primary and n caught-up replicas.
+func startReplFleet(n int, keyRange uint64, scfg Config) (*replFleet, error) {
+	const shards, conns = 4, 4
+	dir, err := os.MkdirTemp("", "nvrepl-bench")
+	if err != nil {
+		return nil, err
+	}
+	f := &replFleet{dir: dir}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+
+	serve := func(st store.Store, sock string, cfg Config, replicaOf string) (string, error) {
+		srv := New(st, cfg)
+		if replicaOf != "" {
+			if err := srv.StartReplica(replicaOf, ""); err != nil {
+				srv.Close()
+				return "", err
+			}
+		}
+		addr := "unix:" + filepath.Join(dir, sock)
+		ln, err := Listen(addr)
+		if err != nil {
+			srv.Close()
+			return "", err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		f.close = append(f.close, func() { srv.Close(); <-done })
+		return addr, nil
+	}
+	open := func() (store.Store, error) {
+		return store.Open(store.Config{
+			Kind: core.KindHash, Policy: persist.NVTraverse{}, Profile: pmem.ProfileZero,
+			Shards: shards, SizeHint: int(keyRange), MaxSessions: 3*conns + shards + 8,
+		})
+	}
+
+	pst, err := open()
+	if err != nil {
+		return nil, err
+	}
+	f.close = append(f.close, func() { pst.Close() })
+	scfg.MaxConns = 3*conns + n + 2 // loads + replication channels
+	f.primary, err = serve(pst, "p.sock", scfg, "")
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < n; i++ {
+		rst, err := open()
+		if err != nil {
+			return nil, err
+		}
+		f.close = append(f.close, func() { rst.Close() })
+		addr, err := serve(rst, fmt.Sprintf("r%d.sock", i), Config{MaxConns: 3*conns + 2}, f.primary)
+		if err != nil {
+			return nil, err
+		}
+		f.replicas = append(f.replicas, addr)
+	}
+
+	// Attach barrier BEFORE the prefill: under a WAIT quorum a write on a
+	// replica-less primary would gate until the timeout, so the fleet must
+	// be feeding before the first insert.
+	cl, err := Dial(f.primary)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := cl.Stats()
+		if err == nil && st["repl_replicas"] >= uint64(n) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cl.Close()
+			return nil, fmt.Errorf("primary never saw %d replicas (stats %v, err %v)", n, st, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := prefillWire(LoadConfig{Addr: f.primary, Conns: conns, Range: keyRange}); err != nil {
+		cl.Close()
+		return nil, err
+	}
+
+	// Catch-up barrier: a sentinel write on the primary, visible on every
+	// replica (the prefill stream behind it came through).
+	sentinel := keyRange + 7
+	err = cl.Put(sentinel, 1)
+	cl.Close()
+	if err != nil {
+		return nil, err
+	}
+	for _, addr := range f.replicas {
+		rcl, err := Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if _, found, err := rcl.Get(sentinel); err == nil && found {
+				break
+			}
+			if time.Now().After(deadline) {
+				rcl.Close()
+				return nil, fmt.Errorf("replica %s never caught up", addr)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		rcl.Close()
+	}
+	ok = true
+	return f, nil
+}
+
+// BenchRepl returns the builder for the srv-repl-rN read-scaling row: a
+// prefilled primary, n caught-up replicas, and a read-only (YCSB-C) load
+// spread over the replicas. A capacity pass on one replica sets a
+// per-replica offered rate well inside the stable region (the fleet
+// shares the machine with the load generators, so a closed-loop stampede
+// on every replica at once would measure contention, not scaling); each
+// replica then serves that rate concurrently, so achieved throughput
+// grows with the replica count while per-read latency stays flat.
+func BenchRepl(n int) func(time.Duration) (bench.Result, error) {
+	return func(dur time.Duration) (bench.Result, error) {
+		const conns = 2
+		var keyRange uint64 = 1 << 15
+		f, err := startReplFleet(n, keyRange, Config{})
+		if err != nil {
+			return bench.Result{}, err
+		}
+		defer f.Close()
+
+		// Per-replica capacity, measured once on the first replica.
+		cap0, err := RunLoad(LoadConfig{
+			Addr: f.replicas[0], Conns: conns, Pipeline: 16,
+			Duration: bench.EffectiveDuration(dur),
+			Workload: "C", Range: keyRange,
+		})
+		if err != nil {
+			return bench.Result{}, err
+		}
+		if cap0.Errors > 0 {
+			return bench.Result{}, fmt.Errorf("capacity pass: %d protocol errors", cap0.Errors)
+		}
+		rate := cap0.OpsPerSec * 0.18
+		if rate < 1000 {
+			rate = 1000
+		}
+		budget := uint64(rate * bench.EffectiveDuration(dur).Seconds())
+		if budget < 16*conns {
+			budget = 16 * conns
+		}
+
+		// Open-loop read load on every replica at once, one generator per
+		// replica at the same offered rate.
+		type outcome struct {
+			res LoadResult
+			err error
+		}
+		outs := make(chan outcome, n)
+		for _, addr := range f.replicas {
+			go func(addr string) {
+				res, err := RunLoad(LoadConfig{
+					Addr: addr, Conns: conns, Pipeline: 16,
+					Ops: budget, Workload: "C", Range: keyRange,
+					Rate: rate, Poisson: true,
+				})
+				outs <- outcome{res, err}
+			}(addr)
+		}
+		var total bench.Result
+		total.Config = bench.Config{
+			Kind: core.KindHash, Policy: "nvtraverse", Profile: pmem.ProfileZero,
+			Threads: n * conns, Range: keyRange, Workload: "C", Shards: 4,
+		}
+		for i := 0; i < n; i++ {
+			o := <-outs
+			if o.err != nil {
+				return bench.Result{}, o.err
+			}
+			if o.res.Errors > 0 {
+				return bench.Result{}, fmt.Errorf("replica read pass: %d protocol errors", o.res.Errors)
+			}
+			total.Ops += o.res.Ops
+			total.Mops += o.res.OpsPerSec / 1e6
+			total.Offered += o.res.Offered
+			if total.Lat == nil {
+				total.Lat = o.res.Lat
+			}
+			if o.res.Elapsed > total.Elapsed {
+				total.Elapsed = o.res.Elapsed
+			}
+		}
+		return total, nil
+	}
+}
+
+// BenchWait1 is the WAIT-quorum write row: a primary with WaitReplicas=1
+// and one attached replica, YCSB-A load on the primary. Every
+// acknowledged write waited for the replica's confirmation, so the row's
+// percentiles price the replication round trip into the write path (the
+// delta against srv-unix4 is what WAIT 1 costs). Closed-loop capacity
+// pass first, then the open-loop latency pass at 70% of it, exactly like
+// Bench.
+func BenchWait1(dur time.Duration) (bench.Result, error) {
+	const conns = 4
+	var keyRange uint64 = 1 << 15
+	f, err := startReplFleet(1, keyRange, Config{
+		WaitReplicas: 1, WaitTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return bench.Result{}, err
+	}
+	defer f.Close()
+
+	res, err := RunLoad(LoadConfig{
+		Addr: f.primary, Conns: conns, Pipeline: 16,
+		Duration: bench.EffectiveDuration(dur),
+		Workload: "A", Range: keyRange,
+	})
+	if err != nil {
+		return bench.Result{}, err
+	}
+	if res.Errors > 0 {
+		return bench.Result{}, fmt.Errorf("WAIT capacity pass: %d protocol errors", res.Errors)
+	}
+	out := bench.Result{
+		Config: bench.Config{
+			Kind: core.KindHash, Policy: "nvtraverse", Profile: pmem.ProfileZero,
+			Threads: conns, Range: keyRange, Workload: "A", Shards: 4,
+		},
+		Ops:     res.Ops,
+		Mops:    res.OpsPerSec / 1e6,
+		Elapsed: res.Elapsed,
+		Lat:     res.Lat,
+	}
+	rate := res.OpsPerSec * openLoopFraction
+	if rate < 1000 {
+		rate = 1000
+	}
+	budget := uint64(rate * bench.EffectiveDuration(dur).Seconds())
+	if budget < 16*conns {
+		budget = 16 * conns
+	}
+	open, err := RunLoad(LoadConfig{
+		Addr: f.primary, Conns: conns, Pipeline: 16,
+		Ops: budget, Workload: "A", Range: keyRange,
+		Rate: rate, Poisson: true,
+	})
+	if err != nil {
+		return bench.Result{}, err
+	}
+	if open.Errors > 0 {
+		return bench.Result{}, fmt.Errorf("WAIT open-loop pass: %d protocol errors", open.Errors)
+	}
+	out.Lat = open.Lat
+	out.Offered = open.Offered
+	return out, nil
+}

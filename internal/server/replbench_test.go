@@ -1,0 +1,37 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBenchReplSmoke runs the replica read-scaling harness end to end at
+// smoke length: the fleet comes up, catches up, serves the offered read
+// load with zero protocol errors, and tears down.
+func TestBenchReplSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness; skipped in -short")
+	}
+	res, err := BenchRepl(2)(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Lat == nil {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+// TestBenchWait1Smoke runs the WAIT-quorum write-latency harness at smoke
+// length.
+func TestBenchWait1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness; skipped in -short")
+	}
+	res, err := BenchWait1(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Lat == nil {
+		t.Fatalf("empty result: %+v", res)
+	}
+}

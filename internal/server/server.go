@@ -50,10 +50,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/batcher"
+	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/store"
 )
@@ -88,6 +90,18 @@ type Config struct {
 	// client that stops reading cannot pin a handler forever once its
 	// kernel buffer fills.
 	WriteTimeout time.Duration
+	// WaitReplicas is the replication write quorum K: with K > 0 a write
+	// is acknowledged only after K replicas confirmed its fence group
+	// (replied ⇒ replicated; see internal/repl). 0 inherits the store's
+	// configured quorum (store.Config.WaitReplicas), which defaults to
+	// best-effort streaming.
+	WaitReplicas int
+	// WaitTimeout bounds a WAIT-mode write's wait for its replica quorum
+	// before it fails with a typed quorum error (default 2s).
+	WaitTimeout time.Duration
+	// ReplLogGroups is the per-shard replication log retention in fence
+	// groups (default 1024).
+	ReplLogGroups int
 }
 
 // Server serves the store protocol. One Server may serve many listeners.
@@ -96,12 +110,21 @@ type Server struct {
 	pool *batcher.Pool
 	cfg  Config
 
+	// prim is the replication primary hooked into the pool's commit
+	// point. It always exists on a store-backed server — inactive it is a
+	// cheap no-op sink — so attaching a replica or promoting never needs
+	// to rewire the pool. readOnly latches replica mode: writes are
+	// refused until PROMOTE clears it.
+	prim     *repl.Primary
+	readOnly atomic.Bool
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	sessions  chan store.Session
 	created   int
 	closed    bool
+	replica   *repl.Replica // live replication link in replica mode
 
 	handlers sync.WaitGroup
 }
@@ -119,6 +142,14 @@ func New(st store.Store, cfg Config) *Server {
 	if cfg.MaxScan <= 0 {
 		cfg.MaxScan = 4096
 	}
+	if cfg.WaitReplicas == 0 {
+		cfg.WaitReplicas = st.Repl().WaitReplicas
+	}
+	prim := repl.NewPrimary(st, repl.PrimaryConfig{
+		WaitReplicas: cfg.WaitReplicas,
+		WaitTimeout:  cfg.WaitTimeout,
+		LogGroups:    cfg.ReplLogGroups,
+	})
 	return &Server{
 		st: st,
 		pool: batcher.NewPool(st, batcher.PoolConfig{
@@ -126,11 +157,56 @@ func New(st store.Store, cfg Config) *Server {
 			Ring:     cfg.Ring,
 			MaxBatch: cfg.Batch.MaxBatch,
 			MaxDelay: cfg.Batch.MaxDelay,
+			OnCommit: prim,
 		}),
 		cfg:       cfg,
+		prim:      prim,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		sessions:  make(chan store.Session, cfg.MaxConns),
+	}
+}
+
+// Primary exposes the replication primary (tests, stats).
+func (s *Server) Primary() *repl.Primary { return s.prim }
+
+// StartReplica switches the server into replica mode: writes are refused
+// with a REPLICA error, and a background link tails primaryAddr's
+// replication stream into the store (full snapshot on first attach, tail
+// from the persisted watermark after a restart when watermarkPath is
+// non-empty). Reads keep serving throughout — stale by at most the
+// link's lag. Call before serving traffic; Promote ends replica mode.
+func (s *Server) StartReplica(primaryAddr, watermarkPath string) error {
+	r, err := repl.StartReplica(s.st, repl.ReplicaConfig{
+		Primary:       primaryAddr,
+		WatermarkPath: watermarkPath,
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.replica = r
+	s.mu.Unlock()
+	s.readOnly.Store(true)
+	return nil
+}
+
+// Promote ends replica mode: the replication link closes (keeping every
+// batch already applied), writes open up, and the server's own primary —
+// which was wired into the commit point all along — takes over the
+// replication stats source so new replicas may attach to the promoted
+// server. Idempotent; a no-op on a server that is already a primary.
+func (s *Server) Promote() {
+	s.mu.Lock()
+	r := s.replica
+	s.replica = nil
+	s.mu.Unlock()
+	if r != nil {
+		r.Close()
+	}
+	s.readOnly.Store(false)
+	if src, ok := s.st.(interface{ SetReplSource(func() store.ReplStats) }); ok && s.prim != nil {
+		src.SetReplSource(s.prim.Stats)
 	}
 }
 
@@ -259,7 +335,18 @@ func (s *Server) Close() {
 	for c := range s.conns {
 		c.Close()
 	}
+	replica := s.replica
+	s.replica = nil
 	s.mu.Unlock()
+	if replica != nil {
+		replica.Close()
+	}
+	if s.prim != nil {
+		// Fail pending WAIT gates now, before waiting on the handlers:
+		// their writer goroutines drain queued replies, and a gate held to
+		// its full quorum timeout would stall shutdown for nothing.
+		s.prim.Close()
+	}
 	s.handlers.Wait()
 	s.pool.Close()
 }
@@ -338,6 +425,12 @@ func wireErrMsg(err error) string {
 	if errors.Is(err, batcher.ErrDegraded) {
 		return "DEGRADED " + err.Error()
 	}
+	if errors.Is(err, repl.ErrQuorum) {
+		// The write IS durable on the primary; only the replica quorum is
+		// missing. A distinct token keeps that apart from DEGRADED, where
+		// the write never became durable.
+		return "WAIT " + err.Error()
+	}
 	return err.Error()
 }
 
@@ -397,13 +490,29 @@ func (s *Server) handle(c net.Conn) {
 	// On exit: stop the reply stream, let the writer drain every reply —
 	// including writes still waiting on their fence (a QUIT's +OK must reach
 	// the wire) — then the deferred c.Close runs.
-	defer func() {
+	drained := false
+	drain := func() {
 		close(cs.order)
 		writerWG.Wait()
+	}
+	defer func() {
+		if !drained {
+			drain()
+		}
 	}()
 
 	if bin {
 		s.handleBin(br, cs)
+		if cs.replPSync != nil {
+			// The connection re-negotiated into a replication channel:
+			// drain the reply stream first (every pending reply completed
+			// and hit the wire), then hand the quiet socket to the
+			// primary, which owns it until the link dies. The connection's
+			// session serves the snapshot reads.
+			drain()
+			drained = true
+			s.prim.ServeConn(c, br, cs.sess, cs.replPSync)
+		}
 		return
 	}
 	for {
@@ -445,6 +554,10 @@ type connState struct {
 	res     []store.OpResult
 	scanBuf []scanKV
 	binBuf  []byte
+	// replPSync, when set by dispatchBin, carries a PSYNC request payload
+	// out of the request loop: the connection stops being a request
+	// stream and is handed to the replication primary.
+	replPSync []byte
 }
 
 func newConnState(s *Server, sess store.Session, pipeline int, bin bool) *connState {
@@ -499,6 +612,17 @@ func (cs *connState) reply(msg string) {
 // fence lands. The slot enters the order queue before Submit so replies
 // cannot reorder, whatever worker the key routes to.
 func (cs *connState) submitWrite(op store.Op, mode replyMode) {
+	if cs.srv.readOnly.Load() {
+		// Replica mode: the store's contents belong to the primary's
+		// stream. The refusal names where writes go, like DEGRADED names
+		// why they stopped.
+		if cs.bin {
+			cs.replyBinErr("REPLICA read-only: writes go to the primary")
+		} else {
+			cs.reply("-ERR REPLICA read-only: writes go to the primary\r\n")
+		}
+		return
+	}
 	sl := cs.take()
 	sl.mode = mode
 	cs.order <- sl
@@ -569,6 +693,14 @@ func (cs *connState) dispatch(line []byte) bool {
 		sl := cs.take()
 		sl.buf = cs.appendStats(sl.buf[:0])
 		cs.finish(sl)
+	case strings.EqualFold(cmd, "PROMOTE"):
+		// Failover: turn a replica into a primary (idempotent; +OK on a
+		// server that already is one). Reads served before the reply saw
+		// the pre-promotion state; writes accepted after it are the new
+		// primary's own.
+		cs.awaitWrites()
+		cs.srv.Promote()
+		cs.reply("+OK\r\n")
 	case strings.EqualFold(cmd, "PING"):
 		cs.reply("+PONG\r\n")
 	case strings.EqualFold(cmd, "QUIT"):
@@ -664,13 +796,20 @@ func (cs *connState) execMGet(args []string) {
 	cs.finish(sl)
 }
 
-func (cs *connState) appendStats(buf []byte) []byte {
+// statRow is one STATS counter, rendered by either protocol.
+type statRow struct {
+	name string
+	v    uint64
+}
+
+// statRows gathers the server's counters, including the replication view
+// (repl_* rows are live: on a primary they reflect attached replicas and
+// lag, on a replica the applied stream position).
+func (cs *connState) statRows() []statRow {
 	st := cs.srv.st.Stats()
 	bs := cs.srv.pool.Stats()
-	stats := []struct {
-		name string
-		v    uint64
-	}{
+	rs := cs.srv.st.Repl()
+	return []statRow{
 		{"ops", st.Ops},
 		{"reads", st.Reads},
 		{"writes", st.Writes},
@@ -682,7 +821,19 @@ func (cs *connState) appendStats(buf []byte) []byte {
 		{"batch_groups", bs.Groups},
 		{"pool_workers", uint64(cs.srv.pool.Workers())},
 		{"degraded", degraded01(cs.srv)},
+		{"repl_role", uint64(rs.Role)},
+		{"repl_replicas", uint64(rs.Replicas)},
+		{"repl_wait_k", uint64(rs.WaitReplicas)},
+		{"repl_lag_groups", rs.MaxLagGroups},
+		{"repl_lag_bytes", rs.MaxLagBytes},
+		{"repl_last_ack", rs.LastAckSeq},
+		{"repl_applied_groups", rs.AppliedGroups},
+		{"repl_applied_ops", rs.AppliedOps},
 	}
+}
+
+func (cs *connState) appendStats(buf []byte) []byte {
+	stats := cs.statRows()
 	buf = appendArrayHeader(buf, len(stats))
 	for _, s := range stats {
 		buf = append(buf, s.name...)

@@ -180,6 +180,19 @@ func (e *Engine) RecoverFiles() (pmem.ReplayStats, error) {
 	return total, nil
 }
 
+// Boot reports shard 0's durable boot counter (0 on a non-durable
+// engine). Every shard's boot advances in lockstep — RecoverFiles bumps
+// them all on the same open — so shard 0 stands for the engine: one
+// value uniquely naming this process lifetime of the data directory,
+// which replication uses as the primary's run identity.
+func (e *Engine) Boot() uint64 {
+	if len(e.shards) == 0 || !e.Durable() {
+		return 0
+	}
+	boot, _ := e.shards[0].mem.Watermark()
+	return boot
+}
+
 // ReplayStats re-reports the aggregate of the last RecoverFiles.
 func (e *Engine) ReplayStats() pmem.ReplayStats {
 	var total pmem.ReplayStats

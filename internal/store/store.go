@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/persist"
@@ -77,6 +78,49 @@ type AsyncSession interface {
 	ApplyCommitted(ops []Op, dst []OpResult, committed func(idxs []int, err error)) []OpResult
 }
 
+// ReplRole names a store's position in a replication topology.
+type ReplRole uint8
+
+const (
+	// RoleNone: the store is not part of a replication topology.
+	RoleNone ReplRole = iota
+	// RolePrimary: the store accepts writes and streams committed fence
+	// groups to attached replicas.
+	RolePrimary
+	// RoleReplica: the store applies a primary's stream and serves reads.
+	RoleReplica
+)
+
+// ReplStats is the replication view of a store. The zero value is what an
+// unreplicated store reports, so callers never branch on topology: lag is
+// zero, no replicas are connected, no quorum is required. A store serving
+// as a replication primary or replica reports live figures (the repl
+// package attaches itself through SetReplSource on the concrete types).
+type ReplStats struct {
+	// Role is the store's current topology role.
+	Role ReplRole
+	// Replicas counts connected replicas on a primary; on a replica it is
+	// 1 while the upstream link is live and 0 after it failed.
+	Replicas int
+	// WaitReplicas is the configured write quorum K (0 = acks never wait
+	// for replication).
+	WaitReplicas int
+	// MaxLagGroups and MaxLagBytes are the largest per-replica backlog of
+	// streamed-but-unacknowledged fence groups (and their encoded bytes)
+	// across connected replicas; both are 0 when every replica is caught
+	// up. On a replica they report its own backlog behind the primary.
+	MaxLagGroups uint64
+	MaxLagBytes  uint64
+	// LastAckSeq is the highest fence-group sequence any replica has
+	// acknowledged (primary), or the highest applied sequence (replica) —
+	// the last-acknowledged watermark, summed across shards.
+	LastAckSeq uint64
+	// AppliedGroups and AppliedOps count the stream batches and operations
+	// a replica has applied (0 on a primary).
+	AppliedGroups uint64
+	AppliedOps    uint64
+}
+
 // Store is one durable key-value store, bare or sharded.
 type Store interface {
 	// NewSession registers a per-goroutine handle.
@@ -112,6 +156,15 @@ type Store interface {
 	// structure). Shard-affine callers — the batcher's worker pool — use it
 	// to keep a key's operations on the worker that owns its shard group.
 	ShardFor(key uint64) int
+	// Repl reports the store's replication view: the zero ReplStats value
+	// on an unreplicated store, live topology figures when the store
+	// serves as a replication primary or replica (see ReplStats).
+	Repl() ReplStats
+	// Boot reports the durable backend's boot counter (0 on non-durable
+	// stores): a value that uniquely names this process lifetime of the
+	// data directory, bumped on every successful open. Replication uses it
+	// as the primary's run identity in the catch-up watermark.
+	Boot() uint64
 	// Checkpoint snapshots the store's memories and truncates their WALs.
 	// Safe under live traffic (fences stall for the duration of a shard's
 	// dump; see pmem.Memory.Checkpoint); no-op on non-durable stores.
@@ -169,6 +222,13 @@ type Config struct {
 	// layout-determining (absent from the manifest). Only meaningful with
 	// Dir.
 	FS vfs.FS
+	// WaitReplicas records the configured write quorum K for serving
+	// layers to pick up (surfaced through Repl().WaitReplicas): a write
+	// acknowledged under WAIT mode has been confirmed by K replicas. The
+	// store itself does not enforce it — the replication primary the
+	// server wires into the group-commit pool does. Not
+	// layout-determining.
+	WaitReplicas int
 }
 
 // manifest is the on-disk record of the layout-determining Config fields.
@@ -264,6 +324,7 @@ func Open(cfg Config) (Store, error) {
 			return nil, fmt.Errorf("store: recover %s: %w", cfg.Dir, err)
 		}
 		st := &EngineStore{eng: eng, admin: eng.NewSession(), replay: replay, ckptBytes: cfg.CkptBytes}
+		st.repl.waitK = cfg.WaitReplicas
 		if eng.Durable() {
 			// The paper's recovery phase runs on every durable open: on a
 			// fresh directory it is a no-op scan, after a crash it rebuilds
@@ -300,10 +361,33 @@ func Open(cfg Config) (Store, error) {
 		}
 	}
 	st := &Single{mem: mem, set: set, kind: cfg.Kind, admin: mem.NewThread(), replay: replay, ckptBytes: cfg.CkptBytes}
+	st.repl.waitK = cfg.WaitReplicas
 	if mem.Durable() {
 		st.Recover()
 	}
 	return st, nil
+}
+
+// replSource is the shared live-stats indirection behind Repl(): the repl
+// package attaches a primary's or replica's stats function through
+// SetReplSource, and until one is attached Repl reports the zero value
+// (plus the configured quorum). Held by both backends.
+type replSource struct {
+	waitK int
+	fn    atomic.Pointer[func() ReplStats]
+}
+
+func (r *replSource) set(fn func() ReplStats) { r.fn.Store(&fn) }
+
+func (r *replSource) stats() ReplStats {
+	if p := r.fn.Load(); p != nil {
+		st := (*p)()
+		if st.WaitReplicas == 0 {
+			st.WaitReplicas = r.waitK
+		}
+		return st
+	}
+	return ReplStats{WaitReplicas: r.waitK}
 }
 
 // Single is the bare-structure backend: one memory, one structure.
@@ -314,6 +398,7 @@ type Single struct {
 	admin     *pmem.Thread
 	replay    pmem.ReplayStats
 	ckptBytes int64
+	repl      replSource
 }
 
 // NewSingle wraps an existing structure and memory as a Store (migration
@@ -343,6 +428,14 @@ func (s *Single) Durable() bool                 { return s.mem.Durable() }
 func (s *Single) DurableErr() error             { return s.mem.DurableErr() }
 func (s *Single) ReplayStats() pmem.ReplayStats { return s.replay }
 func (s *Single) ShardFor(uint64) int           { return 0 }
+func (s *Single) Repl() ReplStats               { return s.repl.stats() }
+func (s *Single) Boot() uint64 {
+	boot, _ := s.mem.Watermark()
+	return boot
+}
+
+// SetReplSource attaches a live replication stats source (internal/repl).
+func (s *Single) SetReplSource(fn func() ReplStats) { s.repl.set(fn) }
 func (s *Single) Checkpoint() error {
 	if !s.mem.Durable() {
 		return nil
@@ -482,6 +575,7 @@ type EngineStore struct {
 	admin     *shard.Session
 	replay    pmem.ReplayStats
 	ckptBytes int64
+	repl      replSource
 }
 
 // NewEngineStore wraps an existing engine as a Store (migration path for
@@ -505,7 +599,12 @@ func (s *EngineStore) Durable() bool                 { return s.eng.Durable() }
 func (s *EngineStore) DurableErr() error             { return s.eng.DurableErr() }
 func (s *EngineStore) ReplayStats() pmem.ReplayStats { return s.replay }
 func (s *EngineStore) ShardFor(key uint64) int       { return s.eng.ShardFor(key) }
-func (s *EngineStore) Checkpoint() error             { return s.eng.Checkpoint() }
+func (s *EngineStore) Repl() ReplStats               { return s.repl.stats() }
+func (s *EngineStore) Boot() uint64                  { return s.eng.Boot() }
+
+// SetReplSource attaches a live replication stats source (internal/repl).
+func (s *EngineStore) SetReplSource(fn func() ReplStats) { s.repl.set(fn) }
+func (s *EngineStore) Checkpoint() error                 { return s.eng.Checkpoint() }
 func (s *EngineStore) MaybeCheckpoint() (int, error) {
 	if s.ckptBytes <= 0 || !s.eng.Durable() {
 		return 0, nil

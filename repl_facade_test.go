@@ -1,0 +1,93 @@
+package nvtraverse
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// TestOpenWithReplicaOf attaches a facade-opened store to a live nvserver
+// primary: the snapshot bootstraps it, the stream keeps it fresh, and
+// Repl() reports the replica role.
+func TestOpenWithReplicaOf(t *testing.T) {
+	pst, err := Open(HashMap, WithShards(2), WithMaxSessions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	srv := server.New(pst, server.Config{MaxConns: 4})
+	addr := "unix:" + filepath.Join(t.TempDir(), "p.sock")
+	ln, err := server.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for k := uint64(1); k <= 50; k++ {
+		if err := cl.Put(k, k+100); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rst, err := Open(HashMap, WithShards(2), WithMaxSessions(16), WithReplicaOf(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	if r := rst.Repl(); r.Role != store.RoleReplica {
+		t.Fatalf("replica role = %v", r.Role)
+	}
+
+	h := rst.NewSession()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, ok := h.Get(50); ok && v == 150 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never arrived")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Live stream after bootstrap.
+	if err := cl.Put(99, 999); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if v, ok := h.Get(99); ok && v == 999 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("streamed write never arrived")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestOpenWithWaitReplicas pins that the facade option lands in the
+// replication view even before any serving layer is attached.
+func TestOpenWithWaitReplicas(t *testing.T) {
+	st, err := Open(HashMap, WithWaitReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if r := st.Repl(); r.WaitReplicas != 2 || r.Role != store.RoleNone {
+		t.Fatalf("repl view = %+v", r)
+	}
+}
